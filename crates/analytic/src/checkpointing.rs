@@ -1,0 +1,171 @@
+//! Checkpoint-interval optimisation (the §2.2 trade-off, after
+//! Ziv & Bruck and Young).
+//!
+//! The paper's design rule — *compare every round, checkpoint every `s`
+//! rounds* — leaves `s` free. Writing a checkpoint costs `C` time units;
+//! failing at round `i` of an interval costs a recovery (and sometimes a
+//! roll-back of `i − 1` rounds). This module provides a closed-form
+//! expected-overhead model and the optimal `s`, validated against the
+//! stochastic engine in experiment E12.
+//!
+//! ## Model
+//!
+//! Let `R` be the cost of one round pair (`T1_round` or `THT2_round`),
+//! `q` the probability that a given round suffers a corruption, and `C`
+//! the checkpoint cost. Consider one interval of `s` rounds:
+//!
+//! * checkpoint overhead per useful round: `C / s`;
+//! * a fault at round `i` (probability ≈ `q` per round) triggers a
+//!   recovery of duration ≈ `i·R_retry`; averaged over `i` uniform in
+//!   `1..=s` the expected replay is `(s+1)/2` rounds. A fraction of
+//!   recoveries additionally roll back `i − 1 ≈ (s−1)/2` rounds of work.
+//!
+//! Ignoring second-order terms this yields the per-round overhead
+//!
+//! `V(s) = C/s + q·ρ·(s+1)/2 · R`
+//!
+//! where `ρ` folds the retry/rollback weights. Minimising over `s` gives
+//! the Young-style square-root law
+//!
+//! `s* = sqrt(2C / (q·ρ·R))`.
+
+use crate::params::Params;
+use crate::timing::t1_round;
+
+/// Weighting of the recovery work per fault, in round-pair equivalents.
+///
+/// `retry_weight` scales the replay cost (1.0 = replaying `i` rounds of
+/// one version costs `i` single-version rounds ≈ `i·R/2` for the
+/// conventional machine — we keep it in units of `R` for simplicity);
+/// `rollback_prob` is the chance a recovery degenerates into a rollback
+/// that loses the interval's work.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryWeights {
+    /// Replay cost multiplier (in units of round pairs).
+    pub retry_weight: f64,
+    /// Probability that a recovery ends in a rollback.
+    pub rollback_prob: f64,
+}
+
+impl RecoveryWeights {
+    /// Defaults matching the conventional stop-and-retry scheme with a
+    /// modest second-fault probability.
+    pub fn conventional() -> Self {
+        RecoveryWeights {
+            retry_weight: 0.5, // version 3 replays alone: i·t = i·R/2-ish
+            rollback_prob: 0.1,
+        }
+    }
+
+    /// Effective per-fault weight ρ used by the closed form.
+    pub fn rho(&self) -> f64 {
+        self.retry_weight + self.rollback_prob
+    }
+}
+
+/// Expected overhead per useful round for checkpoint interval `s`:
+/// `V(s) = C/s + q·ρ·(s+1)/2·R`.
+pub fn expected_overhead_per_round(
+    params: &Params,
+    checkpoint_cost: f64,
+    q: f64,
+    weights: RecoveryWeights,
+    s: u32,
+) -> f64 {
+    assert!(s >= 1);
+    assert!((0.0..1.0).contains(&q));
+    let r = t1_round(params);
+    checkpoint_cost / f64::from(s) + q * weights.rho() * (f64::from(s) + 1.0) / 2.0 * r
+}
+
+/// The square-root-law optimum `s* = sqrt(2C / (q·ρ·R))`, clamped to at
+/// least 1.
+pub fn optimal_interval(
+    params: &Params,
+    checkpoint_cost: f64,
+    q: f64,
+    weights: RecoveryWeights,
+) -> f64 {
+    assert!(q > 0.0, "q = 0 means never checkpoint (s* = ∞)");
+    let r = t1_round(params);
+    (2.0 * checkpoint_cost / (q * weights.rho() * r)).sqrt().max(1.0)
+}
+
+/// Integer `s` minimising the closed-form overhead (checks the floor and
+/// ceiling of the continuous optimum).
+pub fn optimal_interval_int(
+    params: &Params,
+    checkpoint_cost: f64,
+    q: f64,
+    weights: RecoveryWeights,
+) -> u32 {
+    let s_star = optimal_interval(params, checkpoint_cost, q, weights);
+    let lo = (s_star.floor() as u32).max(1);
+    let hi = lo + 1;
+    let v = |s| expected_overhead_per_round(params, checkpoint_cost, q, weights, s);
+    if v(lo) <= v(hi) {
+        lo
+    } else {
+        hi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> Params {
+        Params::paper_default()
+    }
+
+    #[test]
+    fn overhead_has_interior_minimum() {
+        let w = RecoveryWeights::conventional();
+        let v = |s| expected_overhead_per_round(&params(), 10.0, 0.02, w, s);
+        let s_opt = optimal_interval_int(&params(), 10.0, 0.02, w);
+        assert!(s_opt > 1);
+        assert!(v(s_opt) <= v(1), "s=1 pays checkpoints every round");
+        assert!(v(s_opt) <= v(512), "huge s pays replays/rollbacks");
+        // local optimality
+        assert!(v(s_opt) <= v(s_opt + 1) + 1e-12);
+        if s_opt > 1 {
+            assert!(v(s_opt) <= v(s_opt - 1) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn square_root_law_scalings() {
+        let w = RecoveryWeights::conventional();
+        let s1 = optimal_interval(&params(), 10.0, 0.02, w);
+        // 4× checkpoint cost → 2× interval
+        let s2 = optimal_interval(&params(), 40.0, 0.02, w);
+        assert!((s2 / s1 - 2.0).abs() < 1e-9);
+        // 4× fault rate → half the interval
+        let s3 = optimal_interval(&params(), 10.0, 0.08, w);
+        assert!((s3 / s1 - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn higher_fault_rate_prefers_smaller_s() {
+        let w = RecoveryWeights::conventional();
+        let lo = optimal_interval_int(&params(), 10.0, 0.005, w);
+        let hi = optimal_interval_int(&params(), 10.0, 0.08, w);
+        assert!(hi < lo, "q=0.08 → s={hi}, q=0.005 → s={lo}");
+    }
+
+    #[test]
+    fn matches_the_papers_regime() {
+        // With disk-like checkpoint costs and the paper's implicit fault
+        // rates, s ≈ 20 is a sensible interval — the closed form should
+        // put the optimum in the tens, not 2 or 2000.
+        let w = RecoveryWeights::conventional();
+        let s = optimal_interval_int(&params(), 12.0, 0.01, w);
+        assert!((5..=80).contains(&s), "s* = {s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "q = 0")]
+    fn zero_fault_rate_rejected() {
+        optimal_interval(&params(), 10.0, 0.0, RecoveryWeights::conventional());
+    }
+}

@@ -1,0 +1,187 @@
+//! Figures 4 and 5 — the `Ḡ_corr(α, β)` gain surfaces.
+//!
+//! The paper plots the expected recovery gain of the predictive scheme
+//! (Eq. 13, computed from the *exact* equations (10)–(12) under the
+//! normalisation `c = t' = βt`, s = 20) over `α ∈ [½, 1]`, `β ∈ [0, 1]`,
+//! once for `p = 0.5` (Figure 4, "worst case — no strategy should be worse
+//! than a random choice") and once for `p = 1.0` (Figure 5, best case).
+//!
+//! This module produces the same grids as plain data (`Vec`-based, so the
+//! crate stays dependency-free); the bench harness wraps them in
+//! `vds_desim::series::Surface` for rendering/CSV.
+
+use crate::params::Params;
+use crate::predictive::gbar_corr_exact;
+
+/// One figure-grid evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GainGrid {
+    /// α sample points.
+    pub alphas: Vec<f64>,
+    /// β sample points.
+    pub betas: Vec<f64>,
+    /// Prediction accuracy the grid was computed for.
+    pub p_correct: f64,
+    /// Checkpoint interval used.
+    pub s: u32,
+    /// Row-major gains: `gain[ib * alphas.len() + ia]`.
+    pub gain: Vec<f64>,
+}
+
+impl GainGrid {
+    /// Gain at grid indices `(ia, ib)`.
+    pub fn at(&self, ia: usize, ib: usize) -> f64 {
+        self.gain[ib * self.alphas.len() + ia]
+    }
+
+    /// Gain at the grid point nearest `(alpha, beta)`.
+    pub fn nearest(&self, alpha: f64, beta: f64) -> f64 {
+        let ia = nearest(&self.alphas, alpha);
+        let ib = nearest(&self.betas, beta);
+        self.at(ia, ib)
+    }
+
+    /// Maximum gain on the grid.
+    pub fn max(&self) -> f64 {
+        self.gain.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Minimum gain on the grid.
+    pub fn min(&self) -> f64 {
+        self.gain.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+}
+
+fn nearest(grid: &[f64], v: f64) -> usize {
+    let mut best = 0usize;
+    let mut bestd = f64::INFINITY;
+    for (i, &g) in grid.iter().enumerate() {
+        let d = (g - v).abs();
+        if d < bestd {
+            bestd = d;
+            best = i;
+        }
+    }
+    best
+}
+
+fn gridpoints(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    assert!(n >= 2);
+    let step = (hi - lo) / (n - 1) as f64;
+    (0..n).map(|i| lo + step * i as f64).collect()
+}
+
+/// Evaluate `Ḡ_corr(α, β)` on an `na × nb` grid over
+/// `α ∈ [½, 1] × β ∈ [0, 1]` for accuracy `p_correct` and interval `s`.
+pub fn gain_surface(p_correct: f64, s: u32, na: usize, nb: usize) -> GainGrid {
+    let alphas = gridpoints(0.5, 1.0, na);
+    let betas = gridpoints(0.0, 1.0, nb);
+    let mut gain = Vec::with_capacity(na * nb);
+    for &beta in &betas {
+        for &alpha in &alphas {
+            let params = Params::with_beta(alpha, beta, s);
+            gain.push(gbar_corr_exact(&params, p_correct));
+        }
+    }
+    GainGrid {
+        alphas,
+        betas,
+        p_correct,
+        s,
+        gain,
+    }
+}
+
+/// Figure 4: `Ḡ_corr(α, β)` for p = 0.5, s = 20, on the default 26×21 grid
+/// (α step 0.02, β step 0.05).
+pub fn figure4() -> GainGrid {
+    gain_surface(0.5, 20, 26, 21)
+}
+
+/// Figure 5: `Ḡ_corr(α, β)` for p = 1.0, s = 20.
+pub fn figure5() -> GainGrid {
+    gain_surface(1.0, 20, 26, 21)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_dimensions() {
+        let g = figure4();
+        assert_eq!(g.alphas.len(), 26);
+        assert_eq!(g.betas.len(), 21);
+        assert_eq!(g.gain.len(), 26 * 21);
+        assert_eq!(g.p_correct, 0.5);
+        assert_eq!(g.s, 20);
+    }
+
+    #[test]
+    fn figure4_operating_point() {
+        // At (α=0.65, β=0.1) Figure 4 should read ≈ 1.38 (the paper notes
+        // s=20 is already close to the limit).
+        let g = figure4();
+        let v = g.nearest(0.65, 0.1);
+        assert!((v - 1.38).abs() < 0.05, "figure4(0.65, 0.1) = {v}");
+    }
+
+    #[test]
+    fn figure5_dominates_figure4() {
+        // Perfect prediction can only help: pointwise ≥.
+        let g4 = figure4();
+        let g5 = figure5();
+        for i in 0..g4.gain.len() {
+            assert!(g5.gain[i] >= g4.gain[i] - 1e-12, "index {i}");
+        }
+    }
+
+    #[test]
+    fn surfaces_decrease_in_alpha() {
+        // For fixed β the gain must fall as contention grows.
+        let g = figure4();
+        for ib in 0..g.betas.len() {
+            for ia in 1..g.alphas.len() {
+                assert!(
+                    g.at(ia, ib) <= g.at(ia - 1, ib) + 1e-12,
+                    "ia={ia} ib={ib}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn surfaces_increase_in_beta() {
+        // Larger overheads on the conventional side favour the SMT system:
+        // β raises T1_round (two context switches per round pair!) more
+        // than the SMT times, so the gain grows with β.
+        let g = figure5();
+        for ia in 0..g.alphas.len() {
+            for ib in 1..g.betas.len() {
+                assert!(
+                    g.at(ia, ib) >= g.at(ia, ib - 1) - 1e-12,
+                    "ia={ia} ib={ib}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn corner_values_sane() {
+        let g4 = figure4();
+        // best corner (α=½, β=1): large gain; worst corner (α=1, β=0):
+        // pure retry at serialised speed ~ 1/(2α)·(1+2p ln2)... bounded
+        // below by ~0.85 for p=.5.
+        assert!(g4.max() == g4.nearest(0.5, 1.0));
+        assert!(g4.min() == g4.nearest(1.0, 0.0));
+        assert!(g4.min() > 0.8 && g4.min() < 1.0);
+        assert!(g4.max() > 1.5);
+    }
+
+    #[test]
+    fn custom_grid_resolution() {
+        let g = gain_surface(0.5, 20, 6, 5);
+        assert_eq!(g.alphas, vec![0.5, 0.6, 0.7, 0.8, 0.9, 1.0]);
+        assert_eq!(g.betas, vec![0.0, 0.25, 0.5, 0.75, 1.0]);
+    }
+}

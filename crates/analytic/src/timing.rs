@@ -1,0 +1,136 @@
+//! Round and recovery durations — Eqs. (1), (2), (3), (5) — and the
+//! normal-processing gain, Eq. (4).
+
+use crate::params::Params;
+
+/// Eq. (1): one complete VDS round on a conventional processor.
+///
+/// Both versions run a round of length `t`, each preceded/followed by a
+/// context switch `c`, and the states are compared (`t'`):
+/// `T1_round = 2(t + c) + t'`.
+pub fn t1_round(p: &Params) -> f64 {
+    2.0 * (p.t + p.c) + p.t_cmp
+}
+
+/// Eq. (2): stop-and-retry correction on a conventional processor after a
+/// fault detected at round `i`.
+///
+/// Version 3 replays `i` rounds from the checkpoint, then the majority vote
+/// compares its state against both suspects: `T1_corr = i·t + 2t'`.
+pub fn t1_corr(p: &Params, i: u32) -> f64 {
+    f64::from(i) * p.t + 2.0 * p.t_cmp
+}
+
+/// Eq. (3): one complete VDS round on a 2-way SMT processor.
+///
+/// The two versions run in parallel hardware threads; no context switch is
+/// needed and the pair of rounds completes in `2αt`:
+/// `THT2_round = 2αt + t'`.
+pub fn tht2_round(p: &Params) -> f64 {
+    2.0 * p.alpha * p.t + p.t_cmp
+}
+
+/// Eq. (5): SMT recovery time for a fault detected at round `i`.
+///
+/// Thread 1 replays version 3 for `i` rounds while thread 2 rolls forward
+/// for an equal wall time; the co-scheduled pair needs `2iαt`, then two
+/// comparisons: `THT2_corr = 2iαt + 2t'`.
+///
+/// (The paper's footnote 3 notes the exact form would use `max(t', c)`
+/// in place of `t'`; under the Eq.-14 normalisation `c = t'` the two
+/// coincide, so we keep the main-text form.)
+pub fn tht2_corr(p: &Params, i: u32) -> f64 {
+    2.0 * f64::from(i) * p.alpha * p.t + 2.0 * p.t_cmp
+}
+
+/// Eq. (4), exact: normal-processing speedup of the SMT VDS,
+/// `G_round = T1_round / THT2_round`.
+pub fn g_round_exact(p: &Params) -> f64 {
+    t1_round(p) / tht2_round(p)
+}
+
+/// Eq. (4), approximate (`c, t' ≪ t`): `G_round ≈ 1/α`.
+pub fn g_round_approx(p: &Params) -> f64 {
+    1.0 / p.alpha
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(alpha: f64, beta: f64) -> Params {
+        Params::with_beta(alpha, beta, 20)
+    }
+
+    #[test]
+    fn eq1_t1_round() {
+        let p = params(0.65, 0.1);
+        // 2(1 + 0.1) + 0.1 = 2.3
+        assert!((t1_round(&p) - 2.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq2_t1_corr_scales_with_i() {
+        let p = params(0.65, 0.1);
+        assert!((t1_corr(&p, 1) - 1.2).abs() < 1e-12);
+        assert!((t1_corr(&p, 10) - 10.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq3_tht2_round() {
+        let p = params(0.65, 0.1);
+        // 2*0.65 + 0.1 = 1.4
+        assert!((tht2_round(&p) - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq5_tht2_corr() {
+        let p = params(0.65, 0.1);
+        // 2*10*0.65 + 0.2 = 13.2
+        assert!((tht2_corr(&p, 10) - 13.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq4_gain_approaches_inverse_alpha() {
+        // With beta -> 0 the exact gain approaches 1/alpha.
+        for &alpha in &[0.5, 0.65, 0.8, 1.0] {
+            let p = params(alpha, 1e-9);
+            assert!(
+                (g_round_exact(&p) - 1.0 / alpha).abs() < 1e-6,
+                "alpha={alpha}"
+            );
+            assert_eq!(g_round_approx(&p), 1.0 / alpha);
+        }
+    }
+
+    #[test]
+    fn gain_at_paper_point() {
+        // alpha=0.65, beta=0.1: 2.3/1.4 ≈ 1.643 — the SMT VDS processes
+        // rounds ~64% faster than the conventional one.
+        let p = Params::paper_default();
+        let g = g_round_exact(&p);
+        assert!((g - 2.3 / 1.4).abs() < 1e-12);
+        assert!(g > 1.6 && g < 1.7);
+    }
+
+    #[test]
+    fn smt_round_never_slower_when_alpha_below_one() {
+        for &beta in &[0.0, 0.1, 0.5, 1.0] {
+            for &alpha in &[0.5, 0.65, 0.9, 1.0] {
+                let p = params(alpha, beta);
+                // 2αt + t' <= 2(t+c) + t' whenever α <= 1.
+                assert!(tht2_round(&p) <= t1_round(&p) + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn worst_case_alpha_one_still_saves_context_switches() {
+        // α = 1: "apart from the context switch as slow as on the
+        // conventional processor" — gain comes only from saved switches.
+        let p = params(1.0, 0.1);
+        let g = g_round_exact(&p);
+        assert!(g > 1.0);
+        assert!((g - 2.3 / 2.1).abs() < 1e-12);
+    }
+}

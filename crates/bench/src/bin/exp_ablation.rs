@@ -1,0 +1,4 @@
+//! E14 — design-choice ablation studies.
+fn main() {
+    print!("{}", vds_bench::e14_ablation::report(60));
+}

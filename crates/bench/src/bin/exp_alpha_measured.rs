@@ -1,0 +1,4 @@
+//! E9 — measure the SMT contention factor α across kernel pairs.
+fn main() {
+    print!("{}", vds_bench::e09_alpha::report(3));
+}

@@ -1,0 +1,4 @@
+//! E12 — checkpoint-interval trade-off under stochastic faults.
+fn main() {
+    print!("{}", vds_bench::e12_checkpoint::report(2_000));
+}

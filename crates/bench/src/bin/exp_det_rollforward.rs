@@ -1,0 +1,4 @@
+//! E4 — regenerate the Eqs. (6)–(7) deterministic roll-forward curves.
+fn main() {
+    print!("{}", vds_bench::e04_det_rollforward::report());
+}

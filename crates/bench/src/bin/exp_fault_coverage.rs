@@ -1,0 +1,5 @@
+//! E10 — fault-injection coverage campaign on the micro platform.
+fn main() {
+    let workers = std::thread::available_parallelism().map_or(4, |n| n.get());
+    print!("{}", vds_bench::e10_coverage::report(400, workers));
+}

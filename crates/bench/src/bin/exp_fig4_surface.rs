@@ -1,0 +1,4 @@
+//! E6 — regenerate the Figure 4 gain surface (p = 0.5).
+fn main() {
+    print!("{}", vds_bench::e06_fig4::report());
+}

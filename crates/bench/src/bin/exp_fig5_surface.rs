@@ -1,0 +1,4 @@
+//! E7 — regenerate the Figure 5 gain surface (p = 1.0).
+fn main() {
+    print!("{}", vds_bench::e07_fig5::report());
+}

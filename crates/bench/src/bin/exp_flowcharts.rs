@@ -1,0 +1,4 @@
+//! E3 — export the Figures 2–3 recovery flow charts as Graphviz DOT.
+fn main() {
+    print!("{}", vds_bench::e03_flowcharts::report());
+}

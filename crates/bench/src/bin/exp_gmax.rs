@@ -1,0 +1,4 @@
+//! E8 — regenerate the G_max convergence table and headline numbers.
+fn main() {
+    print!("{}", vds_bench::e08_gmax::report());
+}

@@ -1,0 +1,4 @@
+//! E13 — §5 boosted multi-thread recovery and the clock trade.
+fn main() {
+    print!("{}", vds_bench::e13_multithread::report());
+}

@@ -1,0 +1,4 @@
+//! E11 — predictor accuracy and its end-to-end recovery-gain value.
+fn main() {
+    print!("{}", vds_bench::e11_prediction::report(20_000));
+}

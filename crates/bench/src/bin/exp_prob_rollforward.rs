@@ -1,0 +1,4 @@
+//! E5 — regenerate the Eq. (8) probabilistic roll-forward curve.
+fn main() {
+    print!("{}", vds_bench::e05_prob_rollforward::report());
+}

@@ -1,0 +1,4 @@
+//! E1 — regenerate the Eq. (4) normal-processing speedup table.
+fn main() {
+    print!("{}", vds_bench::e01_round_gain::report(200));
+}

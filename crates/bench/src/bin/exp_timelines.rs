@@ -1,0 +1,4 @@
+//! E2 — regenerate the Figure 1 execution-model timelines.
+fn main() {
+    print!("{}", vds_bench::e02_timelines::report(8, 24, 140));
+}

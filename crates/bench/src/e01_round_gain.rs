@@ -1,0 +1,95 @@
+//! E1 — Eq. (4): normal-processing speedup `G_round(α, β)`.
+//!
+//! Three columns per (α, β): the exact closed form, the `1/α`
+//! approximation, and the **measured** ratio of the abstract engine's
+//! fault-free round times. The measured column must match the exact
+//! closed form to machine precision — the engine *is* the model.
+
+use crate::Report;
+use std::fmt::Write as _;
+use vds_analytic::timing;
+use vds_analytic::Params;
+use vds_core::abstract_vds::{run, AbstractConfig};
+use vds_core::{FaultModel, Scheme};
+
+/// Measured fault-free round-time ratio conventional/SMT at (α, β).
+pub fn measured_g_round(alpha: f64, beta: f64, rounds: u64) -> f64 {
+    let params = Params::with_beta(alpha, beta, 20);
+    let conv = run(
+        &AbstractConfig::new(params, Scheme::Conventional),
+        FaultModel::None,
+        rounds,
+        1,
+    );
+    let smt = run(
+        &AbstractConfig::new(params, Scheme::SmtProbabilistic),
+        FaultModel::None,
+        rounds,
+        1,
+    );
+    conv.total_time / smt.total_time
+}
+
+/// Regenerate the Eq. (4) table.
+pub fn report(rounds: u64) -> Report {
+    let betas = [0.0, 0.05, 0.1, 0.2];
+    let alphas = [0.5, 0.55, 0.6, 0.65, 0.7, 0.8, 0.9, 1.0];
+    let mut text = String::new();
+    let mut csv = String::from("alpha,beta,exact,approx,measured\n");
+    let _ = writeln!(
+        text,
+        "{:>6} {:>6} {:>9} {:>9} {:>9}",
+        "alpha", "beta", "exact", "1/alpha", "measured"
+    );
+    for &beta in &betas {
+        for &alpha in &alphas {
+            let p = Params::with_beta(alpha, beta, 20);
+            let exact = timing::g_round_exact(&p);
+            let approx = timing::g_round_approx(&p);
+            let measured = measured_g_round(alpha, beta, rounds);
+            let _ = writeln!(
+                text,
+                "{alpha:>6.2} {beta:>6.2} {exact:>9.4} {approx:>9.4} {measured:>9.4}"
+            );
+            let _ = writeln!(csv, "{alpha},{beta},{exact},{approx},{measured}");
+        }
+    }
+    let p = Params::paper_default();
+    let _ = writeln!(
+        text,
+        "\npaper operating point (α=0.65, β=0.1): G_round = {:.3} (≈ 1/α = {:.3})",
+        timing::g_round_exact(&p),
+        timing::g_round_approx(&p)
+    );
+    Report {
+        id: "E1",
+        title: "Eq. (4) — normal-processing speedup of the SMT VDS",
+        text,
+        data: vec![("round_gain.csv".into(), csv)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_equals_exact() {
+        for &(a, b) in &[(0.5, 0.0), (0.65, 0.1), (0.9, 0.2)] {
+            let p = Params::with_beta(a, b, 20);
+            let m = measured_g_round(a, b, 50);
+            assert!(
+                (m - timing::g_round_exact(&p)).abs() < 1e-9,
+                "alpha={a} beta={b}: {m}"
+            );
+        }
+    }
+
+    #[test]
+    fn report_renders() {
+        let r = report(20);
+        assert!(r.text.contains("G_round"));
+        assert_eq!(r.data.len(), 1);
+        assert!(r.data[0].1.lines().count() > 30);
+    }
+}

@@ -1,0 +1,34 @@
+//! E7 — Figure 5: the gain surface `Ḡ_corr(α, β)` for p = 1.0 (perfect
+//! prediction of the faulty version), s = 20.
+
+use crate::Report;
+
+/// Figure 5 (p = 1.0).
+pub fn report() -> Report {
+    crate::e06_fig4::figure_report("E7", "Figure 5 — Ḡ_corr(α, β) for p = 1.0", 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use vds_analytic::figures::gain_surface;
+
+    #[test]
+    fn figure5_dominates_figure4_everywhere() {
+        let g4 = gain_surface(0.5, 20, 26, 21);
+        let g5 = gain_surface(1.0, 20, 26, 21);
+        for i in 0..g4.gain.len() {
+            assert!(g5.gain[i] >= g4.gain[i] - 1e-12);
+        }
+        // at the paper point, perfect prediction roughly doubles the
+        // roll-forward benefit: G(p=1) ≈ (1 + 2.3·ln2)/(2α) ≈ 1.995
+        let v = g5.nearest(0.65, 0.1);
+        assert!((v - 2.0).abs() < 0.08, "fig5(0.65, 0.1) = {v}");
+    }
+
+    #[test]
+    fn report_renders() {
+        let r = super::report();
+        assert!(r.title.contains("Figure 5"));
+        assert!(r.text.contains("p = 1"));
+    }
+}

@@ -1,0 +1,153 @@
+//! E12 — the check/checkpoint interval trade-off (§2.2, following
+//! Ziv & Bruck).
+//!
+//! The paper's design rationale: compare states *every round* (cheap,
+//! `t'`), checkpoint only every `s` rounds (expensive stable-storage
+//! write). This experiment sweeps `s` under a stochastic fault load with
+//! a non-zero checkpoint cost and reports throughput — small `s` wastes
+//! time writing checkpoints, large `s` pays long replays and roll-backs;
+//! the optimum sits in between.
+
+use crate::Report;
+use std::fmt::Write as _;
+use vds_analytic::Params;
+use vds_core::abstract_vds::{run, AbstractConfig};
+use vds_core::{FaultModel, Scheme};
+
+/// Throughput versus `s` for the given fault probability and checkpoint
+/// cost.
+pub fn sweep(
+    scheme: Scheme,
+    q: f64,
+    checkpoint_cost: f64,
+    rounds: u64,
+    svals: &[u32],
+) -> Vec<(u32, f64)> {
+    svals
+        .iter()
+        .map(|&s| {
+            let params = Params::with_beta(0.65, 0.1, s);
+            let mut cfg = AbstractConfig::new(params, scheme);
+            cfg.checkpoint_cost = checkpoint_cost;
+            // average over seeds for a stable estimate
+            let mut acc = 0.0;
+            let reps = 8;
+            for seed in 0..reps {
+                let r = run(&cfg, FaultModel::PerRound { q }, rounds, 100 + seed);
+                acc += r.throughput();
+            }
+            (s, acc / reps as f64)
+        })
+        .collect()
+}
+
+/// Regenerate the trade-off curves.
+pub fn report(rounds: u64) -> Report {
+    let svals = [1u32, 2, 4, 8, 16, 32, 64, 128];
+    let mut text = String::new();
+    let mut csv = String::from("scheme,q,ckpt_cost,s,throughput\n");
+    for &(q, cost) in &[(0.01, 5.0), (0.03, 5.0), (0.01, 20.0)] {
+        let _ = writeln!(
+            text,
+            "per-round fault probability q={q}, checkpoint cost={cost} (in units of t):"
+        );
+        for scheme in [Scheme::Conventional, Scheme::SmtProbabilistic] {
+            let curve = sweep(scheme, q, cost, rounds, &svals);
+            let best = curve
+                .iter()
+                .copied()
+                .max_by(|a, b| a.1.total_cmp(&b.1))
+                .unwrap();
+            let _ = write!(text, "  {:<14}", scheme.name());
+            for (s, thr) in &curve {
+                let _ = write!(text, " s={s}:{thr:.3}");
+                let _ = writeln!(csv, "{},{q},{cost},{s},{thr}", scheme.name());
+            }
+            let _ = writeln!(text, "   → optimum s={} ({:.3})", best.0, best.1);
+        }
+    }
+    let _ = writeln!(
+        text,
+        "\nthe optimum lies strictly inside the sweep: frequent checks, infrequent checkpoints"
+    );
+    // closed-form cross-check (Young-style square-root law)
+    let _ = writeln!(text, "\nclosed-form optima (vds-analytic::checkpointing):");
+    let w = vds_analytic::checkpointing::RecoveryWeights::conventional();
+    for &(q, cost) in &[(0.01, 5.0), (0.03, 5.0), (0.01, 20.0)] {
+        let params = Params::with_beta(0.65, 0.1, 20);
+        let s_star = vds_analytic::checkpointing::optimal_interval_int(&params, cost, q, w);
+        let _ = writeln!(text, "  q={q}, C={cost}: s* = {s_star}");
+    }
+    Report {
+        id: "E12",
+        title: "Checkpoint-interval trade-off under faults",
+        text,
+        data: vec![("checkpoint_tradeoff.csv".into(), csv)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extremes_are_suboptimal() {
+        let svals = [1u32, 2, 4, 8, 16, 32, 64, 128];
+        let curve = sweep(Scheme::SmtProbabilistic, 0.02, 10.0, 600, &svals);
+        let best = curve
+            .iter()
+            .copied()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap();
+        let first = curve.first().unwrap();
+        let last = curve.last().unwrap();
+        assert!(best.1 > first.1, "s=1 should lose to the optimum");
+        assert!(best.1 > last.1, "s=128 should lose to the optimum");
+        assert!(best.0 > 1 && best.0 < 128, "optimum at s={}", best.0);
+    }
+
+    #[test]
+    fn closed_form_optimum_agrees_with_simulation_to_a_factor() {
+        // The square-root law and the stochastic engine should place the
+        // optimum in the same region (within ~2× — the closed form folds
+        // rollback dynamics into one constant).
+        let w = vds_analytic::checkpointing::RecoveryWeights::conventional();
+        let params = Params::with_beta(0.65, 0.1, 20);
+        let (q, cost) = (0.02, 10.0);
+        let s_star =
+            vds_analytic::checkpointing::optimal_interval_int(&params, cost, q, w) as f64;
+        let svals = [2u32, 4, 8, 16, 32, 64, 128];
+        let curve = sweep(Scheme::Conventional, q, cost, 600, &svals);
+        let s_sim = curve
+            .iter()
+            .copied()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap()
+            .0 as f64;
+        let ratio = s_star.max(s_sim) / s_star.min(s_sim);
+        assert!(
+            ratio <= 2.6,
+            "closed form s*={s_star} vs simulated {s_sim} (ratio {ratio})"
+        );
+    }
+
+    #[test]
+    fn higher_fault_rate_prefers_smaller_s() {
+        let svals = [2u32, 8, 32, 128];
+        let low = sweep(Scheme::SmtProbabilistic, 0.005, 10.0, 600, &svals);
+        let high = sweep(Scheme::SmtProbabilistic, 0.08, 10.0, 600, &svals);
+        let argmax = |c: &[(u32, f64)]| {
+            c.iter()
+                .copied()
+                .max_by(|a, b| a.1.total_cmp(&b.1))
+                .unwrap()
+                .0
+        };
+        assert!(
+            argmax(&high) <= argmax(&low),
+            "high-rate optimum {} vs low-rate {}",
+            argmax(&high),
+            argmax(&low)
+        );
+    }
+}

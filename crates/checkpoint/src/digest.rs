@@ -1,0 +1,158 @@
+//! State digests.
+//!
+//! Two independent 64-bit hashes over word slices. The VDS state
+//! comparison must never report "equal" for different outputs (a false
+//! negative masks a fault), so [`StateDigest`] combines FNV-1a with a
+//! second, structurally different mix — a corruption would need to collide
+//! both 64-bit functions simultaneously to slip through. (Real systems use
+//! cryptographic digests or word-wise comparison; for a simulator the
+//! 128-bit combination is far beyond the experiment scales of 10⁴–10⁶
+//! comparisons.)
+
+/// A 128-bit state digest (two independent 64-bit halves).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StateDigest {
+    /// FNV-1a half.
+    pub fnv: u64,
+    /// Mix half (splitmix-style avalanche over a running state).
+    pub mix: u64,
+}
+
+impl StateDigest {
+    /// Digest of an empty input.
+    pub fn empty() -> Self {
+        Digester::new().finish()
+    }
+}
+
+impl std::fmt::Display for StateDigest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}{:016x}", self.fnv, self.mix)
+    }
+}
+
+/// Incremental digest builder.
+#[derive(Debug, Clone)]
+pub struct Digester {
+    fnv: u64,
+    mix: u64,
+    count: u64,
+}
+
+impl Default for Digester {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Digester {
+    /// Fresh digester.
+    pub fn new() -> Self {
+        Digester {
+            fnv: 0xcbf2_9ce4_8422_2325,
+            mix: 0x9E37_79B9_7F4A_7C15,
+            count: 0,
+        }
+    }
+
+    /// Absorb one 32-bit word.
+    #[inline]
+    pub fn push_word(&mut self, w: u32) {
+        for b in w.to_le_bytes() {
+            self.fnv ^= u64::from(b);
+            self.fnv = self.fnv.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let mut z = self.mix ^ (u64::from(w)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z ^= z >> 27;
+        z = z.wrapping_mul(0x94D0_49BB_1331_11EB);
+        self.mix = z.rotate_left(17) ^ (z >> 31);
+        self.count += 1;
+    }
+
+    /// Absorb a word slice.
+    pub fn push_words(&mut self, ws: &[u32]) {
+        for &w in ws {
+            self.push_word(w);
+        }
+    }
+
+    /// Finalise (length-aware, so prefixes don't collide with wholes).
+    pub fn finish(&self) -> StateDigest {
+        let mut d = self.clone();
+        d.push_word(self.count as u32);
+        d.push_word((self.count >> 32) as u32);
+        StateDigest {
+            fnv: d.fnv,
+            mix: d.mix,
+        }
+    }
+}
+
+/// One-shot digest of a word slice.
+pub fn digest_words(ws: &[u32]) -> StateDigest {
+    let mut d = Digester::new();
+    d.push_words(ws);
+    d.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let a = digest_words(&[1, 2, 3]);
+        let b = digest_words(&[1, 2, 3]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn order_sensitive() {
+        assert_ne!(digest_words(&[1, 2, 3]), digest_words(&[3, 2, 1]));
+    }
+
+    #[test]
+    fn single_bit_sensitivity() {
+        let base = vec![0u32; 64];
+        let d0 = digest_words(&base);
+        for word in [0usize, 31, 63] {
+            for bit in [0u32, 15, 31] {
+                let mut v = base.clone();
+                v[word] ^= 1 << bit;
+                assert_ne!(digest_words(&v), d0, "word {word} bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn length_aware() {
+        assert_ne!(digest_words(&[0]), digest_words(&[0, 0]));
+        assert_ne!(digest_words(&[]), digest_words(&[0]));
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let mut d = Digester::new();
+        d.push_words(&[10, 20]);
+        d.push_word(30);
+        assert_eq!(d.finish(), digest_words(&[10, 20, 30]));
+    }
+
+    #[test]
+    fn no_collisions_in_small_sweep() {
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        // all single-word inputs 0..10_000 plus two-word combos
+        for w in 0..10_000u32 {
+            assert!(seen.insert(digest_words(&[w])), "collision at {w}");
+        }
+        for a in 0..100u32 {
+            for b in 0..100u32 {
+                assert!(
+                    seen.insert(digest_words(&[a, b])),
+                    "collision at [{a},{b}]"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Checkpoint policy and bookkeeping for a VDS.
+//!
+//! Tracks the round counter within the current checkpoint interval,
+//! decides when a checkpoint is due (every `s` rounds, per the paper),
+//! and owns the stable-storage slots for the versions.
+
+use crate::snapshot::Snapshot;
+use crate::storage::{StableStorage, StorageModel};
+
+/// Checkpoint bookkeeping for a VDS running two active versions.
+#[derive(Debug, Clone)]
+pub struct CheckpointManager {
+    /// Checkpoint interval `s` in rounds.
+    s: u32,
+    /// Rounds completed since the last checkpoint (the paper's `i` runs
+    /// 1..=s; `rounds_since` is 0 right after a checkpoint).
+    rounds_since: u32,
+    storage: StableStorage,
+    checkpoints_taken: u64,
+}
+
+impl CheckpointManager {
+    /// A manager checkpointing every `s` rounds onto the given device.
+    ///
+    /// # Panics
+    /// Panics if `s == 0`.
+    pub fn new(s: u32, model: StorageModel) -> Self {
+        assert!(s >= 1, "checkpoint interval must be at least 1 round");
+        CheckpointManager {
+            s,
+            rounds_since: 0,
+            // slot 0: version 1's state; slot 1: version 2's state.
+            storage: StableStorage::new(model, 2),
+            checkpoints_taken: 0,
+        }
+    }
+
+    /// The checkpoint interval `s`.
+    pub fn interval(&self) -> u32 {
+        self.s
+    }
+
+    /// Rounds completed since the last checkpoint (0..=s).
+    pub fn rounds_since_checkpoint(&self) -> u32 {
+        self.rounds_since
+    }
+
+    /// Record a completed, successfully compared round. Returns `true`
+    /// if a checkpoint is now due.
+    pub fn round_completed(&mut self) -> bool {
+        self.rounds_since += 1;
+        self.rounds_since >= self.s
+    }
+
+    /// Write both versions' snapshots as the new checkpoint; resets the
+    /// round counter. Returns the storage time cost.
+    pub fn take_checkpoint(&mut self, v1: Snapshot, v2: Snapshot) -> f64 {
+        let cost = self.storage.write(0, v1) + self.storage.write(1, v2);
+        self.rounds_since = 0;
+        self.checkpoints_taken += 1;
+        cost
+    }
+
+    /// Read back the last checkpoint (`(v1, v2, time_cost)`), or `None`
+    /// before the first checkpoint is taken.
+    pub fn load_checkpoint(&mut self) -> Option<(Snapshot, Snapshot, f64)> {
+        let (v1, c1) = self.storage.read(0)?;
+        let (v2, c2) = self.storage.read(1)?;
+        Some((v1, v2, c1 + c2))
+    }
+
+    /// Reset the interval counter without writing (used when recovery
+    /// ends in a checkpoint of its own).
+    pub fn reset_interval(&mut self) {
+        self.rounds_since = 0;
+    }
+
+    /// Number of checkpoints written so far.
+    pub fn checkpoints_taken(&self) -> u64 {
+        self.checkpoints_taken
+    }
+
+    /// Total simulated time spent on storage operations.
+    pub fn storage_time(&self) -> f64 {
+        self.storage.time_spent()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vds_smtsim::isa::Reg;
+
+    fn snap(round: u64) -> Snapshot {
+        Snapshot {
+            regs: [0; Reg::COUNT],
+            pc: 0,
+            dmem: vec![round as u32; 8],
+            round,
+        }
+    }
+
+    #[test]
+    fn due_every_s_rounds() {
+        let mut m = CheckpointManager::new(3, StorageModel::nvram());
+        assert!(!m.round_completed());
+        assert!(!m.round_completed());
+        assert!(m.round_completed());
+        m.take_checkpoint(snap(3), snap(3));
+        assert_eq!(m.rounds_since_checkpoint(), 0);
+        assert!(!m.round_completed());
+    }
+
+    #[test]
+    fn checkpoint_roundtrip() {
+        let mut m = CheckpointManager::new(5, StorageModel::nvram());
+        assert!(m.load_checkpoint().is_none());
+        let cost = m.take_checkpoint(snap(5), snap(5));
+        assert!(cost > 0.0);
+        let (v1, v2, rcost) = m.load_checkpoint().unwrap();
+        assert_eq!(v1.round, 5);
+        assert_eq!(v2.round, 5);
+        assert!(rcost > 0.0);
+        assert_eq!(m.checkpoints_taken(), 1);
+    }
+
+    #[test]
+    fn reset_interval() {
+        let mut m = CheckpointManager::new(4, StorageModel::nvram());
+        m.round_completed();
+        m.round_completed();
+        m.reset_interval();
+        assert_eq!(m.rounds_since_checkpoint(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_interval_rejected() {
+        CheckpointManager::new(0, StorageModel::nvram());
+    }
+}

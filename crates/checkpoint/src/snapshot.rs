@@ -1,0 +1,169 @@
+//! Version state snapshots.
+
+use crate::digest::{digest_words, Digester, StateDigest};
+use vds_smtsim::core::{SavedContext, Thread, ThreadState};
+use vds_smtsim::isa::Reg;
+use vds_smtsim::program::Program;
+use std::ops::Range;
+
+/// A restorable snapshot of one version's architectural state, tagged
+/// with the VDS round it was taken at.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Register file.
+    pub regs: [u32; Reg::COUNT],
+    /// Program counter.
+    pub pc: u32,
+    /// Data memory image.
+    pub dmem: Vec<u32>,
+    /// Round index (within the current checkpoint interval or global —
+    /// the VDS engine decides the convention).
+    pub round: u64,
+}
+
+impl Snapshot {
+    /// Capture a snapshot from a live hardware thread.
+    pub fn of_thread(t: &Thread, round: u64) -> Self {
+        Snapshot {
+            regs: t.regs,
+            pc: t.pc,
+            dmem: t.dmem.clone(),
+            round,
+        }
+    }
+
+    /// Capture from a saved (switched-out) context.
+    pub fn of_context(c: &SavedContext, round: u64) -> Self {
+        Snapshot {
+            regs: c.regs,
+            pc: c.pc,
+            dmem: c.dmem.clone(),
+            round,
+        }
+    }
+
+    /// Convert into a context ready to be switched in, resuming in
+    /// `Ready` state with the given program image.
+    pub fn into_context(self, prog: Program) -> SavedContext {
+        SavedContext {
+            regs: self.regs,
+            pc: self.pc,
+            prog,
+            dmem: self.dmem,
+            state: ThreadState::Ready,
+        }
+    }
+
+    /// Digest of the **full** state (registers, pc, all of memory) —
+    /// used for checkpoint integrity, not for cross-version comparison.
+    pub fn full_digest(&self) -> StateDigest {
+        let mut d = Digester::new();
+        d.push_words(&self.regs);
+        d.push_word(self.pc);
+        d.push_words(&self.dmem);
+        d.finish()
+    }
+
+    /// Digest of an **output window** of data memory — the quantity two
+    /// *diverse* versions must agree on. (Their registers, pc and private
+    /// scratch memory legitimately differ.)
+    pub fn output_digest(&self, window: Range<u32>) -> StateDigest {
+        let lo = window.start as usize;
+        let hi = (window.end as usize).min(self.dmem.len());
+        digest_words(&self.dmem[lo.min(hi)..hi])
+    }
+
+    /// Size in words (for storage-cost accounting).
+    pub fn size_words(&self) -> usize {
+        self.dmem.len() + Reg::COUNT + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vds_smtsim::asm::assemble;
+    use vds_smtsim::core::{Core, CoreConfig, RunOutcome, ThreadId};
+
+    fn yielded_core(src: &str) -> Core {
+        let prog = assemble(src).unwrap();
+        let mut core = Core::new(CoreConfig::default());
+        core.add_thread(&prog, 32);
+        assert_eq!(core.run_until_all_blocked(100_000), RunOutcome::AllYielded);
+        core
+    }
+
+    #[test]
+    fn snapshot_captures_thread_state() {
+        let core = yielded_core("addi r1, r0, 42\nst r1, 3(r0)\nyield\nhalt\n");
+        let snap = Snapshot::of_thread(core.thread(ThreadId(0)), 1);
+        assert_eq!(snap.regs[1], 42);
+        assert_eq!(snap.dmem[3], 42);
+        assert_eq!(snap.round, 1);
+    }
+
+    #[test]
+    fn restore_resumes_exactly_where_saved() {
+        let src = "addi r1, r0, 1\nyield\naddi r1, r1, 10\nhalt\n";
+        let prog = assemble(src).unwrap();
+        let mut core = Core::new(CoreConfig::default());
+        let t = core.add_thread(&prog, 16);
+        core.run_until_all_blocked(100_000);
+        let snap = Snapshot::of_thread(core.thread(t), 0);
+
+        // run to completion, then restore the snapshot and run again
+        core.resume(t);
+        core.run_until_all_blocked(100_000);
+        assert_eq!(core.thread(t).regs[1], 11);
+
+        core.swap_context(t, snap.into_context(prog));
+        assert_eq!(core.run_until_all_blocked(100_000), RunOutcome::AllHalted);
+        assert_eq!(core.thread(t).regs[1], 11, "replay reaches same result");
+    }
+
+    #[test]
+    fn full_digest_differs_when_state_differs() {
+        let core = yielded_core("addi r1, r0, 5\nyield\nhalt\n");
+        let snap = Snapshot::of_thread(core.thread(ThreadId(0)), 0);
+        let mut other = snap.clone();
+        other.dmem[0] ^= 1;
+        assert_ne!(snap.full_digest(), other.full_digest());
+        other.dmem[0] ^= 1;
+        other.regs[7] ^= 4;
+        assert_ne!(snap.full_digest(), other.full_digest());
+    }
+
+    #[test]
+    fn output_digest_ignores_private_state() {
+        let core = yielded_core("addi r1, r0, 5\nst r1, 2(r0)\nyield\nhalt\n");
+        let snap = Snapshot::of_thread(core.thread(ThreadId(0)), 0);
+        let mut diverse = snap.clone();
+        diverse.regs[1] = 999; // different internal representation
+        diverse.pc += 7;
+        diverse.dmem[10] = 123; // scratch outside the window
+        assert_eq!(
+            snap.output_digest(0..4),
+            diverse.output_digest(0..4),
+            "window digest must not see registers/pc/scratch"
+        );
+        let mut corrupted = snap.clone();
+        corrupted.dmem[2] ^= 8;
+        assert_ne!(snap.output_digest(0..4), corrupted.output_digest(0..4));
+    }
+
+    #[test]
+    fn output_window_clamps_to_memory() {
+        let core = yielded_core("yield\nhalt\n");
+        let snap = Snapshot::of_thread(core.thread(ThreadId(0)), 0);
+        // window beyond dmem end must not panic
+        let _ = snap.output_digest(0..10_000);
+        let _ = snap.output_digest(9_000..10_000);
+    }
+
+    #[test]
+    fn size_words_accounts_everything() {
+        let core = yielded_core("yield\nhalt\n");
+        let snap = Snapshot::of_thread(core.thread(ThreadId(0)), 0);
+        assert_eq!(snap.size_words(), 32 + 16 + 1);
+    }
+}

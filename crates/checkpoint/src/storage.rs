@@ -1,0 +1,174 @@
+//! Stable-storage model.
+//!
+//! The paper: "recovery is enabled by saving state to a disk from time to
+//! time (checkpointing)" and "stable storage access for checkpointing is
+//! relatively expensive — that is a reason for relatively long checkpoint
+//! intervals." This module models such a device: an in-memory store whose
+//! *costs* follow a simple latency model, so the VDS engine can charge
+//! checkpoint time properly and experiment E12 can sweep the trade-off.
+//!
+//! Contents survive simulated processor-stop faults by construction (the
+//! store lives outside the simulated core).
+
+use crate::snapshot::Snapshot;
+
+/// Latency model for the stable store.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StorageModel {
+    /// Fixed cost per operation (seek/sync), in abstract time units.
+    pub base_cost: f64,
+    /// Additional cost per word transferred.
+    pub per_word_cost: f64,
+}
+
+impl StorageModel {
+    /// A disk-like default: large fixed cost, small per-word cost.
+    pub fn disk() -> Self {
+        StorageModel {
+            base_cost: 5.0,
+            per_word_cost: 0.002,
+        }
+    }
+
+    /// A battery-backed-RAM-like device: cheap but not free.
+    pub fn nvram() -> Self {
+        StorageModel {
+            base_cost: 0.2,
+            per_word_cost: 0.0005,
+        }
+    }
+
+    /// Cost of transferring `words` words.
+    pub fn cost(&self, words: usize) -> f64 {
+        self.base_cost + self.per_word_cost * words as f64
+    }
+}
+
+/// A checkpoint slot identifier (one per version).
+pub type SlotId = usize;
+
+/// The stable store: one checkpoint slot per version, plus history
+/// counters for the experiments.
+#[derive(Debug, Clone)]
+pub struct StableStorage {
+    model: StorageModel,
+    slots: Vec<Option<Snapshot>>,
+    writes: u64,
+    reads: u64,
+    time_spent: f64,
+}
+
+impl StableStorage {
+    /// A store with `slots` checkpoint slots.
+    pub fn new(model: StorageModel, slots: usize) -> Self {
+        StableStorage {
+            model,
+            slots: vec![None; slots],
+            writes: 0,
+            reads: 0,
+            time_spent: 0.0,
+        }
+    }
+
+    /// Write a checkpoint into `slot`, replacing any previous one.
+    /// Returns the time the write costs.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range slot.
+    pub fn write(&mut self, slot: SlotId, snap: Snapshot) -> f64 {
+        let cost = self.model.cost(snap.size_words());
+        self.slots[slot] = Some(snap);
+        self.writes += 1;
+        self.time_spent += cost;
+        cost
+    }
+
+    /// Read the checkpoint in `slot` (cloned — the store keeps its copy).
+    /// Returns the snapshot and the time the read costs, or `None` if the
+    /// slot is empty.
+    pub fn read(&mut self, slot: SlotId) -> Option<(Snapshot, f64)> {
+        let snap = self.slots.get(slot)?.clone()?;
+        let cost = self.model.cost(snap.size_words());
+        self.reads += 1;
+        self.time_spent += cost;
+        Some((snap, cost))
+    }
+
+    /// Peek without cost accounting (host-side assertions, tests).
+    pub fn peek(&self, slot: SlotId) -> Option<&Snapshot> {
+        self.slots.get(slot)?.as_ref()
+    }
+
+    /// Number of writes performed.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Number of reads performed.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Total simulated time spent in storage operations.
+    pub fn time_spent(&self) -> f64 {
+        self.time_spent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vds_smtsim::isa::Reg;
+
+    fn snap(round: u64, words: usize) -> Snapshot {
+        Snapshot {
+            regs: [0; Reg::COUNT],
+            pc: 0,
+            dmem: vec![7; words],
+            round,
+        }
+    }
+
+    #[test]
+    fn write_then_read_roundtrips() {
+        let mut s = StableStorage::new(StorageModel::disk(), 3);
+        let w = s.write(1, snap(4, 100));
+        assert!(w > 5.0);
+        let (got, r) = s.read(1).unwrap();
+        assert_eq!(got.round, 4);
+        assert!(r > 0.0);
+        assert_eq!(s.writes(), 1);
+        assert_eq!(s.reads(), 1);
+        assert!((s.time_spent() - (w + r)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_slot_reads_none() {
+        let mut s = StableStorage::new(StorageModel::nvram(), 2);
+        assert!(s.read(0).is_none());
+        assert!(s.peek(0).is_none());
+    }
+
+    #[test]
+    fn overwrite_replaces() {
+        let mut s = StableStorage::new(StorageModel::nvram(), 1);
+        s.write(0, snap(1, 10));
+        s.write(0, snap(2, 10));
+        assert_eq!(s.peek(0).unwrap().round, 2);
+    }
+
+    #[test]
+    fn cost_scales_with_size() {
+        let m = StorageModel::disk();
+        assert!(m.cost(10_000) > m.cost(10));
+        let mut s = StableStorage::new(m, 2);
+        let small = s.write(0, snap(0, 10));
+        let large = s.write(1, snap(0, 10_000));
+        assert!(large > small);
+    }
+
+    #[test]
+    fn nvram_cheaper_than_disk() {
+        assert!(StorageModel::nvram().cost(1000) < StorageModel::disk().cost(1000));
+    }
+}

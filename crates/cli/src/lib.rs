@@ -1,0 +1,419 @@
+#![warn(missing_docs)]
+
+//! # vds-cli — the command-line interface
+//!
+//! One binary, `vds`, exposing the whole system:
+//!
+//! ```text
+//! vds asm <file.s>                  assemble; print a summary
+//! vds disasm <file.s>               assemble then disassemble (round-trip view)
+//! vds run <file.s> [copies] [max]   run on the SMT core, print counters
+//! vds alpha [rounds]                measure the kernel-pair α matrix
+//! vds duplex <scheme> [rounds] [fault-round]
+//!                                   run a micro VDS, optionally injecting a fault
+//! vds flowchart <scheme>            print a recovery flow chart as Graphviz DOT
+//! vds experiment <id>               regenerate a paper artefact (e1..e14, all)
+//! vds gains [alpha] [beta] [p]      print the closed-form gain summary
+//! ```
+//!
+//! The command dispatch lives in this library crate so it is unit-testable;
+//! `main.rs` only forwards `std::env::args`.
+
+use std::fmt::Write as _;
+
+/// CLI error: message plus the exit code to use.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError {
+    /// Human-readable message.
+    pub msg: String,
+    /// Process exit code.
+    pub code: i32,
+}
+
+impl CliError {
+    fn usage(msg: impl Into<String>) -> Self {
+        CliError {
+            msg: msg.into(),
+            code: 2,
+        }
+    }
+
+    fn runtime(msg: impl Into<String>) -> Self {
+        CliError {
+            msg: msg.into(),
+            code: 1,
+        }
+    }
+}
+
+/// Top-level usage text.
+pub fn usage() -> &'static str {
+    "vds — virtual duplex systems on simultaneous multithreaded processors
+
+USAGE:
+    vds asm <file.s>                    assemble and summarise
+    vds disasm <file.s>                 assemble, then disassemble
+    vds run <file.s> [copies] [maxcyc]  execute on the SMT core
+    vds alpha [rounds]                  measure kernel-pair α matrix
+    vds duplex <scheme> [rounds] [at]   run a micro VDS (fault at round `at`)
+    vds flowchart <scheme>              recovery flow chart as DOT
+    vds experiment <e1..e14|all>        regenerate a paper artefact
+    vds gains [alpha] [beta] [p]        closed-form gain summary
+
+SCHEMES: conventional, smt-det, smt-prob, smt-pred, smt-boost3, smt-boost5"
+}
+
+fn parse_scheme(s: &str) -> Result<vds_core::Scheme, CliError> {
+    use vds_core::Scheme;
+    Scheme::ALL
+        .iter()
+        .copied()
+        .find(|sc| sc.name() == s)
+        .ok_or_else(|| CliError::usage(format!("unknown scheme `{s}` (see `vds` for the list)")))
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, CliError> {
+    s.parse()
+        .map_err(|_| CliError::usage(format!("bad {what}: `{s}`")))
+}
+
+fn read_file(path: &str) -> Result<String, CliError> {
+    std::fs::read_to_string(path)
+        .map_err(|e| CliError::runtime(format!("cannot read `{path}`: {e}")))
+}
+
+/// Run one command; returns the text to print.
+pub fn dispatch(args: &[String]) -> Result<String, CliError> {
+    let cmd = args.first().map(String::as_str).unwrap_or("");
+    match cmd {
+        "asm" => cmd_asm(args.get(1).ok_or_else(|| CliError::usage("asm: missing file"))?),
+        "disasm" => cmd_disasm(
+            args.get(1)
+                .ok_or_else(|| CliError::usage("disasm: missing file"))?,
+        ),
+        "run" => cmd_run(
+            args.get(1).ok_or_else(|| CliError::usage("run: missing file"))?,
+            args.get(2).map(String::as_str),
+            args.get(3).map(String::as_str),
+        ),
+        "alpha" => cmd_alpha(args.get(1).map(String::as_str)),
+        "duplex" => cmd_duplex(
+            args.get(1)
+                .ok_or_else(|| CliError::usage("duplex: missing scheme"))?,
+            args.get(2).map(String::as_str),
+            args.get(3).map(String::as_str),
+        ),
+        "flowchart" => {
+            let scheme = parse_scheme(
+                args.get(1)
+                    .ok_or_else(|| CliError::usage("flowchart: missing scheme"))?,
+            )?;
+            Ok(vds_core::flowchart::for_scheme(scheme).to_dot())
+        }
+        "experiment" => cmd_experiment(
+            args.get(1)
+                .ok_or_else(|| CliError::usage("experiment: missing id (e1..e14|all)"))?,
+        ),
+        "gains" => cmd_gains(
+            args.get(1).map(String::as_str),
+            args.get(2).map(String::as_str),
+            args.get(3).map(String::as_str),
+        ),
+        "" | "help" | "--help" | "-h" => Ok(usage().to_string()),
+        other => Err(CliError::usage(format!(
+            "unknown command `{other}`\n\n{}",
+            usage()
+        ))),
+    }
+}
+
+fn cmd_asm(path: &str) -> Result<String, CliError> {
+    let src = read_file(path)?;
+    let prog = vds_smtsim::asm::assemble(&src).map_err(|e| CliError::runtime(e.to_string()))?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{path}: {} instructions, {} data words, entry {}",
+        prog.len(),
+        prog.data.len(),
+        prog.entry
+    );
+    for (name, sym) in &prog.symbols {
+        let _ = writeln!(out, "  {name}: {sym:?}");
+    }
+    let _ = writeln!(out, "text digest: {:016x}", prog.text_digest());
+    Ok(out)
+}
+
+fn cmd_disasm(path: &str) -> Result<String, CliError> {
+    let src = read_file(path)?;
+    let prog = vds_smtsim::asm::assemble(&src).map_err(|e| CliError::runtime(e.to_string()))?;
+    Ok(vds_smtsim::disasm::disassemble(&prog))
+}
+
+fn cmd_run(path: &str, copies: Option<&str>, maxcyc: Option<&str>) -> Result<String, CliError> {
+    use vds_smtsim::core::{Core, CoreConfig, RunOutcome, ThreadId, ThreadState};
+    let src = read_file(path)?;
+    let prog = vds_smtsim::asm::assemble(&src).map_err(|e| CliError::runtime(e.to_string()))?;
+    let copies: usize = copies.map_or(Ok(1), |s| parse_num(s, "copy count"))?;
+    let maxcyc: u64 = maxcyc.map_or(Ok(10_000_000), |s| parse_num(s, "cycle limit"))?;
+    if !(1..=8).contains(&copies) {
+        return Err(CliError::usage("copies must be 1..=8"));
+    }
+    let mut cfg = CoreConfig::default();
+    cfg.max_threads = copies;
+    let mut core = Core::new(cfg);
+    let dmem = (prog.data.len() + 1024).max(4096);
+    let tids: Vec<ThreadId> = (0..copies).map(|_| core.add_thread(&prog, dmem)).collect();
+    loop {
+        match core.run_until_all_blocked(maxcyc) {
+            RunOutcome::AllYielded => {
+                for &t in &tids {
+                    if core.thread(t).state == ThreadState::Yielded {
+                        core.resume(t);
+                    }
+                }
+            }
+            RunOutcome::AllHalted => break,
+            RunOutcome::Trapped(tid, trap) => {
+                return Err(CliError::runtime(format!(
+                    "thread {tid:?} trapped: {trap:?} after {} cycles",
+                    core.cycles()
+                )))
+            }
+            RunOutcome::CycleBudgetExhausted => {
+                return Err(CliError::runtime(format!(
+                    "cycle limit {maxcyc} exhausted"
+                )))
+            }
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "completed in {} cycles", core.cycles());
+    for &t in &tids {
+        let c = core.thread(t).counters;
+        let _ = writeln!(out, "  thread {}: {}", t.0, c);
+    }
+    let _ = writeln!(
+        out,
+        "  I$ hit rate {:.3}, D$ hit rate {:.3}",
+        core.icache_stats().hit_rate(),
+        core.dcache_stats().hit_rate()
+    );
+    Ok(out)
+}
+
+fn cmd_alpha(rounds: Option<&str>) -> Result<String, CliError> {
+    let rounds: u32 = rounds.map_or(Ok(2), |s| parse_num(s, "round count"))?;
+    Ok(vds_bench::e09_alpha::report(rounds).to_string())
+}
+
+fn cmd_duplex(
+    scheme: &str,
+    rounds: Option<&str>,
+    fault_round: Option<&str>,
+) -> Result<String, CliError> {
+    use vds_core::micro_vds::{run_micro_with_state, MicroConfig, MicroFault};
+    use vds_core::{workload, Victim};
+    use vds_fault::model::{FaultKind, FaultSite};
+    let scheme = parse_scheme(scheme)?;
+    if scheme == vds_core::Scheme::SmtBoosted5 {
+        return Err(CliError::usage(
+            "smt-boost5 runs on the abstract backend only (try `vds experiment e13`)",
+        ));
+    }
+    let rounds: u64 = rounds.map_or(Ok(30), |s| parse_num(s, "round count"))?;
+    let cfg = MicroConfig::new(scheme, 10);
+    let fault = match fault_round {
+        Some(s) => {
+            let at: u32 = parse_num(s, "fault round")?;
+            Some(MicroFault {
+                at_round: at,
+                victim: Victim::V2,
+                kind: FaultKind::Transient(FaultSite::Memory { addr: 4, bit: 9 }),
+            })
+        }
+        None => None,
+    };
+    let (r, img) = run_micro_with_state(&cfg, fault, rounds);
+    let (_, want) = workload::oracle(r.committed_rounds as u32);
+    let got = &img[workload::ADDR_STATE as usize
+        ..(workload::ADDR_STATE + workload::STATE_WORDS) as usize];
+    let verdict = if got == &want[..] {
+        "output CORRECT"
+    } else {
+        "output WRONG"
+    };
+    Ok(format!("{r}\n{verdict} versus the oracle\n"))
+}
+
+fn cmd_experiment(id: &str) -> Result<String, CliError> {
+    let workers = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let one = |id: &str| -> Result<String, CliError> {
+        Ok(match id {
+            "e1" => vds_bench::e01_round_gain::report(200).to_string(),
+            "e2" => vds_bench::e02_timelines::report(8, 24, 140).to_string(),
+            "e3" => vds_bench::e03_flowcharts::report().to_string(),
+            "e4" => vds_bench::e04_det_rollforward::report().to_string(),
+            "e5" => vds_bench::e05_prob_rollforward::report().to_string(),
+            "e6" => vds_bench::e06_fig4::report().to_string(),
+            "e7" => vds_bench::e07_fig5::report().to_string(),
+            "e8" => vds_bench::e08_gmax::report().to_string(),
+            "e9" => vds_bench::e09_alpha::report(3).to_string(),
+            "e10" => vds_bench::e10_coverage::report(200, workers).to_string(),
+            "e11" => vds_bench::e11_prediction::report(20_000).to_string(),
+            "e12" => vds_bench::e12_checkpoint::report(1_500).to_string(),
+            "e13" => vds_bench::e13_multithread::report().to_string(),
+            "e14" => vds_bench::e14_ablation::report(40).to_string(),
+            other => {
+                return Err(CliError::usage(format!(
+                    "unknown experiment `{other}` (e1..e14 or all)"
+                )))
+            }
+        })
+    };
+    if id == "all" {
+        let mut out = String::new();
+        for k in 1..=14 {
+            out.push_str(&one(&format!("e{k}"))?);
+        }
+        Ok(out)
+    } else {
+        one(id)
+    }
+}
+
+fn cmd_gains(
+    alpha: Option<&str>,
+    beta: Option<&str>,
+    p: Option<&str>,
+) -> Result<String, CliError> {
+    use vds_analytic::{predictive, rollforward, timing, Params};
+    let alpha: f64 = alpha.map_or(Ok(0.65), |s| parse_num(s, "alpha"))?;
+    let beta: f64 = beta.map_or(Ok(0.1), |s| parse_num(s, "beta"))?;
+    let p: f64 = p.map_or(Ok(0.5), |s| parse_num(s, "p"))?;
+    if !(0.5..=1.0).contains(&alpha) || !(0.0..=1.0).contains(&beta) || !(0.0..=1.0).contains(&p)
+    {
+        return Err(CliError::usage(
+            "need alpha in [0.5,1], beta in [0,1], p in [0,1]",
+        ));
+    }
+    let params = Params::with_beta(alpha, beta, 20);
+    let mut out = String::new();
+    let _ = writeln!(out, "α={alpha} β={beta} p={p} s=20");
+    let _ = writeln!(
+        out,
+        "  G_round      = {:.4}   (Eq. 4)",
+        timing::g_round_exact(&params)
+    );
+    let _ = writeln!(
+        out,
+        "  Ḡ_det        = {:.4}   (Eq. 7)",
+        rollforward::gbar_det_exact(&params)
+    );
+    let _ = writeln!(
+        out,
+        "  Ḡ_prob(p)    = {:.4}   (Eq. 8)",
+        rollforward::gbar_prob_exact(&params, p)
+    );
+    let _ = writeln!(
+        out,
+        "  Ḡ_corr(p)    = {:.4}   (Eq. 13)",
+        predictive::gbar_corr_exact(&params, p)
+    );
+    let _ = writeln!(
+        out,
+        "  G_max        = {:.4}   (s → ∞ limit)",
+        predictive::g_max(alpha, beta, p)
+    );
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(args: &[&str]) -> Result<String, CliError> {
+        let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        dispatch(&v)
+    }
+
+    #[test]
+    fn help_and_unknown() {
+        assert!(run(&[]).unwrap().contains("USAGE"));
+        assert!(run(&["help"]).unwrap().contains("USAGE"));
+        let e = run(&["frobnicate"]).unwrap_err();
+        assert_eq!(e.code, 2);
+    }
+
+    #[test]
+    fn gains_defaults_give_headline() {
+        let out = run(&["gains"]).unwrap();
+        assert!(out.contains("G_max"));
+        assert!(out.contains("1.38"), "{out}");
+    }
+
+    #[test]
+    fn gains_validates_ranges() {
+        assert!(run(&["gains", "0.3"]).is_err());
+        assert!(run(&["gains", "0.7", "2.0"]).is_err());
+        assert!(run(&["gains", "0.7", "0.1", "0.9"]).is_ok());
+    }
+
+    #[test]
+    fn flowchart_dot() {
+        let out = run(&["flowchart", "smt-prob"]).unwrap();
+        assert!(out.starts_with("digraph"));
+        assert!(run(&["flowchart", "bogus"]).is_err());
+    }
+
+    #[test]
+    fn asm_run_roundtrip_via_tempfile() {
+        let dir = std::env::temp_dir().join("vds-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("prog.s");
+        std::fs::write(
+            &path,
+            "addi r1, r0, 6\nmul r2, r1, r1\nst r2, 0(r0)\nhalt\n",
+        )
+        .unwrap();
+        let p = path.to_str().unwrap();
+        let asm = run(&["asm", p]).unwrap();
+        assert!(asm.contains("4 instructions"));
+        let dis = run(&["disasm", p]).unwrap();
+        assert!(dis.contains("mul r2, r1, r1"));
+        let ran = run(&["run", p]).unwrap();
+        assert!(ran.contains("completed in"), "{ran}");
+        let ran2 = run(&["run", p, "2"]).unwrap();
+        assert!(ran2.contains("thread 1"));
+    }
+
+    #[test]
+    fn run_rejects_bad_args() {
+        assert!(run(&["run", "/nonexistent/x.s"]).is_err());
+        let dir = std::env::temp_dir().join("vds-cli-test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("h.s");
+        std::fs::write(&path, "halt\n").unwrap();
+        let p = path.to_str().unwrap();
+        assert!(run(&["run", p, "99"]).is_err(), "copies out of range");
+        assert!(run(&["run", p, "nope"]).is_err());
+    }
+
+    #[test]
+    fn duplex_fault_free_and_faulty() {
+        let ok = run(&["duplex", "smt-prob", "12"]).unwrap();
+        assert!(ok.contains("output CORRECT"), "{ok}");
+        let faulty = run(&["duplex", "smt-det", "15", "4"]).unwrap();
+        assert!(faulty.contains("detections=1"), "{faulty}");
+        assert!(faulty.contains("output CORRECT"), "{faulty}");
+        assert!(run(&["duplex", "smt-boost5"]).is_err());
+    }
+
+    #[test]
+    fn experiment_dispatch() {
+        let out = run(&["experiment", "e8"]).unwrap();
+        assert!(out.contains("1.38"));
+        assert!(run(&["experiment", "e99"]).is_err());
+    }
+}

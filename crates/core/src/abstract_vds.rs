@@ -1,0 +1,831 @@
+//! The abstract-timing VDS engine.
+//!
+//! Implements the paper's execution models exactly at the level its
+//! equations live at: rounds of length `t`, context switches `c`,
+//! comparisons `t'`, SMT co-run stretch `α`, checkpoint interval `s`.
+//! Faults are stochastic (or placed) state corruptions; recovery follows
+//! the §3.1 / §3.2 / §4 / §5 schemes including every edge in the
+//! Figures 2–3 flow charts: fault during retry, fault during
+//! roll-forward, resort to rollback, fail-safe shutdown.
+//!
+//! The integral nature of rounds is respected: a roll-forward of `i/4`
+//! rounds really advances `⌊i/4⌋` (clamped at the checkpoint horizon) —
+//! the paper explicitly waves this away ("we do not consider the detail
+//! that i/2 may not be an integer"); validation tests account for it.
+
+use crate::config::{FaultModel, Scheme, Victim};
+use crate::report::RunReport;
+use rand::rngs::SmallRng;
+use rand::{Rng as _, SeedableRng};
+use vds_analytic::multithread::alpha_k;
+use vds_analytic::Params;
+use vds_desim::time::SimTime;
+use vds_desim::trace::{SpanKind, Timeline};
+use vds_predictor::{FaultPredictor, Suspect};
+
+/// Configuration of an abstract VDS run.
+#[derive(Debug, Clone)]
+pub struct AbstractConfig {
+    /// Timing parameters (the paper's `t`, `c`, `t'`, `α`, `s`).
+    pub params: Params,
+    /// Recovery scheme.
+    pub scheme: Scheme,
+    /// Probability of picking the fault-free state/version correctly in
+    /// the probabilistic/predictive schemes when no predictor and no
+    /// crash evidence is available (the paper's `p`).
+    pub p_correct: f64,
+    /// Time to write a checkpoint (the paper's equations ignore it; keep
+    /// 0 to reproduce them, raise it for the E12 trade-off study).
+    pub checkpoint_cost: f64,
+    /// Time to restore state from the checkpoint on rollback.
+    pub restore_cost: f64,
+    /// Record a [`Timeline`] (Figure 1) — costs memory, off by default.
+    pub record_timeline: bool,
+    /// Fail-safe shutdown after this many consecutive rollbacks without
+    /// progress (the flow charts' terminal state).
+    pub max_consecutive_rollbacks: u32,
+}
+
+impl AbstractConfig {
+    /// Defaults: paper-faithful zero overheads beyond `params`,
+    /// `p = 0.5`, no timeline.
+    pub fn new(params: Params, scheme: Scheme) -> Self {
+        AbstractConfig {
+            params,
+            scheme,
+            p_correct: 0.5,
+            checkpoint_cost: 0.0,
+            restore_cost: 0.0,
+            record_timeline: false,
+            max_consecutive_rollbacks: 32,
+        }
+    }
+}
+
+/// Measured facts about a single recovery incident (for per-incident
+/// validation against Eqs. 6–12).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Incident {
+    /// Round at which the fault was detected.
+    pub i: u32,
+    /// Wall time of the recovery (retry + roll-forward + vote).
+    pub recovery_time: f64,
+    /// Rounds of roll-forward progress that survived.
+    pub progress: u32,
+    /// Whether the majority vote succeeded (false ⇒ rollback).
+    pub vote_ok: bool,
+}
+
+struct Engine<'a> {
+    cfg: &'a AbstractConfig,
+    rng: SmallRng,
+    clock: f64,
+    /// Confirmed rounds since the last checkpoint (the paper's `i − 1`
+    /// at detection time).
+    round_in_interval: u32,
+    corrupt: [bool; 2],
+    crash: Option<Victim>,
+    consecutive_rollbacks: u32,
+    oneshot_fired: bool,
+    timeline: Timeline,
+    report: RunReport,
+}
+
+impl<'a> Engine<'a> {
+    fn new(cfg: &'a AbstractConfig, seed: u64) -> Self {
+        Engine {
+            cfg,
+            rng: SmallRng::seed_from_u64(seed),
+            clock: 0.0,
+            round_in_interval: 0,
+            corrupt: [false, false],
+            crash: None,
+            consecutive_rollbacks: 0,
+            oneshot_fired: false,
+            timeline: Timeline::new(),
+            report: RunReport::default(),
+        }
+    }
+
+    fn span(&mut self, lane: usize, dur: f64, kind: SpanKind, label: impl Into<String>) {
+        if self.cfg.record_timeline {
+            self.timeline.record(
+                lane,
+                SimTime::from_secs(self.clock),
+                SimTime::from_secs(self.clock + dur),
+                kind,
+                label,
+            );
+        }
+    }
+
+    fn is_smt(&self) -> bool {
+        self.cfg.scheme != Scheme::Conventional
+    }
+
+    /// Per-version-round corruption draw under the configured model.
+    fn draw_fault(&mut self, fm: &FaultModel, victim: Victim, round_1based: u32) -> bool {
+        match *fm {
+            FaultModel::None => false,
+            FaultModel::OneShot { round, victim: v } => {
+                if !self.oneshot_fired && round == round_1based && v == victim {
+                    self.oneshot_fired = true;
+                    true
+                } else {
+                    false
+                }
+            }
+            FaultModel::PerRound { q } => self.rng.gen::<f64>() < q,
+            FaultModel::PerRoundWithCrashes { q, .. } => self.rng.gen::<f64>() < q,
+            FaultModel::Mission { q, .. } => self.rng.gen::<f64>() < q,
+        }
+    }
+
+    /// Classify a drawn corruption: silent, crash (detected with
+    /// evidence) or whole-processor stop.
+    fn classify_corruption(&mut self, fm: &FaultModel, victim: Victim) -> bool {
+        match *fm {
+            FaultModel::PerRoundWithCrashes { crash_fraction, .. } => {
+                if self.rng.gen::<f64>() < crash_fraction {
+                    self.crash = Some(victim);
+                }
+                false
+            }
+            FaultModel::Mission {
+                crash_fraction,
+                stop_fraction,
+                ..
+            } => {
+                let r = self.rng.gen::<f64>();
+                if r < stop_fraction {
+                    true // processor stop
+                } else {
+                    if r < stop_fraction + crash_fraction {
+                        self.crash = Some(victim);
+                    }
+                    false
+                }
+            }
+            _ => false,
+        }
+    }
+
+    /// Corruption probability over `n` executed rounds of one version
+    /// during recovery phases.
+    fn recovery_corruption(&mut self, fm: &FaultModel, rounds: u32) -> bool {
+        let q = match *fm {
+            FaultModel::PerRound { q }
+            | FaultModel::PerRoundWithCrashes { q, .. }
+            | FaultModel::Mission { q, .. } => q,
+            _ => return false,
+        };
+        if rounds == 0 || q == 0.0 {
+            return false;
+        }
+        let p_any = 1.0 - (1.0 - q).powi(rounds as i32);
+        self.rng.gen::<f64>() < p_any
+    }
+
+    /// Execute one normal-processing round pair plus comparison.
+    /// Returns `Some(i)` when a mismatch (or crash) is detected at round
+    /// `i`, `None` on success.
+    fn normal_round(&mut self, fm: &FaultModel) -> Option<u32> {
+        let p = &self.cfg.params;
+        let i = self.round_in_interval + 1;
+        let start = self.clock;
+        if self.is_smt() {
+            let dur = 2.0 * p.alpha * p.t;
+            self.span(0, dur, SpanKind::Round, format!("V1 R{i}"));
+            self.span(1, dur, SpanKind::Round, format!("V2 R{i}"));
+            self.clock += dur;
+        } else {
+            self.span(0, p.t, SpanKind::Round, format!("V1 R{i}"));
+            self.clock += p.t;
+            self.span(0, p.c, SpanKind::ContextSwitch, "");
+            self.clock += p.c;
+            self.span(0, p.t, SpanKind::Round, format!("V2 R{i}"));
+            self.clock += p.t;
+            self.span(0, p.c, SpanKind::ContextSwitch, "");
+            self.clock += p.c;
+        }
+        // fault draws: each version-round is exposed independently
+        let mut stopped = false;
+        for v in [Victim::V1, Victim::V2] {
+            if self.draw_fault(fm, v, i) {
+                self.report.faults_injected += 1;
+                self.corrupt[v.index()] = true;
+                stopped |= self.classify_corruption(fm, v);
+            }
+        }
+        self.span(0, p.t_cmp, SpanKind::Compare, "cmp");
+        self.clock += p.t_cmp;
+        self.report.time_normal += self.clock - start;
+
+        if stopped {
+            // the whole processor stopped: all volatile state is gone;
+            // only the stable-storage checkpoint survives
+            self.report.processor_stops += 1;
+            self.report.detections += 1;
+            self.report.rollbacks += 1;
+            self.report.committed_rounds = self
+                .report
+                .committed_rounds
+                .saturating_sub(u64::from(self.round_in_interval));
+            self.round_in_interval = 0;
+            self.corrupt = [false, false];
+            self.crash = None;
+            self.clock += self.cfg.restore_cost;
+            self.consecutive_rollbacks += 1;
+            if self.consecutive_rollbacks > self.cfg.max_consecutive_rollbacks {
+                self.report.shutdown = true;
+            }
+            return None;
+        }
+
+        if self.corrupt[0] || self.corrupt[1] || self.crash.is_some() {
+            self.report.detections += 1;
+            Some(i)
+        } else {
+            self.round_in_interval = i;
+            self.report.committed_rounds += 1;
+            self.consecutive_rollbacks = 0;
+            None
+        }
+    }
+
+    fn take_checkpoint(&mut self) {
+        let start = self.clock;
+        self.span(0, self.cfg.checkpoint_cost, SpanKind::Checkpoint, "ckpt");
+        self.clock += self.cfg.checkpoint_cost;
+        self.report.time_checkpoint += self.clock - start;
+        self.report.checkpoints += 1;
+        self.round_in_interval = 0;
+    }
+
+    /// Recovery wall time of the configured scheme for a fault at round
+    /// `i` (the retry + roll-forward window plus the vote).
+    fn recovery_time(&self, i: u32) -> f64 {
+        let p = &self.cfg.params;
+        let i_f = f64::from(i);
+        match self.cfg.scheme {
+            Scheme::Conventional => i_f * p.t + 2.0 * p.t_cmp,
+            Scheme::SmtDeterministic | Scheme::SmtProbabilistic | Scheme::SmtPredictive => {
+                2.0 * i_f * p.alpha * p.t + 2.0 * p.t_cmp
+            }
+            Scheme::SmtBoosted3 => i_f * 3.0 * alpha_k(p.alpha, 3) * p.t + 2.0 * p.t_cmp,
+            Scheme::SmtBoosted5 => i_f * 5.0 * alpha_k(p.alpha, 5) * p.t + 2.0 * p.t_cmp,
+        }
+    }
+
+    /// Integral roll-forward progress attempted for a fault at round `i`.
+    fn rollforward_rounds(&self, i: u32) -> u32 {
+        let intent = self.cfg.scheme.rollforward_intent(i).floor() as u32;
+        intent.min(self.cfg.params.s - i)
+    }
+
+    /// Decide whether the pick hits the fault-free state. Crash evidence
+    /// wins; otherwise an attached predictor, otherwise Bernoulli(p).
+    fn pick_correct(
+        &mut self,
+        faulty: Victim,
+        predictor: &mut Option<&mut dyn FaultPredictor>,
+    ) -> bool {
+        if let Some(crashed) = self.crash {
+            // evidence: the crashed version is the faulty one
+            return crashed == faulty;
+        }
+        if let Some(pred) = predictor {
+            let guess = pred.predict();
+            let actual = match faulty {
+                Victim::V1 => Suspect::V1,
+                Victim::V2 => Suspect::V2,
+            };
+            pred.update(actual);
+            return guess == actual;
+        }
+        self.rng.gen::<f64>() < self.cfg.p_correct
+    }
+
+    /// Run the recovery for a detection at round `i`. Returns the
+    /// incident record.
+    fn recover(
+        &mut self,
+        i: u32,
+        fm: &FaultModel,
+        predictor: &mut Option<&mut dyn FaultPredictor>,
+    ) -> Incident {
+        let start = self.clock;
+        let rec_time = self.recovery_time(i);
+        let label = format!("V3 R1..R{i}");
+        if self.is_smt() {
+            self.span(0, rec_time, SpanKind::Retry, label);
+            self.span(1, rec_time, SpanKind::RollForward, "roll-forward");
+        } else {
+            self.span(0, rec_time, SpanKind::Retry, label);
+        }
+        self.clock += rec_time;
+        self.span(0, self.cfg.params.t_cmp, SpanKind::Vote, "vote");
+        // (vote time is part of rec_time's 2t'; span is illustrative)
+
+        // does a further fault hit the retry (V3 executes i rounds)?
+        let retry_corrupt = self.recovery_corruption(fm, i);
+        if retry_corrupt {
+            self.report.faults_injected += 1;
+        }
+
+        let both_corrupt = self.corrupt[0] && self.corrupt[1];
+        let vote_ok = !retry_corrupt && !both_corrupt;
+
+        let mut progress = 0u32;
+        if vote_ok {
+            self.report.recoveries_ok += 1;
+            // the faulty version (exactly one corrupt flag set)
+            let faulty = if self.corrupt[0] { Victim::V1 } else { Victim::V2 };
+
+            // round i itself is now confirmed (the vote produced a good
+            // state at round i)
+            self.round_in_interval = i;
+            self.report.committed_rounds += 1;
+
+            // roll-forward resolution
+            let x = self.rollforward_rounds(i);
+            if x > 0 && self.cfg.scheme != Scheme::Conventional {
+                let rf_exec_rounds = match self.cfg.scheme {
+                    Scheme::SmtDeterministic => 4 * x,
+                    Scheme::SmtProbabilistic => 2 * x,
+                    Scheme::SmtPredictive => x,
+                    Scheme::SmtBoosted3 => 2 * x,
+                    Scheme::SmtBoosted5 => 4 * x,
+                    Scheme::Conventional => 0,
+                };
+                let rf_corrupt = self.recovery_corruption(fm, rf_exec_rounds);
+                if rf_corrupt {
+                    self.report.faults_injected += 1;
+                }
+                let hit = if self.cfg.scheme.progress_guaranteed() {
+                    true
+                } else {
+                    self.pick_correct(faulty, predictor)
+                };
+                if self.cfg.scheme.detects_during_rollforward() {
+                    if rf_corrupt {
+                        self.report.rollforward_discards += 1;
+                    } else if hit {
+                        self.report.rollforward_hits += 1;
+                        progress = x;
+                    } else {
+                        self.report.rollforward_misses += 1;
+                    }
+                } else {
+                    // predictive: no comparisons during roll-forward
+                    if hit {
+                        self.report.rollforward_hits += 1;
+                        progress = x;
+                        if rf_corrupt {
+                            // adopted, and nothing will ever detect it
+                            self.report.silent_corruptions += 1;
+                        }
+                    } else {
+                        self.report.rollforward_misses += 1;
+                    }
+                }
+            }
+            self.round_in_interval += progress;
+            self.report.committed_rounds += u64::from(progress);
+            self.corrupt = [false, false];
+            self.crash = None;
+            self.consecutive_rollbacks = 0;
+            if self.round_in_interval >= self.cfg.params.s {
+                self.take_checkpoint();
+            }
+        } else {
+            // three different states (or two corrupt versions): resort to
+            // rollback — every round since the checkpoint is lost.
+            self.report.rollbacks += 1;
+            self.report.committed_rounds = self
+                .report
+                .committed_rounds
+                .saturating_sub(u64::from(i - 1));
+            self.round_in_interval = 0;
+            self.corrupt = [false, false];
+            self.crash = None;
+            self.clock += self.cfg.restore_cost;
+            self.consecutive_rollbacks += 1;
+            if self.consecutive_rollbacks > self.cfg.max_consecutive_rollbacks {
+                self.report.shutdown = true;
+            }
+        }
+        self.report.time_recovery += self.clock - start;
+        Incident {
+            i,
+            recovery_time: rec_time,
+            progress,
+            vote_ok,
+        }
+    }
+}
+
+/// Run a VDS until `target_rounds` rounds are committed (or a fail-safe
+/// shutdown occurs).
+pub fn run(
+    cfg: &AbstractConfig,
+    fault_model: FaultModel,
+    target_rounds: u64,
+    seed: u64,
+) -> RunReport {
+    run_with_predictor(cfg, fault_model, target_rounds, seed, None)
+}
+
+/// [`run`], with an optional fault-version predictor supplying the picks
+/// of the probabilistic/predictive schemes.
+pub fn run_with_predictor(
+    cfg: &AbstractConfig,
+    fault_model: FaultModel,
+    target_rounds: u64,
+    seed: u64,
+    mut predictor: Option<&mut dyn FaultPredictor>,
+) -> RunReport {
+    cfg.params.validate();
+    assert!((0.0..=1.0).contains(&cfg.p_correct));
+    let mut e = Engine::new(cfg, seed);
+    // Livelock guard: at high fault rates with a long checkpoint interval,
+    // late-interval recoveries are almost always corrupted themselves and
+    // the system thrashes between roll-backs without ever completing an
+    // interval. A real system's watchdog would declare the mission lost;
+    // we bound the attempts and report a fail-safe shutdown.
+    let max_attempts = 64 * target_rounds + 100_000;
+    let mut attempts = 0u64;
+    while e.report.committed_rounds < target_rounds && !e.report.shutdown {
+        attempts += 1;
+        if attempts > max_attempts {
+            e.report.shutdown = true;
+            break;
+        }
+        match e.normal_round(&fault_model) {
+            None => {
+                if e.round_in_interval >= cfg.params.s {
+                    e.take_checkpoint();
+                }
+            }
+            Some(i) => {
+                e.recover(i, &fault_model, &mut predictor);
+            }
+        }
+    }
+    e.report.total_time = e.clock;
+    if cfg.record_timeline {
+        e.report.timeline = Some(e.timeline);
+    }
+    e.report
+}
+
+/// Simulate exactly one recovery incident at round `i` (victim fixed,
+/// pick forced if given) and return its measured facts. Used by the
+/// per-incident validation of Eqs. (6)–(12).
+pub fn simulate_incident(
+    cfg: &AbstractConfig,
+    i: u32,
+    victim: Victim,
+    force_pick_correct: Option<bool>,
+) -> Incident {
+    assert!(i >= 1 && i <= cfg.params.s);
+    let mut cfg = cfg.clone();
+    if let Some(hit) = force_pick_correct {
+        cfg.p_correct = if hit { 1.0 } else { 0.0 };
+    }
+    let fm = FaultModel::OneShot { round: i, victim };
+    let mut e = Engine::new(&cfg, 1);
+    // advance through the fault-free prefix
+    loop {
+        match e.normal_round(&fm) {
+            None => {
+                if e.round_in_interval >= cfg.params.s {
+                    e.take_checkpoint();
+                }
+            }
+            Some(at) => {
+                assert_eq!(at, i, "one-shot fault must be detected at round i");
+                let mut none: Option<&mut dyn FaultPredictor> = None;
+                return e.recover(at, &fm, &mut none);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vds_analytic::timing;
+
+    fn cfg(scheme: Scheme) -> AbstractConfig {
+        AbstractConfig::new(Params::paper_default(), scheme)
+    }
+
+    // ---- normal processing (Eq. 1, 3, 4) ----
+
+    #[test]
+    fn fault_free_round_times_match_equations() {
+        let p = Params::paper_default();
+        let n = 40;
+        let conv = run(&cfg(Scheme::Conventional), FaultModel::None, n, 1);
+        let smt = run(&cfg(Scheme::SmtProbabilistic), FaultModel::None, n, 1);
+        assert_eq!(conv.committed_rounds, n);
+        let t1 = conv.total_time / n as f64;
+        let t2 = smt.total_time / n as f64;
+        assert!((t1 - timing::t1_round(&p)).abs() < 1e-9, "conv {t1}");
+        assert!((t2 - timing::tht2_round(&p)).abs() < 1e-9, "smt {t2}");
+        // Eq. (4)
+        let g = t1 / t2;
+        assert!((g - timing::g_round_exact(&p)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn checkpoints_every_s_rounds() {
+        let mut c = cfg(Scheme::Conventional);
+        c.checkpoint_cost = 1.0;
+        let r = run(&c, FaultModel::None, 100, 1);
+        assert_eq!(r.checkpoints, 5); // s = 20
+        assert!((r.time_checkpoint - 5.0).abs() < 1e-9);
+    }
+
+    // ---- single incidents (Eqs. 2, 5, 6, 9, 10, 11) ----
+
+    #[test]
+    fn conventional_recovery_time_is_eq2() {
+        let p = Params::paper_default();
+        for i in [1u32, 7, 20] {
+            let inc = simulate_incident(&cfg(Scheme::Conventional), i, Victim::V1, None);
+            assert!(
+                (inc.recovery_time - timing::t1_corr(&p, i)).abs() < 1e-9,
+                "i={i}"
+            );
+            assert!(inc.vote_ok);
+            assert_eq!(inc.progress, 0);
+        }
+    }
+
+    #[test]
+    fn smt_recovery_time_is_eq5() {
+        let p = Params::paper_default();
+        for i in [1u32, 7, 20] {
+            let inc = simulate_incident(&cfg(Scheme::SmtDeterministic), i, Victim::V2, None);
+            assert!(
+                (inc.recovery_time - timing::tht2_corr(&p, i)).abs() < 1e-9,
+                "i={i}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_progress_is_quarter_clamped() {
+        // s = 20: i=8 → 2; i=18 → min(4, 2) = 2; i=20 → 0; i=3 → 0
+        for (i, want) in [(8u32, 2u32), (18, 2), (20, 0), (3, 0), (16, 4)] {
+            let inc = simulate_incident(&cfg(Scheme::SmtDeterministic), i, Victim::V1, None);
+            assert_eq!(inc.progress, want, "i={i}");
+        }
+    }
+
+    #[test]
+    fn probabilistic_progress_depends_on_pick() {
+        let hit = simulate_incident(&cfg(Scheme::SmtProbabilistic), 10, Victim::V1, Some(true));
+        assert_eq!(hit.progress, 5);
+        let miss =
+            simulate_incident(&cfg(Scheme::SmtProbabilistic), 10, Victim::V1, Some(false));
+        assert_eq!(miss.progress, 0);
+        // same wall time either way (Eq. 5 doesn't depend on the pick)
+        assert_eq!(hit.recovery_time, miss.recovery_time);
+    }
+
+    #[test]
+    fn predictive_progress_is_full_i_clamped() {
+        for (i, want) in [(5u32, 5u32), (10, 10), (14, 6), (20, 0)] {
+            let inc =
+                simulate_incident(&cfg(Scheme::SmtPredictive), i, Victim::V2, Some(true));
+            assert_eq!(inc.progress, want, "i={i}");
+        }
+        let miss = simulate_incident(&cfg(Scheme::SmtPredictive), 10, Victim::V2, Some(false));
+        assert_eq!(miss.progress, 0);
+    }
+
+    #[test]
+    fn measured_incident_gain_matches_eq10_and_eq11() {
+        // G_hit(i) = (T1_corr + progress·T1_round) / THT2_corr with
+        // integral progress; compare to the analytic forms evaluated with
+        // the same integral progress.
+        let p = Params::paper_default();
+        for i in 1..=20u32 {
+            let inc = simulate_incident(&cfg(Scheme::SmtPredictive), i, Victim::V1, Some(true));
+            let g_meas = (timing::t1_corr(&p, i)
+                + f64::from(inc.progress) * timing::t1_round(&p))
+                / inc.recovery_time;
+            let x = f64::from(i).min(f64::from(p.s - i)).floor();
+            let g_expect = (timing::t1_corr(&p, i) + x * timing::t1_round(&p))
+                / timing::tht2_corr(&p, i);
+            assert!((g_meas - g_expect).abs() < 1e-9, "i={i}");
+            // miss: Eq. (11)
+            let miss = simulate_incident(&cfg(Scheme::SmtPredictive), i, Victim::V1, Some(false));
+            let l_meas = timing::t1_corr(&p, i) / miss.recovery_time;
+            let l_expect = vds_analytic::predictive::l_miss_exact(&p, i);
+            assert!((l_meas - l_expect).abs() < 1e-9, "i={i} miss");
+        }
+    }
+
+    // ---- long runs ----
+
+    #[test]
+    fn fault_free_long_run_throughputs_ratio_is_g_round() {
+        let p = Params::paper_default();
+        let n = 1000;
+        let conv = run(&cfg(Scheme::Conventional), FaultModel::None, n, 3);
+        let smt = run(&cfg(Scheme::SmtPredictive), FaultModel::None, n, 3);
+        let ratio = smt.throughput() / conv.throughput();
+        assert!((ratio - timing::g_round_exact(&p)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn faulty_run_recovers_and_completes() {
+        let r = run(
+            &cfg(Scheme::SmtProbabilistic),
+            FaultModel::PerRound { q: 0.02 },
+            2_000,
+            7,
+        );
+        assert_eq!(r.committed_rounds, 2_000);
+        assert!(r.faults_injected > 20, "faults={}", r.faults_injected);
+        assert!(r.detections > 0);
+        assert!(r.recoveries_ok > 0);
+        assert!(!r.shutdown);
+        assert!(r.time_recovery > 0.0);
+    }
+
+    #[test]
+    fn detecting_schemes_have_no_silent_corruptions() {
+        for scheme in [
+            Scheme::Conventional,
+            Scheme::SmtDeterministic,
+            Scheme::SmtProbabilistic,
+            Scheme::SmtBoosted3,
+            Scheme::SmtBoosted5,
+        ] {
+            let r = run(&cfg(scheme), FaultModel::PerRound { q: 0.05 }, 500, 11);
+            assert_eq!(r.silent_corruptions, 0, "{:?}", scheme);
+        }
+    }
+
+    #[test]
+    fn predictive_scheme_can_silently_adopt_under_heavy_faults() {
+        let r = run(
+            &cfg(Scheme::SmtPredictive),
+            FaultModel::PerRound { q: 0.08 },
+            5_000,
+            13,
+        );
+        assert!(
+            r.silent_corruptions > 0,
+            "expected some silent adoptions: {r}"
+        );
+    }
+
+    #[test]
+    fn double_faults_force_rollback() {
+        // q high enough that both versions get corrupted in one round
+        // reasonably often
+        let r = run(
+            &cfg(Scheme::SmtDeterministic),
+            FaultModel::PerRound { q: 0.2 },
+            500,
+            17,
+        );
+        assert!(r.rollbacks > 0, "{r}");
+        assert_eq!(r.committed_rounds, 500);
+    }
+
+    #[test]
+    fn crash_evidence_makes_predictive_picks_perfect() {
+        let mut c = cfg(Scheme::SmtPredictive);
+        c.p_correct = 0.0; // without evidence, every pick would miss
+        let r = run(
+            &c,
+            FaultModel::PerRoundWithCrashes {
+                q: 0.03,
+                crash_fraction: 1.0,
+            },
+            2_000,
+            19,
+        );
+        assert!(r.rollforward_hits > 0, "{r}");
+        assert_eq!(r.rollforward_misses, 0, "evidence never misses: {r}");
+    }
+
+    #[test]
+    fn predictor_hook_drives_picks() {
+        use vds_predictor::predictors::LastOutcome;
+        // faults always hit V2; last-outcome converges to predicting V2
+        let mut pred = LastOutcome::default();
+        let mut c = cfg(Scheme::SmtPredictive);
+        c.p_correct = 0.0; // would always miss without the predictor
+        let mut total_hits = 0;
+        let mut total = 0;
+        // repeated one-shot incidents, predictor persists across runs
+        for k in 0..50 {
+            let r = run_with_predictor(
+                &c,
+                FaultModel::OneShot {
+                    round: 5,
+                    victim: Victim::V2,
+                },
+                30,
+                k,
+                Some(&mut pred),
+            );
+            total_hits += r.rollforward_hits;
+            total += r.rollforward_hits + r.rollforward_misses;
+        }
+        assert!(total >= 50);
+        assert!(
+            total_hits as f64 / total as f64 > 0.9,
+            "hits {total_hits}/{total}"
+        );
+    }
+
+    #[test]
+    fn shutdown_after_persistent_rollbacks() {
+        let mut c = cfg(Scheme::Conventional);
+        c.max_consecutive_rollbacks = 3;
+        // q = 0.9: almost every round double-faults, votes keep failing
+        let r = run(&c, FaultModel::PerRound { q: 0.9 }, 10_000, 23);
+        assert!(r.shutdown, "{r}");
+        assert!(r.committed_rounds < 10_000);
+    }
+
+    #[test]
+    fn timeline_records_figure1_shape() {
+        let mut c = cfg(Scheme::SmtProbabilistic);
+        c.record_timeline = true;
+        let r = run(
+            &c,
+            FaultModel::OneShot {
+                round: 4,
+                victim: Victim::V2,
+            },
+            10,
+            1,
+        );
+        let tl = r.timeline.expect("timeline requested");
+        assert_eq!(tl.lanes(), 2, "SMT timeline has two hardware threads");
+        let art = tl.render_ascii(80);
+        assert!(art.contains("T0"));
+        assert!(art.contains("r"), "retry visible: \n{art}");
+        // conventional: one lane
+        let mut cc = cfg(Scheme::Conventional);
+        cc.record_timeline = true;
+        let rc = run(&cc, FaultModel::None, 5, 1);
+        assert_eq!(rc.timeline.unwrap().lanes(), 1);
+    }
+
+    #[test]
+    fn processor_stops_roll_back_from_stable_storage() {
+        let r = run(
+            &cfg(Scheme::SmtProbabilistic),
+            FaultModel::Mission {
+                q: 0.02,
+                crash_fraction: 0.2,
+                stop_fraction: 0.3,
+            },
+            3_000,
+            31,
+        );
+        assert_eq!(r.committed_rounds, 3_000);
+        assert!(r.processor_stops > 0, "{r}");
+        assert!(r.rollbacks >= r.processor_stops, "{r}");
+        // the invariant detections = recoveries + rollbacks still holds
+        assert_eq!(r.detections, r.recoveries_ok + r.rollbacks);
+    }
+
+    #[test]
+    fn stop_storm_forces_failsafe_shutdown() {
+        let mut c = cfg(Scheme::Conventional);
+        c.max_consecutive_rollbacks = 4;
+        let r = run(
+            &c,
+            FaultModel::Mission {
+                q: 0.95,
+                crash_fraction: 0.0,
+                stop_fraction: 1.0,
+            },
+            1_000,
+            37,
+        );
+        assert!(r.shutdown, "{r}");
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let c = cfg(Scheme::SmtProbabilistic);
+        let a = run(&c, FaultModel::PerRound { q: 0.05 }, 500, 99);
+        let b = run(&c, FaultModel::PerRound { q: 0.05 }, 500, 99);
+        assert_eq!(a.total_time, b.total_time);
+        assert_eq!(a.faults_injected, b.faults_injected);
+        assert_eq!(a.rollforward_hits, b.rollforward_hits);
+    }
+}

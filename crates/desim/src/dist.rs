@@ -1,0 +1,295 @@
+//! Probability distributions for the simulation experiments.
+//!
+//! Implemented directly on top of `rand`'s uniform primitives so the
+//! workspace does not need `rand_distr`. Everything samples from an
+//! explicit `&mut Rng`, never from thread-local state.
+
+use crate::rng::Rng;
+use rand::Rng as _;
+
+/// A sampleable distribution over `f64`.
+pub trait Distribution {
+    /// Draw one sample.
+    fn sample(&self, rng: &mut Rng) -> f64;
+
+    /// The distribution's mean, if finite and known.
+    fn mean(&self) -> f64;
+}
+
+/// Always returns the same value. Used for the paper's deterministic round
+/// time `t`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Deterministic(pub f64);
+
+impl Distribution for Deterministic {
+    fn sample(&self, _rng: &mut Rng) -> f64 {
+        self.0
+    }
+    fn mean(&self) -> f64 {
+        self.0
+    }
+}
+
+/// Uniform over `[lo, hi)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    /// Inclusive lower bound.
+    pub lo: f64,
+    /// Exclusive upper bound.
+    pub hi: f64,
+}
+
+impl Uniform {
+    /// # Panics
+    /// Panics unless `lo < hi`.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo < hi, "Uniform requires lo < hi, got [{lo}, {hi})");
+        Uniform { lo, hi }
+    }
+}
+
+impl Distribution for Uniform {
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        rng.gen_range(self.lo..self.hi)
+    }
+    fn mean(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+}
+
+/// Exponential with the given rate λ (mean 1/λ). Inter-arrival times of a
+/// Poisson fault process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    /// Rate λ (mean 1/λ).
+    pub rate: f64,
+}
+
+impl Exponential {
+    /// # Panics
+    /// Panics unless `rate > 0`.
+    pub fn new(rate: f64) -> Self {
+        assert!(rate > 0.0, "Exponential rate must be positive, got {rate}");
+        Exponential { rate }
+    }
+
+    /// Construct from a mean instead of a rate.
+    pub fn with_mean(mean: f64) -> Self {
+        Self::new(1.0 / mean)
+    }
+}
+
+impl Distribution for Exponential {
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        // Inverse CDF; 1-u avoids ln(0).
+        let u: f64 = rng.gen::<f64>();
+        -(1.0 - u).ln() / self.rate
+    }
+    fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+}
+
+/// Normal(mu, sigma) truncated below at `floor` (re-draw on violation).
+/// Used for jittered round times that must stay positive.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TruncNormal {
+    /// Location parameter of the untruncated normal.
+    pub mu: f64,
+    /// Scale parameter.
+    pub sigma: f64,
+    /// Samples at or below this value are rejected.
+    pub floor: f64,
+}
+
+impl TruncNormal {
+    /// # Panics
+    /// Panics if `sigma < 0` or `mu <= floor` (acceptance would be < 50%,
+    /// we keep the model simple and honest instead of looping forever).
+    pub fn new(mu: f64, sigma: f64, floor: f64) -> Self {
+        assert!(sigma >= 0.0, "sigma must be non-negative");
+        assert!(mu > floor, "mu must exceed floor for efficient sampling");
+        TruncNormal { mu, sigma, floor }
+    }
+
+    /// One standard normal via Box–Muller (single value; we discard the
+    /// pair member for simplicity — sampling here is nowhere near hot).
+    fn std_normal(rng: &mut Rng) -> f64 {
+        let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+impl Distribution for TruncNormal {
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        if self.sigma == 0.0 {
+            return self.mu;
+        }
+        loop {
+            let x = self.mu + self.sigma * Self::std_normal(rng);
+            if x > self.floor {
+                return x;
+            }
+        }
+    }
+    fn mean(&self) -> f64 {
+        // Approximation: for mu sufficiently above floor the truncation
+        // bias is negligible; callers that need the exact truncated mean
+        // should compute it themselves.
+        self.mu
+    }
+}
+
+/// Bernoulli over `{true, false}` with success probability `p`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bernoulli {
+    /// Success probability.
+    pub p: f64,
+}
+
+impl Bernoulli {
+    /// # Panics
+    /// Panics unless `0 <= p <= 1`.
+    pub fn new(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "p must be in [0,1], got {p}");
+        Bernoulli { p }
+    }
+
+    /// Draw a boolean.
+    pub fn draw(&self, rng: &mut Rng) -> bool {
+        rng.gen::<f64>() < self.p
+    }
+}
+
+/// A type-erased distribution, convenient for configuration structs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Dist {
+    /// See [`Deterministic`].
+    Deterministic(f64),
+    /// See [`Uniform`].
+    Uniform {
+        /// Inclusive lower bound.
+        lo: f64,
+        /// Exclusive upper bound.
+        hi: f64,
+    },
+    /// See [`Exponential`]; parameterised by mean.
+    ExponentialMean(f64),
+    /// See [`TruncNormal`].
+    TruncNormal {
+        /// Location parameter.
+        mu: f64,
+        /// Scale parameter.
+        sigma: f64,
+        /// Rejection floor.
+        floor: f64,
+    },
+}
+
+impl Distribution for Dist {
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        match *self {
+            Dist::Deterministic(v) => Deterministic(v).sample(rng),
+            Dist::Uniform { lo, hi } => Uniform::new(lo, hi).sample(rng),
+            Dist::ExponentialMean(m) => Exponential::with_mean(m).sample(rng),
+            Dist::TruncNormal { mu, sigma, floor } => {
+                TruncNormal::new(mu, sigma, floor).sample(rng)
+            }
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        match *self {
+            Dist::Deterministic(v) => v,
+            Dist::Uniform { lo, hi } => 0.5 * (lo + hi),
+            Dist::ExponentialMean(m) => m,
+            Dist::TruncNormal { mu, .. } => mu,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from_seed;
+
+    fn sample_mean(d: &impl Distribution, n: usize, seed: u64) -> f64 {
+        let mut rng = rng_from_seed(seed);
+        (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn deterministic_is_constant() {
+        let d = Deterministic(3.5);
+        let mut rng = rng_from_seed(1);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), 3.5);
+        }
+    }
+
+    #[test]
+    fn uniform_mean_and_bounds() {
+        let d = Uniform::new(2.0, 4.0);
+        let mut rng = rng_from_seed(2);
+        for _ in 0..1000 {
+            let x = d.sample(&mut rng);
+            assert!((2.0..4.0).contains(&x));
+        }
+        let m = sample_mean(&d, 20_000, 3);
+        assert!((m - 3.0).abs() < 0.02, "mean={m}");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let d = Exponential::with_mean(5.0);
+        assert!((d.mean() - 5.0).abs() < 1e-12);
+        let m = sample_mean(&d, 50_000, 4);
+        assert!((m - 5.0).abs() < 0.15, "mean={m}");
+    }
+
+    #[test]
+    fn trunc_normal_respects_floor() {
+        let d = TruncNormal::new(1.0, 0.5, 0.0);
+        let mut rng = rng_from_seed(5);
+        for _ in 0..5000 {
+            assert!(d.sample(&mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    fn trunc_normal_sigma_zero_is_constant() {
+        let d = TruncNormal::new(2.0, 0.0, 0.0);
+        let mut rng = rng_from_seed(6);
+        assert_eq!(d.sample(&mut rng), 2.0);
+    }
+
+    #[test]
+    fn bernoulli_frequency() {
+        let b = Bernoulli::new(0.3);
+        let mut rng = rng_from_seed(7);
+        let hits = (0..20_000).filter(|_| b.draw(&mut rng)).count();
+        let f = hits as f64 / 20_000.0;
+        assert!((f - 0.3).abs() < 0.02, "freq={f}");
+    }
+
+    #[test]
+    fn dist_enum_dispatches() {
+        let mut rng = rng_from_seed(8);
+        assert_eq!(Dist::Deterministic(1.0).sample(&mut rng), 1.0);
+        assert_eq!(Dist::ExponentialMean(2.0).mean(), 2.0);
+        assert_eq!(Dist::Uniform { lo: 0.0, hi: 2.0 }.mean(), 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bernoulli_rejects_bad_p() {
+        Bernoulli::new(1.5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn uniform_rejects_empty_range() {
+        Uniform::new(2.0, 2.0);
+    }
+}

@@ -1,0 +1,288 @@
+//! The discrete-event simulation engine.
+//!
+//! [`Sim<W>`] is an event calendar over a user-supplied world type `W`.
+//! Events are boxed `FnOnce(&mut Sim<W>, &mut W)` closures; firing an event
+//! may mutate the world and schedule further events. Ties in firing time are
+//! broken by insertion order (FIFO), which together with explicit RNG
+//! seeding makes every simulation run deterministic.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event handler: receives the engine (to schedule follow-up events and
+/// query the clock) and the mutable world state.
+pub type Action<W> = Box<dyn FnOnce(&mut Sim<W>, &mut W)>;
+
+struct Scheduled<W> {
+    at: SimTime,
+    seq: u64,
+    action: Action<W>,
+}
+
+impl<W> PartialEq for Scheduled<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<W> Eq for Scheduled<W> {}
+
+impl<W> PartialOrd for Scheduled<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<W> Ord for Scheduled<W> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Statistics about an engine run, returned by [`Sim::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunStats {
+    /// Number of events fired.
+    pub events_fired: u64,
+}
+
+/// A discrete-event simulator over world state `W`.
+///
+/// The world is passed into [`Sim::run`] rather than owned by the engine so
+/// that event closures can borrow the engine and the world independently.
+pub struct Sim<W> {
+    clock: SimTime,
+    queue: BinaryHeap<Scheduled<W>>,
+    seq: u64,
+    fired: u64,
+    stopped: bool,
+}
+
+impl<W> Default for Sim<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W> Sim<W> {
+    /// A fresh engine with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        Sim {
+            clock: SimTime::ZERO,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            fired: 0,
+            stopped: false,
+        }
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Number of events waiting in the calendar.
+    #[inline]
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedule `action` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is before the current clock or not finite.
+    pub fn schedule_at<F>(&mut self, at: SimTime, action: F)
+    where
+        F: FnOnce(&mut Sim<W>, &mut W) + 'static,
+    {
+        assert!(
+            at >= self.clock,
+            "cannot schedule into the past: now={:?}, at={:?}",
+            self.clock,
+            at
+        );
+        assert!(at.is_finite(), "cannot schedule at infinity");
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled {
+            at,
+            seq,
+            action: Box::new(action),
+        });
+    }
+
+    /// Schedule `action` to fire `delay` after the current clock.
+    pub fn schedule_in<F>(&mut self, delay: SimTime, action: F)
+    where
+        F: FnOnce(&mut Sim<W>, &mut W) + 'static,
+    {
+        let at = self.clock + delay;
+        self.schedule_at(at, action);
+    }
+
+    /// Request that the run loop stop after the current event returns.
+    /// Pending events stay in the calendar; a subsequent `run` resumes.
+    pub fn stop(&mut self) {
+        self.stopped = true;
+    }
+
+    /// Run until the calendar is empty or [`Sim::stop`] is called.
+    pub fn run(&mut self, world: &mut W) -> RunStats {
+        self.run_until(world, SimTime::INFINITY)
+    }
+
+    /// Run until the calendar is empty, [`Sim::stop`] is called, or the next
+    /// event would fire strictly after `deadline`. The clock is advanced to
+    /// `deadline` if the run is cut off by it (and `deadline` is finite).
+    pub fn run_until(&mut self, world: &mut W, deadline: SimTime) -> RunStats {
+        self.stopped = false;
+        let start_fired = self.fired;
+        while let Some(head) = self.queue.peek() {
+            if head.at > deadline {
+                if deadline.is_finite() {
+                    self.clock = self.clock.max(deadline);
+                }
+                break;
+            }
+            let ev = self.queue.pop().expect("peeked");
+            debug_assert!(ev.at >= self.clock, "event calendar went backwards");
+            self.clock = ev.at;
+            self.fired += 1;
+            (ev.action)(self, world);
+            if self.stopped {
+                break;
+            }
+        }
+        RunStats {
+            events_fired: self.fired - start_fired,
+        }
+    }
+
+    /// Pop and fire exactly one event, if any. Returns `true` if an event
+    /// fired.
+    pub fn step(&mut self, world: &mut W) -> bool {
+        if let Some(ev) = self.queue.pop() {
+            self.clock = ev.at;
+            self.fired += 1;
+            (ev.action)(self, world);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Total number of events fired over the engine's lifetime.
+    #[inline]
+    pub fn total_fired(&self) -> u64 {
+        self.fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut sim: Sim<Vec<u32>> = Sim::new();
+        sim.schedule_at(at(3.0), |_, v| v.push(3));
+        sim.schedule_at(at(1.0), |_, v| v.push(1));
+        sim.schedule_at(at(2.0), |_, v| v.push(2));
+        let mut v = Vec::new();
+        let stats = sim.run(&mut v);
+        assert_eq!(v, vec![1, 2, 3]);
+        assert_eq!(stats.events_fired, 3);
+        assert_eq!(sim.now(), at(3.0));
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut sim: Sim<Vec<u32>> = Sim::new();
+        for i in 0..16 {
+            sim.schedule_at(at(1.0), move |_, v: &mut Vec<u32>| v.push(i));
+        }
+        let mut v = Vec::new();
+        sim.run(&mut v);
+        assert_eq!(v, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn events_can_schedule_followups() {
+        let mut sim: Sim<u32> = Sim::new();
+        sim.schedule_at(at(1.0), |sim, n| {
+            *n += 1;
+            sim.schedule_in(at(0.5), |sim, n| {
+                *n += 10;
+                sim.schedule_in(at(0.5), |_, n| *n += 100);
+            });
+        });
+        let mut n = 0;
+        sim.run(&mut n);
+        assert_eq!(n, 111);
+        assert_eq!(sim.now(), at(2.0));
+    }
+
+    #[test]
+    fn run_until_cuts_off_and_resumes() {
+        let mut sim: Sim<Vec<u32>> = Sim::new();
+        sim.schedule_at(at(1.0), |_, v| v.push(1));
+        sim.schedule_at(at(5.0), |_, v| v.push(5));
+        let mut v = Vec::new();
+        sim.run_until(&mut v, at(2.0));
+        assert_eq!(v, vec![1]);
+        assert_eq!(sim.now(), at(2.0));
+        assert_eq!(sim.pending(), 1);
+        sim.run(&mut v);
+        assert_eq!(v, vec![1, 5]);
+    }
+
+    #[test]
+    fn stop_halts_loop_but_keeps_calendar() {
+        let mut sim: Sim<u32> = Sim::new();
+        sim.schedule_at(at(1.0), |sim, n| {
+            *n += 1;
+            sim.stop();
+        });
+        sim.schedule_at(at(2.0), |_, n| *n += 1);
+        let mut n = 0;
+        sim.run(&mut n);
+        assert_eq!(n, 1);
+        assert_eq!(sim.pending(), 1);
+        sim.run(&mut n);
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn step_fires_one_event() {
+        let mut sim: Sim<u32> = Sim::new();
+        sim.schedule_at(at(1.0), |_, n| *n += 1);
+        sim.schedule_at(at(2.0), |_, n| *n += 1);
+        let mut n = 0;
+        assert!(sim.step(&mut n));
+        assert_eq!(n, 1);
+        assert!(sim.step(&mut n));
+        assert!(!sim.step(&mut n));
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut sim: Sim<u32> = Sim::new();
+        sim.schedule_at(at(5.0), |sim, _| {
+            sim.schedule_at(at(1.0), |_, _| {});
+        });
+        let mut n = 0;
+        sim.run(&mut n);
+    }
+}

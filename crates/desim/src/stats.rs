@@ -1,0 +1,452 @@
+//! Online statistics: Welford mean/variance, confidence intervals,
+//! histograms and counters.
+//!
+//! Experiments accumulate into these types and the bench harness prints
+//! them; none of this is performance-critical, clarity wins.
+
+use std::fmt;
+
+/// Online mean/variance accumulator (Welford's algorithm).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Add one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Add every value from an iterator.
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, it: I) {
+        for x in it {
+            self.push(x);
+        }
+    }
+
+    /// Build from an iterator.
+    pub fn from_iter<I: IntoIterator<Item = f64>>(it: I) -> Self {
+        let mut s = Self::new();
+        s.extend(it);
+        s
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (0 for n < 2).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn std_err(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.n as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation (+inf if empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (-inf if empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merge another accumulator into this one (parallel reduction;
+    /// Chan et al. pairwise combination).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let n = n1 + n2;
+        self.mean += delta * n2 / n;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / n;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Half-width of the central confidence interval for the mean at the
+    /// given confidence level, using the normal approximation with a small
+    /// built-in z-table (0.90 / 0.95 / 0.99; other levels fall back to
+    /// 0.95's z).
+    pub fn ci_half_width(&self, level: f64) -> f64 {
+        let z = if (level - 0.90).abs() < 1e-9 {
+            1.6449
+        } else if (level - 0.99).abs() < 1e-9 {
+            2.5758
+        } else {
+            1.9600
+        };
+        z * self.std_err()
+    }
+
+    /// `(lo, hi)` 95% confidence interval for the mean.
+    pub fn ci95(&self) -> (f64, f64) {
+        let h = self.ci_half_width(0.95);
+        (self.mean() - h, self.mean() + h)
+    }
+}
+
+impl fmt::Display for OnlineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.6} sd={:.6} min={:.6} max={:.6}",
+            self.n,
+            self.mean(),
+            self.std_dev(),
+            self.min,
+            self.max
+        )
+    }
+}
+
+/// Fixed-width histogram over `[lo, hi)` with overflow/underflow bins.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// `nbins` equal-width bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics unless `lo < hi` and `nbins > 0`.
+    pub fn new(lo: f64, hi: f64, nbins: usize) -> Self {
+        assert!(lo < hi, "histogram range must be non-empty");
+        assert!(nbins > 0, "histogram needs at least one bin");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; nbins],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let w = (self.hi - self.lo) / self.bins.len() as f64;
+            let idx = ((x - self.lo) / w) as usize;
+            let idx = idx.min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Total observations (including under/overflow).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Raw bin counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Observations below `lo`.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above `hi`.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// `(bin_midpoint, count)` pairs.
+    pub fn midpoints(&self) -> Vec<(f64, u64)> {
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        self.bins
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (self.lo + (i as f64 + 0.5) * w, c))
+            .collect()
+    }
+
+    /// Approximate p-quantile from bin boundaries (`0 <= p <= 1`). Returns
+    /// `None` when the histogram is empty or the quantile falls in the
+    /// under/overflow mass.
+    pub fn quantile(&self, p: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&p));
+        if self.count == 0 {
+            return None;
+        }
+        let target = (p * self.count as f64).ceil().max(1.0) as u64;
+        let mut cum = self.underflow;
+        if target <= cum {
+            return None;
+        }
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        for (i, &c) in self.bins.iter().enumerate() {
+            cum += c;
+            if target <= cum {
+                return Some(self.lo + (i as f64 + 1.0) * w);
+            }
+        }
+        None
+    }
+}
+
+/// A labelled counter set, for classifying experiment outcomes.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    entries: Vec<(String, u64)>,
+}
+
+impl Counter {
+    /// Empty counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increment `label` by one.
+    pub fn bump(&mut self, label: &str) {
+        self.add(label, 1);
+    }
+
+    /// Increment `label` by `n`.
+    pub fn add(&mut self, label: &str, n: u64) {
+        if let Some(e) = self.entries.iter_mut().find(|(l, _)| l == label) {
+            e.1 += n;
+        } else {
+            self.entries.push((label.to_string(), n));
+        }
+    }
+
+    /// Current count for `label` (0 if never bumped).
+    pub fn get(&self, label: &str) -> u64 {
+        self.entries
+            .iter()
+            .find(|(l, _)| l == label)
+            .map_or(0, |(_, n)| *n)
+    }
+
+    /// Sum over all labels.
+    pub fn total(&self) -> u64 {
+        self.entries.iter().map(|(_, n)| n).sum()
+    }
+
+    /// Fraction `label` / total (0 if total is 0).
+    pub fn fraction(&self, label: &str) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            self.get(label) as f64 / t as f64
+        }
+    }
+
+    /// Iterate `(label, count)` in first-seen order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.entries.iter().map(|(l, n)| (l.as_str(), *n))
+    }
+
+    /// Merge another counter into this one.
+    pub fn merge(&mut self, other: &Counter) {
+        for (l, n) in other.iter() {
+            self.add(l, n);
+        }
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total = self.total();
+        for (l, n) in self.iter() {
+            writeln!(
+                f,
+                "  {:<32} {:>10}  ({:.2}%)",
+                l,
+                n,
+                100.0 * n as f64 / total.max(1) as f64
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_naive() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let s = OnlineStats::from_iter(xs.iter().copied());
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // naive unbiased variance = 32/7
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.std_err(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let whole = OnlineStats::from_iter(xs.iter().copied());
+        let mut a = OnlineStats::from_iter(xs[..37].iter().copied());
+        let b = OnlineStats::from_iter(xs[37..].iter().copied());
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = OnlineStats::from_iter([1.0, 2.0, 3.0]);
+        let before = a;
+        a.merge(&OnlineStats::new());
+        assert_eq!(a, before);
+        let mut e = OnlineStats::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn ci_narrows_with_n() {
+        let mut small = OnlineStats::new();
+        let mut large = OnlineStats::new();
+        for i in 0..10 {
+            small.push((i % 3) as f64);
+        }
+        for i in 0..1000 {
+            large.push((i % 3) as f64);
+        }
+        assert!(large.ci_half_width(0.95) < small.ci_half_width(0.95));
+        let (lo, hi) = large.ci95();
+        assert!(lo < large.mean() && large.mean() < hi);
+    }
+
+    #[test]
+    fn histogram_bins_and_flows() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for i in 0..10 {
+            h.push(i as f64 + 0.5);
+        }
+        h.push(-1.0);
+        h.push(42.0);
+        assert_eq!(h.count(), 12);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert!(h.bins().iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn histogram_quantile() {
+        let mut h = Histogram::new(0.0, 100.0, 100);
+        for i in 0..100 {
+            h.push(i as f64);
+        }
+        let q = h.quantile(0.5).unwrap();
+        assert!((q - 50.0).abs() <= 1.0, "median ~50, got {q}");
+        assert!(h.quantile(1.0).unwrap() >= 99.0);
+    }
+
+    #[test]
+    fn histogram_midpoints() {
+        let h = Histogram::new(0.0, 4.0, 4);
+        let mids: Vec<f64> = h.midpoints().iter().map(|(m, _)| *m).collect();
+        assert_eq!(mids, vec![0.5, 1.5, 2.5, 3.5]);
+    }
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new();
+        c.bump("detected");
+        c.bump("detected");
+        c.bump("missed");
+        assert_eq!(c.get("detected"), 2);
+        assert_eq!(c.get("nope"), 0);
+        assert_eq!(c.total(), 3);
+        assert!((c.fraction("detected") - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counter_merge() {
+        let mut a = Counter::new();
+        a.add("x", 2);
+        let mut b = Counter::new();
+        b.add("x", 3);
+        b.add("y", 1);
+        a.merge(&b);
+        assert_eq!(a.get("x"), 5);
+        assert_eq!(a.get("y"), 1);
+    }
+}

@@ -1,0 +1,254 @@
+//! Timeline tracing and ASCII Gantt rendering.
+//!
+//! The paper's Figure 1 shows the execution models of a VDS on a
+//! conventional and on a multithreaded processor as timelines of rounds,
+//! context switches, comparisons and recovery activity. The VDS engine
+//! records [`Span`]s into a [`Timeline`]; [`Timeline::render_ascii`]
+//! reproduces the figure in text form and [`Timeline::to_tsv`] emits the
+//! raw data for external plotting.
+
+use crate::time::SimTime;
+use std::fmt::Write as _;
+
+/// What a span of processor time was spent on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpanKind {
+    /// A version executing one round of useful work.
+    Round,
+    /// A context switch.
+    ContextSwitch,
+    /// State comparison between versions.
+    Compare,
+    /// Checkpoint being written to stable storage.
+    Checkpoint,
+    /// Retry execution of the spare version during recovery.
+    Retry,
+    /// Roll-forward execution during recovery.
+    RollForward,
+    /// Majority vote.
+    Vote,
+    /// Copying a state image between versions.
+    StateCopy,
+    /// Processor idle (e.g. a hardware thread with nothing scheduled).
+    Idle,
+}
+
+impl SpanKind {
+    /// Single character used by the ASCII renderer.
+    pub fn glyph(self) -> char {
+        match self {
+            SpanKind::Round => '=',
+            SpanKind::ContextSwitch => 'x',
+            SpanKind::Compare => 'c',
+            SpanKind::Checkpoint => 'S',
+            SpanKind::Retry => 'r',
+            SpanKind::RollForward => 'f',
+            SpanKind::Vote => 'V',
+            SpanKind::StateCopy => 'y',
+            SpanKind::Idle => '.',
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::Round => "round",
+            SpanKind::ContextSwitch => "context-switch",
+            SpanKind::Compare => "compare",
+            SpanKind::Checkpoint => "checkpoint",
+            SpanKind::Retry => "retry",
+            SpanKind::RollForward => "roll-forward",
+            SpanKind::Vote => "vote",
+            SpanKind::StateCopy => "state-copy",
+            SpanKind::Idle => "idle",
+        }
+    }
+}
+
+/// One contiguous activity on one lane (= hardware thread or CPU).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// Lane index (0-based). Lane 0 is the only lane on a conventional CPU.
+    pub lane: usize,
+    /// Start time.
+    pub start: SimTime,
+    /// End time (exclusive).
+    pub end: SimTime,
+    /// Activity class.
+    pub kind: SpanKind,
+    /// Free-form label, e.g. `"V1 R3"`.
+    pub label: String,
+}
+
+/// An append-only recording of spans.
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    spans: Vec<Span>,
+    lanes: usize,
+}
+
+impl Timeline {
+    /// Empty timeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a span. Zero-length spans are kept (they still carry labels,
+    /// e.g. instantaneous comparisons in the abstract model) but rendered
+    /// only in the TSV output.
+    pub fn record(
+        &mut self,
+        lane: usize,
+        start: SimTime,
+        end: SimTime,
+        kind: SpanKind,
+        label: impl Into<String>,
+    ) {
+        debug_assert!(end >= start, "span must not be negative");
+        self.lanes = self.lanes.max(lane + 1);
+        self.spans.push(Span {
+            lane,
+            start,
+            end,
+            kind,
+            label: label.into(),
+        });
+    }
+
+    /// All recorded spans, in recording order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Number of lanes seen.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Latest end time (ZERO if empty).
+    pub fn end_time(&self) -> SimTime {
+        self.spans
+            .iter()
+            .map(|s| s.end)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Total time attributed to `kind` across all lanes.
+    pub fn total_time(&self, kind: SpanKind) -> SimTime {
+        self.spans
+            .iter()
+            .filter(|s| s.kind == kind)
+            .map(|s| s.end - s.start)
+            .sum()
+    }
+
+    /// Render an ASCII Gantt chart, `width` characters wide, one row per
+    /// lane. Each cell shows the glyph of the span covering the midpoint of
+    /// that cell's time slice; `.` where nothing is recorded.
+    pub fn render_ascii(&self, width: usize) -> String {
+        let mut out = String::new();
+        let end = self.end_time();
+        if end.is_zero() || width == 0 {
+            return out;
+        }
+        let dt = end.as_secs() / width as f64;
+        for lane in 0..self.lanes {
+            let _ = write!(out, "T{lane} |");
+            for cell in 0..width {
+                let mid = SimTime::from_secs((cell as f64 + 0.5) * dt);
+                let glyph = self
+                    .spans
+                    .iter()
+                    .rev() // later recordings win, matches overlay semantics
+                    .find(|s| s.lane == lane && s.start <= mid && mid < s.end)
+                    .map_or('.', |s| s.kind.glyph());
+                out.push(glyph);
+            }
+            out.push_str("|\n");
+        }
+        let _ = writeln!(
+            out,
+            "    0{:>width$}",
+            format!("{:.2}", end.as_secs()),
+            width = width - 1
+        );
+        out.push_str("    legend: = round  x switch  c compare  S checkpoint  r retry  f roll-forward  V vote  y copy\n");
+        out
+    }
+
+    /// Tab-separated dump: `lane  start  end  kind  label`.
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::from("lane\tstart\tend\tkind\tlabel\n");
+        for s in &self.spans {
+            let _ = writeln!(
+                out,
+                "{}\t{}\t{}\t{}\t{}",
+                s.lane,
+                s.start.as_secs(),
+                s.end.as_secs(),
+                s.kind.name(),
+                s.label
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn records_and_totals() {
+        let mut tl = Timeline::new();
+        tl.record(0, t(0.0), t(1.0), SpanKind::Round, "V1 R1");
+        tl.record(0, t(1.0), t(1.1), SpanKind::ContextSwitch, "");
+        tl.record(0, t(1.1), t(2.1), SpanKind::Round, "V2 R1");
+        assert_eq!(tl.lanes(), 1);
+        assert_eq!(tl.end_time(), t(2.1));
+        assert!((tl.total_time(SpanKind::Round).as_secs() - 2.0).abs() < 1e-12);
+        assert!((tl.total_time(SpanKind::ContextSwitch).as_secs() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ascii_render_shape() {
+        let mut tl = Timeline::new();
+        tl.record(0, t(0.0), t(1.0), SpanKind::Round, "V1 R1");
+        tl.record(1, t(0.0), t(1.0), SpanKind::Round, "V2 R1");
+        let s = tl.render_ascii(20);
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].starts_with("T0 |"));
+        assert!(lines[1].starts_with("T1 |"));
+        assert!(lines[0].contains("===="));
+    }
+
+    #[test]
+    fn ascii_handles_empty() {
+        let tl = Timeline::new();
+        assert_eq!(tl.render_ascii(40), "");
+    }
+
+    #[test]
+    fn tsv_dump() {
+        let mut tl = Timeline::new();
+        tl.record(0, t(0.0), t(1.5), SpanKind::Retry, "V3 R1..R3");
+        let tsv = tl.to_tsv();
+        assert!(tsv.contains("0\t0\t1.5\tretry\tV3 R1..R3"));
+    }
+
+    #[test]
+    fn later_spans_overlay_earlier() {
+        let mut tl = Timeline::new();
+        tl.record(0, t(0.0), t(2.0), SpanKind::Idle, "");
+        tl.record(0, t(0.5), t(1.5), SpanKind::Round, "V1");
+        let s = tl.render_ascii(4);
+        // cells at midpoints 0.25,0.75,1.25,1.75 -> idle, round, round, idle
+        let row = s.lines().next().unwrap();
+        assert!(row.contains(".==."), "row was {row}");
+    }
+}

@@ -1,0 +1,260 @@
+//! Co-execution equivalence checking.
+//!
+//! A transformation is only admissible if the transformed version is
+//! observationally equivalent to the original on a fault-free machine:
+//! same number of rounds (yields), same output-window contents after
+//! every round, same final outcome. This module runs the two versions
+//! side by side and checks exactly that — it is both the unit-test oracle
+//! for `transform` and a user-facing validator for custom versions.
+
+use std::ops::Range;
+use vds_smtsim::core::{Core, CoreConfig, RunOutcome, ThreadId};
+use vds_smtsim::program::Program;
+
+/// Why two versions were found inequivalent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EquivError {
+    /// Output windows differ after the given (1-based) round.
+    WindowMismatch {
+        /// Round at which the mismatch appeared (`0` = final state after
+        /// halting).
+        round: u32,
+        /// First differing word address.
+        addr: u32,
+        /// Value in version A.
+        a: u32,
+        /// Value in version B.
+        b: u32,
+    },
+    /// One version yielded while the other halted (round structures
+    /// differ).
+    RoundStructure {
+        /// Rounds completed before the divergence.
+        round: u32,
+    },
+    /// A version trapped or exhausted its cycle budget.
+    Execution {
+        /// Which version (0 = A, 1 = B).
+        version: u8,
+        /// Human-readable description.
+        what: String,
+    },
+}
+
+impl std::fmt::Display for EquivError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EquivError::WindowMismatch { round, addr, a, b } => write!(
+                f,
+                "output mismatch after round {round} at word {addr}: {a:#x} vs {b:#x}"
+            ),
+            EquivError::RoundStructure { round } => {
+                write!(f, "round structure diverged after round {round}")
+            }
+            EquivError::Execution { version, what } => {
+                write!(f, "version {} failed: {what}", ['A', 'B'][*version as usize])
+            }
+        }
+    }
+}
+
+struct Runner {
+    core: Core,
+    tid: ThreadId,
+}
+
+impl Runner {
+    fn new(prog: &Program, dmem_words: usize) -> Self {
+        let mut core = Core::new(CoreConfig::single_threaded());
+        let tid = core.add_thread(prog, dmem_words);
+        Runner { core, tid }
+    }
+
+    /// Run to the next yield (`Ok(true)`), halt (`Ok(false)`) or failure.
+    fn next_round(&mut self, budget: u64) -> Result<bool, String> {
+        match self.core.run_until_all_blocked(budget) {
+            RunOutcome::AllYielded => Ok(true),
+            RunOutcome::AllHalted => Ok(false),
+            RunOutcome::Trapped(_, t) => Err(format!("trap {t:?}")),
+            RunOutcome::CycleBudgetExhausted => Err("cycle budget exhausted".into()),
+        }
+    }
+
+    fn window(&self, w: &Range<u32>) -> Vec<u32> {
+        let d = &self.core.thread(self.tid).dmem;
+        let lo = (w.start as usize).min(d.len());
+        let hi = (w.end as usize).min(d.len());
+        d[lo..hi].to_vec()
+    }
+
+    fn resume(&mut self) {
+        self.core.resume(self.tid);
+    }
+}
+
+/// Check that programs `a` and `b` are observationally equivalent over
+/// the given output window. Returns the number of rounds both completed.
+pub fn check_equivalence(
+    a: &Program,
+    b: &Program,
+    dmem_words: usize,
+    window: Range<u32>,
+    budget_per_round: u64,
+) -> Result<u32, EquivError> {
+    let mut ra = Runner::new(a, dmem_words);
+    let mut rb = Runner::new(b, dmem_words);
+    let mut round = 0u32;
+    loop {
+        let ya = ra.next_round(budget_per_round).map_err(|what| {
+            EquivError::Execution { version: 0, what }
+        })?;
+        let yb = rb.next_round(budget_per_round).map_err(|what| {
+            EquivError::Execution { version: 1, what }
+        })?;
+        if ya != yb {
+            return Err(EquivError::RoundStructure { round });
+        }
+        if ya {
+            round += 1;
+        }
+        let wa = ra.window(&window);
+        let wb = rb.window(&window);
+        if let Some(i) = (0..wa.len().min(wb.len())).find(|&i| wa[i] != wb[i]) {
+            return Err(EquivError::WindowMismatch {
+                round: if ya { round } else { 0 },
+                addr: window.start + i as u32,
+                a: wa[i],
+                b: wb[i],
+            });
+        }
+        if !ya {
+            return Ok(round);
+        }
+        ra.resume();
+        rb.resume();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diversify;
+    use crate::transform::{NopPadding, RegisterPermutation, Transform};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use vds_smtsim::asm::assemble;
+    use vds_smtsim::kernels;
+
+    const BUDGET: u64 = 50_000_000;
+
+    #[test]
+    fn identical_programs_are_equivalent() {
+        let k = kernels::vecsum(16, 2);
+        let p = k.program();
+        let rounds =
+            check_equivalence(&p, &p, k.dmem_words, k.out_addr..k.out_addr + 1, BUDGET)
+                .unwrap();
+        assert_eq!(rounds, 2);
+    }
+
+    #[test]
+    fn different_computations_are_caught() {
+        let a = assemble("addi r1, r0, 1\nst r1, 0(r0)\nyield\nhalt\n").unwrap();
+        let b = assemble("addi r1, r0, 2\nst r1, 0(r0)\nyield\nhalt\n").unwrap();
+        match check_equivalence(&a, &b, 8, 0..1, BUDGET) {
+            Err(EquivError::WindowMismatch { addr: 0, a: 1, b: 2, .. }) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn round_structure_divergence_is_caught() {
+        let a = assemble("yield\nhalt\n").unwrap();
+        let b = assemble("yield\nyield\nhalt\n").unwrap();
+        match check_equivalence(&a, &b, 4, 0..1, BUDGET) {
+            Err(EquivError::RoundStructure { round: 1 }) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn trapping_version_reported() {
+        let a = assemble("yield\nhalt\n").unwrap();
+        let b = assemble("li r1, 999\nld r2, 0(r1)\nyield\nhalt\n").unwrap();
+        match check_equivalence(&a, &b, 4, 0..1, BUDGET) {
+            Err(EquivError::Execution { version: 1, .. }) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    // The central contract: every transform preserves every suite
+    // kernel's observable behaviour.
+
+    #[test]
+    fn register_permutation_preserves_all_kernels() {
+        for k in kernels::suite(2) {
+            let base = k.program();
+            let mut rng = SmallRng::seed_from_u64(11);
+            let v = RegisterPermutation.apply(&base, &mut rng);
+            check_equivalence(&base, &v, k.dmem_words, k.out_addr..k.out_addr + 1, BUDGET)
+                .unwrap_or_else(|e| panic!("kernel {}: {e}", k.name));
+        }
+    }
+
+    #[test]
+    fn nop_padding_preserves_all_kernels() {
+        for k in kernels::suite(2) {
+            let base = k.program();
+            let mut rng = SmallRng::seed_from_u64(13);
+            let v = NopPadding { density: 0.25 }.apply(&base, &mut rng);
+            check_equivalence(&base, &v, k.dmem_words, k.out_addr..k.out_addr + 1, BUDGET)
+                .unwrap_or_else(|e| panic!("kernel {}: {e}", k.name));
+        }
+    }
+
+    #[test]
+    fn full_pipeline_preserves_all_kernels_for_three_versions() {
+        for k in kernels::suite(1) {
+            let base = k.program();
+            for idx in 1..=3u32 {
+                let v = diversify(&base, idx, 4242);
+                check_equivalence(
+                    &base,
+                    &v,
+                    k.dmem_words,
+                    k.out_addr..k.out_addr + 1,
+                    BUDGET,
+                )
+                .unwrap_or_else(|e| panic!("kernel {} version {idx}: {e}", k.name));
+            }
+        }
+    }
+
+    #[test]
+    fn diverse_versions_schedule_work_differently() {
+        // The point of diversity: the machine is *exercised* differently
+        // even though the outputs agree. NopPadding adds retired
+        // instructions and (typically) cycles.
+        let k = kernels::crc(64, 1);
+        let base = k.program();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let v1 = NopPadding { density: 0.5 }.apply(&base, &mut rng);
+        assert!(v1.text.len() > base.text.len(), "padding inserted nops");
+        let run = |p: &vds_smtsim::program::Program| {
+            let mut c = vds_smtsim::core::Core::new(CoreConfig::single_threaded());
+            let t = c.add_thread(p, k.dmem_words);
+            loop {
+                match c.run_until_all_blocked(BUDGET) {
+                    RunOutcome::AllYielded => c.resume(t),
+                    RunOutcome::AllHalted => break,
+                    other => panic!("{other:?}"),
+                }
+            }
+            (c.cycles(), c.thread(t).counters.retired)
+        };
+        let (cyc0, ret0) = run(&base);
+        let (cyc1, ret1) = run(&v1);
+        assert!(ret1 > ret0, "padded version retires more instructions");
+        assert!(cyc1 >= cyc0, "padding cannot speed the program up");
+    }
+}

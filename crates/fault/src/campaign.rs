@@ -1,0 +1,205 @@
+//! Parallel fault-injection campaigns.
+//!
+//! A campaign runs `n` independent trials, each with its own
+//! deterministically derived seed, across worker threads. Trials return a
+//! label (outcome class) and optionally a numeric observation (e.g.
+//! detection latency); the campaign merges everything into label counts
+//! and per-label statistics. Results are independent of the worker count —
+//! per-trial seeds come from the trial index, not from thread scheduling.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+
+/// Result of one trial.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialResult {
+    /// Outcome class, e.g. `"detected-round"`, `"masked"`.
+    pub label: String,
+    /// Optional numeric observation (latency, rounds to detection, …).
+    pub value: Option<f64>,
+}
+
+impl TrialResult {
+    /// A labelled outcome without an observation.
+    pub fn labelled(label: impl Into<String>) -> Self {
+        TrialResult {
+            label: label.into(),
+            value: None,
+        }
+    }
+
+    /// A labelled outcome with a numeric observation.
+    pub fn with_value(label: impl Into<String>, value: f64) -> Self {
+        TrialResult {
+            label: label.into(),
+            value: Some(value),
+        }
+    }
+}
+
+/// Aggregated campaign outcome.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignReport {
+    /// Trials per label.
+    pub counts: BTreeMap<String, u64>,
+    /// Sum and count of numeric observations per label.
+    pub observations: BTreeMap<String, (f64, u64)>,
+    /// Total trials.
+    pub trials: u64,
+}
+
+impl CampaignReport {
+    /// Count for a label (0 if absent).
+    pub fn count(&self, label: &str) -> u64 {
+        self.counts.get(label).copied().unwrap_or(0)
+    }
+
+    /// Fraction of trials with this label.
+    pub fn fraction(&self, label: &str) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.count(label) as f64 / self.trials as f64
+        }
+    }
+
+    /// Mean numeric observation for a label, if any were recorded.
+    pub fn mean_value(&self, label: &str) -> Option<f64> {
+        let (sum, n) = self.observations.get(label)?;
+        if *n == 0 {
+            None
+        } else {
+            Some(sum / *n as f64)
+        }
+    }
+
+    fn absorb(&mut self, r: TrialResult) {
+        *self.counts.entry(r.label.clone()).or_insert(0) += 1;
+        if let Some(v) = r.value {
+            let e = self.observations.entry(r.label).or_insert((0.0, 0));
+            e.0 += v;
+            e.1 += 1;
+        }
+        self.trials += 1;
+    }
+
+    /// Merge another report into this one.
+    pub fn merge(&mut self, other: &CampaignReport) {
+        for (l, c) in &other.counts {
+            *self.counts.entry(l.clone()).or_insert(0) += c;
+        }
+        for (l, (s, n)) in &other.observations {
+            let e = self.observations.entry(l.clone()).or_insert((0.0, 0));
+            e.0 += s;
+            e.1 += n;
+        }
+        self.trials += other.trials;
+    }
+}
+
+impl std::fmt::Display for CampaignReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "trials: {}", self.trials)?;
+        for (label, count) in &self.counts {
+            write!(
+                f,
+                "  {:<28} {:>8}  ({:6.2}%)",
+                label,
+                count,
+                100.0 * self.fraction(label)
+            )?;
+            if let Some(m) = self.mean_value(label) {
+                write!(f, "  mean={m:.3}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Run `n` trials of `trial` (given the trial index as a seed component)
+/// on `workers` threads. Deterministic: the set of results depends only on
+/// `n` and the trial function.
+pub fn run_campaign<F>(n: u64, workers: usize, trial: F) -> CampaignReport
+where
+    F: Fn(u64) -> TrialResult + Sync,
+{
+    let workers = workers.max(1);
+    let report = Mutex::new(CampaignReport::default());
+    let next = std::sync::atomic::AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut local = CampaignReport::default();
+                loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    local.absorb(trial(i));
+                }
+                report.lock().merge(&local);
+            });
+        }
+    });
+    report.into_inner()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_trials_counted() {
+        let r = run_campaign(1000, 4, |i| {
+            TrialResult::labelled(if i % 3 == 0 { "a" } else { "b" })
+        });
+        assert_eq!(r.trials, 1000);
+        assert_eq!(r.count("a"), 334);
+        assert_eq!(r.count("b"), 666);
+        assert!((r.fraction("a") - 0.334).abs() < 1e-12);
+    }
+
+    #[test]
+    fn observations_aggregate() {
+        let r = run_campaign(100, 3, |i| TrialResult::with_value("lat", i as f64));
+        assert_eq!(r.count("lat"), 100);
+        assert!((r.mean_value("lat").unwrap() - 49.5).abs() < 1e-9);
+        assert_eq!(r.mean_value("nope"), None);
+    }
+
+    #[test]
+    fn deterministic_across_worker_counts() {
+        let f = |i: u64| {
+            TrialResult::with_value(
+                if i.wrapping_mul(0x9E3779B9) % 7 == 0 {
+                    "x"
+                } else {
+                    "y"
+                },
+                (i % 13) as f64,
+            )
+        };
+        let a = run_campaign(500, 1, f);
+        let b = run_campaign(500, 8, f);
+        assert_eq!(a.counts, b.counts);
+        for l in ["x", "y"] {
+            assert!((a.mean_value(l).unwrap() - b.mean_value(l).unwrap()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn zero_trials() {
+        let r = run_campaign(0, 4, |_| TrialResult::labelled("never"));
+        assert_eq!(r.trials, 0);
+        assert_eq!(r.fraction("never"), 0.0);
+    }
+
+    #[test]
+    fn display_renders() {
+        let r = run_campaign(10, 2, |i| TrialResult::with_value("d", i as f64));
+        let s = format!("{r}");
+        assert!(s.contains("trials: 10"));
+        assert!(s.contains("mean="));
+    }
+}

@@ -1,0 +1,217 @@
+//! Applying faults to a running machine.
+
+use crate::model::{FaultKind, FaultSite};
+use vds_sched::{Machine, ProcId};
+
+/// What the injector actually did (for logging/classification).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectionEffect {
+    /// A state bit was flipped.
+    BitFlipped,
+    /// The flip targeted register r0 or an out-of-range site and was
+    /// architecturally masked (no state change).
+    Masked,
+    /// A permanent fault was armed on a functional unit.
+    PermanentArmed,
+    /// The version was crashed.
+    Crashed,
+    /// The processor was stopped (all versions lose volatile state).
+    ProcessorStopped,
+}
+
+/// Inject a fault into process `pid` on `machine`.
+///
+/// `CrashVersion` is modelled by corrupting the process's PC so that its
+/// next fetch leaves the text section — the hardware then reports it as a
+/// trap, which is how crash faults are *detected* in the system model.
+/// `ProcessorStop` is left to the caller (the VDS engine must lose all
+/// volatile state and resort to rollback); this function only reports it.
+pub fn inject(machine: &mut Machine, pid: ProcId, fault: &FaultKind) -> InjectionEffect {
+    match fault {
+        FaultKind::Transient(site) => inject_transient(machine, pid, site),
+        FaultKind::PermanentFu(f) => {
+            machine.core_mut().inject_fu_fault(*f);
+            InjectionEffect::PermanentArmed
+        }
+        FaultKind::CrashVersion => {
+            machine.with_state_mut(pid, |_regs, pc, _dmem, text| {
+                *pc = text.len() as u32 + 0x1000;
+            });
+            InjectionEffect::Crashed
+        }
+        FaultKind::ProcessorStop => InjectionEffect::ProcessorStopped,
+    }
+}
+
+fn inject_transient(machine: &mut Machine, pid: ProcId, site: &FaultSite) -> InjectionEffect {
+    machine.with_state_mut(pid, |regs, _pc, dmem, text| match *site {
+        FaultSite::Register { reg, bit } => {
+            if reg == 0 || reg >= 16 || bit >= 32 {
+                return InjectionEffect::Masked;
+            }
+            regs[reg as usize] ^= 1 << bit;
+            InjectionEffect::BitFlipped
+        }
+        FaultSite::Memory { addr, bit } => {
+            let Some(w) = dmem.get_mut(addr as usize) else {
+                return InjectionEffect::Masked;
+            };
+            if bit >= 32 {
+                return InjectionEffect::Masked;
+            }
+            *w ^= 1 << bit;
+            InjectionEffect::BitFlipped
+        }
+        FaultSite::Text { index, bit } => {
+            let Some(w) = text.get_mut(index as usize) else {
+                return InjectionEffect::Masked;
+            };
+            if bit >= 32 {
+                return InjectionEffect::Masked;
+            }
+            *w ^= 1 << bit;
+            InjectionEffect::BitFlipped
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vds_smtsim::asm::assemble;
+    use vds_smtsim::core::{CoreConfig, FuFault, ThreadId, Trap};
+    use vds_smtsim::isa::FuClass;
+    use vds_sched::ProcOutcome;
+
+    fn machine_with_proc() -> (Machine, ProcId) {
+        let prog = assemble(
+            r#"
+                ld   r1, 0(r0)
+                addi r1, r1, 1
+                st   r1, 0(r0)
+                yield
+                halt
+            "#,
+        )
+        .unwrap();
+        let mut m = Machine::new(CoreConfig::default(), 5);
+        let p = m.spawn("v", &prog, 8);
+        (m, p)
+    }
+
+    #[test]
+    fn register_flip_changes_state() {
+        let (mut m, p) = machine_with_proc();
+        let e = inject(
+            &mut m,
+            p,
+            &FaultKind::Transient(FaultSite::Register { reg: 3, bit: 4 }),
+        );
+        assert_eq!(e, InjectionEffect::BitFlipped);
+        m.with_state(p, |regs, _, _| assert_eq!(regs[3], 16));
+    }
+
+    #[test]
+    fn r0_flip_is_masked() {
+        let (mut m, p) = machine_with_proc();
+        let e = inject(
+            &mut m,
+            p,
+            &FaultKind::Transient(FaultSite::Register { reg: 0, bit: 4 }),
+        );
+        assert_eq!(e, InjectionEffect::Masked);
+    }
+
+    #[test]
+    fn memory_flip_propagates_into_computation() {
+        let (mut m, p) = machine_with_proc();
+        inject(
+            &mut m,
+            p,
+            &FaultKind::Transient(FaultSite::Memory { addr: 0, bit: 5 }),
+        );
+        m.dispatch(p, ThreadId(0));
+        assert_eq!(m.run_hw_until_block(ThreadId(0), 100_000), ProcOutcome::Yielded);
+        // dmem[0] was 0, flipped to 32, program adds 1 → 33
+        m.with_state(p, |_, _, d| assert_eq!(d[0], 33));
+    }
+
+    #[test]
+    fn out_of_range_memory_flip_masked() {
+        let (mut m, p) = machine_with_proc();
+        let e = inject(
+            &mut m,
+            p,
+            &FaultKind::Transient(FaultSite::Memory { addr: 9999, bit: 0 }),
+        );
+        assert_eq!(e, InjectionEffect::Masked);
+    }
+
+    #[test]
+    fn text_flip_usually_detected_as_illegal_or_changes_behaviour() {
+        let (mut m, p) = machine_with_proc();
+        // flip a high opcode bit of instruction 1 (the addi)
+        inject(
+            &mut m,
+            p,
+            &FaultKind::Transient(FaultSite::Text { index: 1, bit: 31 }),
+        );
+        m.dispatch(p, ThreadId(0));
+        let out = m.run_hw_until_block(ThreadId(0), 100_000);
+        // either an illegal-instruction trap or a different result —
+        // never a silent identical run
+        match out {
+            ProcOutcome::Trapped(Trap::IllegalInstruction { pc }) => assert_eq!(pc, 1),
+            ProcOutcome::Yielded => {
+                m.with_state(p, |_, _, d| assert_ne!(d[0], 1, "flip must not be silent"));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn crash_fault_traps_on_next_run() {
+        let (mut m, p) = machine_with_proc();
+        let e = inject(&mut m, p, &FaultKind::CrashVersion);
+        assert_eq!(e, InjectionEffect::Crashed);
+        m.dispatch(p, ThreadId(0));
+        match m.run_hw_until_block(ThreadId(0), 100_000) {
+            ProcOutcome::Trapped(Trap::PcOutOfRange { .. }) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn permanent_fault_armed_on_core() {
+        let (mut m, p) = machine_with_proc();
+        let e = inject(
+            &mut m,
+            p,
+            &FaultKind::PermanentFu(FuFault {
+                class: FuClass::Alu,
+                unit: 0,
+                bit: 7,
+                value: true,
+            }),
+        );
+        assert_eq!(e, InjectionEffect::PermanentArmed);
+        m.dispatch(p, ThreadId(0));
+        m.run_hw_until_block(ThreadId(0), 100_000);
+        // addi computed on the faulty ALU: result has bit 7 forced
+        m.with_state(p, |_, _, d| assert_eq!(d[0] & 0x80, 0x80));
+    }
+
+    #[test]
+    fn injection_into_switched_out_process_sticks() {
+        let (mut m, p) = machine_with_proc();
+        // not dispatched yet: context is saved — flip must still apply
+        inject(
+            &mut m,
+            p,
+            &FaultKind::Transient(FaultSite::Memory { addr: 0, bit: 2 }),
+        );
+        m.dispatch(p, ThreadId(0));
+        m.run_hw_until_block(ThreadId(0), 100_000);
+        m.with_state(p, |_, _, d| assert_eq!(d[0], 5)); // 4 + 1
+    }
+}

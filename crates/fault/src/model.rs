@@ -1,0 +1,177 @@
+//! The fault taxonomy.
+
+use rand::rngs::SmallRng;
+use rand::Rng as _;
+use vds_smtsim::core::FuFault;
+use vds_smtsim::isa::FuClass;
+
+/// Where a transient bit flip lands inside one version's state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSite {
+    /// Bit `bit` of architectural register `reg`.
+    Register {
+        /// Register index 1..=15 (flipping r0 has no architectural
+        /// effect and is excluded by the sampler).
+        reg: u8,
+        /// Bit 0..=31.
+        bit: u8,
+    },
+    /// Bit `bit` of data-memory word `addr`.
+    Memory {
+        /// Word address.
+        addr: u32,
+        /// Bit 0..=31.
+        bit: u8,
+    },
+    /// Bit `bit` of instruction-memory word `index`.
+    Text {
+        /// Instruction index.
+        index: u32,
+        /// Bit 0..=31.
+        bit: u8,
+    },
+}
+
+/// A fault to inject.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// A transient single-bit flip in one version's state.
+    Transient(FaultSite),
+    /// A permanent stuck-at bit on a functional unit (shared hardware —
+    /// affects every version that executes on that unit).
+    PermanentFu(FuFault),
+    /// The version crashes outright (models e.g. a flip that wedges
+    /// control flow; detected as a trap rather than a state mismatch).
+    CrashVersion,
+    /// The whole processor stops; only rollback from stable storage
+    /// survives this.
+    ProcessorStop,
+}
+
+impl FaultKind {
+    /// `true` for transient faults (one-shot state corruption).
+    pub fn is_transient(&self) -> bool {
+        matches!(self, FaultKind::Transient(_) | FaultKind::CrashVersion)
+    }
+}
+
+/// Sample a random transient site within a version whose address space
+/// has `dmem_words` words and whose program has `text_len` instructions.
+/// Weighted toward memory (most state lives there), mirroring soft-error
+/// cross-sections being proportional to bit count.
+pub fn sample_transient_site(rng: &mut SmallRng, dmem_words: u32, text_len: u32) -> FaultSite {
+    // 16 registers vs dmem_words memory words vs text_len text words:
+    // weight by word counts (registers get a floor so they stay hittable).
+    let reg_w = 16u64.max(u64::from(dmem_words) / 16);
+    let mem_w = u64::from(dmem_words);
+    let txt_w = u64::from(text_len);
+    let total = reg_w + mem_w + txt_w;
+    let x = rng.gen_range(0..total);
+    if x < reg_w {
+        FaultSite::Register {
+            reg: rng.gen_range(1..16),
+            bit: rng.gen_range(0..32),
+        }
+    } else if x < reg_w + mem_w {
+        FaultSite::Memory {
+            addr: rng.gen_range(0..dmem_words),
+            bit: rng.gen_range(0..32),
+        }
+    } else {
+        FaultSite::Text {
+            index: rng.gen_range(0..text_len),
+            bit: rng.gen_range(0..32),
+        }
+    }
+}
+
+/// Sample a random permanent functional-unit fault for a core with the
+/// given unit counts.
+pub fn sample_fu_fault(rng: &mut SmallRng, num_alu: usize, num_mul: usize) -> FuFault {
+    let (class, unit) = match rng.gen_range(0..4) {
+        0 | 1 => (FuClass::Alu, rng.gen_range(0..num_alu)),
+        2 => (FuClass::MulDiv, rng.gen_range(0..num_mul)),
+        _ => (FuClass::Mem, 0),
+    };
+    FuFault {
+        class,
+        unit,
+        bit: rng.gen_range(0..32),
+        value: rng.gen(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(404)
+    }
+
+    #[test]
+    fn transient_sites_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..2000 {
+            match sample_transient_site(&mut r, 128, 40) {
+                FaultSite::Register { reg, bit } => {
+                    assert!((1..16).contains(&reg));
+                    assert!(bit < 32);
+                }
+                FaultSite::Memory { addr, bit } => {
+                    assert!(addr < 128);
+                    assert!(bit < 32);
+                }
+                FaultSite::Text { index, bit } => {
+                    assert!(index < 40);
+                    assert!(bit < 32);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transient_sampling_covers_all_site_kinds() {
+        let mut r = rng();
+        let (mut regs, mut mems, mut txts) = (0, 0, 0);
+        for _ in 0..3000 {
+            match sample_transient_site(&mut r, 256, 64) {
+                FaultSite::Register { .. } => regs += 1,
+                FaultSite::Memory { .. } => mems += 1,
+                FaultSite::Text { .. } => txts += 1,
+            }
+        }
+        assert!(regs > 0 && mems > 0 && txts > 0, "{regs}/{mems}/{txts}");
+        assert!(mems > regs, "memory dominates the cross-section");
+    }
+
+    #[test]
+    fn fu_faults_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let f = sample_fu_fault(&mut r, 2, 1);
+            match f.class {
+                FuClass::Alu => assert!(f.unit < 2),
+                FuClass::MulDiv => assert_eq!(f.unit, 0),
+                FuClass::Mem => assert_eq!(f.unit, 0),
+                other => panic!("unexpected class {other:?}"),
+            }
+            assert!(f.bit < 32);
+        }
+    }
+
+    #[test]
+    fn kind_classification() {
+        assert!(FaultKind::CrashVersion.is_transient());
+        assert!(FaultKind::Transient(FaultSite::Register { reg: 1, bit: 0 }).is_transient());
+        assert!(!FaultKind::ProcessorStop.is_transient());
+        assert!(!FaultKind::PermanentFu(FuFault {
+            class: FuClass::Alu,
+            unit: 0,
+            bit: 0,
+            value: true
+        })
+        .is_transient());
+    }
+}

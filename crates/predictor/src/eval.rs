@@ -1,0 +1,148 @@
+//! Predictor accuracy measurement.
+//!
+//! The measured accuracy is exactly the `p` of the paper's Eq. (12); the
+//! E11 experiment feeds it into
+//! `vds_analytic::predictive::gbar_corr_exact` to get the end-to-end
+//! recovery gain a given predictor buys on a given fault environment.
+
+use crate::predictors::FaultPredictor;
+use crate::streams::FaultStream;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Accuracy measurement result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Accuracy {
+    /// Fraction of faults whose faulty version was predicted correctly —
+    /// the paper's `p`.
+    pub p: f64,
+    /// Number of faults evaluated.
+    pub n: u64,
+}
+
+/// Run `n` faults from `stream` through `predictor` and measure `p`.
+/// The first `warmup` faults train without being scored.
+pub fn measure_accuracy(
+    predictor: &mut dyn FaultPredictor,
+    stream: &mut dyn FaultStream,
+    n: u64,
+    warmup: u64,
+    seed: u64,
+) -> Accuracy {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut correct = 0u64;
+    let mut scored = 0u64;
+    for k in 0..(n + warmup) {
+        let actual = stream.next(&mut rng);
+        let guess = predictor.predict();
+        if k >= warmup {
+            scored += 1;
+            if guess == actual {
+                correct += 1;
+            }
+        }
+        predictor.update(actual);
+    }
+    Accuracy {
+        p: if scored == 0 {
+            0.0
+        } else {
+            correct as f64 / scored as f64
+        },
+        n: scored,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predictors::{LastOutcome, RandomGuess, SaturatingCounter, TwoLevel};
+    use crate::streams::{IidStream, PeriodicStream, PersistentStream};
+
+    const N: u64 = 20_000;
+
+    #[test]
+    fn everything_is_chance_on_iid_balanced_faults() {
+        let mut stream = IidStream { bias: 0.5 };
+        for p in [
+            &mut RandomGuess::new(SmallRng::seed_from_u64(5)) as &mut dyn FaultPredictor,
+            &mut LastOutcome::default(),
+            &mut SaturatingCounter::default(),
+            &mut TwoLevel::new(6),
+        ] {
+            let acc = measure_accuracy(p, &mut stream, N, 100, 1);
+            assert!(
+                (acc.p - 0.5).abs() < 0.02,
+                "{}: p={} on iid faults",
+                p.name(),
+                acc.p
+            );
+        }
+    }
+
+    #[test]
+    fn last_outcome_matches_persistence() {
+        // On a Markov stream with persistence ρ, last-outcome's accuracy
+        // is exactly ρ in expectation.
+        for rho in [0.7, 0.9, 0.95] {
+            let mut s = PersistentStream::new(rho);
+            let mut p = LastOutcome::default();
+            let acc = measure_accuracy(&mut p, &mut s, N, 100, 2);
+            assert!((acc.p - rho).abs() < 0.02, "rho={rho}: p={}", acc.p);
+        }
+    }
+
+    #[test]
+    fn counter_beats_chance_on_biased_faults() {
+        // One version fails 85% of the time: the counter should converge
+        // to ~0.85 while random stays at 0.5.
+        let mut s = IidStream { bias: 0.85 };
+        let mut c = SaturatingCounter::default();
+        let acc = measure_accuracy(&mut c, &mut s, N, 100, 3);
+        assert!(acc.p > 0.8, "counter p={}", acc.p);
+        let mut s2 = IidStream { bias: 0.85 };
+        let mut r = RandomGuess::new(SmallRng::seed_from_u64(6));
+        let accr = measure_accuracy(&mut r, &mut s2, N, 100, 3);
+        assert!((accr.p - 0.5).abs() < 0.02, "random p={}", accr.p);
+    }
+
+    #[test]
+    fn two_level_nails_periodic_patterns_counter_cannot() {
+        let mut s1 = PeriodicStream::alternating();
+        let mut tl = TwoLevel::new(4);
+        let acc_tl = measure_accuracy(&mut tl, &mut s1, 1_000, 64, 4);
+        assert!(acc_tl.p > 0.98, "two-level p={}", acc_tl.p);
+
+        let mut s2 = PeriodicStream::alternating();
+        let mut sc = SaturatingCounter::default();
+        let acc_sc = measure_accuracy(&mut sc, &mut s2, 1_000, 64, 4);
+        assert!(acc_sc.p < 0.75, "counter p={}", acc_sc.p);
+    }
+
+    #[test]
+    fn accuracy_feeds_the_analytic_gain() {
+        // End-to-end sanity: a predictor with measured p on a clustered
+        // environment yields a larger analytic gain than random.
+        let mut s = PersistentStream::new(0.9);
+        let mut l = LastOutcome::default();
+        let p_measured = measure_accuracy(&mut l, &mut s, N, 100, 5).p;
+        let params = vds_analytic::Params::paper_default();
+        let g_pred = vds_analytic::predictive::gbar_corr_exact(&params, p_measured);
+        let g_rand = vds_analytic::predictive::gbar_corr_exact(&params, 0.5);
+        assert!(g_pred > g_rand + 0.2, "g_pred={g_pred} g_rand={g_rand}");
+    }
+
+    #[test]
+    fn warmup_is_excluded() {
+        let mut s = PeriodicStream::alternating();
+        let mut tl = TwoLevel::new(2);
+        let acc = measure_accuracy(&mut tl, &mut s, 100, 0, 6);
+        // without warmup the early learning noise lowers accuracy
+        let mut s2 = PeriodicStream::alternating();
+        let mut tl2 = TwoLevel::new(2);
+        let acc_warm = measure_accuracy(&mut tl2, &mut s2, 100, 50, 6);
+        assert!(acc_warm.p >= acc.p);
+        assert_eq!(acc.n, 100);
+        assert_eq!(acc_warm.n, 100);
+    }
+}

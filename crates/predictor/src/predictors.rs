@@ -1,0 +1,396 @@
+//! The predictor zoo.
+
+use rand::rngs::SmallRng;
+use rand::Rng as _;
+
+/// Which of the two active versions is suspected/actually faulty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suspect {
+    /// Version 1.
+    V1,
+    /// Version 2.
+    V2,
+}
+
+impl Suspect {
+    /// The other version.
+    pub fn other(self) -> Suspect {
+        match self {
+            Suspect::V1 => Suspect::V2,
+            Suspect::V2 => Suspect::V1,
+        }
+    }
+
+    /// 0 for V1, 1 for V2.
+    pub fn index(self) -> usize {
+        match self {
+            Suspect::V1 => 0,
+            Suspect::V2 => 1,
+        }
+    }
+}
+
+/// A fault-version predictor. `predict` is consulted when a state
+/// mismatch is detected; `update` is called after the majority vote
+/// reveals the truth.
+pub trait FaultPredictor {
+    /// Name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Which version do we believe is faulty?
+    fn predict(&mut self) -> Suspect;
+
+    /// Learn the vote's verdict.
+    fn update(&mut self, actual: Suspect);
+}
+
+/// Uniform random guessing — the paper's p = ½ baseline ("our choice can
+/// be random, so that the probability to choose the correct version is
+/// 0.5").
+pub struct RandomGuess {
+    rng: SmallRng,
+}
+
+impl RandomGuess {
+    /// Seeded constructor (determinism everywhere).
+    pub fn new(rng: SmallRng) -> Self {
+        RandomGuess { rng }
+    }
+}
+
+impl FaultPredictor for RandomGuess {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn predict(&mut self) -> Suspect {
+        if self.rng.gen() {
+            Suspect::V1
+        } else {
+            Suspect::V2
+        }
+    }
+
+    fn update(&mut self, _actual: Suspect) {}
+}
+
+/// Predict whichever version was faulty last time.
+#[derive(Debug, Clone)]
+pub struct LastOutcome {
+    last: Suspect,
+}
+
+impl Default for LastOutcome {
+    fn default() -> Self {
+        LastOutcome { last: Suspect::V1 }
+    }
+}
+
+impl FaultPredictor for LastOutcome {
+    fn name(&self) -> &'static str {
+        "last-outcome"
+    }
+
+    fn predict(&mut self) -> Suspect {
+        self.last
+    }
+
+    fn update(&mut self, actual: Suspect) {
+        self.last = actual;
+    }
+}
+
+/// A 2-bit saturating counter over {strongly V1, weakly V1, weakly V2,
+/// strongly V2} — the bimodal branch predictor transplanted to faults.
+#[derive(Debug, Clone)]
+pub struct SaturatingCounter {
+    /// 0,1 → predict V1; 2,3 → predict V2.
+    state: u8,
+}
+
+impl Default for SaturatingCounter {
+    fn default() -> Self {
+        SaturatingCounter { state: 1 }
+    }
+}
+
+impl FaultPredictor for SaturatingCounter {
+    fn name(&self) -> &'static str {
+        "saturating-counter"
+    }
+
+    fn predict(&mut self) -> Suspect {
+        if self.state >= 2 {
+            Suspect::V2
+        } else {
+            Suspect::V1
+        }
+    }
+
+    fn update(&mut self, actual: Suspect) {
+        match actual {
+            Suspect::V2 => self.state = (self.state + 1).min(3),
+            Suspect::V1 => self.state = self.state.saturating_sub(1),
+        }
+    }
+}
+
+/// Two-level adaptive: the last `bits` outcomes index a table of 2-bit
+/// counters (a gshare with no PC — there is only one "branch": which
+/// version fails). Learns periodic patterns that defeat the counter.
+#[derive(Debug, Clone)]
+pub struct TwoLevel {
+    history: usize,
+    mask: usize,
+    table: Vec<u8>,
+}
+
+impl TwoLevel {
+    /// `bits` history bits → a `2^bits`-entry counter table.
+    pub fn new(bits: u32) -> Self {
+        assert!(bits >= 1 && bits <= 16);
+        TwoLevel {
+            history: 0,
+            mask: (1 << bits) - 1,
+            table: vec![1; 1 << bits],
+        }
+    }
+}
+
+impl FaultPredictor for TwoLevel {
+    fn name(&self) -> &'static str {
+        "two-level"
+    }
+
+    fn predict(&mut self) -> Suspect {
+        if self.table[self.history] >= 2 {
+            Suspect::V2
+        } else {
+            Suspect::V1
+        }
+    }
+
+    fn update(&mut self, actual: Suspect) {
+        let e = &mut self.table[self.history];
+        match actual {
+            Suspect::V2 => *e = (*e + 1).min(3),
+            Suspect::V1 => *e = e.saturating_sub(1),
+        }
+        self.history = ((self.history << 1) | actual.index()) & self.mask;
+    }
+}
+
+/// A tournament (meta) predictor: runs two component predictors and a
+/// 2-bit chooser that tracks which component has been right more often
+/// lately — the Alpha 21264 scheme, transplanted to fault prediction.
+/// The paper's §5 closes with "we may be able to apply more sophisticated
+/// algorithms" since fault prediction runs in software on large time
+/// scales; this is the natural next step above single predictors.
+pub struct Tournament<A, B> {
+    a: A,
+    b: B,
+    /// 0,1 → trust `a`; 2,3 → trust `b`.
+    chooser: u8,
+    last_a: Option<Suspect>,
+    last_b: Option<Suspect>,
+}
+
+impl<A: FaultPredictor, B: FaultPredictor> Tournament<A, B> {
+    /// Combine two predictors.
+    pub fn new(a: A, b: B) -> Self {
+        Tournament {
+            a,
+            b,
+            chooser: 1,
+            last_a: None,
+            last_b: None,
+        }
+    }
+}
+
+impl<A: FaultPredictor, B: FaultPredictor> FaultPredictor for Tournament<A, B> {
+    fn name(&self) -> &'static str {
+        "tournament"
+    }
+
+    fn predict(&mut self) -> Suspect {
+        let pa = self.a.predict();
+        let pb = self.b.predict();
+        self.last_a = Some(pa);
+        self.last_b = Some(pb);
+        if self.chooser >= 2 {
+            pb
+        } else {
+            pa
+        }
+    }
+
+    fn update(&mut self, actual: Suspect) {
+        // train the chooser only when the components disagree
+        if let (Some(pa), Some(pb)) = (self.last_a, self.last_b) {
+            match (pa == actual, pb == actual) {
+                (true, false) => self.chooser = self.chooser.saturating_sub(1),
+                (false, true) => self.chooser = (self.chooser + 1).min(3),
+                _ => {}
+            }
+        }
+        self.a.update(actual);
+        self.b.update(actual);
+        self.last_a = None;
+        self.last_b = None;
+    }
+}
+
+/// Wrap any predictor with crash evidence: when the detection came with a
+/// trap from one version, that version *is* the faulty one and the inner
+/// predictor is bypassed (but still trained).
+pub struct WithEvidence<P> {
+    inner: P,
+    evidence: Option<Suspect>,
+}
+
+impl<P: FaultPredictor> WithEvidence<P> {
+    /// Wrap an inner predictor.
+    pub fn new(inner: P) -> Self {
+        WithEvidence {
+            inner,
+            evidence: None,
+        }
+    }
+
+    /// Report crash evidence for the next prediction.
+    pub fn set_evidence(&mut self, suspect: Suspect) {
+        self.evidence = Some(suspect);
+    }
+
+    /// Clear any pending evidence.
+    pub fn clear_evidence(&mut self) {
+        self.evidence = None;
+    }
+}
+
+impl<P: FaultPredictor> FaultPredictor for WithEvidence<P> {
+    fn name(&self) -> &'static str {
+        "with-evidence"
+    }
+
+    fn predict(&mut self) -> Suspect {
+        match self.evidence {
+            Some(s) => s,
+            None => self.inner.predict(),
+        }
+    }
+
+    fn update(&mut self, actual: Suspect) {
+        self.inner.update(actual);
+        self.evidence = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn suspect_other_and_index() {
+        assert_eq!(Suspect::V1.other(), Suspect::V2);
+        assert_eq!(Suspect::V2.other(), Suspect::V1);
+        assert_eq!(Suspect::V1.index(), 0);
+        assert_eq!(Suspect::V2.index(), 1);
+    }
+
+    #[test]
+    fn random_is_roughly_balanced() {
+        let mut p = RandomGuess::new(SmallRng::seed_from_u64(1));
+        let v1 = (0..10_000).filter(|_| p.predict() == Suspect::V1).count();
+        assert!((4_700..5_300).contains(&v1), "v1={v1}");
+    }
+
+    #[test]
+    fn last_outcome_tracks() {
+        let mut p = LastOutcome::default();
+        p.update(Suspect::V2);
+        assert_eq!(p.predict(), Suspect::V2);
+        p.update(Suspect::V1);
+        assert_eq!(p.predict(), Suspect::V1);
+    }
+
+    #[test]
+    fn counter_has_hysteresis() {
+        let mut p = SaturatingCounter::default();
+        p.update(Suspect::V2);
+        p.update(Suspect::V2);
+        p.update(Suspect::V2);
+        assert_eq!(p.predict(), Suspect::V2);
+        p.update(Suspect::V1); // one contrary outcome
+        assert_eq!(p.predict(), Suspect::V2, "hysteresis holds");
+        p.update(Suspect::V1);
+        p.update(Suspect::V1);
+        assert_eq!(p.predict(), Suspect::V1);
+    }
+
+    #[test]
+    fn two_level_learns_alternation() {
+        let mut p = TwoLevel::new(4);
+        let mut correct = 0;
+        for k in 0..200 {
+            let actual = if k % 2 == 0 { Suspect::V1 } else { Suspect::V2 };
+            if p.predict() == actual && k >= 100 {
+                correct += 1;
+            }
+            p.update(actual);
+        }
+        assert!(correct >= 95, "two-level alternation accuracy {correct}/100");
+    }
+
+    #[test]
+    fn tournament_tracks_the_better_component() {
+        // counter wins on a constant-bias stream; two-level wins on
+        // alternation — the tournament should approach the better one in
+        // both regimes
+        let run = |alternating: bool| -> (usize, usize, usize) {
+            let mut t = Tournament::new(SaturatingCounter::default(), TwoLevel::new(4));
+            let mut sc = SaturatingCounter::default();
+            let mut tl = TwoLevel::new(4);
+            let mut scores = (0usize, 0usize, 0usize);
+            for k in 0..400u32 {
+                let actual = if alternating {
+                    if k % 2 == 0 { Suspect::V1 } else { Suspect::V2 }
+                } else {
+                    Suspect::V2
+                };
+                if k >= 100 {
+                    scores.0 += usize::from(t.predict() == actual);
+                    scores.1 += usize::from(sc.predict() == actual);
+                    scores.2 += usize::from(tl.predict() == actual);
+                } else {
+                    let _ = t.predict();
+                }
+                t.update(actual);
+                sc.update(actual);
+                tl.update(actual);
+            }
+            scores
+        };
+        let (t_alt, _sc_alt, tl_alt) = run(true);
+        assert!(t_alt + 10 >= tl_alt, "tournament {t_alt} vs two-level {tl_alt}");
+        let (t_bias, sc_bias, _tl_bias) = run(false);
+        assert!(t_bias + 10 >= sc_bias, "tournament {t_bias} vs counter {sc_bias}");
+    }
+
+    #[test]
+    fn evidence_overrides_and_expires() {
+        let mut p = WithEvidence::new(SaturatingCounter::default());
+        // counter currently says V1
+        assert_eq!(p.predict(), Suspect::V1);
+        p.set_evidence(Suspect::V2);
+        assert_eq!(p.predict(), Suspect::V2, "evidence wins");
+        p.update(Suspect::V2);
+        // evidence consumed; counter (now nudged) decides again
+        assert_eq!(p.predict(), Suspect::V2);
+        p.update(Suspect::V1);
+        p.update(Suspect::V1);
+        assert_eq!(p.predict(), Suspect::V1);
+    }
+}

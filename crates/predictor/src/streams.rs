@@ -1,0 +1,149 @@
+//! Synthetic faulty-version sequences for characterising predictors.
+//!
+//! Which version a fault corrupts depends on the physical fault location
+//! and which version happens to exercise it. Three regimes:
+//!
+//! * [`IidStream`] — faults hit versions independently (pure transient
+//!   noise): nothing is learnable, every predictor degenerates to its
+//!   bias.
+//! * [`PersistentStream`] — the same version tends to fail repeatedly
+//!   (the paper's "a particular part of the hardware is more likely to be
+//!   affected … due to process variations", or a marginal unit exercised
+//!   predominantly by one version). First-order Markov with persistence
+//!   ρ: P(same as last) = ρ.
+//! * [`PeriodicStream`] — a deterministic repeating pattern (a
+//!   pathological but illustrative case where history depth matters).
+
+use crate::predictors::Suspect;
+use rand::rngs::SmallRng;
+use rand::Rng as _;
+
+/// A source of "which version was actually faulty" outcomes.
+pub trait FaultStream {
+    /// Next actual faulty version.
+    fn next(&mut self, rng: &mut SmallRng) -> Suspect;
+}
+
+/// Independent outcomes; `P(V2) = bias`.
+#[derive(Debug, Clone, Copy)]
+pub struct IidStream {
+    /// Probability that version 2 is the faulty one.
+    pub bias: f64,
+}
+
+impl FaultStream for IidStream {
+    fn next(&mut self, rng: &mut SmallRng) -> Suspect {
+        if rng.gen::<f64>() < self.bias {
+            Suspect::V2
+        } else {
+            Suspect::V1
+        }
+    }
+}
+
+/// First-order Markov persistence: repeats the previous outcome with
+/// probability `rho`.
+#[derive(Debug, Clone, Copy)]
+pub struct PersistentStream {
+    /// P(next == last).
+    pub rho: f64,
+    last: Suspect,
+}
+
+impl PersistentStream {
+    /// Start from V1 with the given persistence.
+    pub fn new(rho: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rho));
+        PersistentStream {
+            rho,
+            last: Suspect::V1,
+        }
+    }
+}
+
+impl FaultStream for PersistentStream {
+    fn next(&mut self, rng: &mut SmallRng) -> Suspect {
+        let next = if rng.gen::<f64>() < self.rho {
+            self.last
+        } else {
+            self.last.other()
+        };
+        self.last = next;
+        next
+    }
+}
+
+/// A fixed repeating pattern.
+#[derive(Debug, Clone)]
+pub struct PeriodicStream {
+    pattern: Vec<Suspect>,
+    pos: usize,
+}
+
+impl PeriodicStream {
+    /// Cycle through `pattern` forever.
+    ///
+    /// # Panics
+    /// Panics on an empty pattern.
+    pub fn new(pattern: Vec<Suspect>) -> Self {
+        assert!(!pattern.is_empty());
+        PeriodicStream { pattern, pos: 0 }
+    }
+
+    /// Strict alternation V1, V2, V1, …
+    pub fn alternating() -> Self {
+        Self::new(vec![Suspect::V1, Suspect::V2])
+    }
+}
+
+impl FaultStream for PeriodicStream {
+    fn next(&mut self, _rng: &mut SmallRng) -> Suspect {
+        let s = self.pattern[self.pos];
+        self.pos = (self.pos + 1) % self.pattern.len();
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(77)
+    }
+
+    #[test]
+    fn iid_respects_bias() {
+        let mut s = IidStream { bias: 0.8 };
+        let mut r = rng();
+        let v2 = (0..10_000).filter(|_| s.next(&mut r) == Suspect::V2).count();
+        assert!((7_700..8_300).contains(&v2), "v2={v2}");
+    }
+
+    #[test]
+    fn persistent_runs_are_long() {
+        let mut s = PersistentStream::new(0.9);
+        let mut r = rng();
+        let mut switches = 0;
+        let mut last = s.next(&mut r);
+        for _ in 0..10_000 {
+            let cur = s.next(&mut r);
+            if cur != last {
+                switches += 1;
+            }
+            last = cur;
+        }
+        // expected switch rate 0.1
+        assert!((800..1_200).contains(&switches), "switches={switches}");
+    }
+
+    #[test]
+    fn periodic_cycles() {
+        let mut s = PeriodicStream::alternating();
+        let mut r = rng();
+        assert_eq!(s.next(&mut r), Suspect::V1);
+        assert_eq!(s.next(&mut r), Suspect::V2);
+        assert_eq!(s.next(&mut r), Suspect::V1);
+    }
+}

@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! # vds-sched — OS-level process scheduling over the SMT core
+//!
+//! The paper's system model assumes an operating system that "maps user
+//! processes onto the hardware threads of the processor in the same manner
+//! as on a two-processor machine", with versions in **separate address
+//! spaces** and context switches costing `c`. This crate supplies that
+//! layer:
+//!
+//! * [`machine::Machine`] — a processor (any number of hardware contexts)
+//!   plus a process table. Processes are spawned, dispatched onto hardware
+//!   threads (paying a context-switch cost when the resident process
+//!   changes), run until they yield/halt/trap, and switched out again.
+//! * [`machine::Process`] accounting — per-process cycle usage, switch
+//!   counts.
+//! * [`rr`] — a round-robin helper that drives two processes through
+//!   alternating rounds on one hardware context, which is exactly the
+//!   conventional-processor VDS execution model of the paper's §3.1.
+//!
+//! The VDS engine in `vds-core` builds both execution models (Figure 1a
+//! and 1b) on this API.
+
+pub mod machine;
+pub mod rr;
+
+pub use machine::{Machine, ProcId, ProcOutcome, ProcState};

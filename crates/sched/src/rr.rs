@@ -1,0 +1,119 @@
+//! Round-robin driving of processes through rounds on one hardware
+//! thread — the conventional-processor execution model of the paper's
+//! §3.1 ("the proceeding versions can be imagined as scheduled round
+//! robin, with the context switched when they reach the end of a round").
+
+use crate::machine::{Machine, ProcId, ProcOutcome};
+use vds_smtsim::core::ThreadId;
+
+/// Result of one full round-robin rotation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rotation {
+    /// Outcome for each process, in schedule order.
+    pub outcomes: Vec<(ProcId, ProcOutcome)>,
+    /// Machine cycles the rotation took.
+    pub cycles: u64,
+}
+
+/// Drive each process in `order` through one round (up to its next yield,
+/// halt or trap) on hardware thread `hw`, in sequence, paying a context
+/// switch per dispatch.
+pub fn rotate(machine: &mut Machine, order: &[ProcId], hw: ThreadId, budget: u64) -> Rotation {
+    let start = machine.cycles();
+    let mut outcomes = Vec::with_capacity(order.len());
+    for &pid in order {
+        machine.dispatch(pid, hw);
+        let out = machine.run_hw_until_block(hw, budget);
+        outcomes.push((pid, out));
+    }
+    Rotation {
+        outcomes,
+        cycles: machine.cycles() - start,
+    }
+}
+
+/// Rotate until every process halts (or a trap/budget stops the loop).
+/// Returns the number of completed rotations.
+pub fn rotate_to_completion(
+    machine: &mut Machine,
+    order: &[ProcId],
+    hw: ThreadId,
+    budget_per_round: u64,
+    max_rotations: u32,
+) -> u32 {
+    let mut live: Vec<ProcId> = order.to_vec();
+    for rotation in 0..max_rotations {
+        if live.is_empty() {
+            return rotation;
+        }
+        let r = rotate(machine, &live, hw, budget_per_round);
+        for (pid, out) in r.outcomes {
+            match out {
+                ProcOutcome::Halted | ProcOutcome::Trapped(_) => {
+                    live.retain(|&p| p != pid);
+                }
+                ProcOutcome::Yielded => {}
+                ProcOutcome::Budget => return rotation,
+            }
+        }
+    }
+    max_rotations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vds_smtsim::asm::assemble;
+    use vds_smtsim::core::CoreConfig;
+
+    fn counting_prog(rounds: u32) -> vds_smtsim::program::Program {
+        assemble(&format!(
+            r#"
+                li r14, {rounds}
+            round:
+                ld r1, 0(r0)
+                addi r1, r1, 1
+                st r1, 0(r0)
+                subi r14, r14, 1
+                yield
+                bne r14, r0, round
+                halt
+            "#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn rotation_runs_each_process_one_round() {
+        let mut m = Machine::new(CoreConfig::single_threaded(), 10);
+        let a = m.spawn("a", &counting_prog(3), 4);
+        let b = m.spawn("b", &counting_prog(3), 4);
+        let r = rotate(&mut m, &[a, b], ThreadId(0), 1_000_000);
+        assert_eq!(r.outcomes[0].1, ProcOutcome::Yielded);
+        assert_eq!(r.outcomes[1].1, ProcOutcome::Yielded);
+        assert!(r.cycles > 0);
+        m.with_state(a, |_, _, d| assert_eq!(d[0], 1));
+        m.with_state(b, |_, _, d| assert_eq!(d[0], 1));
+    }
+
+    #[test]
+    fn runs_to_completion() {
+        let mut m = Machine::new(CoreConfig::single_threaded(), 10);
+        let a = m.spawn("a", &counting_prog(3), 4);
+        let b = m.spawn("b", &counting_prog(3), 4);
+        let rotations = rotate_to_completion(&mut m, &[a, b], ThreadId(0), 1_000_000, 100);
+        assert!(rotations <= 5, "should finish in ~4 rotations, took {rotations}");
+        m.with_state(a, |_, _, d| assert_eq!(d[0], 3));
+        m.with_state(b, |_, _, d| assert_eq!(d[0], 3));
+    }
+
+    #[test]
+    fn uneven_processes_finish_independently() {
+        let mut m = Machine::new(CoreConfig::single_threaded(), 10);
+        let a = m.spawn("short", &counting_prog(1), 4);
+        let b = m.spawn("long", &counting_prog(4), 4);
+        rotate_to_completion(&mut m, &[a, b], ThreadId(0), 1_000_000, 100);
+        m.with_state(a, |_, _, d| assert_eq!(d[0], 1));
+        m.with_state(b, |_, _, d| assert_eq!(d[0], 4));
+    }
+}

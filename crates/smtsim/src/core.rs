@@ -1,0 +1,1037 @@
+//! The SMT core: thread contexts, shared functional units, shared caches,
+//! cycle-by-cycle execution.
+//!
+//! ## Pipeline model
+//!
+//! In-order, architecturally-atomic execution: each cycle, threads are
+//! considered in a deterministic priority order (round-robin rotation or
+//! ICOUNT); a thread issues at most one instruction per cycle, subject to
+//!
+//! * total issue width,
+//! * a free functional unit of the required class (multi-cycle ops reserve
+//!   their unit),
+//! * instruction-cache hit (miss parks the thread for the memory latency),
+//! * not being parked by a previous data-cache miss, multi-cycle op or
+//!   branch-mispredict flush.
+//!
+//! This is far simpler than a real out-of-order SMT pipeline, but it
+//! produces the behaviour the paper's model needs: a single thread leaves
+//! issue slots and stall cycles unused; a second thread fills them;
+//! co-run time is `2αt` with α somewhere in `(½, 1)` depending on how the
+//! workloads collide on units and caches.
+//!
+//! ## Faults
+//!
+//! The core carries optional **permanent functional-unit faults**
+//! ([`FuFault`]): results computed on a specific unit get a bit forced.
+//! Because diverse program versions schedule work onto units differently,
+//! a single faulty unit corrupts them differently — the property the VDS
+//! diversity argument relies on. Transient faults are injected from
+//! outside by mutating [`Thread::regs`], [`Thread::dmem`] or program text
+//! (see `vds-fault`).
+
+use crate::branch::{Predictor, PredictorKind};
+use crate::cache::{Cache, CacheConfig, CacheStats};
+use crate::encode::decode;
+use crate::isa::{FuClass, Instr, Reg};
+use crate::perf::{StallCause, ThreadCounters};
+use crate::program::Program;
+
+/// Identifies a hardware thread context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ThreadId(pub usize);
+
+/// Why a thread stopped executing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trap {
+    /// Load/store outside the thread's address space. The paper's system
+    /// model: "an access to the data of another version … leads to an
+    /// access violation which is signaled as a fault but leaves the other
+    /// version's data unchanged."
+    AccessViolation {
+        /// Offending word address.
+        addr: u32,
+    },
+    /// Fetched word does not decode (corrupted program memory).
+    IllegalInstruction {
+        /// Instruction index.
+        pc: u32,
+    },
+    /// Control flow left the text section.
+    PcOutOfRange {
+        /// Offending instruction index.
+        pc: u32,
+    },
+}
+
+/// Scheduling state of a hardware thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadState {
+    /// Can issue.
+    Ready,
+    /// Parked until the given cycle (cache miss, multi-cycle op, flush).
+    StalledUntil(u64),
+    /// Executed `yield` — end of a VDS round; host must resume it.
+    Yielded,
+    /// Executed `halt`.
+    Halted,
+    /// Took a trap; host decides what to do.
+    Trapped(Trap),
+}
+
+/// Fetch/issue priority policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FetchPolicy {
+    /// Rotate thread priority every cycle.
+    #[default]
+    RoundRobin,
+    /// Prefer the thread with the fewest retired instructions (a crude,
+    /// deterministic stand-in for ICOUNT).
+    ICount,
+}
+
+/// A permanent hardware fault pinned to one functional unit: bit
+/// `bit` of every result computed on that unit is forced to `value`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuFault {
+    /// Functional-unit class.
+    pub class: FuClass,
+    /// Unit index within the class.
+    pub unit: usize,
+    /// Which result bit is stuck.
+    pub bit: u8,
+    /// Stuck-at value.
+    pub value: bool,
+}
+
+impl FuFault {
+    /// Apply the fault to a result value.
+    #[inline]
+    pub fn corrupt(&self, result: u32) -> u32 {
+        if self.value {
+            result | (1 << self.bit)
+        } else {
+            result & !(1 << self.bit)
+        }
+    }
+}
+
+/// Core configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreConfig {
+    /// Hardware thread contexts (the paper's machine: 2).
+    pub max_threads: usize,
+    /// Instructions issued per cycle across all threads.
+    pub issue_width: usize,
+    /// Single-cycle ALUs.
+    pub num_alu: usize,
+    /// Multi-cycle multiply/divide units.
+    pub num_mul: usize,
+    /// Load/store units.
+    pub num_mem: usize,
+    /// Branch units.
+    pub num_branch: usize,
+    /// Shared instruction cache.
+    pub icache: CacheConfig,
+    /// Shared data cache.
+    pub dcache: CacheConfig,
+    /// Main-memory latency in cycles (applied to I/D misses).
+    pub mem_latency: u32,
+    /// Extra cycles a load stalls its thread even on a D-cache hit
+    /// (load-use delay).
+    pub load_use_delay: u32,
+    /// Cycles a store miss stalls its thread (write-allocate fill;
+    /// cheaper than a load miss thanks to the store buffer).
+    pub store_miss_latency: u32,
+    /// Branch mispredict flush penalty in cycles.
+    pub mispredict_penalty: u32,
+    /// Branch predictor per thread.
+    pub predictor: PredictorKind,
+    /// Thread priority policy.
+    pub fetch_policy: FetchPolicy,
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        CoreConfig {
+            max_threads: 2,
+            issue_width: 2,
+            num_alu: 2,
+            num_mul: 1,
+            num_mem: 1,
+            num_branch: 1,
+            icache: CacheConfig {
+                sets: 128,
+                ways: 2,
+                line_words: 8,
+            },
+            dcache: CacheConfig::small(),
+            mem_latency: 20,
+            load_use_delay: 1,
+            store_miss_latency: 4,
+            mispredict_penalty: 3,
+            predictor: PredictorKind::default(),
+            fetch_policy: FetchPolicy::RoundRobin,
+        }
+    }
+}
+
+impl CoreConfig {
+    /// A configuration approximating a *conventional* (1-context)
+    /// processor of the same microarchitecture.
+    pub fn single_threaded() -> Self {
+        CoreConfig {
+            max_threads: 1,
+            ..CoreConfig::default()
+        }
+    }
+
+    /// A wider SMT core with `n` contexts (for the §5 boosted variants).
+    pub fn with_threads(n: usize) -> Self {
+        CoreConfig {
+            max_threads: n,
+            ..CoreConfig::default()
+        }
+    }
+}
+
+/// A hardware thread context and its private architectural state.
+#[derive(Debug, Clone)]
+pub struct Thread {
+    /// General registers; `regs[0]` is kept at zero after every step.
+    pub regs: [u32; Reg::COUNT],
+    /// Next instruction index.
+    pub pc: u32,
+    /// The program this context executes.
+    pub prog: Program,
+    /// Private data memory (word-addressed address space).
+    pub dmem: Vec<u32>,
+    /// Scheduling state.
+    pub state: ThreadState,
+    /// Performance counters.
+    pub counters: ThreadCounters,
+    predictor: Predictor,
+    stall_cause: StallCause,
+    /// Fill-buffer: a completed I-cache miss for this pc is delivered to
+    /// the pipeline even if the line has been evicted again meanwhile.
+    /// Without this, N > ways fetch streams aliasing one set livelock by
+    /// mutually evicting each other's lines — real front-ends keep the
+    /// in-flight line in a fill buffer for exactly this reason.
+    fetch_fill: Option<u32>,
+}
+
+impl Thread {
+    fn new(prog: &Program, dmem_words: usize, predictor: PredictorKind) -> Self {
+        assert!(
+            prog.data.len() <= dmem_words,
+            "data image ({} words) exceeds address space ({} words)",
+            prog.data.len(),
+            dmem_words
+        );
+        let mut dmem = prog.data.clone();
+        dmem.resize(dmem_words, 0);
+        Thread {
+            regs: [0; Reg::COUNT],
+            pc: prog.entry,
+            prog: prog.clone(),
+            dmem,
+            state: ThreadState::Ready,
+            counters: ThreadCounters::default(),
+            predictor: Predictor::new(predictor),
+            stall_cause: StallCause::Parked,
+            fetch_fill: None,
+        }
+    }
+
+    /// `true` if the thread may still make progress on its own.
+    pub fn is_live(&self) -> bool {
+        matches!(
+            self.state,
+            ThreadState::Ready | ThreadState::StalledUntil(_)
+        )
+    }
+}
+
+/// Saved architectural state for OS-level context switching
+/// (`vds-sched`). Caches and predictors deliberately stay behind —
+/// the pollution a context switch causes is part of the model.
+#[derive(Debug, Clone)]
+pub struct SavedContext {
+    /// Register file.
+    pub regs: [u32; Reg::COUNT],
+    /// Program counter.
+    pub pc: u32,
+    /// Program image.
+    pub prog: Program,
+    /// Data memory.
+    pub dmem: Vec<u32>,
+    /// Scheduling state at save time.
+    pub state: ThreadState,
+}
+
+/// Outcome of [`Core::run_until_all_blocked`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// Every thread halted.
+    AllHalted,
+    /// No thread can issue; at least one yielded (others halted/yielded).
+    AllYielded,
+    /// A thread trapped (execution of the others stops too so the host
+    /// can react; the paper's fault model allows a fault to stop the
+    /// whole processor).
+    Trapped(ThreadId, Trap),
+    /// The cycle budget ran out first.
+    CycleBudgetExhausted,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct FuReservation {
+    class: FuClass,
+    unit: usize,
+    until: u64,
+}
+
+/// The simultaneous multithreaded core.
+#[derive(Debug, Clone)]
+pub struct Core {
+    cfg: CoreConfig,
+    threads: Vec<Thread>,
+    icache: Cache,
+    dcache: Cache,
+    cycle: u64,
+    reservations: Vec<FuReservation>,
+    faults: Vec<FuFault>,
+    rr_offset: usize,
+}
+
+impl Core {
+    /// Build a core with no threads.
+    pub fn new(cfg: CoreConfig) -> Self {
+        assert!(cfg.max_threads >= 1);
+        assert!(cfg.issue_width >= 1);
+        assert!(cfg.num_alu >= 1 && cfg.num_mul >= 1 && cfg.num_mem >= 1 && cfg.num_branch >= 1);
+        let icache = Cache::new(cfg.icache);
+        let dcache = Cache::new(cfg.dcache);
+        Core {
+            cfg,
+            threads: Vec::new(),
+            icache,
+            dcache,
+            cycle: 0,
+            reservations: Vec::new(),
+            faults: Vec::new(),
+            rr_offset: 0,
+        }
+    }
+
+    /// Configuration.
+    pub fn config(&self) -> &CoreConfig {
+        &self.cfg
+    }
+
+    /// Current cycle count.
+    pub fn cycles(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Install a thread running `prog` with a `dmem_words`-word private
+    /// address space. Returns its id.
+    ///
+    /// # Panics
+    /// Panics if all hardware contexts are occupied.
+    pub fn add_thread(&mut self, prog: &Program, dmem_words: usize) -> ThreadId {
+        assert!(
+            self.threads.len() < self.cfg.max_threads,
+            "no free hardware context (max {})",
+            self.cfg.max_threads
+        );
+        self.threads
+            .push(Thread::new(prog, dmem_words, self.cfg.predictor));
+        ThreadId(self.threads.len() - 1)
+    }
+
+    /// Immutable access to a thread.
+    pub fn thread(&self, id: ThreadId) -> &Thread {
+        &self.threads[id.0]
+    }
+
+    /// Mutable access to a thread (fault injection, host fix-ups).
+    pub fn thread_mut(&mut self, id: ThreadId) -> &mut Thread {
+        &mut self.threads[id.0]
+    }
+
+    /// Number of installed threads.
+    pub fn thread_count(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Install a permanent functional-unit fault.
+    pub fn inject_fu_fault(&mut self, fault: FuFault) {
+        self.faults.push(fault);
+    }
+
+    /// Remove all permanent faults.
+    pub fn clear_fu_faults(&mut self) {
+        self.faults.clear();
+    }
+
+    /// Shared I-cache statistics.
+    pub fn icache_stats(&self) -> CacheStats {
+        self.icache.stats()
+    }
+
+    /// Shared D-cache statistics.
+    pub fn dcache_stats(&self) -> CacheStats {
+        self.dcache.stats()
+    }
+
+    /// Park a thread for `cycles` cycles (the OS layer uses this to
+    /// charge context-switch overhead to the hardware thread).
+    ///
+    /// # Panics
+    /// Panics if the thread has halted or trapped.
+    pub fn park_thread(&mut self, id: ThreadId, cycles: u32) {
+        let t = &mut self.threads[id.0];
+        assert!(
+            matches!(
+                t.state,
+                ThreadState::Ready | ThreadState::StalledUntil(_) | ThreadState::Yielded
+            ),
+            "cannot park a thread in state {:?}",
+            t.state
+        );
+        t.state = ThreadState::StalledUntil(self.cycle + u64::from(cycles));
+        t.stall_cause = StallCause::Parked;
+    }
+
+    /// Resume a yielded thread.
+    ///
+    /// # Panics
+    /// Panics if the thread is not in [`ThreadState::Yielded`].
+    pub fn resume(&mut self, id: ThreadId) {
+        let t = &mut self.threads[id.0];
+        assert_eq!(
+            t.state,
+            ThreadState::Yielded,
+            "resume() requires a yielded thread"
+        );
+        t.state = ThreadState::Ready;
+    }
+
+    /// Save a thread's architectural state and replace it with another
+    /// (the OS context switch). Returns the previous context. The incoming
+    /// context's `state` is restored as saved.
+    pub fn swap_context(&mut self, id: ThreadId, incoming: SavedContext) -> SavedContext {
+        let t = &mut self.threads[id.0];
+        let outgoing = SavedContext {
+            regs: t.regs,
+            pc: t.pc,
+            prog: std::mem::take(&mut t.prog),
+            dmem: std::mem::take(&mut t.dmem),
+            state: t.state,
+        };
+        t.regs = incoming.regs;
+        t.pc = incoming.pc;
+        t.prog = incoming.prog;
+        t.dmem = incoming.dmem;
+        t.state = incoming.state;
+        t.fetch_fill = None; // the fill buffer belongs to the old stream
+        outgoing
+    }
+
+    fn priority_order(&self) -> Vec<usize> {
+        let n = self.threads.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        match self.cfg.fetch_policy {
+            FetchPolicy::RoundRobin => {
+                order.rotate_left(self.rr_offset % n.max(1));
+            }
+            FetchPolicy::ICount => {
+                order.sort_by_key(|&i| (self.threads[i].counters.retired, i));
+            }
+        }
+        order
+    }
+
+    fn free_unit(&self, class: FuClass, used_this_cycle: &[(FuClass, usize)]) -> Option<usize> {
+        let count = match class {
+            FuClass::Alu => self.cfg.num_alu,
+            FuClass::MulDiv => self.cfg.num_mul,
+            FuClass::Mem => self.cfg.num_mem,
+            FuClass::Branch => self.cfg.num_branch,
+            FuClass::None => return Some(0),
+        };
+        (0..count).find(|&u| {
+            !self
+                .reservations
+                .iter()
+                .any(|r| r.class == class && r.unit == u && r.until > self.cycle)
+                && !used_this_cycle.contains(&(class, u))
+        })
+    }
+
+    fn corrupt(&self, class: FuClass, unit: usize, result: u32) -> u32 {
+        let mut v = result;
+        for f in &self.faults {
+            if f.class == class && f.unit == unit {
+                v = f.corrupt(v);
+            }
+        }
+        v
+    }
+
+    /// Advance one cycle. Returns `true` if any thread issued.
+    pub fn step(&mut self) -> bool {
+        self.cycle += 1;
+        self.reservations.retain(|r| r.until > self.cycle);
+        let order = self.priority_order();
+        self.rr_offset = self.rr_offset.wrapping_add(1);
+
+        let mut issued = 0usize;
+        let mut used: Vec<(FuClass, usize)> = Vec::with_capacity(self.cfg.issue_width);
+        let mut any = false;
+
+        for tid in order {
+            // per-cycle bookkeeping
+            self.threads[tid].counters.cycles += 1;
+            match self.threads[tid].state {
+                ThreadState::StalledUntil(until) => {
+                    if self.cycle >= until {
+                        self.threads[tid].state = ThreadState::Ready;
+                    } else {
+                        let cause = self.threads[tid].stall_cause;
+                        self.threads[tid].counters.stall(cause);
+                        continue;
+                    }
+                }
+                ThreadState::Yielded | ThreadState::Halted | ThreadState::Trapped(_) => {
+                    self.threads[tid].counters.stall(StallCause::Parked);
+                    continue;
+                }
+                ThreadState::Ready => {}
+            }
+
+            if issued >= self.cfg.issue_width {
+                self.threads[tid].counters.stall(StallCause::Width);
+                continue;
+            }
+
+            // fetch
+            let pc = self.threads[tid].pc;
+            if pc as usize >= self.threads[tid].prog.text.len() {
+                self.threads[tid].state = ThreadState::Trapped(Trap::PcOutOfRange { pc });
+                continue;
+            }
+            let fill_hit = self.threads[tid].fetch_fill.take() == Some(pc);
+            if !fill_hit && !self.icache.access(tid as u8, pc) {
+                // the line arrives after the memory latency and is held
+                // in the fill buffer, immune to eviction by siblings
+                self.threads[tid].fetch_fill = Some(pc);
+                self.stall(tid, self.cfg.mem_latency, StallCause::ICache);
+                // no issue happened this cycle, so count it as stalled
+                self.threads[tid].counters.stall(StallCause::ICache);
+                continue;
+            }
+            let word = self.threads[tid].prog.text[pc as usize];
+            let instr = match decode(word) {
+                Ok(i) => i,
+                Err(_) => {
+                    self.threads[tid].state =
+                        ThreadState::Trapped(Trap::IllegalInstruction { pc });
+                    continue;
+                }
+            };
+
+            // functional unit
+            let class = instr.fu_class();
+            let unit = match self.free_unit(class, &used) {
+                Some(u) => u,
+                None => {
+                    self.threads[tid].counters.stall(StallCause::FuBusy);
+                    continue;
+                }
+            };
+            if class != FuClass::None {
+                used.push((class, unit));
+                let lat = instr.fu_latency();
+                if lat > 1 {
+                    self.reservations.push(FuReservation {
+                        class,
+                        unit,
+                        until: self.cycle + u64::from(lat),
+                    });
+                }
+            }
+
+            issued += 1;
+            any = true;
+            self.threads[tid].counters.issued_cycles += 1;
+            self.execute(tid, &instr, class, unit);
+            self.threads[tid].regs[0] = 0;
+        }
+        any
+    }
+
+    /// Park the thread; the stall cycles themselves are counted in
+    /// [`Core::step`] while the thread sits in `StalledUntil`.
+    fn stall(&mut self, tid: usize, cycles: u32, cause: StallCause) {
+        let t = &mut self.threads[tid];
+        t.state = ThreadState::StalledUntil(self.cycle + u64::from(cycles));
+        t.stall_cause = cause;
+    }
+
+    #[inline]
+    fn reg(&self, tid: usize, r: Reg) -> u32 {
+        self.threads[tid].regs[r.idx()]
+    }
+
+    #[inline]
+    fn set_reg(&mut self, tid: usize, r: Reg, v: u32) {
+        self.threads[tid].regs[r.idx()] = v;
+    }
+
+    fn execute(&mut self, tid: usize, instr: &Instr, class: FuClass, unit: usize) {
+        self.threads[tid].counters.retired += 1;
+        let pc = self.threads[tid].pc;
+        let mut next_pc = pc + 1;
+        match *instr {
+            Instr::Nop => {}
+            Instr::Alu { op, rd, rs1, rs2 } => {
+                let v = op.apply(self.reg(tid, rs1), self.reg(tid, rs2));
+                let v = self.corrupt(class, unit, v);
+                self.set_reg(tid, rd, v);
+            }
+            Instr::AluImm { op, rd, rs1, imm } => {
+                let v = op.apply(self.reg(tid, rs1), imm);
+                let v = self.corrupt(class, unit, v);
+                self.set_reg(tid, rd, v);
+            }
+            Instr::Lui { rd, imm } => {
+                let v = self.corrupt(class, unit, u32::from(imm) << 16);
+                self.set_reg(tid, rd, v);
+            }
+            Instr::Mul { op, rd, rs1, rs2 } => {
+                let v = op.apply(self.reg(tid, rs1), self.reg(tid, rs2));
+                let v = self.corrupt(class, unit, v);
+                self.set_reg(tid, rd, v);
+                // blocking in-order: the thread waits for its own result
+                self.stall(tid, instr.fu_latency() - 1, StallCause::FuBusy);
+            }
+            Instr::Ld { rd, rs1, imm } => {
+                self.threads[tid].counters.loads += 1;
+                let addr = self.reg(tid, rs1).wrapping_add(imm as u32);
+                if addr as usize >= self.threads[tid].dmem.len() {
+                    self.threads[tid].state =
+                        ThreadState::Trapped(Trap::AccessViolation { addr });
+                    return;
+                }
+                let v = self.threads[tid].dmem[addr as usize];
+                let v = self.corrupt(class, unit, v);
+                self.set_reg(tid, rd, v);
+                let hit = self.dcache.access(tid as u8, addr);
+                if hit {
+                    if self.cfg.load_use_delay > 0 {
+                        self.stall(tid, self.cfg.load_use_delay, StallCause::DCache);
+                    }
+                } else {
+                    self.stall(tid, self.cfg.mem_latency, StallCause::DCache);
+                }
+            }
+            Instr::St { rs2, rs1, imm } => {
+                self.threads[tid].counters.stores += 1;
+                let addr = self.reg(tid, rs1).wrapping_add(imm as u32);
+                if addr as usize >= self.threads[tid].dmem.len() {
+                    self.threads[tid].state =
+                        ThreadState::Trapped(Trap::AccessViolation { addr });
+                    return;
+                }
+                let v = self.corrupt(class, unit, self.reg(tid, rs2));
+                self.threads[tid].dmem[addr as usize] = v;
+                let hit = self.dcache.access(tid as u8, addr);
+                if !hit && self.cfg.store_miss_latency > 0 {
+                    self.stall(tid, self.cfg.store_miss_latency, StallCause::DCache);
+                }
+            }
+            Instr::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => {
+                self.threads[tid].counters.branches += 1;
+                let taken = cond.holds(self.reg(tid, rs1), self.reg(tid, rs2));
+                let correct = self.threads[tid].predictor.update(pc, taken);
+                if taken {
+                    next_pc = target;
+                }
+                if !correct {
+                    self.threads[tid].counters.mispredicts += 1;
+                    if self.cfg.mispredict_penalty > 0 {
+                        self.stall(tid, self.cfg.mispredict_penalty, StallCause::BranchFlush);
+                    }
+                }
+            }
+            Instr::Jal { rd, target } => {
+                let link = self.corrupt(class, unit, pc + 1);
+                self.set_reg(tid, rd, link);
+                next_pc = target;
+            }
+            Instr::Jalr { rd, rs1, imm } => {
+                let dest = self.reg(tid, rs1).wrapping_add(imm as u32);
+                let link = self.corrupt(class, unit, pc + 1);
+                self.set_reg(tid, rd, link);
+                next_pc = dest;
+            }
+            Instr::Yield => {
+                self.threads[tid].state = ThreadState::Yielded;
+            }
+            Instr::Halt => {
+                self.threads[tid].state = ThreadState::Halted;
+                return; // pc frozen at the halt
+            }
+        }
+        self.threads[tid].pc = next_pc;
+    }
+
+    /// Run until no thread can make progress or `max_cycles` elapse.
+    pub fn run_until_all_blocked(&mut self, max_cycles: u64) -> RunOutcome {
+        let deadline = self.cycle + max_cycles;
+        loop {
+            if let Some((i, t)) = self
+                .threads
+                .iter()
+                .enumerate()
+                .find(|(_, t)| matches!(t.state, ThreadState::Trapped(_)))
+            {
+                let ThreadState::Trapped(trap) = t.state else {
+                    unreachable!()
+                };
+                return RunOutcome::Trapped(ThreadId(i), trap);
+            }
+            if !self.threads.iter().any(Thread::is_live) {
+                return if self
+                    .threads
+                    .iter()
+                    .any(|t| t.state == ThreadState::Yielded)
+                {
+                    RunOutcome::AllYielded
+                } else {
+                    RunOutcome::AllHalted
+                };
+            }
+            if self.cycle >= deadline {
+                return RunOutcome::CycleBudgetExhausted;
+            }
+            self.step();
+        }
+    }
+
+    /// Run until the *given* thread yields, halts or traps (other threads
+    /// keep executing concurrently — this is how the VDS engine runs one
+    /// round of one version on an SMT machine).
+    pub fn run_until_thread_blocks(&mut self, id: ThreadId, max_cycles: u64) -> RunOutcome {
+        let deadline = self.cycle + max_cycles;
+        loop {
+            match self.threads[id.0].state {
+                ThreadState::Yielded => return RunOutcome::AllYielded,
+                ThreadState::Halted => return RunOutcome::AllHalted,
+                ThreadState::Trapped(trap) => return RunOutcome::Trapped(id, trap),
+                _ => {}
+            }
+            if self.cycle >= deadline {
+                return RunOutcome::CycleBudgetExhausted;
+            }
+            self.step();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn run_program(src: &str) -> Core {
+        let prog = assemble(src).unwrap();
+        let mut core = Core::new(CoreConfig::default());
+        core.add_thread(&prog, 256);
+        let out = core.run_until_all_blocked(1_000_000);
+        assert_eq!(out, RunOutcome::AllHalted, "program did not halt");
+        core
+    }
+
+    #[test]
+    fn arithmetic_program() {
+        let core = run_program(
+            r#"
+            addi r1, r0, 6
+            addi r2, r0, 7
+            mul  r3, r1, r2
+            halt
+            "#,
+        );
+        assert_eq!(core.thread(ThreadId(0)).regs[3], 42);
+    }
+
+    #[test]
+    fn loop_sums_correctly() {
+        let core = run_program(
+            r#"
+                addi r1, r0, 100
+                addi r2, r0, 0
+            loop:
+                add  r2, r2, r1
+                subi r1, r1, 1
+                bne  r1, r0, loop
+                halt
+            "#,
+        );
+        assert_eq!(core.thread(ThreadId(0)).regs[2], 5050);
+    }
+
+    #[test]
+    fn memory_roundtrip() {
+        let core = run_program(
+            r#"
+            .data
+            buf: .space 4
+            .text
+                li  r1, 123
+                st  r1, buf(r0)
+                ld  r2, buf(r0)
+                halt
+            "#,
+        );
+        assert_eq!(core.thread(ThreadId(0)).regs[2], 123);
+    }
+
+    #[test]
+    fn jal_and_jalr_call_return() {
+        let core = run_program(
+            r#"
+                jal  r15, func
+                st   r3, 0(r0)
+                halt
+            func:
+                addi r3, r0, 9
+                jalr r0, r15, 0
+            "#,
+        );
+        assert_eq!(core.thread(ThreadId(0)).dmem[0], 9);
+    }
+
+    #[test]
+    fn yield_parks_and_resume_continues() {
+        let prog = assemble("addi r1, r0, 1\nyield\naddi r1, r1, 1\nhalt\n").unwrap();
+        let mut core = Core::new(CoreConfig::default());
+        let t = core.add_thread(&prog, 16);
+        assert_eq!(core.run_until_all_blocked(1000), RunOutcome::AllYielded);
+        assert_eq!(core.thread(t).regs[1], 1);
+        core.resume(t);
+        assert_eq!(core.run_until_all_blocked(1000), RunOutcome::AllHalted);
+        assert_eq!(core.thread(t).regs[1], 2);
+    }
+
+    #[test]
+    fn access_violation_traps_without_corrupting_others() {
+        let bad = assemble("li r1, 9999\nld r2, 0(r1)\nhalt\n").unwrap();
+        let good = assemble("addi r1, r0, 5\nst r1, 0(r0)\nhalt\n").unwrap();
+        let mut core = Core::new(CoreConfig::default());
+        let tb = core.add_thread(&bad, 16);
+        let tg = core.add_thread(&good, 16);
+        let out = core.run_until_all_blocked(10_000);
+        match out {
+            RunOutcome::Trapped(id, Trap::AccessViolation { addr }) => {
+                assert_eq!(id, tb);
+                assert_eq!(addr, 9999);
+            }
+            other => panic!("expected access violation, got {other:?}"),
+        }
+        // The good thread's memory is untouched by the bad access.
+        let _ = tg;
+    }
+
+    #[test]
+    fn illegal_instruction_traps() {
+        let prog = assemble("nop\nhalt\n").unwrap();
+        let mut core = Core::new(CoreConfig::default());
+        let t = core.add_thread(&prog, 16);
+        core.thread_mut(t).prog.text[0] = 63 << 26;
+        match core.run_until_all_blocked(1000) {
+            RunOutcome::Trapped(_, Trap::IllegalInstruction { pc }) => assert_eq!(pc, 0),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn pc_out_of_range_traps() {
+        let prog = assemble("jal r0, 100\nhalt\n").unwrap();
+        let mut core = Core::new(CoreConfig::default());
+        core.add_thread(&prog, 16);
+        match core.run_until_all_blocked(1000) {
+            RunOutcome::Trapped(_, Trap::PcOutOfRange { pc }) => assert_eq!(pc, 100),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn r0_stays_zero() {
+        let core = run_program("addi r0, r0, 42\nhalt\n");
+        assert_eq!(core.thread(ThreadId(0)).regs[0], 0);
+    }
+
+    #[test]
+    fn two_threads_run_concurrently_and_finish_faster_than_serial() {
+        let src = r#"
+                addi r1, r0, 2000
+            loop:
+                subi r1, r1, 1
+                bne  r1, r0, loop
+                halt
+        "#;
+        let prog = assemble(src).unwrap();
+
+        let mut solo = Core::new(CoreConfig::default());
+        solo.add_thread(&prog, 16);
+        solo.run_until_all_blocked(10_000_000);
+        let t_solo = solo.cycles();
+
+        let mut pair = Core::new(CoreConfig::default());
+        pair.add_thread(&prog, 16);
+        pair.add_thread(&prog, 16);
+        pair.run_until_all_blocked(10_000_000);
+        let t_pair = pair.cycles();
+
+        assert!(t_pair < 2 * t_solo, "co-run {t_pair} vs 2×solo {t_solo}");
+        assert!(t_pair >= t_solo, "co-run cannot beat a single copy");
+        let alpha = t_pair as f64 / (2.0 * t_solo as f64);
+        assert!(alpha >= 0.5 && alpha <= 1.0, "alpha={alpha}");
+    }
+
+    #[test]
+    fn mul_occupies_unit_and_stalls_owner() {
+        // Two threads that both hammer the single multiplier: heavy
+        // contention, alpha near 1.
+        let src = r#"
+                addi r1, r0, 300
+                addi r2, r0, 3
+            loop:
+                mul  r3, r2, r2
+                mul  r4, r3, r2
+                subi r1, r1, 1
+                bne  r1, r0, loop
+                halt
+        "#;
+        let prog = assemble(src).unwrap();
+        let mut solo = Core::new(CoreConfig::default());
+        solo.add_thread(&prog, 16);
+        solo.run_until_all_blocked(10_000_000);
+        let t_solo = solo.cycles();
+
+        let mut pair = Core::new(CoreConfig::default());
+        pair.add_thread(&prog, 16);
+        pair.add_thread(&prog, 16);
+        pair.run_until_all_blocked(10_000_000);
+        let alpha = pair.cycles() as f64 / (2.0 * t_solo as f64);
+        assert!(alpha > 0.75, "mul-bound pair should contend, alpha={alpha}");
+    }
+
+    #[test]
+    fn permanent_fu_fault_corrupts_results() {
+        let prog = assemble("addi r1, r0, 0\nhalt\n").unwrap();
+        let mut core = Core::new(CoreConfig::default());
+        let t = core.add_thread(&prog, 16);
+        core.inject_fu_fault(FuFault {
+            class: FuClass::Alu,
+            unit: 0,
+            bit: 3,
+            value: true,
+        });
+        core.run_until_all_blocked(1000);
+        assert_eq!(core.thread(t).regs[1], 8, "bit 3 stuck at 1");
+    }
+
+    #[test]
+    fn fault_on_unit_1_spares_single_issue_stream() {
+        // With one thread and RoundRobin priority, consecutive dependent
+        // ALU ops all land on unit 0; a fault on unit 1 never fires.
+        let prog = assemble("addi r1, r0, 1\naddi r1, r1, 1\nhalt\n").unwrap();
+        let mut core = Core::new(CoreConfig::default());
+        let t = core.add_thread(&prog, 16);
+        core.inject_fu_fault(FuFault {
+            class: FuClass::Alu,
+            unit: 1,
+            bit: 7,
+            value: true,
+        });
+        core.run_until_all_blocked(1000);
+        assert_eq!(core.thread(t).regs[1], 2);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let core = run_program(
+            r#"
+                addi r1, r0, 10
+            loop:
+                subi r1, r1, 1
+                bne  r1, r0, loop
+                halt
+            "#,
+        );
+        let c = core.thread(ThreadId(0)).counters;
+        assert_eq!(c.retired, 1 + 20 + 1);
+        assert_eq!(c.branches, 10);
+        assert!(c.cycles >= c.retired);
+        assert!(c.ipc() > 0.0 && c.ipc() <= 1.0);
+    }
+
+    #[test]
+    fn swap_context_roundtrip() {
+        let p1 = assemble("addi r1, r0, 1\nyield\naddi r1, r1, 10\nhalt\n").unwrap();
+        let p2 = assemble("addi r2, r0, 2\nhalt\n").unwrap();
+        let mut core = Core::new(CoreConfig::default());
+        let t = core.add_thread(&p1, 16);
+        core.run_until_all_blocked(1000); // p1 yields
+        let saved1 = SavedContext {
+            regs: [0; 16],
+            pc: 0,
+            prog: p2,
+            dmem: vec![0; 16],
+            state: ThreadState::Ready,
+        };
+        let saved_p1 = core.swap_context(t, saved1);
+        assert_eq!(saved_p1.regs[1], 1);
+        core.run_until_all_blocked(1000); // p2 halts
+        assert_eq!(core.thread(t).regs[2], 2);
+        // switch back and finish p1
+        let mut back = saved_p1;
+        back.state = ThreadState::Ready; // host resumes after yield
+        core.swap_context(t, back);
+        core.run_until_all_blocked(1000);
+        assert_eq!(core.thread(t).regs[1], 11);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let src = r#"
+                addi r1, r0, 500
+            loop:
+                mul r2, r1, r1
+                st  r2, 0(r0)
+                ld  r3, 0(r0)
+                subi r1, r1, 1
+                bne r1, r0, loop
+                halt
+        "#;
+        let prog = assemble(src).unwrap();
+        let run = || {
+            let mut core = Core::new(CoreConfig::default());
+            core.add_thread(&prog, 64);
+            core.add_thread(&prog, 64);
+            core.run_until_all_blocked(10_000_000);
+            (core.cycles(), core.thread(ThreadId(0)).regs[2])
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,117 @@
+//! Disassembler — renders instructions back to the assembler's dialect.
+//!
+//! Used by trace output, by diversity-transform debugging, and as the
+//! round-trip oracle in property tests (`assemble(disassemble(p)) == p`).
+
+use crate::encode::decode;
+use crate::isa::Instr;
+use crate::program::Program;
+use std::fmt::Write as _;
+
+/// Render one instruction.
+pub fn disassemble_instr(i: &Instr) -> String {
+    match *i {
+        Instr::Alu { op, rd, rs1, rs2 } => {
+            format!("{} {rd}, {rs1}, {rs2}", op.mnemonic())
+        }
+        Instr::AluImm { op, rd, rs1, imm } => {
+            format!("{} {rd}, {rs1}, {imm}", op.mnemonic())
+        }
+        Instr::Lui { rd, imm } => format!("lui {rd}, {imm:#x}"),
+        Instr::Mul { op, rd, rs1, rs2 } => {
+            format!("{} {rd}, {rs1}, {rs2}", op.mnemonic())
+        }
+        Instr::Ld { rd, rs1, imm } => format!("ld {rd}, {imm}({rs1})"),
+        Instr::St { rs2, rs1, imm } => format!("st {rs2}, {imm}({rs1})"),
+        Instr::Branch {
+            cond,
+            rs1,
+            rs2,
+            target,
+        } => format!("{} {rs1}, {rs2}, {target}", cond.mnemonic()),
+        Instr::Jal { rd, target } => format!("jal {rd}, {target}"),
+        Instr::Jalr { rd, rs1, imm } => format!("jalr {rd}, {rs1}, {imm}"),
+        Instr::Yield => "yield".to_string(),
+        Instr::Halt => "halt".to_string(),
+        Instr::Nop => "nop".to_string(),
+    }
+}
+
+/// Render a whole program's text section, one instruction per line,
+/// prefixed with its index; undecodable words are shown as `.word`.
+pub fn disassemble(prog: &Program) -> String {
+    let mut out = String::new();
+    for (idx, &w) in prog.text.iter().enumerate() {
+        match decode(w) {
+            Ok(i) => {
+                let _ = writeln!(out, "{idx:5}: {}", disassemble_instr(&i));
+            }
+            Err(e) => {
+                let _ = writeln!(out, "{idx:5}: .word {w:#010x} ; {e}");
+            }
+        }
+    }
+    out
+}
+
+/// Render without indices, in a form [`crate::asm::assemble`] accepts
+/// (numeric branch/jump targets are valid operands).
+pub fn to_source(prog: &Program) -> String {
+    let mut out = String::new();
+    for &w in &prog.text {
+        match decode(w) {
+            Ok(i) => {
+                let _ = writeln!(out, "    {}", disassemble_instr(&i));
+            }
+            Err(_) => {
+                // no assembler syntax for raw words in .text; emit nop to
+                // keep addresses aligned (callers that need exactness
+                // should check decode_all first)
+                let _ = writeln!(out, "    nop ; undecodable {w:#010x}");
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    #[test]
+    fn simple_rendering() {
+        let p = assemble("add r1, r2, r3\nld r4, -2(r5)\nbeq r1, r0, 0\nhalt\n").unwrap();
+        let d = disassemble(&p);
+        assert!(d.contains("add r1, r2, r3"));
+        assert!(d.contains("ld r4, -2(r5)"));
+        assert!(d.contains("beq r1, r0, 0"));
+        assert!(d.contains("halt"));
+    }
+
+    #[test]
+    fn roundtrip_through_source() {
+        let src = r#"
+            .text
+            start:
+                addi r1, r0, 5
+            loop:
+                mul  r2, r1, r1
+                subi r1, r1, 1
+                bne  r1, r0, loop
+                st   r2, 3(r0)
+                yield
+                halt
+        "#;
+        let p1 = assemble(src).unwrap();
+        let p2 = assemble(&to_source(&p1)).unwrap();
+        assert_eq!(p1.text, p2.text, "reassembled text must be identical");
+    }
+
+    #[test]
+    fn undecodable_word_shown() {
+        let mut p = assemble("nop\n").unwrap();
+        p.text[0] = 63 << 26;
+        assert!(disassemble(&p).contains(".word"));
+    }
+}

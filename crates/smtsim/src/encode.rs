@@ -1,0 +1,411 @@
+//! Binary instruction encoding.
+//!
+//! Instructions live in instruction memory as 32-bit words so that fault
+//! injection can flip bits in *encoded* programs and diversity transforms
+//! can operate on a concrete representation. Layout (bit 31 = MSB):
+//!
+//! ```text
+//! [31:26] opcode
+//! register forms   : [25:22] rd   [21:18] rs1  [17:14] rs2  [13:0] zero
+//! immediate forms  : [25:22] rd   [21:18] rs1  [17:16] zero [15:0] imm16
+//!   (st uses the rd slot for rs2; andi/ori/xori zero-extend, the rest
+//!    sign-extend)
+//! lui              : [25:22] rd   [21:16] zero [15:0] imm16
+//! branches         : [25:22] zero [21:18] rs1  [17:14] rs2  [13:0] target14
+//! jal              : [25:22] rd   [21:0] target22
+//! ```
+//!
+//! Decoding is total over opcodes 0–31 except where reserved; undefined
+//! opcodes or malformed fields yield [`DecodeError`], which the core turns
+//! into an illegal-instruction trap (a *detected* fault).
+
+use crate::isa::{AluImmOp, AluOp, BranchCond, Instr, MulOp, Reg, IMM_MAX, IMM_MIN, UIMM_MAX};
+
+/// Why a word failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The opcode is not assigned.
+    BadOpcode(u8),
+    /// A field that the instruction format does not use is non-zero.
+    /// Treated as an illegal instruction so that bit flips in unused
+    /// fields are *detected* rather than silently ignored.
+    BadField,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadOpcode(op) => write!(f, "undefined opcode {op}"),
+            DecodeError::BadField => write!(f, "non-zero bits in unused field"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+const OP_NOP: u8 = 0;
+const OP_ALU_BASE: u8 = 1; // 1..=10
+const OP_ALUIMM_BASE: u8 = 11; // 11..=17
+const OP_LUI: u8 = 18;
+const OP_MUL_BASE: u8 = 19; // 19..=21
+const OP_LD: u8 = 22;
+const OP_ST: u8 = 23;
+const OP_BR_BASE: u8 = 24; // 24..=27 (Eq, Ne, Lt, Ge)
+const OP_JAL: u8 = 28;
+const OP_JALR: u8 = 29;
+const OP_YIELD: u8 = 30;
+const OP_HALT: u8 = 31;
+
+#[inline]
+fn field(word: u32, hi: u32, lo: u32) -> u32 {
+    (word >> lo) & ((1 << (hi - lo + 1)) - 1)
+}
+
+#[inline]
+fn sext16(v: u32) -> i32 {
+    ((v as i32) << 16) >> 16
+}
+
+fn branch_index(cond: BranchCond) -> u8 {
+    match cond {
+        BranchCond::Eq => 0,
+        BranchCond::Ne => 1,
+        BranchCond::Lt => 2,
+        BranchCond::Ge => 3,
+    }
+}
+
+const BRANCH_CONDS: [BranchCond; 4] = [
+    BranchCond::Eq,
+    BranchCond::Ne,
+    BranchCond::Lt,
+    BranchCond::Ge,
+];
+
+/// Encode an instruction to its 32-bit word.
+///
+/// # Panics
+/// Panics if an immediate or target exceeds its field
+/// (the assembler checks ranges before constructing [`Instr`]s).
+pub fn encode(i: &Instr) -> u32 {
+    fn simm16(v: i32) -> u32 {
+        assert!(
+            (IMM_MIN..=IMM_MAX).contains(&v),
+            "immediate {v} out of signed 16-bit range"
+        );
+        (v as u32) & 0xFFFF
+    }
+    fn uimm16(v: i32) -> u32 {
+        assert!(
+            (0..=UIMM_MAX).contains(&v),
+            "immediate {v} out of unsigned 16-bit range"
+        );
+        v as u32
+    }
+    fn pack_reg(op: u8, rd: u8, rs1: u8, rs2: u8) -> u32 {
+        (u32::from(op) << 26)
+            | (u32::from(rd) << 22)
+            | (u32::from(rs1) << 18)
+            | (u32::from(rs2) << 14)
+    }
+    fn pack_imm(op: u8, rd: u8, rs1: u8, imm: u32) -> u32 {
+        (u32::from(op) << 26) | (u32::from(rd) << 22) | (u32::from(rs1) << 18) | imm
+    }
+    match *i {
+        Instr::Nop => pack_reg(OP_NOP, 0, 0, 0),
+        Instr::Alu { op, rd, rs1, rs2 } => {
+            let idx = AluOp::ALL.iter().position(|&o| o == op).unwrap() as u8;
+            pack_reg(OP_ALU_BASE + idx, rd.0, rs1.0, rs2.0)
+        }
+        Instr::AluImm { op, rd, rs1, imm } => {
+            let idx = AluImmOp::ALL.iter().position(|&o| o == op).unwrap() as u8;
+            let enc = if op.zero_extends() {
+                uimm16(imm)
+            } else {
+                simm16(imm)
+            };
+            pack_imm(OP_ALUIMM_BASE + idx, rd.0, rs1.0, enc)
+        }
+        Instr::Lui { rd, imm } => pack_imm(OP_LUI, rd.0, 0, u32::from(imm)),
+        Instr::Mul { op, rd, rs1, rs2 } => {
+            let idx = match op {
+                MulOp::Mul => 0,
+                MulOp::Div => 1,
+                MulOp::Rem => 2,
+            };
+            pack_reg(OP_MUL_BASE + idx, rd.0, rs1.0, rs2.0)
+        }
+        Instr::Ld { rd, rs1, imm } => pack_imm(OP_LD, rd.0, rs1.0, simm16(imm)),
+        Instr::St { rs2, rs1, imm } => pack_imm(OP_ST, rs2.0, rs1.0, simm16(imm)),
+        Instr::Branch {
+            cond,
+            rs1,
+            rs2,
+            target,
+        } => {
+            assert!(
+                target <= crate::isa::BRANCH_TARGET_MAX,
+                "branch target {target} out of range"
+            );
+            (u32::from(OP_BR_BASE + branch_index(cond)) << 26)
+                | (u32::from(rs1.0) << 18)
+                | (u32::from(rs2.0) << 14)
+                | target
+        }
+        Instr::Jal { rd, target } => {
+            assert!(target < (1 << 22), "jal target {target} out of range");
+            (u32::from(OP_JAL) << 26) | (u32::from(rd.0) << 22) | target
+        }
+        Instr::Jalr { rd, rs1, imm } => pack_imm(OP_JALR, rd.0, rs1.0, simm16(imm)),
+        Instr::Yield => pack_reg(OP_YIELD, 0, 0, 0),
+        Instr::Halt => pack_reg(OP_HALT, 0, 0, 0),
+    }
+}
+
+/// Decode a 32-bit word back into an instruction.
+///
+/// Strict: a word whose unused fields carry non-zero bits is rejected with
+/// [`DecodeError::BadField`] (checked by re-encoding), so every single-bit
+/// corruption of a valid instruction either changes its meaning or is
+/// detected as illegal.
+pub fn decode(word: u32) -> Result<Instr, DecodeError> {
+    let i = decode_lenient(word)?;
+    if encode(&i) != word {
+        return Err(DecodeError::BadField);
+    }
+    Ok(i)
+}
+
+/// Decode without the strict unused-field check.
+pub fn decode_lenient(word: u32) -> Result<Instr, DecodeError> {
+    let op = field(word, 31, 26) as u8;
+    let rd = Reg(field(word, 25, 22) as u8);
+    let rs1 = Reg(field(word, 21, 18) as u8);
+    let rs2 = Reg(field(word, 17, 14) as u8);
+    let simm = sext16(field(word, 15, 0));
+    Ok(match op {
+        OP_NOP => Instr::Nop,
+        o if (OP_ALU_BASE..OP_ALU_BASE + 10).contains(&o) => Instr::Alu {
+            op: AluOp::ALL[(o - OP_ALU_BASE) as usize],
+            rd,
+            rs1,
+            rs2,
+        },
+        o if (OP_ALUIMM_BASE..OP_ALUIMM_BASE + 7).contains(&o) => {
+            let alu_op = AluImmOp::ALL[(o - OP_ALUIMM_BASE) as usize];
+            let imm = if alu_op.zero_extends() {
+                field(word, 15, 0) as i32
+            } else {
+                simm
+            };
+            Instr::AluImm {
+                op: alu_op,
+                rd,
+                rs1,
+                imm,
+            }
+        }
+        OP_LUI => Instr::Lui {
+            rd,
+            imm: field(word, 15, 0) as u16,
+        },
+        o if (OP_MUL_BASE..OP_MUL_BASE + 3).contains(&o) => Instr::Mul {
+            op: [MulOp::Mul, MulOp::Div, MulOp::Rem][(o - OP_MUL_BASE) as usize],
+            rd,
+            rs1,
+            rs2,
+        },
+        OP_LD => Instr::Ld { rd, rs1, imm: simm },
+        OP_ST => Instr::St {
+            rs2: rd, // the store's value register lives in the rd slot
+            rs1,
+            imm: simm,
+        },
+        o if (OP_BR_BASE..OP_BR_BASE + 4).contains(&o) => Instr::Branch {
+            cond: BRANCH_CONDS[(o - OP_BR_BASE) as usize],
+            rs1,
+            rs2,
+            target: field(word, 13, 0),
+        },
+        OP_JAL => Instr::Jal {
+            rd,
+            target: field(word, 21, 0),
+        },
+        OP_JALR => Instr::Jalr { rd, rs1, imm: simm },
+        OP_YIELD => Instr::Yield,
+        OP_HALT => Instr::Halt,
+        other => return Err(DecodeError::BadOpcode(other)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_sample_instrs() -> Vec<Instr> {
+        let mut v = vec![
+            Instr::Nop,
+            Instr::Yield,
+            Instr::Halt,
+            Instr::Lui {
+                rd: Reg(3),
+                imm: 0xBEEF,
+            },
+            Instr::Ld {
+                rd: Reg(4),
+                rs1: Reg(5),
+                imm: -17,
+            },
+            Instr::St {
+                rs2: Reg(6),
+                rs1: Reg(7),
+                imm: 42,
+            },
+            Instr::Jal {
+                rd: Reg(15),
+                target: 123_456,
+            },
+            Instr::Jalr {
+                rd: Reg(1),
+                rs1: Reg(2),
+                imm: 3,
+            },
+        ];
+        for op in AluOp::ALL {
+            v.push(Instr::Alu {
+                op,
+                rd: Reg(1),
+                rs1: Reg(2),
+                rs2: Reg(3),
+            });
+        }
+        for op in AluImmOp::ALL {
+            let imm = if op.zero_extends() { 0xBEEF } else { -2000 };
+            v.push(Instr::AluImm {
+                op,
+                rd: Reg(9),
+                rs1: Reg(10),
+                imm,
+            });
+        }
+        for op in [MulOp::Mul, MulOp::Div, MulOp::Rem] {
+            v.push(Instr::Mul {
+                op,
+                rd: Reg(11),
+                rs1: Reg(12),
+                rs2: Reg(13),
+            });
+        }
+        for cond in BRANCH_CONDS {
+            v.push(Instr::Branch {
+                cond,
+                rs1: Reg(14),
+                rs2: Reg(15),
+                target: 9999,
+            });
+        }
+        v
+    }
+
+    #[test]
+    fn roundtrip_every_instruction_form() {
+        for i in all_sample_instrs() {
+            let w = encode(&i);
+            let back = decode(w).unwrap_or_else(|e| panic!("{i:?}: {e}"));
+            assert_eq!(back, i, "word {w:#010x}");
+        }
+    }
+
+    #[test]
+    fn immediate_extremes_roundtrip() {
+        for imm in [IMM_MIN, IMM_MAX, 0, -1, 1] {
+            let i = Instr::AluImm {
+                op: AluImmOp::Addi,
+                rd: Reg(1),
+                rs1: Reg(2),
+                imm,
+            };
+            assert_eq!(decode(encode(&i)).unwrap(), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of signed 16-bit range")]
+    fn oversized_immediate_rejected() {
+        encode(&Instr::AluImm {
+            op: AluImmOp::Addi,
+            rd: Reg(1),
+            rs1: Reg(2),
+            imm: 1 << 15,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "out of unsigned 16-bit range")]
+    fn negative_logical_immediate_rejected() {
+        encode(&Instr::AluImm {
+            op: AluImmOp::Ori,
+            rd: Reg(1),
+            rs1: Reg(2),
+            imm: -1,
+        });
+    }
+
+    #[test]
+    fn logical_immediates_zero_extend() {
+        let i = Instr::AluImm {
+            op: AluImmOp::Ori,
+            rd: Reg(1),
+            rs1: Reg(2),
+            imm: 0xFFFF,
+        };
+        assert_eq!(decode(encode(&i)).unwrap(), i);
+    }
+
+    #[test]
+    fn opcode_space_has_no_collisions() {
+        use std::collections::HashSet;
+        let ops: HashSet<u32> = all_sample_instrs()
+            .iter()
+            .map(|i| encode(i) >> 26)
+            .collect();
+        // nop, 10 alu, 7 aluimm, lui, 3 mul, ld, st, 4 br, jal, jalr,
+        // yield, halt = 32 distinct opcodes in samples minus duplicates
+        assert_eq!(ops.len(), 32);
+    }
+
+    #[test]
+    fn undefined_opcodes_report_cleanly() {
+        // All 6-bit opcodes are currently assigned (0..=31 fits in 5 of
+        // the 6 bits); opcode 32+ must fail.
+        let word = 33u32 << 26;
+        assert_eq!(decode(word), Err(DecodeError::BadOpcode(33)));
+    }
+
+    #[test]
+    fn strict_decode_rejects_stray_bits() {
+        // A nop with a stray rd bit must not decode as a clean nop.
+        let w = encode(&Instr::Nop) | (1 << 22);
+        assert_eq!(decode(w), Err(DecodeError::BadField));
+        // The lenient decoder accepts it.
+        assert_eq!(decode_lenient(w), Ok(Instr::Nop));
+    }
+
+    #[test]
+    fn bitflip_changes_decoding_or_errors() {
+        // Flipping any single bit of an encoded instruction must either
+        // produce a *different* valid instruction or a decode error —
+        // never silently the same instruction. (Fault-injection relies on
+        // this.)
+        for i in all_sample_instrs() {
+            let w = encode(&i);
+            for bit in 0..32 {
+                let fw = w ^ (1 << bit);
+                match decode(fw) {
+                    Ok(other) => assert_ne!(other, i, "bit {bit} of {i:?} had no effect"),
+                    Err(_) => {}
+                }
+            }
+        }
+    }
+}

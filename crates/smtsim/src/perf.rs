@@ -1,0 +1,160 @@
+//! Per-thread performance counters.
+
+/// Why a thread could not issue in a given cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallCause {
+    /// Waiting on an instruction-cache miss.
+    ICache,
+    /// Waiting on a data-cache miss.
+    DCache,
+    /// Required functional unit busy (taken by another thread or a
+    /// multi-cycle op).
+    FuBusy,
+    /// Issue width exhausted by higher-priority threads.
+    Width,
+    /// Recovering from a branch mispredict.
+    BranchFlush,
+    /// Thread is parked (yielded/halted) — not really a stall, counted
+    /// separately for utilisation accounting.
+    Parked,
+}
+
+/// Counters for one hardware thread.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ThreadCounters {
+    /// Instructions retired.
+    pub retired: u64,
+    /// Cycles during which the thread existed (parked or not).
+    pub cycles: u64,
+    /// Cycles the thread issued an instruction.
+    pub issued_cycles: u64,
+    /// Stall cycles: instruction cache.
+    pub stall_icache: u64,
+    /// Stall cycles: data cache.
+    pub stall_dcache: u64,
+    /// Stall cycles: functional-unit contention.
+    pub stall_fu: u64,
+    /// Stall cycles: issue-width contention.
+    pub stall_width: u64,
+    /// Stall cycles: branch mispredict flush.
+    pub stall_branch: u64,
+    /// Cycles parked on `yield`/`halt`.
+    pub parked: u64,
+    /// Conditional branches executed.
+    pub branches: u64,
+    /// Conditional branches mispredicted.
+    pub mispredicts: u64,
+    /// Loads executed.
+    pub loads: u64,
+    /// Stores executed.
+    pub stores: u64,
+}
+
+impl ThreadCounters {
+    /// Record a stall of the given cause.
+    pub fn stall(&mut self, cause: StallCause) {
+        match cause {
+            StallCause::ICache => self.stall_icache += 1,
+            StallCause::DCache => self.stall_dcache += 1,
+            StallCause::FuBusy => self.stall_fu += 1,
+            StallCause::Width => self.stall_width += 1,
+            StallCause::BranchFlush => self.stall_branch += 1,
+            StallCause::Parked => self.parked += 1,
+        }
+    }
+
+    /// Instructions per (active, non-parked) cycle.
+    pub fn ipc(&self) -> f64 {
+        let active = self.cycles.saturating_sub(self.parked);
+        if active == 0 {
+            0.0
+        } else {
+            self.retired as f64 / active as f64
+        }
+    }
+
+    /// Branch prediction accuracy (1.0 when no branches ran).
+    pub fn branch_accuracy(&self) -> f64 {
+        if self.branches == 0 {
+            1.0
+        } else {
+            1.0 - self.mispredicts as f64 / self.branches as f64
+        }
+    }
+
+    /// Total stall cycles across causes (excluding parked).
+    pub fn total_stalls(&self) -> u64 {
+        self.stall_icache
+            + self.stall_dcache
+            + self.stall_fu
+            + self.stall_width
+            + self.stall_branch
+    }
+}
+
+impl std::fmt::Display for ThreadCounters {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "retired={} cycles={} ipc={:.3} stalls[i$={} d$={} fu={} width={} br={}] parked={} bacc={:.3}",
+            self.retired,
+            self.cycles,
+            self.ipc(),
+            self.stall_icache,
+            self.stall_dcache,
+            self.stall_fu,
+            self.stall_width,
+            self.stall_branch,
+            self.parked,
+            self.branch_accuracy(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_ignores_parked_cycles() {
+        let mut c = ThreadCounters {
+            retired: 50,
+            cycles: 200,
+            ..Default::default()
+        };
+        c.parked = 100;
+        assert!((c.ipc() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ipc_of_empty_thread_is_zero() {
+        assert_eq!(ThreadCounters::default().ipc(), 0.0);
+    }
+
+    #[test]
+    fn stall_routing() {
+        let mut c = ThreadCounters::default();
+        c.stall(StallCause::ICache);
+        c.stall(StallCause::DCache);
+        c.stall(StallCause::DCache);
+        c.stall(StallCause::FuBusy);
+        c.stall(StallCause::Width);
+        c.stall(StallCause::BranchFlush);
+        c.stall(StallCause::Parked);
+        assert_eq!(c.stall_icache, 1);
+        assert_eq!(c.stall_dcache, 2);
+        assert_eq!(c.total_stalls(), 6);
+        assert_eq!(c.parked, 1);
+    }
+
+    #[test]
+    fn branch_accuracy() {
+        let c = ThreadCounters {
+            branches: 10,
+            mispredicts: 2,
+            ..Default::default()
+        };
+        assert!((c.branch_accuracy() - 0.8).abs() < 1e-12);
+        assert_eq!(ThreadCounters::default().branch_accuracy(), 1.0);
+    }
+}

@@ -1,0 +1,82 @@
+//! The paper's motivating scenario: a soft-mission-critical computer on a
+//! space mission. "In outer space transient faults are much more frequent
+//! due to radiation, and repair is impossible" — a VDS must detect *and
+//! tolerate* faults on its own.
+//!
+//! This example runs a long science-processing campaign under a bursty
+//! radiation environment (clustered transients, occasional crashes) on
+//! all recovery schemes, with a fault-history predictor driving the
+//! predictive scheme's picks, and reports mission-level metrics:
+//! throughput, recovery overhead, rollbacks and the predictive scheme's
+//! silent-corruption exposure.
+//!
+//! ```text
+//! cargo run --release --example space_mission
+//! ```
+
+use vds::analytic::Params;
+use vds::core::abstract_vds::{run, run_with_predictor, AbstractConfig};
+use vds::core::{FaultModel, Scheme};
+use vds::predictor::predictors::{LastOutcome, SaturatingCounter};
+
+fn main() {
+    let params = Params::paper_default();
+    let mission_rounds = 200_000;
+    // Clustered environment: bursts of correlated upsets with occasional
+    // crash faults (modelled by the engine's per-round + crash mix).
+    let env = FaultModel::PerRoundWithCrashes {
+        q: 0.015,
+        crash_fraction: 0.3,
+    };
+
+    println!("mission: {mission_rounds} science rounds, bursty radiation (q=1.5%/round, 30% crashes)");
+    println!(
+        "{:<16} {:>10} {:>9} {:>9} {:>9} {:>9} {:>7}",
+        "scheme", "time", "thruput", "recov", "rollback", "rf-hits", "silent"
+    );
+
+    for scheme in [
+        Scheme::Conventional,
+        Scheme::SmtDeterministic,
+        Scheme::SmtProbabilistic,
+        Scheme::SmtPredictive,
+        Scheme::SmtBoosted3,
+        Scheme::SmtBoosted5,
+    ] {
+        let cfg = AbstractConfig::new(params, scheme);
+        let r = run(&cfg, env, mission_rounds, 2077);
+        println!(
+            "{:<16} {:>10.0} {:>9.4} {:>9} {:>9} {:>9} {:>7}",
+            scheme.name(),
+            r.total_time,
+            r.throughput(),
+            r.recoveries_ok,
+            r.rollbacks,
+            r.rollforward_hits,
+            r.silent_corruptions
+        );
+    }
+
+    println!("\npredictive scheme with fault-history predictors (instead of random picks):");
+    for (name, mut pred) in [
+        (
+            "last-outcome",
+            Box::new(LastOutcome::default()) as Box<dyn vds::predictor::FaultPredictor>,
+        ),
+        ("2-bit counter", Box::new(SaturatingCounter::default())),
+    ] {
+        let cfg = AbstractConfig::new(params, Scheme::SmtPredictive);
+        let r = run_with_predictor(&cfg, env, mission_rounds, 2077, Some(pred.as_mut()));
+        let picks = r.rollforward_hits + r.rollforward_misses;
+        println!(
+            "  {:<14} throughput {:.4}, pick accuracy {:.1}% over {} incidents",
+            name,
+            r.throughput(),
+            100.0 * r.rollforward_hits as f64 / picks.max(1) as f64,
+            picks
+        );
+    }
+
+    println!("\nnote the trade: the predictive scheme recovers fastest but is the only one");
+    println!("with a non-zero silent-corruption count — §4's 'refrain from detection' cost.");
+}

@@ -1,0 +1,172 @@
+//! Cross-crate integration tests pinning every quantitative claim the
+//! paper makes, end-to-end through the umbrella crate.
+
+use vds::analytic::{multithread, predictive, rollforward, timing, Params};
+use vds::core::abstract_vds::{run, AbstractConfig};
+use vds::core::gain::average_incident_gain;
+use vds::core::{FaultModel, Scheme};
+
+const PAPER: fn() -> Params = Params::paper_default;
+
+#[test]
+fn claim_eq4_normal_processing_speedup_is_roughly_inverse_alpha() {
+    // "This means that in normal processing periods a speedup of G_round
+    // is obtained … ≈ 1/α if c, t' ≪ t"
+    for &alpha in &[0.5, 0.65, 0.8, 1.0] {
+        let p = Params::with_beta(alpha, 0.01, 20);
+        let g = timing::g_round_exact(&p);
+        assert!((g - 1.0 / alpha).abs() < 0.06, "α={alpha}: {g}");
+    }
+}
+
+#[test]
+fn claim_pentium4_alpha_from_reported_35_percent_gain() {
+    // "runtime reduction up to 35% has been reported" ⇒ α = 0.65; the
+    // exact G_round at the paper point is 2.3/1.4.
+    let p = PAPER();
+    assert!((timing::g_round_exact(&p) - 2.3 / 1.4).abs() < 1e-12);
+}
+
+#[test]
+fn claim_eq7_deterministic_threshold_0_723() {
+    // "The gain of the deterministic scheme is larger than one for
+    // α < 0.723, i.e. a medium utilization of the processor suffices"
+    let thr = rollforward::det_alpha_threshold();
+    assert!((thr - 0.723).abs() < 5e-4);
+    assert!(rollforward::gbar_det_approx(&Params::with_beta(0.70, 0.0, 20)) > 1.0);
+    assert!(rollforward::gbar_det_approx(&Params::with_beta(0.75, 0.0, 20)) < 1.0);
+}
+
+#[test]
+fn claim_p_half_makes_prob_and_det_equal() {
+    // "For p = 0.5, a random choice, both expressions (7) and (8) have
+    // approximately equal values"
+    let p = PAPER();
+    let det = rollforward::gbar_det_approx(&p);
+    let prob = rollforward::gbar_prob_approx(&p, 0.5);
+    assert!((det - prob).abs() / det < 0.03, "det={det} prob={prob}");
+    // "For p > 0.5, the probabilistic scheme provides a larger gain."
+    assert!(rollforward::gbar_prob_approx(&p, 0.75) > det);
+}
+
+#[test]
+fn claim_predictive_dominates_for_p_at_least_half() {
+    // "Ḡ_corr > Ḡ_prob, Ḡ_det if p ≥ 0.5 … this improvement will on
+    // average perform better in the case of a fault than the previous
+    // ones"
+    let p = PAPER();
+    for &pc in &[0.5, 0.7, 0.9, 1.0] {
+        let corr = predictive::gbar_corr_approx(&p, pc);
+        assert!(corr > rollforward::gbar_prob_approx(&p, pc), "p={pc}");
+        assert!(corr > rollforward::gbar_det_approx(&p), "p={pc}");
+    }
+}
+
+#[test]
+fn claim_gain_thresholds_of_section_4_3() {
+    // "for p ≥ (α − 0.5)/ln2 the gain is at least one"
+    for &alpha in &[0.6, 0.7, 0.8] {
+        let p_min = predictive::p_threshold(alpha);
+        let params = Params::with_beta(alpha, 0.0, 20);
+        assert!(predictive::gbar_corr_approx(&params, p_min + 0.02) > 1.0);
+        assert!(predictive::gbar_corr_approx(&params, p_min - 0.02) < 1.0);
+    }
+    // "In the best case α = 0.5, we always gain no matter how bad our
+    // guesses are."
+    assert_eq!(predictive::p_threshold(0.5), 0.0);
+    let best = Params::with_beta(0.5, 0.0, 20);
+    assert!(predictive::gbar_corr_approx(&best, 0.0) >= 1.0);
+    // "For random guesses (p = 0.5) we gain for α ≤ (1 + ln2)/2 ≈ 0.847"
+    assert!((predictive::alpha_threshold_for_p(0.5) - 0.8466).abs() < 1e-3);
+}
+
+#[test]
+fn claim_g_max_1_38_and_robustness() {
+    // "If we pessimistically set p = 0.5, we get an acceleration of
+    // G_max ≈ 1.38 over the non-hyperthreaded version."
+    assert!((predictive::g_max(0.65, 0.1, 0.5) - 1.38).abs() < 0.01);
+    // "Even if … multithreading improved execution time by less than 10
+    // percent … we still would not lose as G_max ≈ 1.0."
+    let weak = predictive::g_max(0.95, 0.1, 0.5);
+    assert!(weak >= 0.93, "weak-multithreading G_max = {weak}");
+}
+
+#[test]
+fn claim_s20_close_to_limit() {
+    // "beyond s = 20, Ḡ_corr is already very close to the limit"
+    let lim = predictive::g_max(0.65, 0.1, 0.5);
+    let g20 = predictive::gbar_corr_exact(&PAPER(), 0.5);
+    assert!((lim - g20).abs() / lim < 0.03, "{g20} vs {lim}");
+}
+
+#[test]
+fn claim_clock_reduction_by_factor_alpha() {
+    // "we could employ a multithreaded processor with a clock frequency
+    // reduced by a factor of at least 1/α"
+    let p = Params::with_beta(0.65, 0.0, 20);
+    let ratio = multithread::equal_performance_clock_ratio(&p);
+    assert!((ratio - 0.65).abs() < 1e-12);
+}
+
+#[test]
+fn engine_reproduces_the_headline_gain() {
+    // The executable VDS measures the paper's figures rather than just
+    // re-evaluating formulas: expected recovery gain at the paper point.
+    let cfg = AbstractConfig::new(PAPER(), Scheme::SmtPredictive);
+    let g = average_incident_gain(&cfg, 0.5);
+    assert!((g - 1.38).abs() < 0.06, "engine-measured gain {g}");
+}
+
+#[test]
+fn end_to_end_smt_always_at_least_as_good_under_faults() {
+    // Long stochastic runs: the SMT VDS (any scheme) should not lose to
+    // the conventional one in throughput for the paper's α.
+    let n = 5_000;
+    let fm = FaultModel::PerRound { q: 0.02 };
+    let conv = run(
+        &AbstractConfig::new(PAPER(), Scheme::Conventional),
+        fm,
+        n,
+        11,
+    );
+    for scheme in [
+        Scheme::SmtDeterministic,
+        Scheme::SmtProbabilistic,
+        Scheme::SmtPredictive,
+    ] {
+        let smt = run(&AbstractConfig::new(PAPER(), scheme), fm, n, 11);
+        assert!(
+            smt.throughput() > conv.throughput(),
+            "{scheme:?}: {} vs {}",
+            smt.throughput(),
+            conv.throughput()
+        );
+    }
+}
+
+#[test]
+fn end_to_end_gain_between_g_round_and_g_round_times_g_corr() {
+    // Under faults the blended throughput gain must sit between the pure
+    // normal-processing gain (fault-dominated recovery is rare) and the
+    // recovery-phase gain — both favour SMT at the paper point.
+    let n = 20_000;
+    let fm = FaultModel::PerRound { q: 0.01 };
+    let conv = run(
+        &AbstractConfig::new(PAPER(), Scheme::Conventional),
+        fm,
+        n,
+        5,
+    );
+    let smt = run(
+        &AbstractConfig::new(PAPER(), Scheme::SmtPredictive),
+        fm,
+        n,
+        5,
+    );
+    let blended = smt.throughput() / conv.throughput();
+    let g_round = timing::g_round_exact(&PAPER());
+    assert!(
+        blended > 1.2 && blended < g_round * 1.3,
+        "blended gain {blended}, g_round {g_round}"
+    );
+}

@@ -1,0 +1,217 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants of the workspace.
+
+use proptest::prelude::*;
+use vds::analytic::{predictive, rollforward, timing, Params};
+use vds::checkpoint::digest::digest_words;
+use vds::desim::stats::OnlineStats;
+use vds::smtsim::encode::{decode, encode, DecodeError};
+use vds::smtsim::isa::{AluImmOp, AluOp, BranchCond, Instr, MulOp, Reg};
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..16).prop_map(Reg)
+}
+
+fn arb_instr() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        Just(Instr::Nop),
+        Just(Instr::Yield),
+        Just(Instr::Halt),
+        (arb_reg(), any::<u16>()).prop_map(|(rd, imm)| Instr::Lui { rd, imm }),
+        (0usize..10, arb_reg(), arb_reg(), arb_reg()).prop_map(|(op, rd, rs1, rs2)| {
+            Instr::Alu {
+                op: AluOp::ALL[op],
+                rd,
+                rs1,
+                rs2,
+            }
+        }),
+        (0usize..7, arb_reg(), arb_reg(), -32768i32..=32767).prop_map(
+            |(op, rd, rs1, imm)| {
+                let op = AluImmOp::ALL[op];
+                let imm = if matches!(op, AluImmOp::Slli | AluImmOp::Srli) {
+                    imm & 31 // the assembler (rightly) rejects wild shifts
+                } else if op.zero_extends() {
+                    imm & 0xFFFF
+                } else {
+                    imm
+                };
+                Instr::AluImm { op, rd, rs1, imm }
+            }
+        ),
+        (0usize..3, arb_reg(), arb_reg(), arb_reg()).prop_map(|(op, rd, rs1, rs2)| {
+            Instr::Mul {
+                op: [MulOp::Mul, MulOp::Div, MulOp::Rem][op],
+                rd,
+                rs1,
+                rs2,
+            }
+        }),
+        (arb_reg(), arb_reg(), -32768i32..=32767)
+            .prop_map(|(rd, rs1, imm)| Instr::Ld { rd, rs1, imm }),
+        (arb_reg(), arb_reg(), -32768i32..=32767)
+            .prop_map(|(rs2, rs1, imm)| Instr::St { rs2, rs1, imm }),
+        (0usize..4, arb_reg(), arb_reg(), 0u32..(1 << 14)).prop_map(
+            |(c, rs1, rs2, target)| Instr::Branch {
+                cond: [
+                    BranchCond::Eq,
+                    BranchCond::Ne,
+                    BranchCond::Lt,
+                    BranchCond::Ge
+                ][c],
+                rs1,
+                rs2,
+                target,
+            }
+        ),
+        (arb_reg(), 0u32..(1 << 22)).prop_map(|(rd, target)| Instr::Jal { rd, target }),
+        (arb_reg(), arb_reg(), -32768i32..=32767)
+            .prop_map(|(rd, rs1, imm)| Instr::Jalr { rd, rs1, imm }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_roundtrips(instr in arb_instr()) {
+        let word = encode(&instr);
+        prop_assert_eq!(decode(word), Ok(instr));
+    }
+
+    #[test]
+    fn single_bitflips_never_silent(instr in arb_instr(), bit in 0u32..32) {
+        let word = encode(&instr);
+        let flipped = word ^ (1 << bit);
+        match decode(flipped) {
+            Ok(other) => prop_assert_ne!(other, instr),
+            Err(DecodeError::BadOpcode(_)) | Err(DecodeError::BadField) => {}
+        }
+    }
+
+    #[test]
+    fn digest_collision_free_on_single_flips(
+        words in proptest::collection::vec(any::<u32>(), 1..64),
+        idx in any::<prop::sample::Index>(),
+        bit in 0u32..32,
+    ) {
+        let d0 = digest_words(&words);
+        let mut mutated = words.clone();
+        let i = idx.index(mutated.len());
+        mutated[i] ^= 1 << bit;
+        prop_assert_ne!(digest_words(&mutated), d0);
+    }
+
+    #[test]
+    fn digest_deterministic(words in proptest::collection::vec(any::<u32>(), 0..64)) {
+        prop_assert_eq!(digest_words(&words), digest_words(&words));
+    }
+
+    #[test]
+    fn online_stats_merge_associative(
+        xs in proptest::collection::vec(-1e6f64..1e6, 1..50),
+        ys in proptest::collection::vec(-1e6f64..1e6, 1..50),
+    ) {
+        let mut merged = OnlineStats::from_iter(xs.iter().copied());
+        merged.merge(&OnlineStats::from_iter(ys.iter().copied()));
+        let whole = OnlineStats::from_iter(xs.iter().chain(&ys).copied());
+        prop_assert_eq!(merged.count(), whole.count());
+        prop_assert!((merged.mean() - whole.mean()).abs() < 1e-6);
+        prop_assert!((merged.variance() - whole.variance()).abs()
+            < 1e-6 * (1.0 + whole.variance()));
+    }
+
+    #[test]
+    fn gains_decrease_in_alpha(
+        beta in 0.0f64..1.0,
+        s in 2u32..60,
+        pc in 0.0f64..=1.0,
+    ) {
+        let lo = Params::with_beta(0.55, beta, s);
+        let hi = Params::with_beta(0.85, beta, s);
+        prop_assert!(timing::g_round_exact(&lo) >= timing::g_round_exact(&hi));
+        prop_assert!(
+            predictive::gbar_corr_exact(&lo, pc) >= predictive::gbar_corr_exact(&hi, pc)
+        );
+        prop_assert!(rollforward::gbar_det_exact(&lo) >= rollforward::gbar_det_exact(&hi));
+    }
+
+    #[test]
+    fn gains_increase_in_p(
+        alpha in 0.5f64..=1.0,
+        beta in 0.0f64..1.0,
+        s in 2u32..60,
+    ) {
+        let p = Params::with_beta(alpha, beta, s);
+        let mut last = 0.0f64;
+        for k in 0..=4 {
+            let pc = f64::from(k) / 4.0;
+            let g = predictive::gbar_corr_exact(&p, pc);
+            prop_assert!(g >= last - 1e-12);
+            last = g;
+        }
+    }
+
+    #[test]
+    fn hit_gain_dominates_miss_everywhere(
+        alpha in 0.5f64..=1.0,
+        beta in 0.0f64..1.0,
+        s in 2u32..40,
+    ) {
+        let p = Params::with_beta(alpha, beta, s);
+        for i in 1..=s {
+            prop_assert!(
+                predictive::g_hit_exact(&p, i) >= predictive::l_miss_exact(&p, i) - 1e-12
+            );
+        }
+    }
+
+    #[test]
+    fn abstract_engine_always_completes_and_conserves(
+        q in 0.0f64..0.15,
+        s in 2u32..40,
+        alpha in 0.5f64..=1.0,
+        seed in any::<u64>(),
+    ) {
+        use vds::core::abstract_vds::{run, AbstractConfig};
+        use vds::core::{FaultModel, Scheme};
+        let params = Params::with_beta(alpha, 0.1, s);
+        let cfg = AbstractConfig::new(params, Scheme::SmtProbabilistic);
+        let target = 300;
+        let r = run(&cfg, FaultModel::PerRound { q }, target, seed);
+        prop_assert!(r.shutdown || r.committed_rounds >= target);
+        prop_assert!(r.total_time > 0.0);
+        // accounting identity: the three phase clocks cover total time
+        let sum = r.time_normal + r.time_recovery + r.time_checkpoint;
+        prop_assert!((sum - r.total_time).abs() < 1e-6 * r.total_time.max(1.0));
+        // vote outcomes partition detections
+        prop_assert_eq!(r.detections, r.recoveries_ok + r.rollbacks);
+        // roll-forward outcomes never exceed successful recoveries
+        prop_assert!(
+            r.rollforward_hits + r.rollforward_misses + r.rollforward_discards
+                <= r.recoveries_ok
+        );
+    }
+
+    #[test]
+    fn assembler_disassembler_roundtrip(instrs in proptest::collection::vec(arb_instr(), 1..30)) {
+        use vds::smtsim::disasm::to_source;
+        use vds::smtsim::asm::assemble;
+        use vds::smtsim::program::Program;
+        // restrict control flow targets to the program length so the
+        // source re-assembles cleanly
+        let len = instrs.len() as u32;
+        let fixed: Vec<Instr> = instrs
+            .into_iter()
+            .map(|i| match i {
+                Instr::Branch { cond, rs1, rs2, target } => Instr::Branch {
+                    cond, rs1, rs2, target: target % len,
+                },
+                Instr::Jal { rd, target } => Instr::Jal { rd, target: target % len },
+                other => other,
+            })
+            .collect();
+        let prog = Program::from_instrs(&fixed);
+        let src = to_source(&prog);
+        let back = assemble(&src).unwrap();
+        prop_assert_eq!(prog.text, back.text);
+    }
+}
