@@ -88,7 +88,9 @@ pub fn optimal_interval(
 ) -> f64 {
     assert!(q > 0.0, "q = 0 means never checkpoint (s* = ∞)");
     let r = t1_round(params);
-    (2.0 * checkpoint_cost / (q * weights.rho() * r)).sqrt().max(1.0)
+    (2.0 * checkpoint_cost / (q * weights.rho() * r))
+        .sqrt()
+        .max(1.0)
 }
 
 /// Integer `s` minimising the closed-form overhead (checks the floor and

@@ -142,10 +142,7 @@ mod tests {
         let g = figure4();
         for ib in 0..g.betas.len() {
             for ia in 1..g.alphas.len() {
-                assert!(
-                    g.at(ia, ib) <= g.at(ia - 1, ib) + 1e-12,
-                    "ia={ia} ib={ib}"
-                );
+                assert!(g.at(ia, ib) <= g.at(ia - 1, ib) + 1e-12, "ia={ia} ib={ib}");
             }
         }
     }
@@ -158,10 +155,7 @@ mod tests {
         let g = figure5();
         for ia in 0..g.alphas.len() {
             for ib in 1..g.betas.len() {
-                assert!(
-                    g.at(ia, ib) >= g.at(ia, ib - 1) - 1e-12,
-                    "ia={ia} ib={ib}"
-                );
+                assert!(g.at(ia, ib) >= g.at(ia, ib - 1) - 1e-12, "ia={ia} ib={ib}");
             }
         }
     }

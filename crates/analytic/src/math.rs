@@ -86,6 +86,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::approx_constant)]
     fn paper_constants() {
         assert!((consts::ln_5_4() - 0.2231).abs() < 5e-4);
         assert!((consts::ln_3_2() - 0.4055).abs() < 5e-4);

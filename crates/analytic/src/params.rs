@@ -52,7 +52,11 @@ impl Params {
     /// # Panics
     /// Panics on violated invariants, with a message naming the offender.
     pub fn validate(&self) {
-        assert!(self.t > 0.0, "round time t must be positive, got {}", self.t);
+        assert!(
+            self.t > 0.0,
+            "round time t must be positive, got {}",
+            self.t
+        );
         assert!(self.c >= 0.0, "context-switch time c must be >= 0");
         assert!(self.t_cmp >= 0.0, "comparison time t' must be >= 0");
         assert!(

@@ -133,8 +133,7 @@ mod tests {
             let i_f = f64::from(i);
             let s_f = f64::from(p.s);
             let expect = if i_f <= s_f / 2.0 {
-                (3.0 * i_f * t + (2.0 + i_f) * tp + 2.0 * i_f * c)
-                    / (2.0 * i_f * a * t + 2.0 * tp)
+                (3.0 * i_f * t + (2.0 + i_f) * tp + 2.0 * i_f * c) / (2.0 * i_f * a * t + 2.0 * tp)
             } else {
                 ((2.0 * s_f - i_f) * t + (2.0 + s_f - i_f) * tp + 2.0 * (s_f - i_f) * c)
                     / (2.0 * i_f * a * t + 2.0 * tp)
@@ -209,7 +208,7 @@ mod tests {
         // p ≥ (α − ½)/ln2
         assert!((p_threshold(0.65) - 0.15 / std::f64::consts::LN_2).abs() < 1e-12);
         assert_eq!(p_threshold(0.5), 0.0); // "α = 0.5: we always gain"
-        // α ≤ (1 + ln2)/2 ≈ 0.847 for random guessing
+                                           // α ≤ (1 + ln2)/2 ≈ 0.847 for random guessing
         let thr = alpha_threshold_for_p(0.5);
         assert!((thr - 0.8466).abs() < 1e-3, "thr={thr}");
     }

@@ -86,7 +86,10 @@ pub fn g_prob_exact(p: &Params, i: u32, p_correct: f64) -> f64 {
 
 /// Average probabilistic gain over `i = 1..s`, exact.
 pub fn gbar_prob_exact(p: &Params, p_correct: f64) -> f64 {
-    (1..=p.s).map(|i| g_prob_exact(p, i, p_correct)).sum::<f64>() / f64::from(p.s)
+    (1..=p.s)
+        .map(|i| g_prob_exact(p, i, p_correct))
+        .sum::<f64>()
+        / f64::from(p.s)
 }
 
 /// Eq. (8): `Ḡ_prob ≈ (1 + 2p·ln(3/2)) / (2α)` — "for p = 0.5, a random
@@ -106,7 +109,7 @@ mod tests {
     #[test]
     fn progress_clamps_at_checkpoint_horizon() {
         let p = paper(); // s = 20
-        // deterministic: x = i/4; clamp kicks in for i > 4s/5 = 16
+                         // deterministic: x = i/4; clamp kicks in for i > 4s/5 = 16
         assert_eq!(det_progress(&p, 8), 2.0);
         assert_eq!(det_progress(&p, 16), 4.0);
         assert_eq!(det_progress(&p, 18), 2.0); // s - i = 2 < 18/4
@@ -148,7 +151,10 @@ mod tests {
         assert!((approx - 0.7231 / 0.65).abs() < 1e-3);
         // exact (with β = 0) agrees with the log-approximation to O(1/s)
         let exact = gbar_det_exact(&p);
-        assert!((exact - approx).abs() < 0.05, "exact={exact} approx={approx}");
+        assert!(
+            (exact - approx).abs() < 0.05,
+            "exact={exact} approx={approx}"
+        );
     }
 
     #[test]

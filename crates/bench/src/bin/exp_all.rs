@@ -1,20 +1,23 @@
-//! Run every experiment (E1–E13) in sequence, at moderate sizes, and
+//! Run every experiment (E1–E14) in sequence, at moderate sizes, and
 //! print all reports. `cargo run -p vds-bench --release --bin exp_all`
 //! regenerates every figure/table of the paper in one go.
+
+use vds_bench::registry::{registry, Params};
+
 fn main() {
-    let workers = std::thread::available_parallelism().map_or(4, |n| n.get());
-    print!("{}", vds_bench::e01_round_gain::report(200));
-    print!("{}", vds_bench::e02_timelines::report(8, 24, 140));
-    print!("{}", vds_bench::e03_flowcharts::report());
-    print!("{}", vds_bench::e04_det_rollforward::report());
-    print!("{}", vds_bench::e05_prob_rollforward::report());
-    print!("{}", vds_bench::e06_fig4::report());
-    print!("{}", vds_bench::e07_fig5::report());
-    print!("{}", vds_bench::e08_gmax::report());
-    print!("{}", vds_bench::e09_alpha::report(3));
-    print!("{}", vds_bench::e10_coverage::report(400, workers));
-    print!("{}", vds_bench::e11_prediction::report(20_000));
-    print!("{}", vds_bench::e12_checkpoint::report(2_000));
-    print!("{}", vds_bench::e13_multithread::report());
-    print!("{}", vds_bench::e14_ablation::report(60));
+    for exp in registry() {
+        // campaign-style experiments get a larger budget than the CLI's
+        // interactive defaults
+        let rounds = match exp.id() {
+            "E10" => Some(400),
+            "E12" => Some(2_000),
+            "E14" => Some(60),
+            _ => None,
+        };
+        let p = Params {
+            rounds,
+            ..Params::default()
+        };
+        print!("{}", exp.run(&p));
+    }
 }

@@ -66,6 +66,7 @@ pub fn report(rounds: u64) -> Report {
         title: "Eq. (4) — normal-processing speedup of the SMT VDS",
         text,
         data: vec![("round_gain.csv".into(), csv)],
+        metrics: Default::default(),
     }
 }
 

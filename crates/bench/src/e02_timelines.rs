@@ -22,7 +22,10 @@ pub fn report(fault_round: u32, rounds: u64, width: usize) -> Report {
     let mut data = Vec::new();
     for (name, scheme) in [
         ("conventional (Figure 1a)", Scheme::Conventional),
-        ("multithreaded, probabilistic roll-forward (Figure 1b)", Scheme::SmtProbabilistic),
+        (
+            "multithreaded, probabilistic roll-forward (Figure 1b)",
+            Scheme::SmtProbabilistic,
+        ),
     ] {
         let mut cfg = AbstractConfig::new(params, scheme);
         cfg.record_timeline = true;
@@ -43,6 +46,7 @@ pub fn report(fault_round: u32, rounds: u64, width: usize) -> Report {
         title: "Figure 1 — execution models with recovery",
         text,
         data,
+        metrics: Default::default(),
     }
 }
 
@@ -81,6 +85,11 @@ mod tests {
             })
             .collect();
         assert_eq!(totals.len(), 2);
-        assert!(totals[1] < totals[0], "SMT {} vs conv {}", totals[1], totals[0]);
+        assert!(
+            totals[1] < totals[0],
+            "SMT {} vs conv {}",
+            totals[1],
+            totals[0]
+        );
     }
 }

@@ -29,6 +29,7 @@ pub fn report() -> Report {
         title: "Figures 2–3 — recovery flow charts (DOT export)",
         text,
         data,
+        metrics: Default::default(),
     }
 }
 

@@ -22,7 +22,11 @@ pub fn report() -> Report {
         text,
         "G_det(i) at α=0.65, β=0.1, s=20   (measured = abstract engine, integral progress)"
     );
-    let _ = writeln!(text, "{:>3} {:>8} {:>8} {:>8}", "i", "exact", "approx", "meas");
+    let _ = writeln!(
+        text,
+        "{:>3} {:>8} {:>8} {:>8}",
+        "i", "exact", "approx", "meas"
+    );
     let cfg = AbstractConfig::new(params, Scheme::SmtDeterministic);
     for i in 1..=params.s {
         let exact = rollforward::g_det_exact(&params, i);
@@ -60,6 +64,7 @@ pub fn report() -> Report {
             ("det_gain_by_round.csv".into(), per_i),
             ("det_gain_by_alpha.csv".into(), by_alpha),
         ],
+        metrics: Default::default(),
     }
 }
 
@@ -85,10 +90,7 @@ mod tests {
         for i in 1..=20 {
             let exact = rollforward::g_det_exact(&params, i);
             let measured = incident_gain(&cfg, i, None);
-            assert!(
-                measured <= exact + 1e-9,
-                "flooring can only lose: i={i}"
-            );
+            assert!(measured <= exact + 1e-9, "flooring can only lose: i={i}");
             assert!((exact - measured) < 0.45, "i={i}: {exact} vs {measured}");
         }
     }

@@ -43,6 +43,7 @@ pub fn report() -> Report {
         title: "Eq. (8) — probabilistic roll-forward gain versus pick accuracy",
         text,
         data: vec![("prob_gain_by_p.csv".into(), csv)],
+        metrics: Default::default(),
     }
 }
 

@@ -66,6 +66,7 @@ pub fn figure_report(id: &'static str, title: &'static str, p_correct: f64) -> R
             ("surface_long.csv".into(), surface.to_csv_long()),
             ("surface_matrix.tsv".into(), surface.to_tsv_matrix()),
         ],
+        metrics: Default::default(),
     }
 }
 

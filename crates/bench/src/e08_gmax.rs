@@ -45,6 +45,7 @@ pub fn report() -> Report {
         title: "G_max — limit of the expected recovery gain",
         text,
         data: vec![("gmax_convergence.csv".into(), csv)],
+        metrics: Default::default(),
     }
 }
 

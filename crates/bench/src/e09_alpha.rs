@@ -47,11 +47,7 @@ pub fn report(rounds: u32) -> Report {
         stats.min(),
         stats.max()
     );
-    let _ = writeln!(
-        text,
-        "implied G_round at mean α: {:.3}",
-        1.0 / stats.mean()
-    );
+    let _ = writeln!(text, "implied G_round at mean α: {:.3}", 1.0 / stats.mean());
     let _ = writeln!(
         text,
         "note: pairs of cache-thrashing kernels can exceed α = 1 (co-running\n\
@@ -63,6 +59,7 @@ pub fn report(rounds: u32) -> Report {
         title: "Measured SMT contention factor α on the simulated machine",
         text,
         data: vec![("alpha_matrix.csv".into(), csv)],
+        metrics: Default::default(),
     }
 }
 

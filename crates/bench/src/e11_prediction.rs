@@ -83,6 +83,7 @@ pub fn report(n: u64) -> Report {
         title: "Fault-version prediction accuracy and its recovery-gain value",
         text,
         data: vec![("prediction.csv".into(), csv)],
+        metrics: Default::default(),
     }
 }
 

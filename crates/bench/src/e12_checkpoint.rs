@@ -83,6 +83,7 @@ pub fn report(rounds: u64) -> Report {
         title: "Checkpoint-interval trade-off under faults",
         text,
         data: vec![("checkpoint_tradeoff.csv".into(), csv)],
+        metrics: Default::default(),
     }
 }
 
@@ -114,8 +115,7 @@ mod tests {
         let w = vds_analytic::checkpointing::RecoveryWeights::conventional();
         let params = Params::with_beta(0.65, 0.1, 20);
         let (q, cost) = (0.02, 10.0);
-        let s_star =
-            vds_analytic::checkpointing::optimal_interval_int(&params, cost, q, w) as f64;
+        let s_star = vds_analytic::checkpointing::optimal_interval_int(&params, cost, q, w) as f64;
         let svals = [2u32, 4, 8, 16, 32, 64, 128];
         let curve = sweep(Scheme::Conventional, q, cost, 600, &svals);
         let s_sim = curve

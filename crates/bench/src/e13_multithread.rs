@@ -84,6 +84,7 @@ pub fn report() -> Report {
             ("boosted_gains.csv".into(), csv),
             ("clock_trade.csv".into(), clock_csv),
         ],
+        metrics: Default::default(),
     }
 }
 
@@ -98,10 +99,7 @@ mod tests {
             let f: Vec<&str> = line.split(',').collect();
             let analytic: f64 = f[3].parse().unwrap();
             let measured: f64 = f[4].parse().unwrap();
-            assert!(
-                (analytic - measured).abs() / analytic < 0.02,
-                "{line}"
-            );
+            assert!((analytic - measured).abs() / analytic < 0.02, "{line}");
         }
     }
 

@@ -33,10 +33,14 @@ pub fn fetch_policy_ablation(rounds: u32) -> Vec<(String, f64, f64)> {
     pairs
         .iter()
         .map(|(a, b)| {
-            let mut rr = CoreConfig::default();
-            rr.fetch_policy = FetchPolicy::RoundRobin;
-            let mut ic = CoreConfig::default();
-            ic.fetch_policy = FetchPolicy::ICount;
+            let rr = CoreConfig {
+                fetch_policy: FetchPolicy::RoundRobin,
+                ..CoreConfig::default()
+            };
+            let ic = CoreConfig {
+                fetch_policy: FetchPolicy::ICount,
+                ..CoreConfig::default()
+            };
             (
                 format!("{}+{}", a.name, b.name),
                 alpha::measure(&rr, a, b).alpha,
@@ -73,8 +77,10 @@ pub fn cache_ablation(rounds: u32) -> Vec<(usize, f64)> {
     ]
     .iter()
     .map(|&dcache| {
-        let mut cfg = CoreConfig::default();
-        cfg.dcache = dcache;
+        let cfg = CoreConfig {
+            dcache,
+            ..CoreConfig::default()
+        };
         let k = kernels::pchase(512, 256, rounds);
         (dcache.capacity_words(), alpha::measure(&cfg, &k, &k).alpha)
     })
@@ -150,9 +156,12 @@ fn duplex_under_fault(
 /// A3: per transformation, the probability that a random permanent fault
 /// is detected, and the probability it slips through as silent wrong
 /// output. Returns `(name, detected_rate, silent_wrong_rate)` rows.
+/// A named generator of diversified program variants.
+type VariantGen = (String, Box<dyn Fn(&mut SmallRng) -> Program>);
+
 pub fn diversity_ablation(trials: u64, max_rounds: u32) -> Vec<(String, f64, f64)> {
     let base = workload::build(1_000_000);
-    let variants: Vec<(String, Box<dyn Fn(&mut SmallRng) -> Program>)> = vec![
+    let variants: Vec<VariantGen> = vec![
         (
             "identical (no diversity)".into(),
             Box::new({
@@ -240,7 +249,10 @@ pub fn report(trials: u64) -> Report {
         let _ = writeln!(csv, "fetch-icount,{pair},{ic}");
     }
 
-    let _ = writeln!(text, "\nA2 — shared D-cache capacity vs α (pchase self-pair):");
+    let _ = writeln!(
+        text,
+        "\nA2 — shared D-cache capacity vs α (pchase self-pair):"
+    );
     for (cap, a) in cache_ablation(2) {
         let _ = writeln!(text, "  {cap:>6} words: α = {a:.3}");
         let _ = writeln!(csv, "dcache,{cap},{a}");
@@ -281,6 +293,7 @@ pub fn report(trials: u64) -> Report {
         title: "Ablations — fetch policy, cache pressure, diversity transforms",
         text,
         data: vec![("ablation.csv".into(), csv)],
+        metrics: Default::default(),
     }
 }
 

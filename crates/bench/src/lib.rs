@@ -37,6 +37,9 @@ pub mod e11_prediction;
 pub mod e12_checkpoint;
 pub mod e13_multithread;
 pub mod e14_ablation;
+pub mod registry;
+
+pub use registry::{registry, Experiment, Params as ExpParams};
 
 /// A rendered experiment: headline text plus named data blocks.
 #[derive(Debug, Clone, Default)]
@@ -49,6 +52,10 @@ pub struct Report {
     pub text: String,
     /// `(name, csv/tsv content)` data blocks for external plotting.
     pub data: Vec<(String, String)>,
+    /// Metrics collected while the experiment ran (deterministic content
+    /// for a fixed seed; empty for purely analytic experiments that
+    /// record nothing).
+    pub metrics: vds_obs::Registry,
 }
 
 impl std::fmt::Display for Report {
@@ -58,6 +65,10 @@ impl std::fmt::Display for Report {
         for (name, block) in &self.data {
             writeln!(f, "---- data: {name} ----")?;
             writeln!(f, "{block}")?;
+        }
+        if !self.metrics.is_empty() {
+            writeln!(f, "---- metrics ----")?;
+            write!(f, "{}", self.metrics)?;
         }
         Ok(())
     }

@@ -1,0 +1,62 @@
+//! Every registered experiment must run end-to-end at a small size and
+//! produce a well-formed report whose id matches its registry entry.
+
+use vds_bench::registry::{find, registry, Params};
+
+/// Small sizes per experiment so the whole sweep stays fast in debug
+/// builds (the heavyweight campaigns get single-digit trial counts).
+fn small_params(id: &str) -> Params {
+    let rounds = match id {
+        "E1" => 10,
+        "E2" => 12,
+        "E9" => 1,
+        "E10" => 4,
+        "E11" => 400,
+        "E12" => 60,
+        "E14" => 2,
+        _ => 5,
+    };
+    Params {
+        rounds: Some(rounds),
+        seed: None,
+        workers: 2,
+    }
+}
+
+#[test]
+fn every_experiment_runs_and_reports() {
+    for exp in registry() {
+        let r = exp.run(&small_params(exp.id()));
+        assert_eq!(r.id, exp.id());
+        assert_eq!(r.title, exp.title(), "{}", exp.id());
+        assert!(!r.text.trim().is_empty(), "{}: empty text", exp.id());
+        // the standard metrics block is always present
+        assert!(
+            r.metrics.counter("report.text_bytes") > 0,
+            "{}: no metrics",
+            exp.id()
+        );
+        let rendered = format!("{r}");
+        assert!(rendered.contains(exp.id()), "{}", exp.id());
+    }
+}
+
+#[test]
+fn registry_and_find_agree() {
+    for exp in registry() {
+        let found = find(exp.id()).expect("find by exact id");
+        assert_eq!(found.id(), exp.id());
+    }
+}
+
+#[test]
+fn e10_report_carries_campaign_metrics() {
+    let r = find("e10").unwrap().run(&small_params("E10"));
+    assert_eq!(
+        r.metrics.counter("with_diversity.campaign.trials"),
+        4,
+        "campaign metrics merged under the diversity prefix:\n{}",
+        r.metrics
+    );
+    assert_eq!(r.metrics.counter("no_diversity.campaign.trials"), 4);
+}

@@ -148,10 +148,7 @@ mod tests {
         }
         for a in 0..100u32 {
             for b in 0..100u32 {
-                assert!(
-                    seen.insert(digest_words(&[a, b])),
-                    "collision at [{a},{b}]"
-                );
+                assert!(seen.insert(digest_words(&[a, b])), "collision at [{a},{b}]");
             }
         }
     }

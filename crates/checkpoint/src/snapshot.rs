@@ -1,10 +1,10 @@
 //! Version state snapshots.
 
 use crate::digest::{digest_words, Digester, StateDigest};
+use std::ops::Range;
 use vds_smtsim::core::{SavedContext, Thread, ThreadState};
 use vds_smtsim::isa::Reg;
 use vds_smtsim::program::Program;
-use std::ops::Range;
 
 /// A restorable snapshot of one version's architectural state, tagged
 /// with the VDS round it was taken at.

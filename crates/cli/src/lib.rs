@@ -11,10 +11,19 @@
 //! vds alpha [rounds]                measure the kernel-pair α matrix
 //! vds duplex <scheme> [rounds] [fault-round]
 //!                                   run a micro VDS, optionally injecting a fault
+//! vds stats <scheme> [rounds] [at]  run a micro VDS and print its metrics/trace
 //! vds flowchart <scheme>            print a recovery flow chart as Graphviz DOT
 //! vds experiment <id>               regenerate a paper artefact (e1..e14, all)
 //! vds gains [alpha] [beta] [p]      print the closed-form gain summary
 //! ```
+//!
+//! The `duplex`, `stats`, `alpha` and `experiment` commands additionally
+//! accept `--rounds N`, `--seed N`, `--workers N` and `--metrics PATH`
+//! flags (both `--flag value` and `--flag=value` spellings); the old
+//! positional forms keep working. `--metrics` writes the run's metric
+//! registry as CSV to PATH and, when a trace was recorded, the event
+//! trace as JSON lines to `PATH.trace.jsonl` — both byte-identical for a
+//! fixed seed regardless of worker count.
 //!
 //! The command dispatch lives in this library crate so it is unit-testable;
 //! `main.rs` only forwards `std::env::args`.
@@ -56,11 +65,85 @@ USAGE:
     vds run <file.s> [copies] [maxcyc]  execute on the SMT core
     vds alpha [rounds]                  measure kernel-pair α matrix
     vds duplex <scheme> [rounds] [at]   run a micro VDS (fault at round `at`)
+    vds stats <scheme> [rounds] [at]    run a micro VDS, print metrics + trace
     vds flowchart <scheme>              recovery flow chart as DOT
     vds experiment <e1..e14|all>        regenerate a paper artefact
     vds gains [alpha] [beta] [p]        closed-form gain summary
 
+FLAGS (alpha / duplex / stats / experiment; `--flag v` or `--flag=v`):
+    --rounds N     size knob: rounds, trials or samples
+    --seed N       seed override for seeded runs
+    --workers N    worker threads for campaign-style experiments
+    --metrics PATH write metrics CSV to PATH (+ PATH.trace.jsonl if traced)
+
 SCHEMES: conventional, smt-det, smt-prob, smt-pred, smt-boost3, smt-boost5"
+}
+
+/// Flags shared by the run-style commands, plus the surviving positional
+/// arguments in their original order.
+#[derive(Debug, Default, Clone, PartialEq)]
+struct Flags {
+    rounds: Option<u64>,
+    seed: Option<u64>,
+    workers: Option<usize>,
+    metrics: Option<String>,
+    positional: Vec<String>,
+}
+
+/// Hand-rolled flag parser: accepts `--flag value` and `--flag=value`,
+/// rejects unknown `--flags`, and passes everything else through as
+/// positional arguments (so the historical positional forms keep working).
+fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
+    let mut f = Flags::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let Some(rest) = a.strip_prefix("--") else {
+            f.positional.push(a.clone());
+            continue;
+        };
+        let (name, inline) = match rest.split_once('=') {
+            Some((n, v)) => (n, Some(v.to_string())),
+            None => (rest, None),
+        };
+        if !matches!(name, "rounds" | "seed" | "workers" | "metrics") {
+            return Err(CliError::usage(format!(
+                "unknown flag `--{name}` (known: --rounds, --seed, --workers, --metrics)"
+            )));
+        }
+        let value = match inline {
+            Some(v) => v,
+            None => it
+                .next()
+                .cloned()
+                .ok_or_else(|| CliError::usage(format!("--{name} needs a value")))?,
+        };
+        match name {
+            "rounds" => f.rounds = Some(parse_num(&value, "--rounds")?),
+            "seed" => f.seed = Some(parse_num(&value, "--seed")?),
+            "workers" => f.workers = Some(parse_num(&value, "--workers")?),
+            _ => f.metrics = Some(value),
+        }
+    }
+    Ok(f)
+}
+
+/// Write the registry as CSV to `path` and, when a trace was recorded,
+/// its JSON lines next to it; returns a printable confirmation.
+fn write_metrics(
+    path: &str,
+    registry: &vds_obs::Registry,
+    trace: Option<&vds_obs::Trace>,
+) -> Result<String, CliError> {
+    std::fs::write(path, registry.to_csv())
+        .map_err(|e| CliError::runtime(format!("cannot write `{path}`: {e}")))?;
+    let mut note = format!("metrics CSV written to {path}\n");
+    if let Some(t) = trace.filter(|t| !t.is_empty()) {
+        let tpath = format!("{path}.trace.jsonl");
+        std::fs::write(&tpath, t.to_jsonl())
+            .map_err(|e| CliError::runtime(format!("cannot write `{tpath}`: {e}")))?;
+        let _ = writeln!(note, "trace ({} events) written to {tpath}", t.len());
+    }
+    Ok(note)
 }
 
 fn parse_scheme(s: &str) -> Result<vds_core::Scheme, CliError> {
@@ -86,23 +169,23 @@ fn read_file(path: &str) -> Result<String, CliError> {
 pub fn dispatch(args: &[String]) -> Result<String, CliError> {
     let cmd = args.first().map(String::as_str).unwrap_or("");
     match cmd {
-        "asm" => cmd_asm(args.get(1).ok_or_else(|| CliError::usage("asm: missing file"))?),
+        "asm" => cmd_asm(
+            args.get(1)
+                .ok_or_else(|| CliError::usage("asm: missing file"))?,
+        ),
         "disasm" => cmd_disasm(
             args.get(1)
                 .ok_or_else(|| CliError::usage("disasm: missing file"))?,
         ),
         "run" => cmd_run(
-            args.get(1).ok_or_else(|| CliError::usage("run: missing file"))?,
-            args.get(2).map(String::as_str),
-            args.get(3).map(String::as_str),
-        ),
-        "alpha" => cmd_alpha(args.get(1).map(String::as_str)),
-        "duplex" => cmd_duplex(
             args.get(1)
-                .ok_or_else(|| CliError::usage("duplex: missing scheme"))?,
+                .ok_or_else(|| CliError::usage("run: missing file"))?,
             args.get(2).map(String::as_str),
             args.get(3).map(String::as_str),
         ),
+        "alpha" => cmd_alpha(&args[1..]),
+        "duplex" => cmd_duplex(&args[1..], false),
+        "stats" => cmd_duplex(&args[1..], true),
         "flowchart" => {
             let scheme = parse_scheme(
                 args.get(1)
@@ -110,10 +193,7 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
             )?;
             Ok(vds_core::flowchart::for_scheme(scheme).to_dot())
         }
-        "experiment" => cmd_experiment(
-            args.get(1)
-                .ok_or_else(|| CliError::usage("experiment: missing id (e1..e14|all)"))?,
-        ),
+        "experiment" => cmd_experiment(&args[1..]),
         "gains" => cmd_gains(
             args.get(1).map(String::as_str),
             args.get(2).map(String::as_str),
@@ -160,8 +240,10 @@ fn cmd_run(path: &str, copies: Option<&str>, maxcyc: Option<&str>) -> Result<Str
     if !(1..=8).contains(&copies) {
         return Err(CliError::usage("copies must be 1..=8"));
     }
-    let mut cfg = CoreConfig::default();
-    cfg.max_threads = copies;
+    let cfg = CoreConfig {
+        max_threads: copies,
+        ..CoreConfig::default()
+    };
     let mut core = Core::new(cfg);
     let dmem = (prog.data.len() + 1024).max(4096);
     let tids: Vec<ThreadId> = (0..copies).map(|_| core.add_thread(&prog, dmem)).collect();
@@ -182,9 +264,7 @@ fn cmd_run(path: &str, copies: Option<&str>, maxcyc: Option<&str>) -> Result<Str
                 )))
             }
             RunOutcome::CycleBudgetExhausted => {
-                return Err(CliError::runtime(format!(
-                    "cycle limit {maxcyc} exhausted"
-                )))
+                return Err(CliError::runtime(format!("cycle limit {maxcyc} exhausted")))
             }
         }
     }
@@ -203,28 +283,59 @@ fn cmd_run(path: &str, copies: Option<&str>, maxcyc: Option<&str>) -> Result<Str
     Ok(out)
 }
 
-fn cmd_alpha(rounds: Option<&str>) -> Result<String, CliError> {
-    let rounds: u32 = rounds.map_or(Ok(2), |s| parse_num(s, "round count"))?;
-    Ok(vds_bench::e09_alpha::report(rounds).to_string())
+fn cmd_alpha(args: &[String]) -> Result<String, CliError> {
+    let f = parse_flags(args)?;
+    if f.positional.len() > 1 {
+        return Err(CliError::usage("alpha: too many arguments"));
+    }
+    let rounds: u32 = match (f.rounds, f.positional.first()) {
+        (Some(n), _) => u32::try_from(n).map_err(|_| CliError::usage("--rounds too large"))?,
+        (None, Some(s)) => parse_num(s, "round count")?,
+        (None, None) => 2,
+    };
+    let r = vds_bench::e09_alpha::report(rounds);
+    let mut out = r.to_string();
+    if let Some(path) = &f.metrics {
+        out.push_str(&write_metrics(path, &r.metrics, None)?);
+    }
+    Ok(out)
 }
 
-fn cmd_duplex(
-    scheme: &str,
-    rounds: Option<&str>,
-    fault_round: Option<&str>,
-) -> Result<String, CliError> {
-    use vds_core::micro_vds::{run_micro_with_state, MicroConfig, MicroFault};
+/// Backs both `vds duplex` (report + oracle verdict) and `vds stats`
+/// (the same run with the metric registry and event trace printed).
+fn cmd_duplex(args: &[String], stats: bool) -> Result<String, CliError> {
+    use vds_core::micro_vds::{
+        run_micro_recorded_with_state, run_micro_with_state, MicroConfig, MicroFault,
+    };
     use vds_core::{workload, Victim};
     use vds_fault::model::{FaultKind, FaultSite};
-    let scheme = parse_scheme(scheme)?;
+    let f = parse_flags(args)?;
+    let what = if stats { "stats" } else { "duplex" };
+    let scheme = parse_scheme(
+        f.positional
+            .first()
+            .ok_or_else(|| CliError::usage(format!("{what}: missing scheme")))?,
+    )?;
     if scheme == vds_core::Scheme::SmtBoosted5 {
         return Err(CliError::usage(
             "smt-boost5 runs on the abstract backend only (try `vds experiment e13`)",
         ));
     }
-    let rounds: u64 = rounds.map_or(Ok(30), |s| parse_num(s, "round count"))?;
-    let cfg = MicroConfig::new(scheme, 10);
-    let fault = match fault_round {
+    // positionals after the scheme fill the slots `--rounds` leaves
+    // unclaimed, so `duplex --rounds 15 smt-det 4` still faults at round 4
+    let mut rest = f.positional.iter().skip(1);
+    let rounds: u64 = match f.rounds {
+        Some(n) => n,
+        None => match rest.next() {
+            Some(s) => parse_num(s, "round count")?,
+            None => 30,
+        },
+    };
+    let mut cfg = MicroConfig::new(scheme, 10);
+    if let Some(seed) = f.seed {
+        cfg.seed = seed;
+    }
+    let fault = match rest.next() {
         Some(s) => {
             let at: u32 = parse_num(s, "fault round")?;
             Some(MicroFault {
@@ -235,65 +346,83 @@ fn cmd_duplex(
         }
         None => None,
     };
-    let (r, img) = run_micro_with_state(&cfg, fault, rounds);
+    if rest.next().is_some() {
+        return Err(CliError::usage(format!("{what}: too many arguments")));
+    }
+    // recording costs a little time, so the plain path stays unrecorded
+    let record = stats || f.metrics.is_some();
+    let (r, img, rec) = if record {
+        let (r, img, rec) = run_micro_recorded_with_state(&cfg, fault, rounds);
+        (r, img, Some(rec))
+    } else {
+        let (r, img) = run_micro_with_state(&cfg, fault, rounds);
+        (r, img, None)
+    };
     let (_, want) = workload::oracle(r.committed_rounds as u32);
-    let got = &img[workload::ADDR_STATE as usize
-        ..(workload::ADDR_STATE + workload::STATE_WORDS) as usize];
+    let got = &img
+        [workload::ADDR_STATE as usize..(workload::ADDR_STATE + workload::STATE_WORDS) as usize];
     let verdict = if got == &want[..] {
         "output CORRECT"
     } else {
         "output WRONG"
     };
-    Ok(format!("{r}\n{verdict} versus the oracle\n"))
-}
-
-fn cmd_experiment(id: &str) -> Result<String, CliError> {
-    let workers = std::thread::available_parallelism().map_or(4, |n| n.get());
-    let one = |id: &str| -> Result<String, CliError> {
-        Ok(match id {
-            "e1" => vds_bench::e01_round_gain::report(200).to_string(),
-            "e2" => vds_bench::e02_timelines::report(8, 24, 140).to_string(),
-            "e3" => vds_bench::e03_flowcharts::report().to_string(),
-            "e4" => vds_bench::e04_det_rollforward::report().to_string(),
-            "e5" => vds_bench::e05_prob_rollforward::report().to_string(),
-            "e6" => vds_bench::e06_fig4::report().to_string(),
-            "e7" => vds_bench::e07_fig5::report().to_string(),
-            "e8" => vds_bench::e08_gmax::report().to_string(),
-            "e9" => vds_bench::e09_alpha::report(3).to_string(),
-            "e10" => vds_bench::e10_coverage::report(200, workers).to_string(),
-            "e11" => vds_bench::e11_prediction::report(20_000).to_string(),
-            "e12" => vds_bench::e12_checkpoint::report(1_500).to_string(),
-            "e13" => vds_bench::e13_multithread::report().to_string(),
-            "e14" => vds_bench::e14_ablation::report(40).to_string(),
-            other => {
-                return Err(CliError::usage(format!(
-                    "unknown experiment `{other}` (e1..e14 or all)"
-                )))
-            }
-        })
-    };
-    if id == "all" {
-        let mut out = String::new();
-        for k in 1..=14 {
-            out.push_str(&one(&format!("e{k}"))?);
+    let mut out = format!("{r}\n{verdict} versus the oracle\n");
+    if let Some(rec) = rec {
+        let (registry, trace) = rec.into_parts();
+        if stats {
+            let _ = write!(out, "\n---- metrics ----\n{registry}");
+            let _ = write!(out, "---- trace ----\n{trace}");
         }
-        Ok(out)
-    } else {
-        one(id)
+        if let Some(path) = &f.metrics {
+            out.push_str(&write_metrics(path, &registry, Some(&trace))?);
+        }
     }
+    Ok(out)
 }
 
-fn cmd_gains(
-    alpha: Option<&str>,
-    beta: Option<&str>,
-    p: Option<&str>,
-) -> Result<String, CliError> {
+fn cmd_experiment(args: &[String]) -> Result<String, CliError> {
+    use vds_bench::registry::{find, registry, Params};
+    let f = parse_flags(args)?;
+    let id = f
+        .positional
+        .first()
+        .ok_or_else(|| CliError::usage("experiment: missing id (e1..e14|all)"))?;
+    if f.positional.len() > 1 {
+        return Err(CliError::usage("experiment: too many arguments"));
+    }
+    let params = Params {
+        rounds: f.rounds,
+        seed: f.seed,
+        workers: f
+            .workers
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, |n| n.get())),
+    };
+    let selected: Vec<&dyn vds_bench::registry::Experiment> = if id == "all" {
+        registry().to_vec()
+    } else {
+        vec![find(id).ok_or_else(|| {
+            CliError::usage(format!("unknown experiment `{id}` (e1..e14 or all)"))
+        })?]
+    };
+    let mut out = String::new();
+    let mut merged = vds_obs::Registry::new();
+    for exp in &selected {
+        let r = exp.run(&params);
+        let _ = write!(out, "{r}");
+        merged.merge(&r.metrics.prefixed(&exp.id().to_ascii_lowercase()));
+    }
+    if let Some(path) = &f.metrics {
+        out.push_str(&write_metrics(path, &merged, None)?);
+    }
+    Ok(out)
+}
+
+fn cmd_gains(alpha: Option<&str>, beta: Option<&str>, p: Option<&str>) -> Result<String, CliError> {
     use vds_analytic::{predictive, rollforward, timing, Params};
     let alpha: f64 = alpha.map_or(Ok(0.65), |s| parse_num(s, "alpha"))?;
     let beta: f64 = beta.map_or(Ok(0.1), |s| parse_num(s, "beta"))?;
     let p: f64 = p.map_or(Ok(0.5), |s| parse_num(s, "p"))?;
-    if !(0.5..=1.0).contains(&alpha) || !(0.0..=1.0).contains(&beta) || !(0.0..=1.0).contains(&p)
-    {
+    if !(0.5..=1.0).contains(&alpha) || !(0.0..=1.0).contains(&beta) || !(0.0..=1.0).contains(&p) {
         return Err(CliError::usage(
             "need alpha in [0.5,1], beta in [0,1], p in [0,1]",
         ));
@@ -415,5 +544,104 @@ mod tests {
         let out = run(&["experiment", "e8"]).unwrap();
         assert!(out.contains("1.38"));
         assert!(run(&["experiment", "e99"]).is_err());
+    }
+
+    #[test]
+    fn flag_parser_accepts_both_spellings_and_keeps_positionals() {
+        let args: Vec<String> = [
+            "smt-det",
+            "--rounds",
+            "12",
+            "--seed=7",
+            "--workers",
+            "2",
+            "4",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let f = parse_flags(&args).unwrap();
+        assert_eq!(f.rounds, Some(12));
+        assert_eq!(f.seed, Some(7));
+        assert_eq!(f.workers, Some(2));
+        assert_eq!(f.metrics, None);
+        assert_eq!(f.positional, vec!["smt-det".to_string(), "4".to_string()]);
+    }
+
+    #[test]
+    fn flag_parser_rejects_unknown_and_valueless_flags() {
+        for bad in [
+            vec!["duplex", "smt-det", "--bogus"],
+            vec!["duplex", "smt-det", "--bogus=1"],
+            vec!["duplex", "smt-det", "--rounds"],
+            vec!["duplex", "smt-det", "--rounds", "nope"],
+            vec!["experiment", "e8", "--frobs=3"],
+            vec!["stats", "smt-det", "--seeds", "1"],
+        ] {
+            let e = run(&bad).unwrap_err();
+            assert_eq!(e.code, 2, "{bad:?}: {}", e.msg);
+        }
+    }
+
+    #[test]
+    fn duplex_flags_mirror_positionals() {
+        let pos = run(&["duplex", "smt-det", "15", "4"]).unwrap();
+        let flg = run(&["duplex", "--rounds", "15", "smt-det", "4"]).unwrap();
+        assert_eq!(pos, flg);
+        // a different seed diversifies the versions differently but the
+        // run must still succeed and stay correct
+        let seeded = run(&["duplex", "smt-det", "12", "--seed", "99"]).unwrap();
+        assert!(seeded.contains("output CORRECT"), "{seeded}");
+    }
+
+    #[test]
+    fn stats_prints_metrics_and_trace() {
+        let out = run(&["stats", "smt-det", "12", "4"]).unwrap();
+        assert!(out.contains("output CORRECT"), "{out}");
+        assert!(out.contains("---- metrics ----"), "{out}");
+        assert!(out.contains("vds.detections"), "{out}");
+        assert!(out.contains("smt.cycles"), "{out}");
+        assert!(out.contains("---- trace ----"), "{out}");
+        assert!(out.contains("detect"), "{out}");
+    }
+
+    #[test]
+    fn duplex_metrics_flag_writes_csv_and_trace() {
+        let dir = std::env::temp_dir().join("vds-cli-metrics");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("duplex.csv");
+        let p = path.to_str().unwrap();
+        let out = run(&["duplex", "smt-det", "12", "4", "--metrics", p]).unwrap();
+        assert!(
+            out.contains(&format!("metrics CSV written to {p}")),
+            "{out}"
+        );
+        let csv = std::fs::read_to_string(&path).unwrap();
+        assert!(csv.starts_with("kind,name,field,value"), "{csv}");
+        assert!(csv.contains("counter,vds.detections,value,1"), "{csv}");
+        let trace = std::fs::read_to_string(dir.join("duplex.csv.trace.jsonl")).unwrap();
+        assert!(trace.contains("\"kind\":\"trace_header\""), "{trace}");
+        assert!(trace.contains("\"event\":\"detect\""), "{trace}");
+    }
+
+    #[test]
+    fn experiment_metrics_flag_writes_per_experiment_csv() {
+        let dir = std::env::temp_dir().join("vds-cli-exp-metrics");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("e8.csv");
+        let p = path.to_str().unwrap();
+        run(&["experiment", "e8", "--metrics", p]).unwrap();
+        let csv = std::fs::read_to_string(&path).unwrap();
+        assert!(csv.contains("counter,e8.report.text_bytes"), "{csv}");
+    }
+
+    #[test]
+    fn experiment_registry_spellings_and_size_knobs() {
+        // registry lookup is spelling-tolerant now
+        let out = run(&["experiment", "E08"]).unwrap();
+        assert!(out.contains("1.38"), "{out}");
+        // the size knob reaches the experiment (tiny e1 still reports)
+        let out = run(&["experiment", "e1", "--rounds", "5"]).unwrap();
+        assert!(out.contains("E1"), "{out}");
     }
 }

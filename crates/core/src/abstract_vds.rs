@@ -21,6 +21,7 @@ use vds_analytic::multithread::alpha_k;
 use vds_analytic::Params;
 use vds_desim::time::SimTime;
 use vds_desim::trace::{SpanKind, Timeline};
+use vds_obs::Recorder;
 use vds_predictor::{FaultPredictor, Suspect};
 
 /// Configuration of an abstract VDS run.
@@ -89,10 +90,15 @@ struct Engine<'a> {
     oneshot_fired: bool,
     timeline: Timeline,
     report: RunReport,
+    rec: Recorder,
 }
 
 impl<'a> Engine<'a> {
     fn new(cfg: &'a AbstractConfig, seed: u64) -> Self {
+        Self::with_recorder(cfg, seed, Recorder::disabled())
+    }
+
+    fn with_recorder(cfg: &'a AbstractConfig, seed: u64, rec: Recorder) -> Self {
         Engine {
             cfg,
             rng: SmallRng::seed_from_u64(seed),
@@ -104,6 +110,7 @@ impl<'a> Engine<'a> {
             oneshot_fired: false,
             timeline: Timeline::new(),
             report: RunReport::default(),
+            rec,
         }
     }
 
@@ -227,28 +234,53 @@ impl<'a> Engine<'a> {
             self.report.processor_stops += 1;
             self.report.detections += 1;
             self.report.rollbacks += 1;
-            self.report.committed_rounds = self
-                .report
-                .committed_rounds
-                .saturating_sub(u64::from(self.round_in_interval));
+            let lost = u64::from(self.round_in_interval);
+            self.report.committed_rounds = self.report.committed_rounds.saturating_sub(lost);
             self.round_in_interval = 0;
             self.corrupt = [false, false];
             self.crash = None;
             self.clock += self.cfg.restore_cost;
             self.consecutive_rollbacks += 1;
+            self.rec.event(
+                self.clock,
+                "vds",
+                "processor_stop",
+                vec![("round", u64::from(i).into()), ("rounds_lost", lost.into())],
+            );
             if self.consecutive_rollbacks > self.cfg.max_consecutive_rollbacks {
                 self.report.shutdown = true;
+                self.rec.event(self.clock, "vds", "shutdown", vec![]);
             }
             return None;
         }
 
         if self.corrupt[0] || self.corrupt[1] || self.crash.is_some() {
             self.report.detections += 1;
+            self.rec.event(
+                self.clock,
+                "vds",
+                "detect",
+                vec![
+                    ("round", u64::from(i).into()),
+                    ("v1_corrupt", self.corrupt[0].into()),
+                    ("v2_corrupt", self.corrupt[1].into()),
+                    ("crash_evidence", self.crash.is_some().into()),
+                ],
+            );
             Some(i)
         } else {
             self.round_in_interval = i;
             self.report.committed_rounds += 1;
             self.consecutive_rollbacks = 0;
+            self.rec.event(
+                self.clock,
+                "vds",
+                "round",
+                vec![
+                    ("round", u64::from(i).into()),
+                    ("comparison", "match".into()),
+                ],
+            );
             None
         }
     }
@@ -260,6 +292,12 @@ impl<'a> Engine<'a> {
         self.report.time_checkpoint += self.clock - start;
         self.report.checkpoints += 1;
         self.round_in_interval = 0;
+        self.rec.event(
+            self.clock,
+            "vds",
+            "checkpoint",
+            vec![("number", self.report.checkpoints.into())],
+        );
     }
 
     /// Recovery wall time of the configured scheme for a fault at round
@@ -340,7 +378,11 @@ impl<'a> Engine<'a> {
         if vote_ok {
             self.report.recoveries_ok += 1;
             // the faulty version (exactly one corrupt flag set)
-            let faulty = if self.corrupt[0] { Victim::V1 } else { Victim::V2 };
+            let faulty = if self.corrupt[0] {
+                Victim::V1
+            } else {
+                Victim::V2
+            };
 
             // round i itself is now confirmed (the vote produced a good
             // state at round i)
@@ -395,6 +437,16 @@ impl<'a> Engine<'a> {
             self.corrupt = [false, false];
             self.crash = None;
             self.consecutive_rollbacks = 0;
+            self.rec.event(
+                self.clock,
+                "vds",
+                "recovery",
+                vec![
+                    ("round", u64::from(i).into()),
+                    ("scheme", self.cfg.scheme.name().into()),
+                    ("rollforward_progress", u64::from(progress).into()),
+                ],
+            );
             if self.round_in_interval >= self.cfg.params.s {
                 self.take_checkpoint();
             }
@@ -411,8 +463,19 @@ impl<'a> Engine<'a> {
             self.crash = None;
             self.clock += self.cfg.restore_cost;
             self.consecutive_rollbacks += 1;
+            self.rec.event(
+                self.clock,
+                "vds",
+                "rollback",
+                vec![
+                    ("round", u64::from(i).into()),
+                    ("rounds_lost", u64::from(i - 1).into()),
+                    ("consecutive", u64::from(self.consecutive_rollbacks).into()),
+                ],
+            );
             if self.consecutive_rollbacks > self.cfg.max_consecutive_rollbacks {
                 self.report.shutdown = true;
+                self.rec.event(self.clock, "vds", "shutdown", vec![]);
             }
         }
         self.report.time_recovery += self.clock - start;
@@ -436,6 +499,19 @@ pub fn run(
     run_with_predictor(cfg, fault_model, target_rounds, seed, None)
 }
 
+/// [`run`], recording metrics and a bounded event trace into a fresh
+/// [`Recorder`]: per-round / detection / checkpoint / recovery /
+/// rollback events at simulated time, plus the report mirrored under
+/// `vds.*` and per-phase simulated-time gauges.
+pub fn run_recorded(
+    cfg: &AbstractConfig,
+    fault_model: FaultModel,
+    target_rounds: u64,
+    seed: u64,
+) -> (RunReport, Recorder) {
+    run_engine(cfg, fault_model, target_rounds, seed, None, Recorder::new())
+}
+
 /// [`run`], with an optional fault-version predictor supplying the picks
 /// of the probabilistic/predictive schemes.
 pub fn run_with_predictor(
@@ -443,11 +519,30 @@ pub fn run_with_predictor(
     fault_model: FaultModel,
     target_rounds: u64,
     seed: u64,
-    mut predictor: Option<&mut dyn FaultPredictor>,
+    predictor: Option<&mut dyn FaultPredictor>,
 ) -> RunReport {
+    run_engine(
+        cfg,
+        fault_model,
+        target_rounds,
+        seed,
+        predictor,
+        Recorder::disabled(),
+    )
+    .0
+}
+
+fn run_engine(
+    cfg: &AbstractConfig,
+    fault_model: FaultModel,
+    target_rounds: u64,
+    seed: u64,
+    mut predictor: Option<&mut dyn FaultPredictor>,
+    rec: Recorder,
+) -> (RunReport, Recorder) {
     cfg.params.validate();
     assert!((0.0..=1.0).contains(&cfg.p_correct));
-    let mut e = Engine::new(cfg, seed);
+    let mut e = Engine::with_recorder(cfg, seed, rec);
     // Livelock guard: at high fault rates with a long checkpoint interval,
     // late-interval recoveries are almost always corrupted themselves and
     // the system thrashes between roll-backs without ever completing an
@@ -476,7 +571,9 @@ pub fn run_with_predictor(
     if cfg.record_timeline {
         e.report.timeline = Some(e.timeline);
     }
-    e.report
+    let mut rec = e.rec;
+    e.report.export_metrics(&mut rec, "vds");
+    (e.report, rec)
 }
 
 /// Simulate exactly one recovery incident at round `i` (victim fixed,
@@ -589,8 +686,7 @@ mod tests {
     fn probabilistic_progress_depends_on_pick() {
         let hit = simulate_incident(&cfg(Scheme::SmtProbabilistic), 10, Victim::V1, Some(true));
         assert_eq!(hit.progress, 5);
-        let miss =
-            simulate_incident(&cfg(Scheme::SmtProbabilistic), 10, Victim::V1, Some(false));
+        let miss = simulate_incident(&cfg(Scheme::SmtProbabilistic), 10, Victim::V1, Some(false));
         assert_eq!(miss.progress, 0);
         // same wall time either way (Eq. 5 doesn't depend on the pick)
         assert_eq!(hit.recovery_time, miss.recovery_time);
@@ -599,8 +695,7 @@ mod tests {
     #[test]
     fn predictive_progress_is_full_i_clamped() {
         for (i, want) in [(5u32, 5u32), (10, 10), (14, 6), (20, 0)] {
-            let inc =
-                simulate_incident(&cfg(Scheme::SmtPredictive), i, Victim::V2, Some(true));
+            let inc = simulate_incident(&cfg(Scheme::SmtPredictive), i, Victim::V2, Some(true));
             assert_eq!(inc.progress, want, "i={i}");
         }
         let miss = simulate_incident(&cfg(Scheme::SmtPredictive), 10, Victim::V2, Some(false));
@@ -615,12 +710,11 @@ mod tests {
         let p = Params::paper_default();
         for i in 1..=20u32 {
             let inc = simulate_incident(&cfg(Scheme::SmtPredictive), i, Victim::V1, Some(true));
-            let g_meas = (timing::t1_corr(&p, i)
-                + f64::from(inc.progress) * timing::t1_round(&p))
+            let g_meas = (timing::t1_corr(&p, i) + f64::from(inc.progress) * timing::t1_round(&p))
                 / inc.recovery_time;
             let x = f64::from(i).min(f64::from(p.s - i)).floor();
-            let g_expect = (timing::t1_corr(&p, i) + x * timing::t1_round(&p))
-                / timing::tht2_corr(&p, i);
+            let g_expect =
+                (timing::t1_corr(&p, i) + x * timing::t1_round(&p)) / timing::tht2_corr(&p, i);
             assert!((g_meas - g_expect).abs() < 1e-9, "i={i}");
             // miss: Eq. (11)
             let miss = simulate_incident(&cfg(Scheme::SmtPredictive), i, Victim::V1, Some(false));
@@ -689,10 +783,11 @@ mod tests {
     #[test]
     fn double_faults_force_rollback() {
         // q high enough that both versions get corrupted in one round
-        // reasonably often
+        // reasonably often, but below the regime where consecutive
+        // rollbacks can trip the fail-safe shutdown for unlucky seeds
         let r = run(
             &cfg(Scheme::SmtDeterministic),
-            FaultModel::PerRound { q: 0.2 },
+            FaultModel::PerRound { q: 0.15 },
             500,
             17,
         );
@@ -817,6 +912,30 @@ mod tests {
             37,
         );
         assert!(r.shutdown, "{r}");
+    }
+
+    #[test]
+    fn recorded_run_mirrors_report_and_traces_events() {
+        let c = cfg(Scheme::SmtProbabilistic);
+        let fm = FaultModel::PerRound { q: 0.05 };
+        let (r, rec) = run_recorded(&c, fm, 200, 5);
+        let reg = rec.registry();
+        assert_eq!(reg.counter("vds.committed_rounds"), r.committed_rounds);
+        assert_eq!(reg.counter("vds.detections"), r.detections);
+        assert_eq!(reg.counter("vds.checkpoints"), r.checkpoints);
+        assert_eq!(reg.gauge_value("vds.time.total"), Some(r.total_time));
+        let events: Vec<&str> = rec.trace().records().map(|e| e.event).collect();
+        assert!(events.contains(&"round"));
+        assert!(events.contains(&"detect"));
+        assert!(events.contains(&"checkpoint"));
+        // plain run and recorded run agree on the simulation itself
+        let plain = run(&c, fm, 200, 5);
+        assert_eq!(plain.total_time, r.total_time);
+        assert_eq!(plain.committed_rounds, r.committed_rounds);
+        // and two recorded runs export byte-identical metrics
+        let (_, rec2) = run_recorded(&c, fm, 200, 5);
+        assert_eq!(rec.registry().to_csv(), rec2.registry().to_csv());
+        assert_eq!(rec.trace().to_jsonl(), rec2.trace().to_jsonl());
     }
 
     #[test]

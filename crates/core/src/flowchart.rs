@@ -75,7 +75,10 @@ fn trunk(nodes: &mut Vec<Node>, edges: &mut Vec<Edge>) {
         n("ckpt", "Save as checkpoint"),
         n("retry", "V3 → S for i rounds (thread 1)"),
         n("vote", "S = P ?  /  S = Q ?"),
-        n("rollback", "Resort to rollback: get state from last checkpoint"),
+        n(
+            "rollback",
+            "Resort to rollback: get state from last checkpoint",
+        ),
         t("shutdown", "Fail-safe shutdown"),
     ]);
     edges.extend([
@@ -87,7 +90,11 @@ fn trunk(nodes: &mut Vec<Node>, edges: &mut Vec<Edge>) {
         e("cmp", "retry", "mismatch at round i"),
         e("vote", "rollback", "S matches neither (fault during retry)"),
         e("rollback", "exec", "checkpoint restored"),
-        e("rollback", "shutdown", "repeated rollbacks / no valid checkpoint"),
+        e(
+            "rollback",
+            "shutdown",
+            "repeated rollbacks / no valid checkpoint",
+        ),
     ]);
 }
 
@@ -98,7 +105,10 @@ pub fn probabilistic() -> FlowChart {
     trunk(&mut nodes, &mut edges);
     nodes.extend([
         n("pick", "Choose R among {P, Q}"),
-        n("rf", "Thread 2: V2 → T, then V1 → U, min(i/2, s−i/2) rounds from R"),
+        n(
+            "rf",
+            "Thread 2: V2 → T, then V1 → U, min(i/2, s−i/2) rounds from R",
+        ),
         n("rf_cmp", "State T = State U ?"),
         n("rf_bad", "Fault during roll-forward: discard roll-forward"),
         n("r_faulty", "State R faulty ?"),
@@ -133,7 +143,10 @@ pub fn deterministic() -> FlowChart {
     let mut edges = Vec::new();
     trunk(&mut nodes, &mut edges);
     nodes.extend([
-        n("rf4", "Thread 2: V2→T, V1→U from P; V1→V, V2→W from Q; i/4 rounds each"),
+        n(
+            "rf4",
+            "Thread 2: V2→T, V1→U from P; V1→V, V2→W from Q; i/4 rounds each",
+        ),
         n("which", "State P faulty ?"),
         n("cmp_tu", "State T = State U ?"),
         n("cmp_vw", "State V = State W ?"),
@@ -176,7 +189,8 @@ pub fn for_scheme(scheme: Scheme) -> FlowChart {
             fc.edges.retain(|ed| {
                 ed.from != "rf_cmp" && ed.to != "rf_cmp" && ed.from != "rf_bad" && ed.to != "rf_bad"
             });
-            fc.edges.push(e("rf", "r_faulty", "no comparison performed"));
+            fc.edges
+                .push(e("rf", "r_faulty", "no comparison performed"));
             fc
         }
         Scheme::Conventional => {

@@ -54,8 +54,7 @@ pub fn analytic_average_integral(params: &Params, scheme: Scheme, p_correct: f64
                 .max(0.0);
             let hit = (timing::t1_corr(params, i) + x * timing::t1_round(params))
                 / recovery_denominator(params, scheme, i);
-            let miss =
-                timing::t1_corr(params, i) / recovery_denominator(params, scheme, i);
+            let miss = timing::t1_corr(params, i) / recovery_denominator(params, scheme, i);
             if scheme == Scheme::Conventional {
                 // the reference architecture: gain over itself is 1
                 1.0
@@ -104,8 +103,7 @@ mod tests {
         ] {
             for &p in &[0.0, 0.5, 1.0] {
                 let measured = average_incident_gain(&cfg(scheme), p);
-                let analytic =
-                    analytic_average_integral(&Params::paper_default(), scheme, p);
+                let analytic = analytic_average_integral(&Params::paper_default(), scheme, p);
                 assert!(
                     (measured - analytic).abs() < 1e-9,
                     "{scheme:?} p={p}: {measured} vs {analytic}"

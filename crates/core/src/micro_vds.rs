@@ -36,6 +36,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng as _, SeedableRng};
 use vds_checkpoint::digest::digest_words;
 use vds_fault::model::FaultKind;
+use vds_obs::Recorder;
 use vds_sched::{Machine, ProcId, ProcOutcome};
 use vds_smtsim::core::{CoreConfig, SavedContext, ThreadId, ThreadState};
 use vds_smtsim::program::Program;
@@ -138,6 +139,7 @@ struct Micro {
     /// Trap evidence observed in the current round, by active-slot index.
     trap_evidence: Option<usize>,
     report: RunReport,
+    rec: Recorder,
 }
 
 #[derive(Debug, Clone)]
@@ -148,7 +150,12 @@ struct Seg {
 }
 
 impl Micro {
+    #[cfg(test)]
     fn new(cfg: MicroConfig, fault: Option<MicroFault>) -> Self {
+        Self::with_recorder(cfg, fault, Recorder::disabled())
+    }
+
+    fn with_recorder(cfg: MicroConfig, fault: Option<MicroFault>, rec: Recorder) -> Self {
         let base = workload::build(cfg.workload_rounds);
         let progs = if cfg.diversity {
             [
@@ -187,6 +194,7 @@ impl Micro {
             fault_pending: fault.is_some(),
             trap_evidence: None,
             report: RunReport::default(),
+            rec,
         }
     }
 
@@ -231,6 +239,13 @@ impl Micro {
         self.report.faults_injected += 1;
         let version = self.active[f.victim.index()];
         vds_fault::inject::inject(&mut self.m, self.procs[version], &f.kind);
+        let t = self.m.cycles() as f64;
+        self.rec.event(
+            t,
+            "micro",
+            "fault_injected",
+            vec![("round", i.into()), ("version", version.into())],
+        );
     }
 
     /// Run one normal round of the active pair. Returns `Some(i)` on a
@@ -297,18 +312,37 @@ impl Micro {
         // comparison
         self.burn(self.cfg.cmp_cycles);
         self.report.time_normal += f64::from(self.cfg.cmp_cycles);
+        let t = self.m.cycles() as f64;
         if self.trap_evidence.is_some() || !hung.is_empty() {
             self.report.detections += 1;
+            self.rec.event(
+                t,
+                "micro",
+                "detect",
+                vec![("round", i.into()), ("evidence", "trap".into())],
+            );
             return Some(i);
         }
         let da = Self::window_digest(&self.dmem_of(a));
         let db = Self::window_digest(&self.dmem_of(b));
         if da != db {
             self.report.detections += 1;
+            self.rec.event(
+                t,
+                "micro",
+                "detect",
+                vec![("round", i.into()), ("evidence", "mismatch".into())],
+            );
             Some(i)
         } else {
             self.rounds_since = i;
             self.report.committed_rounds += 1;
+            self.rec.event(
+                t,
+                "micro",
+                "round",
+                vec![("round", i.into()), ("comparison", "match".into())],
+            );
             None
         }
     }
@@ -319,6 +353,13 @@ impl Micro {
         self.ckpt_img = self.dmem_of(self.active[0]);
         self.rounds_since = 0;
         self.report.checkpoints += 1;
+        let t = self.m.cycles() as f64;
+        self.rec.event(
+            t,
+            "micro",
+            "checkpoint",
+            vec![("number", self.report.checkpoints.into())],
+        );
     }
 
     /// Run a list of segments on one hardware thread, collecting each
@@ -359,9 +400,7 @@ impl Micro {
         }
 
         loop {
-            let live = states
-                .iter()
-                .any(|st| !st.failed && st.idx < st.segs.len());
+            let live = states.iter().any(|st| !st.failed && st.idx < st.segs.len());
             if !live {
                 break;
             }
@@ -648,6 +687,17 @@ impl Micro {
                 }
                 self.rounds_since = i + progress;
                 self.report.committed_rounds += 1 + u64::from(progress);
+                let t = self.m.cycles() as f64;
+                self.rec.event(
+                    t,
+                    "micro",
+                    "recovery",
+                    vec![
+                        ("round", i.into()),
+                        ("scheme", self.cfg.scheme.name().into()),
+                        ("rollforward_progress", progress.into()),
+                    ],
+                );
                 if self.rounds_since >= self.cfg.s {
                     self.take_checkpoint();
                 }
@@ -660,6 +710,13 @@ impl Micro {
                     .committed_rounds
                     .saturating_sub(u64::from(i - 1));
                 self.rounds_since = 0;
+                let t = self.m.cycles() as f64;
+                self.rec.event(
+                    t,
+                    "micro",
+                    "rollback",
+                    vec![("round", i.into()), ("rounds_lost", (i - 1).into())],
+                );
                 let img = self.ckpt_img.clone();
                 for slot in [0usize, 1] {
                     let v = self.active[slot];
@@ -675,11 +732,7 @@ impl Micro {
 }
 
 /// Run a micro VDS until `target_rounds` rounds are committed.
-pub fn run_micro(
-    cfg: &MicroConfig,
-    fault: Option<MicroFault>,
-    target_rounds: u64,
-) -> RunReport {
+pub fn run_micro(cfg: &MicroConfig, fault: Option<MicroFault>, target_rounds: u64) -> RunReport {
     run_micro_with_state(cfg, fault, target_rounds).0
 }
 
@@ -691,7 +744,40 @@ pub fn run_micro_with_state(
     fault: Option<MicroFault>,
     target_rounds: u64,
 ) -> (RunReport, Vec<u32>) {
-    let mut e = Micro::new(cfg.clone(), fault);
+    let (report, img, _) = run_micro_engine(cfg, fault, target_rounds, Recorder::disabled());
+    (report, img)
+}
+
+/// [`run_micro`], recording metrics and a bounded event trace: round /
+/// detection / checkpoint / recovery / rollback events at cycle time, the
+/// report mirrored under `vds.*`, and the SMT core's cycle-level counters
+/// (per-thread stalls, cache hits/misses) under `smt.*`.
+pub fn run_micro_recorded(
+    cfg: &MicroConfig,
+    fault: Option<MicroFault>,
+    target_rounds: u64,
+) -> (RunReport, Recorder) {
+    let (report, _, rec) = run_micro_engine(cfg, fault, target_rounds, Recorder::new());
+    (report, rec)
+}
+
+/// [`run_micro_recorded`] plus the final data-memory image, for callers
+/// (e.g. the CLI) that want both metrics and an oracle verdict.
+pub fn run_micro_recorded_with_state(
+    cfg: &MicroConfig,
+    fault: Option<MicroFault>,
+    target_rounds: u64,
+) -> (RunReport, Vec<u32>, Recorder) {
+    run_micro_engine(cfg, fault, target_rounds, Recorder::new())
+}
+
+fn run_micro_engine(
+    cfg: &MicroConfig,
+    fault: Option<MicroFault>,
+    target_rounds: u64,
+    rec: Recorder,
+) -> (RunReport, Vec<u32>, Recorder) {
+    let mut e = Micro::with_recorder(cfg.clone(), fault, rec);
     // Fail-safe watchdog: a *permanent* fault in a shared functional unit
     // corrupts every round of every version — detectable (diversity!) but
     // not tolerable on a single processor. When the system stops making
@@ -715,13 +801,18 @@ pub fn run_micro_with_state(
             stalled_iterations += 1;
             if stalled_iterations > 64 {
                 e.report.shutdown = true;
+                let t = e.m.cycles() as f64;
+                e.rec.event(t, "micro", "shutdown", vec![]);
                 break;
             }
         }
     }
     e.report.total_time = e.m.cycles() as f64;
     let img = e.dmem_of(e.active[0]);
-    (e.report, img)
+    let mut rec = e.rec;
+    e.report.export_metrics(&mut rec, "vds");
+    e.m.core().export_metrics(&mut rec);
+    (e.report, img, rec)
 }
 
 #[cfg(test)]
@@ -938,6 +1029,26 @@ mod tests {
         let r = run_micro(&cfg, Some(f), 15);
         assert_eq!(r.committed_rounds, 15);
         assert_eq!(r.detections, 0, "boundary register faults are dead: {r}");
+    }
+
+    #[test]
+    fn recorded_micro_run_exports_metrics_and_trace() {
+        let cfg = MicroConfig::new(Scheme::SmtDeterministic, 10);
+        let (r, rec) = run_micro_recorded(&cfg, Some(fault_mem(4, Victim::V2)), 15);
+        let reg = rec.registry();
+        assert_eq!(reg.counter("vds.committed_rounds"), r.committed_rounds);
+        assert_eq!(reg.counter("vds.detections"), 1);
+        assert_eq!(reg.counter("smt.cycles"), r.total_time as u64);
+        assert!(reg.counter("smt.thread0.retired") > 0);
+        let events: Vec<&str> = rec.trace().records().map(|e| e.event).collect();
+        assert!(events.contains(&"fault_injected"));
+        assert!(events.contains(&"detect"));
+        assert!(events.contains(&"recovery"));
+        assert!(events.contains(&"round"));
+        // byte-identical exports across two runs (fixed seed)
+        let (_, rec2) = run_micro_recorded(&cfg, Some(fault_mem(4, Victim::V2)), 15);
+        assert_eq!(rec.registry().to_csv(), rec2.registry().to_csv());
+        assert_eq!(rec.trace().to_jsonl(), rec2.trace().to_jsonl());
     }
 
     #[test]

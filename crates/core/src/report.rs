@@ -65,6 +65,37 @@ impl RunReport {
             self.time_recovery / self.total_time
         }
     }
+
+    /// Mirror the report into a metrics registry under `<prefix>.*`:
+    /// event counters plus per-phase simulated-time gauges.
+    pub fn export_metrics(&self, rec: &mut vds_obs::Recorder, prefix: &str) {
+        for (field, v) in [
+            ("committed_rounds", self.committed_rounds),
+            ("faults_injected", self.faults_injected),
+            ("detections", self.detections),
+            ("recoveries_ok", self.recoveries_ok),
+            ("rollbacks", self.rollbacks),
+            ("processor_stops", self.processor_stops),
+            ("rollforward.hits", self.rollforward_hits),
+            ("rollforward.misses", self.rollforward_misses),
+            ("rollforward.discards", self.rollforward_discards),
+            ("silent_corruptions", self.silent_corruptions),
+            ("checkpoints", self.checkpoints),
+            ("shutdown", u64::from(self.shutdown)),
+        ] {
+            rec.count(&format!("{prefix}.{field}"), v);
+        }
+        for (field, v) in [
+            ("time.total", self.total_time),
+            ("time.normal", self.time_normal),
+            ("time.recovery", self.time_recovery),
+            ("time.checkpoint", self.time_checkpoint),
+            ("throughput", self.throughput()),
+            ("recovery_fraction", self.recovery_fraction()),
+        ] {
+            rec.gauge(&format!("{prefix}.{field}"), v);
+        }
+    }
 }
 
 impl std::fmt::Display for RunReport {
@@ -79,7 +110,10 @@ impl std::fmt::Display for RunReport {
         writeln!(
             f,
             "  faults={} detections={} recoveries={} rollbacks={} shutdown={}",
-            self.faults_injected, self.detections, self.recoveries_ok, self.rollbacks,
+            self.faults_injected,
+            self.detections,
+            self.recoveries_ok,
+            self.rollbacks,
             self.shutdown
         )?;
         writeln!(

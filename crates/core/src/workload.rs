@@ -133,8 +133,8 @@ pub fn round_entry(prog: &Program) -> u32 {
 pub fn oracle(rounds: u32) -> (u32, Vec<u32>) {
     let mut state: Vec<u32> = vec![17, 42, 99, 7, 1234, 5678, 4321, 8765];
     let table: Vec<u32> = vec![
-        3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3, 2, 3, 8, 4, 6, 2, 6, 4, 3, 3, 8, 3, 2,
-        7, 9, 5,
+        3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3, 2, 3, 8, 4, 6, 2, 6, 4, 3, 3, 8, 3, 2, 7,
+        9, 5,
     ];
     let s = STATE_WORDS as usize;
     for k in 0..rounds {
@@ -263,6 +263,9 @@ mod tests {
             RunOutcome::AllYielded
         );
         core.resume(t);
-        assert_eq!(core.run_until_all_blocked(10_000_000), RunOutcome::AllHalted);
+        assert_eq!(
+            core.run_until_all_blocked(10_000_000),
+            RunOutcome::AllHalted
+        );
     }
 }

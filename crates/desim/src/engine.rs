@@ -60,6 +60,7 @@ pub struct Sim<W> {
     queue: BinaryHeap<Scheduled<W>>,
     seq: u64,
     fired: u64,
+    max_pending: usize,
     stopped: bool,
 }
 
@@ -77,6 +78,7 @@ impl<W> Sim<W> {
             queue: BinaryHeap::new(),
             seq: 0,
             fired: 0,
+            max_pending: 0,
             stopped: false,
         }
     }
@@ -115,6 +117,7 @@ impl<W> Sim<W> {
             seq,
             action: Box::new(action),
         });
+        self.max_pending = self.max_pending.max(self.queue.len());
     }
 
     /// Schedule `action` to fire `delay` after the current clock.
@@ -181,6 +184,26 @@ impl<W> Sim<W> {
     #[inline]
     pub fn total_fired(&self) -> u64 {
         self.fired
+    }
+
+    /// High-water mark of the event calendar's length.
+    #[inline]
+    pub fn max_pending(&self) -> usize {
+        self.max_pending
+    }
+
+    /// Export engine health into a metrics registry: events fired,
+    /// calendar depth (current and high-water), clock position, and
+    /// throughput in events per simulated second.
+    pub fn export_metrics(&self, rec: &mut vds_obs::Recorder) {
+        rec.count("desim.events_fired", self.fired);
+        rec.gauge("desim.queue.pending", self.queue.len() as f64);
+        rec.gauge_max("desim.queue.max_pending", self.max_pending as f64);
+        let secs = self.clock.as_secs();
+        rec.gauge("desim.clock_secs", secs);
+        if secs > 0.0 {
+            rec.gauge("desim.events_per_sim_sec", self.fired as f64 / secs);
+        }
     }
 }
 
@@ -273,6 +296,28 @@ mod tests {
         assert!(sim.step(&mut n));
         assert!(!sim.step(&mut n));
         assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn metrics_export_tracks_queue_and_throughput() {
+        let mut sim: Sim<u32> = Sim::new();
+        sim.schedule_at(at(1.0), |_, n| *n += 1);
+        sim.schedule_at(at(2.0), |_, n| *n += 1);
+        assert_eq!(sim.max_pending(), 2);
+        let mut n = 0;
+        sim.run(&mut n);
+        let mut rec = vds_obs::Recorder::new();
+        sim.export_metrics(&mut rec);
+        assert_eq!(rec.registry().counter("desim.events_fired"), 2);
+        assert_eq!(rec.registry().gauge_value("desim.queue.pending"), Some(0.0));
+        assert_eq!(
+            rec.registry().gauge_value("desim.queue.max_pending"),
+            Some(2.0)
+        );
+        assert_eq!(
+            rec.registry().gauge_value("desim.events_per_sim_sec"),
+            Some(1.0)
+        );
     }
 
     #[test]

@@ -46,6 +46,7 @@ impl OnlineStats {
     }
 
     /// Build from an iterator.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_iter<I: IntoIterator<Item = f64>>(it: I) -> Self {
         let mut s = Self::new();
         s.extend(it);

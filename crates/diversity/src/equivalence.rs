@@ -52,7 +52,11 @@ impl std::fmt::Display for EquivError {
                 write!(f, "round structure diverged after round {round}")
             }
             EquivError::Execution { version, what } => {
-                write!(f, "version {} failed: {what}", ['A', 'B'][*version as usize])
+                write!(
+                    f,
+                    "version {} failed: {what}",
+                    ['A', 'B'][*version as usize]
+                )
             }
         }
     }
@@ -105,12 +109,12 @@ pub fn check_equivalence(
     let mut rb = Runner::new(b, dmem_words);
     let mut round = 0u32;
     loop {
-        let ya = ra.next_round(budget_per_round).map_err(|what| {
-            EquivError::Execution { version: 0, what }
-        })?;
-        let yb = rb.next_round(budget_per_round).map_err(|what| {
-            EquivError::Execution { version: 1, what }
-        })?;
+        let ya = ra
+            .next_round(budget_per_round)
+            .map_err(|what| EquivError::Execution { version: 0, what })?;
+        let yb = rb
+            .next_round(budget_per_round)
+            .map_err(|what| EquivError::Execution { version: 1, what })?;
         if ya != yb {
             return Err(EquivError::RoundStructure { round });
         }
@@ -152,8 +156,7 @@ mod tests {
         let k = kernels::vecsum(16, 2);
         let p = k.program();
         let rounds =
-            check_equivalence(&p, &p, k.dmem_words, k.out_addr..k.out_addr + 1, BUDGET)
-                .unwrap();
+            check_equivalence(&p, &p, k.dmem_words, k.out_addr..k.out_addr + 1, BUDGET).unwrap();
         assert_eq!(rounds, 2);
     }
 
@@ -162,7 +165,12 @@ mod tests {
         let a = assemble("addi r1, r0, 1\nst r1, 0(r0)\nyield\nhalt\n").unwrap();
         let b = assemble("addi r1, r0, 2\nst r1, 0(r0)\nyield\nhalt\n").unwrap();
         match check_equivalence(&a, &b, 8, 0..1, BUDGET) {
-            Err(EquivError::WindowMismatch { addr: 0, a: 1, b: 2, .. }) => {}
+            Err(EquivError::WindowMismatch {
+                addr: 0,
+                a: 1,
+                b: 2,
+                ..
+            }) => {}
             other => panic!("{other:?}"),
         }
     }
@@ -218,14 +226,8 @@ mod tests {
             let base = k.program();
             for idx in 1..=3u32 {
                 let v = diversify(&base, idx, 4242);
-                check_equivalence(
-                    &base,
-                    &v,
-                    k.dmem_words,
-                    k.out_addr..k.out_addr + 1,
-                    BUDGET,
-                )
-                .unwrap_or_else(|e| panic!("kernel {} version {idx}: {e}", k.name));
+                check_equivalence(&base, &v, k.dmem_words, k.out_addr..k.out_addr + 1, BUDGET)
+                    .unwrap_or_else(|e| panic!("kernel {} version {idx}: {e}", k.name));
             }
         }
     }

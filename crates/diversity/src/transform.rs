@@ -130,10 +130,7 @@ impl Transform for CommutativeSwap {
                 }
                 match *i {
                     Instr::Alu { op, rd, rs1, rs2 }
-                        if matches!(
-                            op,
-                            AluOp::Add | AluOp::And | AluOp::Or | AluOp::Xor
-                        ) =>
+                        if matches!(op, AluOp::Add | AluOp::And | AluOp::Or | AluOp::Xor) =>
                     {
                         Instr::Alu {
                             op,
@@ -327,12 +324,15 @@ impl Transform for ArithmeticRecoding {
                         imm: -d,
                     });
                 }
-                (_, Instr::Branch {
-                    cond,
-                    rs1,
-                    rs2,
-                    target,
-                }) => out_instrs.push(Instr::Branch {
+                (
+                    _,
+                    Instr::Branch {
+                        cond,
+                        rs1,
+                        rs2,
+                        target,
+                    },
+                ) => out_instrs.push(Instr::Branch {
                     cond,
                     rs1,
                     rs2,
@@ -410,12 +410,23 @@ mod tests {
         let Instr::AluImm { rd: new_r1, .. } = instrs[0] else {
             panic!()
         };
-        let Instr::Alu { rd: new_r2, rs1, rs2, .. } = instrs[1] else {
+        let Instr::Alu {
+            rd: new_r2,
+            rs1,
+            rs2,
+            ..
+        } = instrs[1]
+        else {
             panic!()
         };
         assert_eq!(rs1, new_r1);
         assert_eq!(rs2, new_r1);
-        let Instr::St { rs2: stored, rs1: base, .. } = instrs[2] else {
+        let Instr::St {
+            rs2: stored,
+            rs1: base,
+            ..
+        } = instrs[2]
+        else {
             panic!()
         };
         assert_eq!(stored, new_r2);
@@ -490,7 +501,14 @@ mod tests {
                 })
                 .expect("branch survives");
             assert!(
-                matches!(is[bt as usize], Instr::AluImm { op: AluImmOp::Addi, imm: -1, .. }),
+                matches!(
+                    is[bt as usize],
+                    Instr::AluImm {
+                        op: AluImmOp::Addi,
+                        imm: -1,
+                        ..
+                    }
+                ),
                 "seed {seed}: branch target {bt} is {:?}",
                 is[bt as usize]
             );
@@ -519,7 +537,11 @@ mod tests {
             assert!(
                 matches!(
                     q.decode_all().unwrap()[t as usize],
-                    Instr::AluImm { op: AluImmOp::Addi, imm: 1, .. }
+                    Instr::AluImm {
+                        op: AluImmOp::Addi,
+                        imm: 1,
+                        ..
+                    }
                 ),
                 "seed {seed}"
             );

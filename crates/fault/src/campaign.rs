@@ -4,11 +4,26 @@
 //! deterministically derived seed, across worker threads. Trials return a
 //! label (outcome class) and optionally a numeric observation (e.g.
 //! detection latency); the campaign merges everything into label counts
-//! and per-label statistics. Results are independent of the worker count —
-//! per-trial seeds come from the trial index, not from thread scheduling.
+//! and per-label streaming statistics ([`vds_obs::Summary`]: Welford
+//! mean/variance, min/max, bucketed percentiles — numerically stable for
+//! arbitrarily large campaigns, unlike a naive `(sum, count)` pair).
+//!
+//! **Determinism.** Results are *bit-identical* regardless of the worker
+//! count: trials are partitioned into a fixed number of logical shards by
+//! trial index (independent of `workers`), each shard accumulates its
+//! trials in index order, and shards merge in shard order. Worker threads
+//! only decide *who* computes a shard, never what it contains or when it
+//! is merged.
 
-use parking_lot::Mutex;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use vds_obs::{Recorder, Summary};
+
+/// Number of logical shards a campaign is split into (capped by the
+/// trial count). Fixed so that the shard partition — and therefore the
+/// merged floating-point results — do not depend on the worker count.
+pub const LOGICAL_SHARDS: u64 = 64;
 
 /// Result of one trial.
 #[derive(Debug, Clone, PartialEq)]
@@ -38,12 +53,12 @@ impl TrialResult {
 }
 
 /// Aggregated campaign outcome.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CampaignReport {
     /// Trials per label.
     pub counts: BTreeMap<String, u64>,
-    /// Sum and count of numeric observations per label.
-    pub observations: BTreeMap<String, (f64, u64)>,
+    /// Streaming statistics of numeric observations per label.
+    pub observations: BTreeMap<String, Summary>,
     /// Total trials.
     pub trials: u64,
 }
@@ -65,20 +80,23 @@ impl CampaignReport {
 
     /// Mean numeric observation for a label, if any were recorded.
     pub fn mean_value(&self, label: &str) -> Option<f64> {
-        let (sum, n) = self.observations.get(label)?;
-        if *n == 0 {
+        let s = self.observations.get(label)?;
+        if s.count() == 0 {
             None
         } else {
-            Some(sum / *n as f64)
+            Some(s.mean())
         }
+    }
+
+    /// Full streaming statistics for a label's observations.
+    pub fn stats(&self, label: &str) -> Option<&Summary> {
+        self.observations.get(label)
     }
 
     fn absorb(&mut self, r: TrialResult) {
         *self.counts.entry(r.label.clone()).or_insert(0) += 1;
         if let Some(v) = r.value {
-            let e = self.observations.entry(r.label).or_insert((0.0, 0));
-            e.0 += v;
-            e.1 += 1;
+            self.observations.entry(r.label).or_default().observe(v);
         }
         self.trials += 1;
     }
@@ -88,12 +106,23 @@ impl CampaignReport {
         for (l, c) in &other.counts {
             *self.counts.entry(l.clone()).or_insert(0) += c;
         }
-        for (l, (s, n)) in &other.observations {
-            let e = self.observations.entry(l.clone()).or_insert((0.0, 0));
-            e.0 += s;
-            e.1 += n;
+        for (l, s) in &other.observations {
+            self.observations.entry(l.clone()).or_default().merge(s);
         }
         self.trials += other.trials;
+    }
+
+    /// Mirror this report into a metrics registry: `campaign.trials`,
+    /// per-label `campaign.count.<label>` counters and
+    /// `campaign.value.<label>` summaries.
+    pub fn export_metrics(&self, rec: &mut Recorder) {
+        rec.count("campaign.trials", self.trials);
+        for (l, c) in &self.counts {
+            rec.count(&format!("campaign.count.{l}"), *c);
+        }
+        for (l, s) in &self.observations {
+            rec.merge_summary(&format!("campaign.value.{l}"), s);
+        }
     }
 }
 
@@ -108,8 +137,17 @@ impl std::fmt::Display for CampaignReport {
                 count,
                 100.0 * self.fraction(label)
             )?;
-            if let Some(m) = self.mean_value(label) {
-                write!(f, "  mean={m:.3}")?;
+            if let Some(s) = self.observations.get(label) {
+                if s.count() > 0 {
+                    write!(
+                        f,
+                        "  mean={:.3} sd={:.3} min={:.3} max={:.3}",
+                        s.mean(),
+                        s.std_dev(),
+                        s.min(),
+                        s.max()
+                    )?;
+                }
             }
             writeln!(f)?;
         }
@@ -117,32 +155,100 @@ impl std::fmt::Display for CampaignReport {
     }
 }
 
+/// `[lo, hi)` trial range of logical shard `s` out of `shards`.
+fn shard_bounds(n: u64, shards: u64, s: u64) -> (u64, u64) {
+    (s * n / shards, (s + 1) * n / shards)
+}
+
+fn run_campaign_impl<F>(
+    n: u64,
+    workers: usize,
+    record: bool,
+    trial: F,
+) -> (CampaignReport, Recorder)
+where
+    F: Fn(u64, &mut Recorder) -> TrialResult + Sync,
+{
+    let workers = workers.max(1);
+    let shards = n.clamp(1, LOGICAL_SHARDS);
+    let slots: Vec<Mutex<Option<(CampaignReport, Recorder)>>> =
+        (0..shards).map(|_| Mutex::new(None)).collect();
+    let next = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(shards as usize) {
+            scope.spawn(|| loop {
+                let s = next.fetch_add(1, Ordering::Relaxed);
+                if s >= shards {
+                    break;
+                }
+                let (lo, hi) = shard_bounds(n, shards, s);
+                let mut local = CampaignReport::default();
+                let mut rec = if record {
+                    // metrics only: per-shard traces would interleave by
+                    // completion order; the shard_done event below is
+                    // emitted with the shard index as its time instead
+                    Recorder::with_trace_capacity(0)
+                } else {
+                    Recorder::disabled()
+                };
+                for i in lo..hi {
+                    local.absorb(trial(i, &mut rec));
+                }
+                *slots[s as usize].lock().unwrap() = Some((local, rec));
+            });
+        }
+    });
+    let mut report = CampaignReport::default();
+    let mut rec = if record {
+        Recorder::new()
+    } else {
+        Recorder::disabled()
+    };
+    for (s, slot) in slots.into_iter().enumerate() {
+        let (shard_report, shard_rec) = slot
+            .into_inner()
+            .unwrap()
+            .expect("every logical shard completes");
+        if record {
+            rec.event(
+                s as f64,
+                "campaign",
+                "shard_done",
+                vec![
+                    ("shard", (s as u64).into()),
+                    ("trials", shard_report.trials.into()),
+                ],
+            );
+        }
+        report.merge(&shard_report);
+        rec.merge(&shard_rec);
+    }
+    if record {
+        report.export_metrics(&mut rec);
+        rec.gauge("campaign.shards", shards as f64);
+    }
+    (report, rec)
+}
+
 /// Run `n` trials of `trial` (given the trial index as a seed component)
-/// on `workers` threads. Deterministic: the set of results depends only on
-/// `n` and the trial function.
+/// on `workers` threads. Deterministic: the result is bit-identical for
+/// any worker count.
 pub fn run_campaign<F>(n: u64, workers: usize, trial: F) -> CampaignReport
 where
     F: Fn(u64) -> TrialResult + Sync,
 {
-    let workers = workers.max(1);
-    let report = Mutex::new(CampaignReport::default());
-    let next = std::sync::atomic::AtomicU64::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| {
-                let mut local = CampaignReport::default();
-                loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    local.absorb(trial(i));
-                }
-                report.lock().merge(&local);
-            });
-        }
-    });
-    report.into_inner()
+    run_campaign_impl(n, workers, false, |i, _| trial(i)).0
+}
+
+/// [`run_campaign`] with metrics: each trial may record into a shard
+/// recorder; shard registries merge in shard order (bit-deterministic),
+/// and the campaign's own counters/summaries are added under
+/// `campaign.*`.
+pub fn run_campaign_recorded<F>(n: u64, workers: usize, trial: F) -> (CampaignReport, Recorder)
+where
+    F: Fn(u64, &mut Recorder) -> TrialResult + Sync,
+{
+    run_campaign_impl(n, workers, true, trial)
 }
 
 #[cfg(test)]
@@ -166,13 +272,17 @@ mod tests {
         assert_eq!(r.count("lat"), 100);
         assert!((r.mean_value("lat").unwrap() - 49.5).abs() < 1e-9);
         assert_eq!(r.mean_value("nope"), None);
+        let s = r.stats("lat").unwrap();
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 99.0);
+        assert!(s.variance() > 0.0);
     }
 
     #[test]
     fn deterministic_across_worker_counts() {
         let f = |i: u64| {
             TrialResult::with_value(
-                if i.wrapping_mul(0x9E3779B9) % 7 == 0 {
+                if i.wrapping_mul(0x9E3779B9).is_multiple_of(7) {
                     "x"
                 } else {
                     "y"
@@ -182,10 +292,41 @@ mod tests {
         };
         let a = run_campaign(500, 1, f);
         let b = run_campaign(500, 8, f);
-        assert_eq!(a.counts, b.counts);
+        // logical shards make the whole report bit-identical, not merely
+        // equal within tolerance
+        assert_eq!(a, b);
         for l in ["x", "y"] {
             assert!((a.mean_value(l).unwrap() - b.mean_value(l).unwrap()).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn recorded_campaign_metrics_are_worker_invariant() {
+        let f = |i: u64, rec: &mut Recorder| {
+            rec.bump("trial.custom");
+            rec.observe("trial.latency", (i % 10) as f64);
+            TrialResult::with_value("lat", i as f64)
+        };
+        let (ra, reca) = run_campaign_recorded(300, 1, f);
+        let (rb, recb) = run_campaign_recorded(300, 7, f);
+        assert_eq!(ra, rb);
+        assert_eq!(reca.registry(), recb.registry());
+        assert_eq!(
+            reca.registry().to_csv(),
+            recb.registry().to_csv(),
+            "CSV export must be byte-identical across worker counts"
+        );
+        assert_eq!(reca.registry().counter("campaign.trials"), 300);
+        assert_eq!(reca.registry().counter("campaign.count.lat"), 300);
+        assert_eq!(reca.registry().counter("trial.custom"), 300);
+        assert_eq!(
+            reca.registry()
+                .summary("campaign.value.lat")
+                .unwrap()
+                .count(),
+            300
+        );
+        assert_eq!(reca.trace().len(), LOGICAL_SHARDS as usize);
     }
 
     #[test]
@@ -201,5 +342,22 @@ mod tests {
         let s = format!("{r}");
         assert!(s.contains("trials: 10"));
         assert!(s.contains("mean="));
+    }
+
+    #[test]
+    fn shard_bounds_cover_exactly() {
+        for n in [0u64, 1, 7, 63, 64, 65, 500, 1000] {
+            let shards = n.clamp(1, LOGICAL_SHARDS);
+            let mut covered = 0;
+            for s in 0..shards {
+                let (lo, hi) = shard_bounds(n, shards, s);
+                assert!(lo <= hi);
+                covered += hi - lo;
+                if s > 0 {
+                    assert_eq!(lo, shard_bounds(n, shards, s - 1).1);
+                }
+            }
+            assert_eq!(covered, n);
+        }
     }
 }

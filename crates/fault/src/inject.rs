@@ -78,10 +78,10 @@ fn inject_transient(machine: &mut Machine, pid: ProcId, site: &FaultSite) -> Inj
 #[cfg(test)]
 mod tests {
     use super::*;
+    use vds_sched::ProcOutcome;
     use vds_smtsim::asm::assemble;
     use vds_smtsim::core::{CoreConfig, FuFault, ThreadId, Trap};
     use vds_smtsim::isa::FuClass;
-    use vds_sched::ProcOutcome;
 
     fn machine_with_proc() -> (Machine, ProcId) {
         let prog = assemble(
@@ -131,7 +131,10 @@ mod tests {
             &FaultKind::Transient(FaultSite::Memory { addr: 0, bit: 5 }),
         );
         m.dispatch(p, ThreadId(0));
-        assert_eq!(m.run_hw_until_block(ThreadId(0), 100_000), ProcOutcome::Yielded);
+        assert_eq!(
+            m.run_hw_until_block(ThreadId(0), 100_000),
+            ProcOutcome::Yielded
+        );
         // dmem[0] was 0, flipped to 32, program adds 1 → 33
         m.with_state(p, |_, _, d| assert_eq!(d[0], 33));
     }

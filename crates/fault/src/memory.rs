@@ -203,7 +203,7 @@ mod tests {
 
     #[test]
     fn without_scrubbing_doubles_accumulate() {
-        let mut m = ProtectedMemory::from_image(&vec![7u32; 4]);
+        let mut m = ProtectedMemory::from_image(&[7u32; 4]);
         // two flips in the same word, different bits, no scrub between
         m.inject_flip(2, 5);
         m.inject_flip(2, 6);

@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+
+//! # vds-obs — the deterministic observability layer
+//!
+//! Zero-dependency metrics, tracing and host-time accounting for the
+//! VDS-SMT reproduction. The paper's entire contribution is *performance
+//! estimation*, so every backend must be able to say where simulated time
+//! and host time go — cheaply, and reproducibly.
+//!
+//! Three pieces:
+//!
+//! * [`Registry`] — named counters, gauges and [`Summary`] streaming
+//!   statistics (Welford mean/variance plus fixed-bucket percentiles),
+//!   stored sorted so exports are deterministic. Host wall-clock timings
+//!   live in a separate section that the deterministic exporters omit.
+//! * [`Trace`] — a bounded ring buffer of `(sim_time, component, event,
+//!   fields)` records with a JSON-lines exporter.
+//! * [`Recorder`] — the handle instrumented code accepts; a disabled
+//!   recorder costs one branch per call.
+//!
+//! **Determinism contract:** for a fixed seed, the content of a
+//! recorder's registry and trace — and therefore the bytes of
+//! [`Registry::to_csv`] / [`Registry::to_jsonl`] / [`Trace::to_jsonl`] —
+//! are identical across runs and across worker counts, provided parallel
+//! shards are merged in a fixed order (see `vds-fault`'s logical shards).
+//! Host wall-clock timings are the one exception, which is why they are
+//! quarantined in their own export section.
+//!
+//! ```
+//! use vds_obs::Recorder;
+//!
+//! let mut rec = Recorder::new();
+//! rec.bump("core.rounds.committed");
+//! rec.observe("core.recovery_time", 12.5);
+//! rec.event(3.0, "core", "fault_detected", vec![("round", 3u64.into())]);
+//! assert_eq!(rec.registry().counter("core.rounds.committed"), 1);
+//! let csv = rec.registry().to_csv();
+//! assert!(csv.contains("counter,core.rounds.committed,value,1"));
+//! ```
+
+pub mod recorder;
+pub mod registry;
+pub mod summary;
+pub mod trace;
+
+pub use recorder::{Recorder, Stopwatch, DEFAULT_TRACE_CAPACITY};
+pub use registry::Registry;
+pub use summary::Summary;
+pub use trace::{Record, Trace, Value};

@@ -1,0 +1,238 @@
+//! The [`Recorder`] handle: the single object components accept to emit
+//! metrics and trace events.
+//!
+//! A recorder bundles a [`Registry`] and a [`Trace`] behind an enabled
+//! flag, so instrumented code takes `&mut Recorder` unconditionally and a
+//! disabled recorder costs one branch per call site. Recorders are plain
+//! owned values: parallel code gives each shard its own recorder and
+//! merges them in a fixed order, which keeps content deterministic for a
+//! fixed seed regardless of worker count.
+
+use crate::registry::Registry;
+use crate::trace::{Record, Trace, Value};
+use std::time::Instant;
+
+/// Default trace capacity for enabled recorders.
+pub const DEFAULT_TRACE_CAPACITY: usize = 4096;
+
+/// Metrics + trace sink handed through the stack.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Recorder {
+    enabled: bool,
+    registry: Registry,
+    trace: Trace,
+}
+
+impl Recorder {
+    /// Enabled recorder with the default trace capacity.
+    pub fn new() -> Self {
+        Self::with_trace_capacity(DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// Enabled recorder with an explicit trace capacity (0 = metrics only).
+    pub fn with_trace_capacity(capacity: usize) -> Self {
+        Recorder {
+            enabled: true,
+            registry: Registry::new(),
+            trace: Trace::with_capacity(capacity),
+        }
+    }
+
+    /// A recorder that ignores everything (for uninstrumented runs).
+    pub fn disabled() -> Self {
+        Recorder {
+            enabled: false,
+            registry: Registry::new(),
+            trace: Trace::with_capacity(0),
+        }
+    }
+
+    /// Whether this recorder keeps what it is given.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Add `n` to a counter.
+    pub fn count(&mut self, name: &str, n: u64) {
+        if self.enabled {
+            self.registry.count(name, n);
+        }
+    }
+
+    /// Increment a counter by one.
+    pub fn bump(&mut self, name: &str) {
+        self.count(name, 1);
+    }
+
+    /// Set a gauge (last write wins).
+    pub fn gauge(&mut self, name: &str, v: f64) {
+        if self.enabled {
+            self.registry.gauge(name, v);
+        }
+    }
+
+    /// Raise a gauge to at least `v` (high-water marks).
+    pub fn gauge_max(&mut self, name: &str, v: f64) {
+        if self.enabled {
+            self.registry.gauge_max(name, v);
+        }
+    }
+
+    /// Record a numeric observation into a streaming summary.
+    pub fn observe(&mut self, name: &str, x: f64) {
+        if self.enabled {
+            self.registry.observe(name, x);
+        }
+    }
+
+    /// Emit a trace event at simulated time `sim_time`.
+    pub fn event(
+        &mut self,
+        sim_time: f64,
+        component: &'static str,
+        event: &'static str,
+        fields: Vec<(&'static str, Value)>,
+    ) {
+        if self.enabled {
+            self.trace.push(Record {
+                sim_time,
+                component,
+                event,
+                fields,
+            });
+        }
+    }
+
+    /// Time the host wall-clock duration of `f` into the registry's host
+    /// section (excluded from deterministic exports).
+    pub fn time_host<R>(&mut self, name: &str, f: impl FnOnce() -> R) -> R {
+        if !self.enabled {
+            return f();
+        }
+        let start = Instant::now();
+        let out = f();
+        self.registry
+            .observe_host(name, start.elapsed().as_secs_f64());
+        out
+    }
+
+    /// Record an already-measured host duration in seconds.
+    pub fn observe_host(&mut self, name: &str, secs: f64) {
+        if self.enabled {
+            self.registry.observe_host(name, secs);
+        }
+    }
+
+    /// Read access to the collected metrics.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Read access to the collected trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Consume the recorder, returning its registry and trace.
+    pub fn into_parts(self) -> (Registry, Trace) {
+        (self.registry, self.trace)
+    }
+
+    /// Merge another recorder's content into this one (counters add,
+    /// gauges max, summaries merge, traces concatenate). Merge shards in
+    /// a fixed order for bit-reproducibility.
+    pub fn merge(&mut self, other: &Recorder) {
+        if self.enabled {
+            self.registry.merge(&other.registry);
+            self.trace.extend_from(&other.trace);
+        }
+    }
+
+    /// Merge with every metric name prefixed by `prefix.`.
+    pub fn merge_prefixed(&mut self, other: &Registry, prefix: &str) {
+        if self.enabled {
+            self.registry.merge(&other.prefixed(prefix));
+        }
+    }
+
+    /// Fold an already-accumulated summary into the named summary.
+    pub fn merge_summary(&mut self, name: &str, s: &crate::summary::Summary) {
+        if self.enabled {
+            self.registry.merge_summary(name, s);
+        }
+    }
+}
+
+/// Wall-clock stopwatch for call sites where the closure form of
+/// [`Recorder::time_host`] is awkward.
+#[derive(Debug)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Start timing.
+    pub fn start() -> Self {
+        Stopwatch {
+            start: Instant::now(),
+        }
+    }
+
+    /// Seconds elapsed since `start`.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let mut r = Recorder::disabled();
+        r.bump("c");
+        r.gauge("g", 1.0);
+        r.observe("s", 2.0);
+        r.event(0.0, "t", "e", vec![]);
+        let out = r.time_host("h", || 42);
+        assert_eq!(out, 42);
+        assert!(r.registry().is_empty());
+        assert!(r.trace().is_empty());
+    }
+
+    #[test]
+    fn enabled_recorder_collects() {
+        let mut r = Recorder::new();
+        r.bump("c");
+        r.count("c", 2);
+        r.observe("s", 5.0);
+        r.event(1.0, "t", "e", vec![("k", 7u64.into())]);
+        assert_eq!(r.registry().counter("c"), 3);
+        assert_eq!(r.trace().len(), 1);
+    }
+
+    #[test]
+    fn merge_folds_both_parts() {
+        let mut a = Recorder::new();
+        a.bump("c");
+        let mut b = Recorder::new();
+        b.bump("c");
+        b.event(2.0, "t", "e", vec![]);
+        a.merge(&b);
+        assert_eq!(a.registry().counter("c"), 2);
+        assert_eq!(a.trace().len(), 1);
+    }
+
+    #[test]
+    fn host_timing_lands_in_host_section() {
+        let mut r = Recorder::new();
+        r.time_host("phase", || {
+            std::thread::sleep(std::time::Duration::from_millis(1))
+        });
+        let s = r.registry().host_summary("phase").unwrap();
+        assert_eq!(s.count(), 1);
+        assert!(s.mean() > 0.0);
+        assert!(!r.registry().to_csv().contains("phase"));
+    }
+}

@@ -1,0 +1,372 @@
+//! The metrics registry: named counters, gauges and observation
+//! summaries, with deterministic (sorted) content and exporters.
+
+use crate::summary::Summary;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Escape a string for inclusion in a JSON document.
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format an `f64` for export: shortest round-trip representation, with a
+/// fixed spelling for the non-finite values.
+pub(crate) fn fmt_f64(x: f64) -> String {
+    if x.is_nan() {
+        "nan".to_string()
+    } else if x == f64::INFINITY {
+        "inf".to_string()
+    } else if x == f64::NEG_INFINITY {
+        "-inf".to_string()
+    } else {
+        format!("{x}")
+    }
+}
+
+/// Named metrics, kept sorted so exports are deterministic.
+///
+/// Host wall-clock timings live in a separate section: they are real
+/// measurements and therefore *not* reproducible run-to-run, so the
+/// default exporters omit them and [`Registry::to_csv_with_host`] /
+/// [`Registry::host_summary`] surface them explicitly.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Registry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    summaries: BTreeMap<String, Summary>,
+    host: BTreeMap<String, Summary>,
+}
+
+impl Registry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `n` to the named counter (creating it at zero first).
+    pub fn count(&mut self, name: &str, n: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += n;
+    }
+
+    /// Set the named gauge to `v` (last write wins).
+    pub fn gauge(&mut self, name: &str, v: f64) {
+        self.gauges.insert(name.to_string(), v);
+    }
+
+    /// Set the named gauge to the maximum of its current value and `v`.
+    pub fn gauge_max(&mut self, name: &str, v: f64) {
+        let e = self.gauges.entry(name.to_string()).or_insert(v);
+        if v > *e {
+            *e = v;
+        }
+    }
+
+    /// Record one observation into the named summary.
+    pub fn observe(&mut self, name: &str, x: f64) {
+        self.summaries
+            .entry(name.to_string())
+            .or_default()
+            .observe(x);
+    }
+
+    /// Fold an already-accumulated summary into the named summary.
+    pub fn merge_summary(&mut self, name: &str, s: &Summary) {
+        self.summaries.entry(name.to_string()).or_default().merge(s);
+    }
+
+    /// Record a host wall-clock duration (seconds) under the given name.
+    /// Host timings are excluded from the deterministic exports.
+    pub fn observe_host(&mut self, name: &str, secs: f64) {
+        self.host.entry(name.to_string()).or_default().observe(secs);
+    }
+
+    /// Counter value (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value, if set.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Summary for a name, if any observations were recorded.
+    pub fn summary(&self, name: &str) -> Option<&Summary> {
+        self.summaries.get(name)
+    }
+
+    /// Host-time summary for a name, if recorded.
+    pub fn host_summary(&self, name: &str) -> Option<&Summary> {
+        self.host.get(name)
+    }
+
+    /// Iterate counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Iterate gauges in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Iterate summaries in name order.
+    pub fn summaries(&self) -> impl Iterator<Item = (&str, &Summary)> {
+        self.summaries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Iterate host-time summaries in name order.
+    pub fn host_summaries(&self) -> impl Iterator<Item = (&str, &Summary)> {
+        self.host.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// True when nothing (deterministic or host) has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.summaries.is_empty()
+            && self.host.is_empty()
+    }
+
+    /// Merge another registry into this one: counters add, gauges take
+    /// the maximum, summaries (and host timings) merge. Merge shards in a
+    /// fixed order for bit-reproducible means/variances.
+    pub fn merge(&mut self, other: &Registry) {
+        for (k, &v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, &v) in &other.gauges {
+            let e = self.gauges.entry(k.clone()).or_insert(v);
+            if v > *e {
+                *e = v;
+            }
+        }
+        for (k, v) in &other.summaries {
+            self.summaries.entry(k.clone()).or_default().merge(v);
+        }
+        for (k, v) in &other.host {
+            self.host.entry(k.clone()).or_default().merge(v);
+        }
+    }
+
+    /// Prefix every metric name with `prefix.` and return the result
+    /// (used to namespace a sub-component's registry before merging).
+    pub fn prefixed(&self, prefix: &str) -> Registry {
+        let pre = |k: &str| format!("{prefix}.{k}");
+        Registry {
+            counters: self.counters.iter().map(|(k, &v)| (pre(k), v)).collect(),
+            gauges: self.gauges.iter().map(|(k, &v)| (pre(k), v)).collect(),
+            summaries: self
+                .summaries
+                .iter()
+                .map(|(k, v)| (pre(k), v.clone()))
+                .collect(),
+            host: self.host.iter().map(|(k, v)| (pre(k), v.clone())).collect(),
+        }
+    }
+
+    fn summary_rows(out: &mut String, kind: &str, name: &str, s: &Summary) {
+        let rows: [(&str, String); 7] = [
+            ("count", s.count().to_string()),
+            ("mean", fmt_f64(s.mean())),
+            ("variance", fmt_f64(s.variance())),
+            ("min", fmt_f64(s.min())),
+            ("p50", fmt_f64(s.quantile(0.5).unwrap_or(f64::NAN))),
+            ("p99", fmt_f64(s.quantile(0.99).unwrap_or(f64::NAN))),
+            ("max", fmt_f64(s.max())),
+        ];
+        for (field, value) in rows {
+            let _ = writeln!(out, "{kind},{name},{field},{value}");
+        }
+    }
+
+    /// CSV export of the deterministic content (`kind,name,field,value`).
+    /// Host wall-clock timings are excluded so a fixed-seed run exports
+    /// byte-identical bytes regardless of worker count or machine.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("kind,name,field,value\n");
+        for (k, v) in &self.counters {
+            let _ = writeln!(out, "counter,{k},value,{v}");
+        }
+        for (k, v) in &self.gauges {
+            let _ = writeln!(out, "gauge,{k},value,{}", fmt_f64(*v));
+        }
+        for (k, s) in &self.summaries {
+            Self::summary_rows(&mut out, "summary", k, s);
+        }
+        out
+    }
+
+    /// [`Registry::to_csv`] plus the host wall-clock section (rows with
+    /// kind `host`). Not reproducible run-to-run by nature.
+    pub fn to_csv_with_host(&self) -> String {
+        let mut out = self.to_csv();
+        for (k, s) in &self.host {
+            Self::summary_rows(&mut out, "host", k, s);
+        }
+        out
+    }
+
+    /// JSON-lines export of the deterministic content: one object per
+    /// metric.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            let _ = writeln!(
+                out,
+                "{{\"kind\":\"counter\",\"name\":\"{}\",\"value\":{v}}}",
+                json_escape(k)
+            );
+        }
+        for (k, v) in &self.gauges {
+            let _ = writeln!(
+                out,
+                "{{\"kind\":\"gauge\",\"name\":\"{}\",\"value\":{}}}",
+                json_escape(k),
+                json_number(*v)
+            );
+        }
+        for (k, s) in &self.summaries {
+            let _ = writeln!(
+                out,
+                "{{\"kind\":\"summary\",\"name\":\"{}\",\"count\":{},\"mean\":{},\"variance\":{},\"min\":{},\"p50\":{},\"p99\":{},\"max\":{}}}",
+                json_escape(k),
+                s.count(),
+                json_number(s.mean()),
+                json_number(s.variance()),
+                json_number(s.min()),
+                json_number(s.quantile(0.5).unwrap_or(f64::NAN)),
+                json_number(s.quantile(0.99).unwrap_or(f64::NAN)),
+                json_number(s.max()),
+            );
+        }
+        out
+    }
+}
+
+/// JSON has no inf/nan literals; encode them as strings.
+fn json_number(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        format!("\"{}\"", fmt_f64(x))
+    }
+}
+
+/// Human-readable rendering: one line per metric, grouped by kind.
+impl std::fmt::Display for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (k, v) in &self.counters {
+            writeln!(f, "  counter  {k:<44} {v}")?;
+        }
+        for (k, v) in &self.gauges {
+            writeln!(f, "  gauge    {k:<44} {}", fmt_f64(*v))?;
+        }
+        for (k, s) in &self.summaries {
+            writeln!(f, "  summary  {k:<44} {s}")?;
+        }
+        for (k, s) in &self.host {
+            writeln!(f, "  host     {k:<44} {s}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_summaries() {
+        let mut r = Registry::new();
+        r.count("a.events", 3);
+        r.count("a.events", 2);
+        r.gauge("q.depth", 7.0);
+        r.gauge_max("q.depth", 5.0);
+        r.gauge_max("q.depth", 9.0);
+        r.observe("lat", 1.0);
+        r.observe("lat", 3.0);
+        assert_eq!(r.counter("a.events"), 5);
+        assert_eq!(r.gauge_value("q.depth"), Some(9.0));
+        assert_eq!(r.summary("lat").unwrap().count(), 2);
+        assert!((r.summary("lat").unwrap().mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csv_is_sorted_and_deterministic() {
+        let mut r = Registry::new();
+        r.count("z.last", 1);
+        r.count("a.first", 2);
+        r.observe_host("wall", 0.123);
+        let csv = r.to_csv();
+        let a = csv.find("a.first").unwrap();
+        let z = csv.find("z.last").unwrap();
+        assert!(a < z);
+        assert!(!csv.contains("wall"), "host section must not leak: {csv}");
+        assert!(r.to_csv_with_host().contains("host,wall,count,1"));
+        assert_eq!(csv, r.clone().to_csv());
+    }
+
+    #[test]
+    fn merge_adds_and_maxes() {
+        let mut a = Registry::new();
+        a.count("c", 1);
+        a.gauge("g", 2.0);
+        a.observe("s", 1.0);
+        let mut b = Registry::new();
+        b.count("c", 4);
+        b.gauge("g", 1.0);
+        b.observe("s", 3.0);
+        b.observe("s2", 9.0);
+        a.merge(&b);
+        assert_eq!(a.counter("c"), 5);
+        assert_eq!(a.gauge_value("g"), Some(2.0));
+        assert_eq!(a.summary("s").unwrap().count(), 2);
+        assert_eq!(a.summary("s2").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn prefixed_namespaces_everything() {
+        let mut r = Registry::new();
+        r.count("x", 1);
+        r.gauge("y", 2.0);
+        r.observe("z", 3.0);
+        let p = r.prefixed("sub");
+        assert_eq!(p.counter("sub.x"), 1);
+        assert_eq!(p.gauge_value("sub.y"), Some(2.0));
+        assert!(p.summary("sub.z").is_some());
+    }
+
+    #[test]
+    fn jsonl_renders_valid_shapes() {
+        let mut r = Registry::new();
+        r.count("c", 1);
+        r.gauge("g", 1.5);
+        r.observe("s", 2.0);
+        let j = r.to_jsonl();
+        assert!(j.contains("\"kind\":\"counter\""));
+        assert!(j.contains("\"kind\":\"gauge\""));
+        assert!(j.contains("\"kind\":\"summary\""));
+        assert_eq!(j.lines().count(), 3);
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

@@ -1,0 +1,263 @@
+//! Streaming observation summaries: Welford mean/variance plus
+//! fixed-bucket percentiles.
+//!
+//! A [`Summary`] is the workhorse metric for numeric observations
+//! (latencies, recovery times, per-trial measurements). It keeps
+//!
+//! * exact `count`, `min`, `max`,
+//! * Welford-accumulated mean and M2 (numerically stable for long
+//!   campaigns, unlike a naive `(sum, count)` pair),
+//! * a sparse fixed-bucket log histogram for quantile estimates.
+//!
+//! Buckets are quarter-powers-of-two (`2^(k/4)`), so bucket boundaries are
+//! a fixed global grid: merging two summaries adds bucket counts exactly,
+//! and the merged quantile estimates are identical regardless of how the
+//! observations were sharded. Mean/variance merging uses Chan et al.'s
+//! pairwise combination; merge order must be fixed by the caller for
+//! bit-reproducibility (see `vds-fault`'s logical shards).
+
+use std::collections::BTreeMap;
+
+/// Bucket key for non-positive observations (kept out of the log grid).
+const NONPOS_BUCKET: i32 = i32::MIN;
+
+/// Streaming summary of a numeric observation stream.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Summary {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+    /// Sparse histogram: bucket index `k` counts observations `x` with
+    /// `2^((k-1)/4) < x <= 2^(k/4)`.
+    buckets: BTreeMap<i32, u64>,
+}
+
+impl Summary {
+    /// Empty summary.
+    pub fn new() -> Self {
+        Summary {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            buckets: BTreeMap::new(),
+        }
+    }
+
+    /// Build from an iterator.
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_iter<I: IntoIterator<Item = f64>>(it: I) -> Self {
+        let mut s = Self::new();
+        for x in it {
+            s.observe(x);
+        }
+        s
+    }
+
+    fn bucket_of(x: f64) -> i32 {
+        if x <= 0.0 || !x.is_finite() {
+            return NONPOS_BUCKET;
+        }
+        // k = ceil(4 * log2(x)); clamp to a sane grid
+        let k = (4.0 * x.log2()).ceil();
+        k.clamp(-512.0, 512.0) as i32
+    }
+
+    /// Upper bound of bucket `k` (`2^(k/4)`).
+    fn bucket_hi(k: i32) -> f64 {
+        (f64::from(k) / 4.0).exp2()
+    }
+
+    /// Record one observation.
+    pub fn observe(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+        *self.buckets.entry(Self::bucket_of(x)).or_insert(0) += 1;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sum of observations (mean × count; exactness not guaranteed).
+    pub fn sum(&self) -> f64 {
+        self.mean() * self.n as f64
+    }
+
+    /// Unbiased sample variance (0 for n < 2).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (+inf if empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (-inf if empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Estimated p-quantile (`0 <= p <= 1`) from the fixed bucket grid:
+    /// the upper bound of the bucket holding the p-th observation, clamped
+    /// to the observed `[min, max]`. `None` when empty.
+    pub fn quantile(&self, p: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&p), "quantile p out of range");
+        if self.n == 0 {
+            return None;
+        }
+        let target = ((p * self.n as f64).ceil() as u64).clamp(1, self.n);
+        let mut cum = 0u64;
+        for (&k, &c) in &self.buckets {
+            cum += c;
+            if cum >= target {
+                if k == NONPOS_BUCKET {
+                    return Some(self.min.min(0.0));
+                }
+                return Some(Self::bucket_hi(k).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Merge another summary into this one. Bucket counts add exactly;
+    /// mean/variance combine pairwise (order-sensitive in the last ulps —
+    /// merge in a fixed order for bit-reproducibility).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let n = n1 + n2;
+        self.mean += delta * n2 / n;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / n;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (&k, &c) in &other.buckets {
+            *self.buckets.entry(k).or_insert(0) += c;
+        }
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.n == 0 {
+            return write!(f, "n=0");
+        }
+        write!(
+            f,
+            "n={} mean={:.6} sd={:.6} min={:.6} p50={:.6} p99={:.6} max={:.6}",
+            self.n,
+            self.mean(),
+            self.std_dev(),
+            self.min,
+            self.quantile(0.5).unwrap(),
+            self.quantile(0.99).unwrap(),
+            self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_naive() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let s = Summary::from_iter(xs.iter().copied());
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn empty_is_safe() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.quantile(0.5), None);
+    }
+
+    #[test]
+    fn quantiles_bracket_the_data() {
+        let s = Summary::from_iter((1..=1000).map(f64::from));
+        let p50 = s.quantile(0.5).unwrap();
+        // bucket grid is 2^(1/4)-spaced: ~19% relative resolution
+        assert!((400.0..=650.0).contains(&p50), "p50 = {p50}");
+        let p100 = s.quantile(1.0).unwrap();
+        assert!(p100 >= 999.0);
+        assert_eq!(s.quantile(0.0).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn merge_matches_sequential_counts_exactly() {
+        let xs: Vec<f64> = (0..500)
+            .map(|i| (f64::from(i) * 0.37).sin().abs() * 100.0)
+            .collect();
+        let whole = Summary::from_iter(xs.iter().copied());
+        let mut a = Summary::from_iter(xs[..123].iter().copied());
+        let b = Summary::from_iter(xs[123..].iter().copied());
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.buckets, whole.buckets);
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9 * (1.0 + whole.variance()));
+        assert_eq!(a.quantile(0.9), whole.quantile(0.9));
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Summary::from_iter([1.0, 2.0, 3.0]);
+        let before = a.clone();
+        a.merge(&Summary::new());
+        assert_eq!(a, before);
+        let mut e = Summary::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn nonpositive_observations_survive() {
+        let s = Summary::from_iter([-5.0, 0.0, 3.0]);
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.min(), -5.0);
+        assert!(s.quantile(0.1).unwrap() <= 0.0);
+    }
+}

@@ -148,7 +148,7 @@ pub struct TwoLevel {
 impl TwoLevel {
     /// `bits` history bits → a `2^bits`-entry counter table.
     pub fn new(bits: u32) -> Self {
-        assert!(bits >= 1 && bits <= 16);
+        assert!((1..=16).contains(&bits));
         TwoLevel {
             history: 0,
             mask: (1 << bits) - 1,
@@ -341,7 +341,10 @@ mod tests {
             }
             p.update(actual);
         }
-        assert!(correct >= 95, "two-level alternation accuracy {correct}/100");
+        assert!(
+            correct >= 95,
+            "two-level alternation accuracy {correct}/100"
+        );
     }
 
     #[test]
@@ -356,7 +359,11 @@ mod tests {
             let mut scores = (0usize, 0usize, 0usize);
             for k in 0..400u32 {
                 let actual = if alternating {
-                    if k % 2 == 0 { Suspect::V1 } else { Suspect::V2 }
+                    if k % 2 == 0 {
+                        Suspect::V1
+                    } else {
+                        Suspect::V2
+                    }
                 } else {
                     Suspect::V2
                 };
@@ -374,9 +381,15 @@ mod tests {
             scores
         };
         let (t_alt, _sc_alt, tl_alt) = run(true);
-        assert!(t_alt + 10 >= tl_alt, "tournament {t_alt} vs two-level {tl_alt}");
+        assert!(
+            t_alt + 10 >= tl_alt,
+            "tournament {t_alt} vs two-level {tl_alt}"
+        );
         let (t_bias, sc_bias, _tl_bias) = run(false);
-        assert!(t_bias + 10 >= sc_bias, "tournament {t_bias} vs counter {sc_bias}");
+        assert!(
+            t_bias + 10 >= sc_bias,
+            "tournament {t_bias} vs counter {sc_bias}"
+        );
     }
 
     #[test]

@@ -117,7 +117,9 @@ mod tests {
     fn iid_respects_bias() {
         let mut s = IidStream { bias: 0.8 };
         let mut r = rng();
-        let v2 = (0..10_000).filter(|_| s.next(&mut r) == Suspect::V2).count();
+        let v2 = (0..10_000)
+            .filter(|_| s.next(&mut r) == Suspect::V2)
+            .count();
         assert!((7_700..8_300).contains(&v2), "v2={v2}");
     }
 

@@ -154,11 +154,7 @@ impl Machine {
 
     /// Read a resident or switched-out process's architectural state via a
     /// callback (registers, memory) — used for snapshots and comparisons.
-    pub fn with_state<R>(
-        &self,
-        pid: ProcId,
-        f: impl FnOnce(&[u32; 16], u32, &[u32]) -> R,
-    ) -> R {
+    pub fn with_state<R>(&self, pid: ProcId, f: impl FnOnce(&[u32; 16], u32, &[u32]) -> R) -> R {
         match self.procs[pid.0].state {
             ProcState::Resident(hw) => {
                 let t: &Thread = self.core.thread(hw);
@@ -400,7 +396,10 @@ mod tests {
         assert_eq!(m.state(p), ProcState::Ready);
         m.dispatch(p, ThreadId(0));
         assert_eq!(m.state(p), ProcState::Resident(ThreadId(0)));
-        assert_eq!(m.run_hw_until_block(ThreadId(0), 100_000), ProcOutcome::Yielded);
+        assert_eq!(
+            m.run_hw_until_block(ThreadId(0), 100_000),
+            ProcOutcome::Yielded
+        );
         m.with_state(p, |_, _, dmem| assert_eq!(dmem[0], 1));
     }
 
@@ -413,7 +412,10 @@ mod tests {
         m.run_hw_until_block(ThreadId(0), 100_000);
         m.dispatch(p, ThreadId(0)); // resume, same process
         assert_eq!(m.switches(), s0, "no context switch for a resume");
-        assert_eq!(m.run_hw_until_block(ThreadId(0), 100_000), ProcOutcome::Yielded);
+        assert_eq!(
+            m.run_hw_until_block(ThreadId(0), 100_000),
+            ProcOutcome::Yielded
+        );
         m.with_state(p, |_, _, dmem| assert_eq!(dmem[0], 2));
     }
 

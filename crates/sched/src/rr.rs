@@ -102,7 +102,10 @@ mod tests {
         let a = m.spawn("a", &counting_prog(3), 4);
         let b = m.spawn("b", &counting_prog(3), 4);
         let rotations = rotate_to_completion(&mut m, &[a, b], ThreadId(0), 1_000_000, 100);
-        assert!(rotations <= 5, "should finish in ~4 rotations, took {rotations}");
+        assert!(
+            rotations <= 5,
+            "should finish in ~4 rotations, took {rotations}"
+        );
         m.with_state(a, |_, _, d| assert_eq!(d[0], 3));
         m.with_state(b, |_, _, d| assert_eq!(d[0], 3));
     }

@@ -47,11 +47,7 @@ pub fn run_to_completion(cfg: &CoreConfig, prog: &Program, dmem_words: usize) ->
 
 /// Co-schedule two programs on a 2-context core until **both** halt,
 /// resuming either whenever it yields; returns total cycles.
-pub fn run_pair(
-    cfg: &CoreConfig,
-    a: (&Program, usize),
-    b: (&Program, usize),
-) -> u64 {
+pub fn run_pair(cfg: &CoreConfig, a: (&Program, usize), b: (&Program, usize)) -> u64 {
     let mut cfg = cfg.clone();
     cfg.max_threads = cfg.max_threads.max(2);
     let mut core = Core::new(cfg);

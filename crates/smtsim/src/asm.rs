@@ -124,7 +124,7 @@ pub fn assemble(src: &str) -> Result<Program, AsmError> {
                         prog.data.push(v as u32);
                     }
                 }
-                Directive::Space(n) => prog.data.extend(std::iter::repeat(0).take(*n as usize)),
+                Directive::Space(n) => prog.data.extend(std::iter::repeat_n(0, *n as usize)),
             }
         }
         if let Some(stmt) = &line.stmt {
@@ -337,12 +337,10 @@ fn parse_addr(
 ) -> Result<(Reg, i32), AsmError> {
     let tok = tok.trim();
     if let Some(open) = tok.find('(') {
-        let close = tok
-            .rfind(')')
-            .ok_or_else(|| AsmError {
-                line,
-                msg: format!("missing `)` in address `{tok}`"),
-            })?;
+        let close = tok.rfind(')').ok_or_else(|| AsmError {
+            line,
+            msg: format!("missing `)` in address `{tok}`"),
+        })?;
         let base = parse_reg(&tok[open + 1..close]).ok_or_else(|| AsmError {
             line,
             msg: format!("bad base register in `{tok}`"),
@@ -381,7 +379,7 @@ fn get_reg(stmt: &Stmt, i: usize, line: usize) -> Result<Reg, AsmError> {
     })
 }
 
-fn get_tok<'a>(stmt: &'a Stmt, i: usize, line: usize) -> Result<&'a str, AsmError> {
+fn get_tok(stmt: &Stmt, i: usize, line: usize) -> Result<&str, AsmError> {
     stmt.operands
         .get(i)
         .map(String::as_str)

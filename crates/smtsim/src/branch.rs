@@ -73,9 +73,7 @@ impl Predictor {
         match self {
             Predictor::StaticTaken => true,
             Predictor::StaticNotTaken => false,
-            Predictor::Bimodal { table } => {
-                table[pc as usize & (table.len() - 1)] >= 2
-            }
+            Predictor::Bimodal { table } => table[pc as usize & (table.len() - 1)] >= 2,
             Predictor::Gshare { table, history } => {
                 let idx = (pc ^ history) as usize & (table.len() - 1);
                 table[idx] >= 2

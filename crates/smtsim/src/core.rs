@@ -385,6 +385,28 @@ impl Core {
         self.dcache.stats()
     }
 
+    /// Flush core state into a metrics registry: total cycles, per-thread
+    /// counters under `smt.thread<i>.*`, and shared cache hit/miss/conflict
+    /// counts under `smt.icache.*` / `smt.dcache.*`.
+    pub fn export_metrics(&self, rec: &mut vds_obs::Recorder) {
+        rec.count("smt.cycles", self.cycle);
+        for (i, t) in self.threads.iter().enumerate() {
+            t.counters.export_metrics(rec, &format!("smt.thread{i}"));
+        }
+        for (name, stats) in [
+            ("icache", self.icache.stats()),
+            ("dcache", self.dcache.stats()),
+        ] {
+            rec.count(&format!("smt.{name}.hits"), stats.hits);
+            rec.count(&format!("smt.{name}.misses"), stats.misses);
+            rec.count(
+                &format!("smt.{name}.thread_conflicts"),
+                stats.thread_conflicts,
+            );
+            rec.gauge(&format!("smt.{name}.hit_rate"), stats.hit_rate());
+        }
+    }
+
     /// Park a thread for `cycles` cycles (the OS layer uses this to
     /// charge context-switch overhead to the hardware thread).
     ///
@@ -536,8 +558,7 @@ impl Core {
             let instr = match decode(word) {
                 Ok(i) => i,
                 Err(_) => {
-                    self.threads[tid].state =
-                        ThreadState::Trapped(Trap::IllegalInstruction { pc });
+                    self.threads[tid].state = ThreadState::Trapped(Trap::IllegalInstruction { pc });
                     continue;
                 }
             };
@@ -621,8 +642,7 @@ impl Core {
                 self.threads[tid].counters.loads += 1;
                 let addr = self.reg(tid, rs1).wrapping_add(imm as u32);
                 if addr as usize >= self.threads[tid].dmem.len() {
-                    self.threads[tid].state =
-                        ThreadState::Trapped(Trap::AccessViolation { addr });
+                    self.threads[tid].state = ThreadState::Trapped(Trap::AccessViolation { addr });
                     return;
                 }
                 let v = self.threads[tid].dmem[addr as usize];
@@ -641,8 +661,7 @@ impl Core {
                 self.threads[tid].counters.stores += 1;
                 let addr = self.reg(tid, rs1).wrapping_add(imm as u32);
                 if addr as usize >= self.threads[tid].dmem.len() {
-                    self.threads[tid].state =
-                        ThreadState::Trapped(Trap::AccessViolation { addr });
+                    self.threads[tid].state = ThreadState::Trapped(Trap::AccessViolation { addr });
                     return;
                 }
                 let v = self.corrupt(class, unit, self.reg(tid, rs2));
@@ -709,11 +728,7 @@ impl Core {
                 return RunOutcome::Trapped(ThreadId(i), trap);
             }
             if !self.threads.iter().any(Thread::is_live) {
-                return if self
-                    .threads
-                    .iter()
-                    .any(|t| t.state == ThreadState::Yielded)
-                {
+                return if self.threads.iter().any(|t| t.state == ThreadState::Yielded) {
                     RunOutcome::AllYielded
                 } else {
                     RunOutcome::AllHalted
@@ -821,6 +836,33 @@ mod tests {
     }
 
     #[test]
+    fn metrics_export_flushes_counters() {
+        let core = run_program(
+            r#"
+                addi r1, r0, 10
+            loop:
+                subi r1, r1, 1
+                bne  r1, r0, loop
+                halt
+            "#,
+        );
+        let mut rec = vds_obs::Recorder::new();
+        core.export_metrics(&mut rec);
+        let reg = rec.registry();
+        assert_eq!(reg.counter("smt.cycles"), core.cycles());
+        assert_eq!(
+            reg.counter("smt.thread0.retired"),
+            core.thread(ThreadId(0)).counters.retired
+        );
+        assert!(reg.counter("smt.thread0.branches") >= 10);
+        assert!(reg.gauge_value("smt.thread0.ipc").unwrap() > 0.0);
+        assert_eq!(
+            reg.counter("smt.icache.hits") + reg.counter("smt.icache.misses"),
+            core.icache_stats().accesses()
+        );
+    }
+
+    #[test]
     fn yield_parks_and_resume_continues() {
         let prog = assemble("addi r1, r0, 1\nyield\naddi r1, r1, 1\nhalt\n").unwrap();
         let mut core = Core::new(CoreConfig::default());
@@ -905,7 +947,7 @@ mod tests {
         assert!(t_pair < 2 * t_solo, "co-run {t_pair} vs 2×solo {t_solo}");
         assert!(t_pair >= t_solo, "co-run cannot beat a single copy");
         let alpha = t_pair as f64 / (2.0 * t_solo as f64);
-        assert!(alpha >= 0.5 && alpha <= 1.0, "alpha={alpha}");
+        assert!((0.5..=1.0).contains(&alpha), "alpha={alpha}");
     }
 
     #[test]

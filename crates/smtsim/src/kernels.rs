@@ -207,7 +207,7 @@ pub fn matmul(n: u32, rounds: u32) -> Kernel {
 /// Pointer chase around a ring of `len` nodes, `steps` hops per round.
 /// `len` must be coprime with the stride 7 so the ring is a single cycle.
 pub fn pchase(len: u32, steps: u32, rounds: u32) -> Kernel {
-    assert!(len >= 2 && len % 7 != 0 && steps >= 1 && rounds >= 1);
+    assert!(len >= 2 && !len.is_multiple_of(7) && steps >= 1 && rounds >= 1);
     let source = format!(
         r#"
         ; pchase: next[i] = (i+7) mod {len}; walk {steps} hops per round
@@ -538,9 +538,8 @@ pub mod oracle {
             let j = n - 1;
             let mut acc = 0u32;
             for k in 0..n {
-                acc = acc.wrapping_add(
-                    a[(i * n + k) as usize].wrapping_mul(b[(k * n + j) as usize]),
-                );
+                acc =
+                    acc.wrapping_add(a[(i * n + k) as usize].wrapping_mul(b[(k * n + j) as usize]));
             }
             last = acc;
         }
@@ -637,7 +636,11 @@ mod tests {
     #[test]
     fn vecsum_matches_oracle() {
         for &(n, r) in &[(4u32, 1u32), (64, 3), (256, 2)] {
-            assert_eq!(run_kernel(&vecsum(n, r)), oracle::vecsum(n, r), "n={n} r={r}");
+            assert_eq!(
+                run_kernel(&vecsum(n, r)),
+                oracle::vecsum(n, r),
+                "n={n} r={r}"
+            );
         }
     }
 
@@ -651,7 +654,11 @@ mod tests {
     #[test]
     fn matmul_matches_oracle() {
         for &(n, r) in &[(2u32, 1u32), (4, 2), (8, 1)] {
-            assert_eq!(run_kernel(&matmul(n, r)), oracle::matmul(n, r), "n={n} r={r}");
+            assert_eq!(
+                run_kernel(&matmul(n, r)),
+                oracle::matmul(n, r),
+                "n={n} r={r}"
+            );
         }
     }
 

@@ -84,11 +84,32 @@ impl ThreadCounters {
 
     /// Total stall cycles across causes (excluding parked).
     pub fn total_stalls(&self) -> u64 {
-        self.stall_icache
-            + self.stall_dcache
-            + self.stall_fu
-            + self.stall_width
-            + self.stall_branch
+        self.stall_icache + self.stall_dcache + self.stall_fu + self.stall_width + self.stall_branch
+    }
+
+    /// Flush every counter into a metrics registry under
+    /// `<prefix>.<counter>` (e.g. `smt.thread0.retired`), plus derived
+    /// `ipc` and `branch_accuracy` gauges.
+    pub fn export_metrics(&self, rec: &mut vds_obs::Recorder, prefix: &str) {
+        for (field, v) in [
+            ("retired", self.retired),
+            ("cycles", self.cycles),
+            ("issued_cycles", self.issued_cycles),
+            ("stall.icache", self.stall_icache),
+            ("stall.dcache", self.stall_dcache),
+            ("stall.fu", self.stall_fu),
+            ("stall.width", self.stall_width),
+            ("stall.branch", self.stall_branch),
+            ("parked", self.parked),
+            ("branches", self.branches),
+            ("mispredicts", self.mispredicts),
+            ("loads", self.loads),
+            ("stores", self.stores),
+        ] {
+            rec.count(&format!("{prefix}.{field}"), v);
+        }
+        rec.gauge(&format!("{prefix}.ipc"), self.ipc());
+        rec.gauge(&format!("{prefix}.branch_accuracy"), self.branch_accuracy());
     }
 }
 

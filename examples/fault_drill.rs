@@ -22,9 +22,13 @@ fn drill(name: &str, scheme: Scheme, kind: FaultKind) {
     let target = 30;
     let (r, img) = run_micro_with_state(&cfg, Some(fault), target);
     let (_, want) = workload::oracle(r.committed_rounds as u32);
-    let got = &img[workload::ADDR_STATE as usize
-        ..(workload::ADDR_STATE + workload::STATE_WORDS) as usize];
-    let verdict = if got == &want[..] { "OUTPUT CORRECT" } else { "OUTPUT WRONG" };
+    let got = &img
+        [workload::ADDR_STATE as usize..(workload::ADDR_STATE + workload::STATE_WORDS) as usize];
+    let verdict = if got == &want[..] {
+        "OUTPUT CORRECT"
+    } else {
+        "OUTPUT WRONG"
+    };
     println!(
         "{name:<36} [{}] {} cycles, {} detections, {} recoveries, {} rollbacks, rf {}/{}/{} (hit/miss/discard) → {verdict}",
         scheme.name(),
@@ -44,13 +48,33 @@ fn main() {
     let mem_flip = FaultKind::Transient(FaultSite::Memory { addr: 4, bit: 13 });
     let text_flip = FaultKind::Transient(FaultSite::Text { index: 9, bit: 28 });
 
-    drill("state bit flip, conventional", Scheme::Conventional, mem_flip);
-    drill("state bit flip, deterministic RF", Scheme::SmtDeterministic, mem_flip);
-    drill("state bit flip, probabilistic RF", Scheme::SmtProbabilistic, mem_flip);
-    drill("state bit flip, predictive RF", Scheme::SmtPredictive, mem_flip);
+    drill(
+        "state bit flip, conventional",
+        Scheme::Conventional,
+        mem_flip,
+    );
+    drill(
+        "state bit flip, deterministic RF",
+        Scheme::SmtDeterministic,
+        mem_flip,
+    );
+    drill(
+        "state bit flip, probabilistic RF",
+        Scheme::SmtProbabilistic,
+        mem_flip,
+    );
+    drill(
+        "state bit flip, predictive RF",
+        Scheme::SmtPredictive,
+        mem_flip,
+    );
     println!();
     drill("program-memory flip", Scheme::SmtProbabilistic, text_flip);
-    drill("version crash", Scheme::SmtPredictive, FaultKind::CrashVersion);
+    drill(
+        "version crash",
+        Scheme::SmtPredictive,
+        FaultKind::CrashVersion,
+    );
 
     println!("\nevery drill must end OUTPUT CORRECT: detection, vote and recovery are");
     println!("executed by real diversified programs on the cycle-level SMT machine.");

@@ -29,7 +29,9 @@ fn main() {
         crash_fraction: 0.3,
     };
 
-    println!("mission: {mission_rounds} science rounds, bursty radiation (q=1.5%/round, 30% crashes)");
+    println!(
+        "mission: {mission_rounds} science rounds, bursty radiation (q=1.5%/round, 30% crashes)"
+    );
     println!(
         "{:<16} {:>10} {:>9} {:>9} {:>9} {:>9} {:>7}",
         "scheme", "time", "thruput", "recov", "rollback", "rf-hits", "silent"

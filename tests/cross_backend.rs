@@ -6,7 +6,7 @@
 use vds::analytic::{timing, Params};
 use vds::core::micro_vds::{run_micro, MicroConfig};
 use vds::core::{workload, Scheme};
-use vds::smtsim::core::{Core, CoreConfig, RunOutcome, ThreadId, ThreadState};
+use vds::smtsim::core::{Core, CoreConfig, RunOutcome, ThreadState};
 
 /// Cycles for one version to execute `rounds` rounds alone.
 fn solo_cycles(prog: &vds::smtsim::program::Program, rounds: u32) -> u64 {

@@ -10,7 +10,8 @@ fn audit_state(committed: u64, img: &[u32]) {
     let (_, want) = workload::oracle(committed as u32);
     assert_eq!(img[workload::ADDR_ROUND as usize], committed as u32);
     assert_eq!(
-        &img[workload::ADDR_STATE as usize..(workload::ADDR_STATE + workload::STATE_WORDS) as usize],
+        &img[workload::ADDR_STATE as usize
+            ..(workload::ADDR_STATE + workload::STATE_WORDS) as usize],
         &want[..],
         "final state diverges from oracle"
     );

@@ -26,19 +26,17 @@ fn arb_instr() -> impl Strategy<Value = Instr> {
                 rs2,
             }
         }),
-        (0usize..7, arb_reg(), arb_reg(), -32768i32..=32767).prop_map(
-            |(op, rd, rs1, imm)| {
-                let op = AluImmOp::ALL[op];
-                let imm = if matches!(op, AluImmOp::Slli | AluImmOp::Srli) {
-                    imm & 31 // the assembler (rightly) rejects wild shifts
-                } else if op.zero_extends() {
-                    imm & 0xFFFF
-                } else {
-                    imm
-                };
-                Instr::AluImm { op, rd, rs1, imm }
-            }
-        ),
+        (0usize..7, arb_reg(), arb_reg(), -32768i32..=32767).prop_map(|(op, rd, rs1, imm)| {
+            let op = AluImmOp::ALL[op];
+            let imm = if matches!(op, AluImmOp::Slli | AluImmOp::Srli) {
+                imm & 31 // the assembler (rightly) rejects wild shifts
+            } else if op.zero_extends() {
+                imm & 0xFFFF
+            } else {
+                imm
+            };
+            Instr::AluImm { op, rd, rs1, imm }
+        }),
         (0usize..3, arb_reg(), arb_reg(), arb_reg()).prop_map(|(op, rd, rs1, rs2)| {
             Instr::Mul {
                 op: [MulOp::Mul, MulOp::Div, MulOp::Rem][op],
@@ -47,26 +45,35 @@ fn arb_instr() -> impl Strategy<Value = Instr> {
                 rs2,
             }
         }),
-        (arb_reg(), arb_reg(), -32768i32..=32767)
-            .prop_map(|(rd, rs1, imm)| Instr::Ld { rd, rs1, imm }),
-        (arb_reg(), arb_reg(), -32768i32..=32767)
-            .prop_map(|(rs2, rs1, imm)| Instr::St { rs2, rs1, imm }),
-        (0usize..4, arb_reg(), arb_reg(), 0u32..(1 << 14)).prop_map(
-            |(c, rs1, rs2, target)| Instr::Branch {
+        (arb_reg(), arb_reg(), -32768i32..=32767).prop_map(|(rd, rs1, imm)| Instr::Ld {
+            rd,
+            rs1,
+            imm
+        }),
+        (arb_reg(), arb_reg(), -32768i32..=32767).prop_map(|(rs2, rs1, imm)| Instr::St {
+            rs2,
+            rs1,
+            imm
+        }),
+        (0usize..4, arb_reg(), arb_reg(), 0u32..(1 << 14)).prop_map(|(c, rs1, rs2, target)| {
+            Instr::Branch {
                 cond: [
                     BranchCond::Eq,
                     BranchCond::Ne,
                     BranchCond::Lt,
-                    BranchCond::Ge
+                    BranchCond::Ge,
                 ][c],
                 rs1,
                 rs2,
                 target,
             }
-        ),
+        }),
         (arb_reg(), 0u32..(1 << 22)).prop_map(|(rd, target)| Instr::Jal { rd, target }),
-        (arb_reg(), arb_reg(), -32768i32..=32767)
-            .prop_map(|(rd, rs1, imm)| Instr::Jalr { rd, rs1, imm }),
+        (arb_reg(), arb_reg(), -32768i32..=32767).prop_map(|(rd, rs1, imm)| Instr::Jalr {
+            rd,
+            rs1,
+            imm
+        }),
     ]
 }
 

@@ -1,0 +1,284 @@
+//! Vendored, zero-dependency subset of the `criterion` API.
+//!
+//! The build environment has no crates.io access; this stand-in keeps the
+//! workspace's benchmarks compiling and gives useful (if statistically
+//! modest) numbers: every benchmark runs a short calibrated loop and
+//! reports the mean wall-clock time per iteration plus throughput when
+//! declared. Under `cargo test` (or with `--test` in the arguments) each
+//! benchmark executes exactly one iteration as a smoke test.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, preventing the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declared work per iteration, for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Just a parameter (group name provides the prefix).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Passed to the closure under test; `iter` runs and times the payload.
+pub struct Bencher<'a> {
+    measured: &'a mut Duration,
+    iters: &'a mut u64,
+    smoke_test: bool,
+}
+
+impl Bencher<'_> {
+    /// Time `routine`, storing the aggregate for the caller to report.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.smoke_test {
+            let start = Instant::now();
+            black_box(routine());
+            *self.measured = start.elapsed();
+            *self.iters = 1;
+            return;
+        }
+        // Calibrate: grow the batch until it takes ~10ms, then measure.
+        let mut batch = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(10) || batch >= 1 << 20 {
+                *self.measured = elapsed;
+                *self.iters = batch;
+                return;
+            }
+            batch *= 2;
+        }
+    }
+}
+
+fn fmt_duration(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:8.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:8.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:8.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:8.2} s ", ns / 1_000_000_000.0)
+    }
+}
+
+fn report(id: &str, measured: Duration, iters: u64, throughput: Option<Throughput>) {
+    if iters == 0 {
+        return;
+    }
+    let per_iter_ns = measured.as_secs_f64() * 1e9 / iters as f64;
+    let mut line = format!("{id:<44} {}  ({iters} iters)", fmt_duration(per_iter_ns));
+    if let Some(tp) = throughput {
+        let per_sec = match tp {
+            Throughput::Elements(n) => n as f64 / (per_iter_ns / 1e9),
+            Throughput::Bytes(n) => n as f64 / (per_iter_ns / 1e9),
+        };
+        let unit = match tp {
+            Throughput::Elements(_) => "elem/s",
+            Throughput::Bytes(_) => "B/s",
+        };
+        line.push_str(&format!("  {per_sec:12.0} {unit}"));
+    }
+    println!("{line}");
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    smoke_test: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` passes `--test`; keep that mode to one iteration.
+        let smoke_test = std::env::args().any(|a| a == "--test")
+            || std::env::var("CRITERION_SMOKE_TEST").is_ok();
+        Criterion { smoke_test }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Run a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut measured = Duration::ZERO;
+        let mut iters = 0u64;
+        f(&mut Bencher {
+            measured: &mut measured,
+            iters: &mut iters,
+            smoke_test: self.smoke_test,
+        });
+        report(&id.to_string(), measured, iters, None);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; this driver sizes runs by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Declare per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, tp: Throughput) -> &mut Self {
+        self.throughput = Some(tp);
+        self
+    }
+
+    /// Benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher<'_>, &I)>(
+        &mut self,
+        id: impl fmt::Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut measured = Duration::ZERO;
+        let mut iters = 0u64;
+        f(
+            &mut Bencher {
+                measured: &mut measured,
+                iters: &mut iters,
+                smoke_test: self.criterion.smoke_test,
+            },
+            input,
+        );
+        report(
+            &format!("{}/{id}", self.name),
+            measured,
+            iters,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Benchmark without an input value.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut measured = Duration::ZERO;
+        let mut iters = 0u64;
+        f(&mut Bencher {
+            measured: &mut measured,
+            iters: &mut iters,
+            smoke_test: self.criterion.smoke_test,
+        });
+        report(
+            &format!("{}/{id}", self.name),
+            measured,
+            iters,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Declare a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generate `main` running the declared groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion { smoke_test: true };
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Elements(10));
+        g.bench_with_input(BenchmarkId::new("with_input", 3), &3u32, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        g.finish();
+    }
+}
