@@ -67,6 +67,7 @@ pub fn report(rounds: u64) -> Report {
         text,
         data: vec![("round_gain.csv".into(), csv)],
         metrics: Default::default(),
+        spans: Default::default(),
     }
 }
 

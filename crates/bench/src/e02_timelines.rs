@@ -8,7 +8,7 @@
 use crate::Report;
 use std::fmt::Write as _;
 use vds_analytic::Params;
-use vds_core::abstract_vds::{run, AbstractConfig};
+use vds_core::abstract_vds::{run_recorded, AbstractConfig};
 use vds_core::{FaultModel, Scheme, Victim};
 
 /// Produce both timelines with a fault at round `fault_round`.
@@ -20,6 +20,8 @@ pub fn report(fault_round: u32, rounds: u64, width: usize) -> Report {
     };
     let mut text = String::new();
     let mut data = Vec::new();
+    let mut metrics = vds_obs::Registry::new();
+    let mut spans = vds_obs::SpanSet::default();
     for (name, scheme) in [
         ("conventional (Figure 1a)", Scheme::Conventional),
         (
@@ -29,7 +31,10 @@ pub fn report(fault_round: u32, rounds: u64, width: usize) -> Report {
     ] {
         let mut cfg = AbstractConfig::new(params, scheme);
         cfg.record_timeline = true;
-        let r = run(&cfg, fm, rounds, 1);
+        let (r, rec) = run_recorded(&cfg, fm, rounds, 1);
+        let (reg, _trace, sp) = rec.into_parts();
+        metrics.merge(&reg.prefixed(scheme.name()));
+        spans.extend_from(&sp);
         let tl = r.timeline.expect("timeline recorded");
         let _ = writeln!(
             text,
@@ -46,7 +51,8 @@ pub fn report(fault_round: u32, rounds: u64, width: usize) -> Report {
         title: "Figure 1 — execution models with recovery",
         text,
         data,
-        metrics: Default::default(),
+        metrics,
+        spans,
     }
 }
 

@@ -30,6 +30,7 @@ pub fn report() -> Report {
         text,
         data,
         metrics: Default::default(),
+        spans: Default::default(),
     }
 }
 

@@ -65,6 +65,7 @@ pub fn report() -> Report {
             ("det_gain_by_alpha.csv".into(), by_alpha),
         ],
         metrics: Default::default(),
+        spans: Default::default(),
     }
 }
 

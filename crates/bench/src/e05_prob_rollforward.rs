@@ -44,6 +44,7 @@ pub fn report() -> Report {
         text,
         data: vec![("prob_gain_by_p.csv".into(), csv)],
         metrics: Default::default(),
+        spans: Default::default(),
     }
 }
 

@@ -67,6 +67,7 @@ pub fn figure_report(id: &'static str, title: &'static str, p_correct: f64) -> R
             ("surface_matrix.tsv".into(), surface.to_tsv_matrix()),
         ],
         metrics: Default::default(),
+        spans: Default::default(),
     }
 }
 

@@ -46,6 +46,7 @@ pub fn report() -> Report {
         text,
         data: vec![("gmax_convergence.csv".into(), csv)],
         metrics: Default::default(),
+        spans: Default::default(),
     }
 }
 

@@ -60,6 +60,7 @@ pub fn report(rounds: u32) -> Report {
         text,
         data: vec![("alpha_matrix.csv".into(), csv)],
         metrics: Default::default(),
+        spans: Default::default(),
     }
 }
 

@@ -15,7 +15,7 @@ use std::fmt::Write as _;
 use vds_core::micro_vds::{run_micro_with_state, MicroConfig, MicroFault};
 use vds_core::workload;
 use vds_core::{Scheme, Victim};
-use vds_fault::campaign::{run_campaign, run_campaign_recorded, CampaignReport, TrialResult};
+use vds_fault::campaign::{run_campaign, run_campaign_recorded_as, CampaignReport, TrialResult};
 use vds_fault::model::{sample_fu_fault, sample_transient_site, FaultKind};
 use vds_obs::Recorder;
 
@@ -97,13 +97,18 @@ pub fn campaign_recorded(
     workers: usize,
     target_rounds: u64,
 ) -> (CampaignReport, CampaignReport, Recorder) {
-    let (with, rec_with) =
-        run_campaign_recorded(trials, workers, |i, _| trial(i, true, target_rounds));
+    let (with, rec_with) = run_campaign_recorded_as("campaign-div", trials, workers, |i, _| {
+        trial(i, true, target_rounds)
+    });
     let (without, rec_without) =
-        run_campaign_recorded(trials, workers, |i, _| trial(i, false, target_rounds));
+        run_campaign_recorded_as("campaign-ident", trials, workers, |i, _| {
+            trial(i, false, target_rounds)
+        });
     let mut rec = Recorder::new();
     rec.merge_prefixed(rec_with.registry(), "with_diversity");
     rec.merge_prefixed(rec_without.registry(), "no_diversity");
+    rec.merge_spans(&rec_with);
+    rec.merge_spans(&rec_without);
     (with, without, rec)
 }
 
@@ -172,13 +177,14 @@ pub fn report(trials: u64, workers: usize) -> Report {
             let _ = writeln!(csv, "{name},{l},{c}");
         }
     }
-    let (metrics, _) = rec.into_parts();
+    let (metrics, _, spans) = rec.into_parts();
     Report {
         id: "E10",
         title: "Fault-injection coverage on the micro platform",
         text,
         data: vec![("coverage.csv".into(), csv)],
         metrics,
+        spans,
     }
 }
 

@@ -84,6 +84,7 @@ pub fn report(n: u64) -> Report {
         text,
         data: vec![("prediction.csv".into(), csv)],
         metrics: Default::default(),
+        spans: Default::default(),
     }
 }
 

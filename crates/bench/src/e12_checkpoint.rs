@@ -84,6 +84,7 @@ pub fn report(rounds: u64) -> Report {
         text,
         data: vec![("checkpoint_tradeoff.csv".into(), csv)],
         metrics: Default::default(),
+        spans: Default::default(),
     }
 }
 

@@ -85,6 +85,7 @@ pub fn report() -> Report {
             ("clock_trade.csv".into(), clock_csv),
         ],
         metrics: Default::default(),
+        spans: Default::default(),
     }
 }
 

@@ -294,6 +294,7 @@ pub fn report(trials: u64) -> Report {
         text,
         data: vec![("ablation.csv".into(), csv)],
         metrics: Default::default(),
+        spans: Default::default(),
     }
 }
 

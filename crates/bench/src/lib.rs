@@ -37,6 +37,7 @@ pub mod e11_prediction;
 pub mod e12_checkpoint;
 pub mod e13_multithread;
 pub mod e14_ablation;
+pub mod perf;
 pub mod registry;
 
 pub use registry::{registry, Experiment, Params as ExpParams};
@@ -56,6 +57,10 @@ pub struct Report {
     /// for a fixed seed; empty for purely analytic experiments that
     /// record nothing).
     pub metrics: vds_obs::Registry,
+    /// Profiler spans collected while the experiment ran (empty for
+    /// analytic experiments). Exported to Chrome trace JSON by the CLI's
+    /// `--metrics` path.
+    pub spans: vds_obs::SpanSet,
 }
 
 impl std::fmt::Display for Report {

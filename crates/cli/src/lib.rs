@@ -12,8 +12,10 @@
 //! vds duplex <scheme> [rounds] [fault-round]
 //!                                   run a micro VDS, optionally injecting a fault
 //! vds stats <scheme> [rounds] [at]  run a micro VDS and print its metrics/trace
+//! vds report <scheme> [rounds] [at] run a micro VDS, print folded span stacks
 //! vds flowchart <scheme>            print a recovery flow chart as Graphviz DOT
 //! vds experiment <id>               regenerate a paper artefact (e1..e14, all)
+//! vds bench                         run the pinned perf suite (BENCH_<n>.json)
 //! vds gains [alpha] [beta] [p]      print the closed-form gain summary
 //! ```
 //!
@@ -21,9 +23,15 @@
 //! accept `--rounds N`, `--seed N`, `--workers N` and `--metrics PATH`
 //! flags (both `--flag value` and `--flag=value` spellings); the old
 //! positional forms keep working. `--metrics` writes the run's metric
-//! registry as CSV to PATH and, when a trace was recorded, the event
-//! trace as JSON lines to `PATH.trace.jsonl` — both byte-identical for a
-//! fixed seed regardless of worker count.
+//! registry as CSV to PATH, the event trace as JSON lines to
+//! `PATH.trace.jsonl` when one was recorded, and the profiler spans as
+//! Chrome trace-event JSON to `PATH.trace.json` when any were recorded —
+//! all byte-identical for a fixed seed regardless of worker count.
+//! `--trace-capacity N` resizes the bounded trace/span rings; `vds stats`
+//! warns when records were dropped. `vds bench` writes the performance
+//! trajectory (`--out PATH`, default the next free `BENCH_<n>.json`) and
+//! `vds bench --check BASELINE.json` exits nonzero on work-counter drift
+//! or a throughput regression against the committed baseline.
 //!
 //! The command dispatch lives in this library crate so it is unit-testable;
 //! `main.rs` only forwards `std::env::args`.
@@ -66,15 +74,21 @@ USAGE:
     vds alpha [rounds]                  measure kernel-pair α matrix
     vds duplex <scheme> [rounds] [at]   run a micro VDS (fault at round `at`)
     vds stats <scheme> [rounds] [at]    run a micro VDS, print metrics + trace
+    vds report <scheme> [rounds] [at]   run a micro VDS, print folded span stacks
     vds flowchart <scheme>              recovery flow chart as DOT
     vds experiment <e1..e14|all>        regenerate a paper artefact
+    vds bench                           run the pinned perf suite
     vds gains [alpha] [beta] [p]        closed-form gain summary
 
-FLAGS (alpha / duplex / stats / experiment; `--flag v` or `--flag=v`):
-    --rounds N     size knob: rounds, trials or samples
-    --seed N       seed override for seeded runs
-    --workers N    worker threads for campaign-style experiments
-    --metrics PATH write metrics CSV to PATH (+ PATH.trace.jsonl if traced)
+FLAGS (alpha / duplex / stats / report / experiment / bench; `--flag v` or `--flag=v`):
+    --rounds N           size knob: rounds, trials or samples
+    --seed N             seed override for seeded runs
+    --workers N          worker threads for campaign-style experiments
+    --metrics PATH       write metrics CSV to PATH (+ PATH.trace.jsonl /
+                         PATH.trace.json when a trace / spans were recorded)
+    --trace-capacity N   resize the bounded trace and span rings
+    --out PATH           bench: write BENCH json to PATH (default BENCH_<n>.json)
+    --check PATH         bench: compare against a baseline; exit 1 on drift
 
 SCHEMES: conventional, smt-det, smt-prob, smt-pred, smt-boost3, smt-boost5"
 }
@@ -87,6 +101,9 @@ struct Flags {
     seed: Option<u64>,
     workers: Option<usize>,
     metrics: Option<String>,
+    trace_capacity: Option<usize>,
+    out: Option<String>,
+    check: Option<String>,
     positional: Vec<String>,
 }
 
@@ -105,9 +122,13 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
             Some((n, v)) => (n, Some(v.to_string())),
             None => (rest, None),
         };
-        if !matches!(name, "rounds" | "seed" | "workers" | "metrics") {
+        if !matches!(
+            name,
+            "rounds" | "seed" | "workers" | "metrics" | "trace-capacity" | "out" | "check"
+        ) {
             return Err(CliError::usage(format!(
-                "unknown flag `--{name}` (known: --rounds, --seed, --workers, --metrics)"
+                "unknown flag `--{name}` (known: --rounds, --seed, --workers, \
+                 --metrics, --trace-capacity, --out, --check)"
             )));
         }
         let value = match inline {
@@ -121,18 +142,23 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
             "rounds" => f.rounds = Some(parse_num(&value, "--rounds")?),
             "seed" => f.seed = Some(parse_num(&value, "--seed")?),
             "workers" => f.workers = Some(parse_num(&value, "--workers")?),
+            "trace-capacity" => f.trace_capacity = Some(parse_num(&value, "--trace-capacity")?),
+            "out" => f.out = Some(value),
+            "check" => f.check = Some(value),
             _ => f.metrics = Some(value),
         }
     }
     Ok(f)
 }
 
-/// Write the registry as CSV to `path` and, when a trace was recorded,
-/// its JSON lines next to it; returns a printable confirmation.
+/// Write the registry as CSV to `path` and, when a trace / spans were
+/// recorded, their JSON renderings next to it; returns a printable
+/// confirmation.
 fn write_metrics(
     path: &str,
     registry: &vds_obs::Registry,
     trace: Option<&vds_obs::Trace>,
+    spans: Option<&vds_obs::SpanSet>,
 ) -> Result<String, CliError> {
     std::fs::write(path, registry.to_csv())
         .map_err(|e| CliError::runtime(format!("cannot write `{path}`: {e}")))?;
@@ -142,6 +168,16 @@ fn write_metrics(
         std::fs::write(&tpath, t.to_jsonl())
             .map_err(|e| CliError::runtime(format!("cannot write `{tpath}`: {e}")))?;
         let _ = writeln!(note, "trace ({} events) written to {tpath}", t.len());
+    }
+    if let Some(s) = spans.filter(|s| !s.is_empty()) {
+        let spath = format!("{path}.trace.json");
+        std::fs::write(&spath, s.to_chrome_json())
+            .map_err(|e| CliError::runtime(format!("cannot write `{spath}`: {e}")))?;
+        let _ = writeln!(
+            note,
+            "Chrome trace ({} spans) written to {spath} — open in ui.perfetto.dev",
+            s.len()
+        );
     }
     Ok(note)
 }
@@ -184,8 +220,10 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
             args.get(3).map(String::as_str),
         ),
         "alpha" => cmd_alpha(&args[1..]),
-        "duplex" => cmd_duplex(&args[1..], false),
-        "stats" => cmd_duplex(&args[1..], true),
+        "duplex" => cmd_duplex(&args[1..], DuplexMode::Plain),
+        "stats" => cmd_duplex(&args[1..], DuplexMode::Stats),
+        "report" => cmd_duplex(&args[1..], DuplexMode::Report),
+        "bench" => cmd_bench(&args[1..]),
         "flowchart" => {
             let scheme = parse_scheme(
                 args.get(1)
@@ -296,21 +334,37 @@ fn cmd_alpha(args: &[String]) -> Result<String, CliError> {
     let r = vds_bench::e09_alpha::report(rounds);
     let mut out = r.to_string();
     if let Some(path) = &f.metrics {
-        out.push_str(&write_metrics(path, &r.metrics, None)?);
+        out.push_str(&write_metrics(path, &r.metrics, None, Some(&r.spans))?);
     }
     Ok(out)
 }
 
-/// Backs both `vds duplex` (report + oracle verdict) and `vds stats`
-/// (the same run with the metric registry and event trace printed).
-fn cmd_duplex(args: &[String], stats: bool) -> Result<String, CliError> {
+/// The three faces of a recorded micro-VDS run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DuplexMode {
+    /// `vds duplex` — report + oracle verdict only.
+    Plain,
+    /// `vds stats` — the same run with metrics and event trace printed.
+    Stats,
+    /// `vds report` — the same run with folded span stacks printed.
+    Report,
+}
+
+/// Backs `vds duplex` (report + oracle verdict), `vds stats` (the same
+/// run with the metric registry and event trace printed) and `vds report`
+/// (the same run with folded profiler stacks printed).
+fn cmd_duplex(args: &[String], mode: DuplexMode) -> Result<String, CliError> {
     use vds_core::micro_vds::{
-        run_micro_recorded_with_state, run_micro_with_state, MicroConfig, MicroFault,
+        run_micro_with_recorder, run_micro_with_state, MicroConfig, MicroFault,
     };
     use vds_core::{workload, Victim};
     use vds_fault::model::{FaultKind, FaultSite};
     let f = parse_flags(args)?;
-    let what = if stats { "stats" } else { "duplex" };
+    let what = match mode {
+        DuplexMode::Plain => "duplex",
+        DuplexMode::Stats => "stats",
+        DuplexMode::Report => "report",
+    };
     let scheme = parse_scheme(
         f.positional
             .first()
@@ -350,9 +404,13 @@ fn cmd_duplex(args: &[String], stats: bool) -> Result<String, CliError> {
         return Err(CliError::usage(format!("{what}: too many arguments")));
     }
     // recording costs a little time, so the plain path stays unrecorded
-    let record = stats || f.metrics.is_some();
+    let record = mode != DuplexMode::Plain || f.metrics.is_some() || f.trace_capacity.is_some();
     let (r, img, rec) = if record {
-        let (r, img, rec) = run_micro_recorded_with_state(&cfg, fault, rounds);
+        let recorder = match f.trace_capacity {
+            Some(cap) => vds_obs::Recorder::with_trace_capacity(cap),
+            None => vds_obs::Recorder::new(),
+        };
+        let (r, img, rec) = run_micro_with_recorder(&cfg, fault, rounds, recorder);
         (r, img, Some(rec))
     } else {
         let (r, img) = run_micro_with_state(&cfg, fault, rounds);
@@ -368,13 +426,38 @@ fn cmd_duplex(args: &[String], stats: bool) -> Result<String, CliError> {
     };
     let mut out = format!("{r}\n{verdict} versus the oracle\n");
     if let Some(rec) = rec {
-        let (registry, trace) = rec.into_parts();
-        if stats {
+        let (registry, trace, spans) = rec.into_parts();
+        if mode == DuplexMode::Stats {
             let _ = write!(out, "\n---- metrics ----\n{registry}");
             let _ = write!(out, "---- trace ----\n{trace}");
+            if trace.dropped() > 0 {
+                let _ = writeln!(
+                    out,
+                    "WARNING: {} trace records dropped (ring capacity {}) — \
+                     raise it with --trace-capacity N",
+                    trace.dropped(),
+                    trace.capacity()
+                );
+            }
+            if spans.dropped() > 0 {
+                let _ = writeln!(
+                    out,
+                    "WARNING: {} span records dropped (ring capacity {}) — \
+                     raise it with --trace-capacity N",
+                    spans.dropped(),
+                    spans.capacity()
+                );
+            }
+        }
+        if mode == DuplexMode::Report {
+            let _ = write!(
+                out,
+                "\n---- folded span stacks (self sim-time; feed to inferno/flamegraph.pl) ----\n{}",
+                spans.to_folded()
+            );
         }
         if let Some(path) = &f.metrics {
-            out.push_str(&write_metrics(path, &registry, Some(&trace))?);
+            out.push_str(&write_metrics(path, &registry, Some(&trace), Some(&spans))?);
         }
     }
     Ok(out)
@@ -406,13 +489,82 @@ fn cmd_experiment(args: &[String]) -> Result<String, CliError> {
     };
     let mut out = String::new();
     let mut merged = vds_obs::Registry::new();
+    let mut spans = vds_obs::SpanSet::default();
     for exp in &selected {
         let r = exp.run(&params);
         let _ = write!(out, "{r}");
         merged.merge(&r.metrics.prefixed(&exp.id().to_ascii_lowercase()));
+        spans.extend_from(&r.spans);
     }
     if let Some(path) = &f.metrics {
-        out.push_str(&write_metrics(path, &merged, None)?);
+        out.push_str(&write_metrics(path, &merged, None, Some(&spans))?);
+    }
+    Ok(out)
+}
+
+/// First `BENCH_<n>.json` (n ≥ 1) that does not exist yet in the current
+/// directory — the default `vds bench` output path, so successive runs
+/// append to the perf trajectory instead of overwriting it.
+fn next_bench_path() -> String {
+    (1u32..)
+        .map(|n| format!("BENCH_{n}.json"))
+        .find(|p| !std::path::Path::new(p).exists())
+        .expect("some BENCH_<n>.json slot is free")
+}
+
+/// `vds bench` — run the pinned perf suite, print the table, write the
+/// `BENCH_<n>.json` trajectory point and/or check against a baseline.
+fn cmd_bench(args: &[String]) -> Result<String, CliError> {
+    use vds_bench::perf::{self, BenchReport};
+    let f = parse_flags(args)?;
+    if !f.positional.is_empty() {
+        return Err(CliError::usage("bench: unexpected positional arguments"));
+    }
+    let workers = f
+        .workers
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, |n| n.get()));
+    let report = perf::run_suite_with(workers, f.seed, f.rounds);
+    let mut out = format!(
+        "vds bench — pinned perf suite, schema v{}\n{:<5} {:>10} {:>11} {:>12} {:>10}\n",
+        report.schema_version, "id", "sim_rounds", "host_ms", "work_units", "work/ms"
+    );
+    for e in &report.experiments {
+        let _ = writeln!(
+            out,
+            "{:<5} {:>10} {:>11.3} {:>12} {:>10.1}",
+            e.id,
+            e.sim_rounds,
+            e.host_ms,
+            e.work_units,
+            e.work_per_ms()
+        );
+    }
+    // --check without --out only compares; otherwise a trajectory point
+    // is written (to --out, or the next free BENCH_<n>.json slot)
+    let out_path = match (&f.out, &f.check) {
+        (Some(p), _) => Some(p.clone()),
+        (None, Some(_)) => None,
+        (None, None) => Some(next_bench_path()),
+    };
+    if let Some(p) = &out_path {
+        std::fs::write(p, report.to_json())
+            .map_err(|e| CliError::runtime(format!("cannot write `{p}`: {e}")))?;
+        let _ = writeln!(out, "bench report written to {p}");
+    }
+    if let Some(base_path) = &f.check {
+        let base = BenchReport::from_json(&read_file(base_path)?)
+            .map_err(|e| CliError::runtime(format!("cannot parse `{base_path}`: {e}")))?;
+        let issues = perf::check(&report, &base, perf::DEFAULT_REGRESSION_THRESHOLD);
+        if issues.is_empty() {
+            let _ = writeln!(out, "bench check OK against {base_path}");
+        } else {
+            let mut msg = out;
+            let _ = writeln!(msg, "bench check FAILED against {base_path}:");
+            for issue in &issues {
+                let _ = writeln!(msg, "  - {issue}");
+            }
+            return Err(CliError::runtime(msg));
+        }
     }
     Ok(out)
 }
@@ -633,6 +785,73 @@ mod tests {
         run(&["experiment", "e8", "--metrics", p]).unwrap();
         let csv = std::fs::read_to_string(&path).unwrap();
         assert!(csv.contains("counter,e8.report.text_bytes"), "{csv}");
+    }
+
+    #[test]
+    fn report_prints_folded_span_stacks() {
+        let out = run(&["report", "smt-det", "12", "4"]).unwrap();
+        assert!(out.contains("output CORRECT"), "{out}");
+        assert!(out.contains("folded span stacks"), "{out}");
+        assert!(out.contains("micro;round;compare "), "{out}");
+        assert!(out.contains("micro;recovery;retry "), "{out}");
+        assert!(out.contains("smt;pipeline "), "{out}");
+    }
+
+    #[test]
+    fn stats_warns_when_trace_ring_overflows() {
+        let out = run(&["stats", "smt-det", "40", "--trace-capacity", "8"]).unwrap();
+        assert!(out.contains("WARNING:"), "{out}");
+        assert!(
+            out.contains("trace records dropped (ring capacity 8)"),
+            "{out}"
+        );
+        // a roomy ring stays silent
+        let ok = run(&["stats", "smt-det", "12", "4"]).unwrap();
+        assert!(!ok.contains("WARNING:"), "{ok}");
+    }
+
+    #[test]
+    fn experiment_metrics_flag_writes_chrome_trace() {
+        let dir = std::env::temp_dir().join("vds-cli-exp-trace");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("e2.csv");
+        let p = path.to_str().unwrap();
+        let out = run(&["experiment", "e2", "--metrics", p]).unwrap();
+        assert!(out.contains("Chrome trace"), "{out}");
+        let trace = std::fs::read_to_string(dir.join("e2.csv.trace.json")).unwrap();
+        assert!(trace.starts_with("{\"traceEvents\":["), "{trace}");
+        assert!(trace.contains("\"ph\":\"B\""), "{trace}");
+        assert!(trace.contains("\"ph\":\"E\""), "{trace}");
+        // byte-identical across a re-run
+        let path2 = dir.join("e2b.csv");
+        run(&["experiment", "e2", "--metrics", path2.to_str().unwrap()]).unwrap();
+        let trace2 = std::fs::read_to_string(dir.join("e2b.csv.trace.json")).unwrap();
+        assert_eq!(trace, trace2);
+    }
+
+    #[test]
+    fn bench_writes_and_checks_a_baseline() {
+        let dir = std::env::temp_dir().join("vds-cli-bench");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_test.json");
+        let p = path.to_str().unwrap();
+        // tiny size cap keeps the debug-mode test fast
+        let out = run(&["bench", "--rounds", "2", "--out", p]).unwrap();
+        assert!(out.contains("bench report written to"), "{out}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"schema_version\": 1"), "{json}");
+        assert!(json.contains("\"id\":\"E1\""), "{json}");
+        // a fresh run at the same sizes passes the check against it
+        let out = run(&["bench", "--rounds", "2", "--check", p]).unwrap();
+        assert!(out.contains("bench check OK"), "{out}");
+        // a doctored baseline (work_units drift) fails it
+        let doctored = json.replace("\"work_units\":", "\"work_units\":9");
+        let bad = dir.join("BENCH_bad.json");
+        std::fs::write(&bad, doctored).unwrap();
+        let e = run(&["bench", "--rounds", "2", "--check", bad.to_str().unwrap()]).unwrap_err();
+        assert_eq!(e.code, 1);
+        assert!(e.msg.contains("work_units drifted"), "{}", e.msg);
+        assert!(run(&["bench", "extra-positional"]).is_err());
     }
 
     #[test]

@@ -568,11 +568,15 @@ fn run_engine(
         }
     }
     e.report.total_time = e.clock;
+    let mut rec = e.rec;
     if cfg.record_timeline {
+        if rec.is_enabled() {
+            e.timeline.export_spans(&mut rec, cfg.scheme.name());
+        }
         e.report.timeline = Some(e.timeline);
     }
-    let mut rec = e.rec;
     e.report.export_metrics(&mut rec, "vds");
+    rec.rollup_spans();
     (e.report, rec)
 }
 

@@ -172,6 +172,9 @@ impl Micro {
             workload::round_entry(&progs[2]),
         ];
         let mut m = Machine::new(cfg.core.clone(), cfg.ctx_switch_cycles);
+        if rec.is_enabled() {
+            m.core_mut().set_window_recording(true);
+        }
         let procs = [
             m.spawn("v1", &progs[0], workload::DMEM_WORDS),
             m.spawn("v2", &progs[1], workload::DMEM_WORDS),
@@ -254,6 +257,7 @@ impl Micro {
         let i = self.rounds_since + 1;
         self.trap_evidence = None;
         let start_cycles = self.m.cycles();
+        let round_g = self.rec.span("micro", "round", start_cycles as f64);
         let (a, b) = (self.active[0], self.active[1]);
 
         // the injected fault lands "during" the round: before execution,
@@ -273,6 +277,7 @@ impl Micro {
                 if self.trap_evidence == Some(slot) {
                     continue;
                 }
+                let g = self.rec.span("micro", "compute", self.m.cycles() as f64);
                 self.m.dispatch(self.procs[v], ThreadId(0));
                 match self.m.run_hw_until_block(ThreadId(0), ROUND_BUDGET) {
                     ProcOutcome::Yielded => {}
@@ -285,11 +290,24 @@ impl Micro {
                     }
                     other => panic!("normal round: unexpected {other:?}"),
                 }
+                self.rec
+                    .end_span_with(g, self.m.cycles() as f64, vec![("version", v.into())]);
             }
         } else {
+            let g0 = self
+                .rec
+                .span_on(0, "micro", "compute", self.m.cycles() as f64);
+            let g1 = self
+                .rec
+                .span_on(1, "micro", "compute", self.m.cycles() as f64);
             self.m.dispatch(self.procs[a], ThreadId(0));
             self.m.dispatch(self.procs[b], ThreadId(1));
             let outs = self.m.run_all_until_block(ROUND_BUDGET);
+            let t_done = self.m.cycles() as f64;
+            self.rec
+                .end_span_with(g0, t_done, vec![("version", a.into())]);
+            self.rec
+                .end_span_with(g1, t_done, vec![("version", b.into())]);
             for (slot, hw) in [(0usize, 0usize), (1, 1)] {
                 match outs[hw] {
                     Some(ProcOutcome::Yielded) => {}
@@ -310,9 +328,11 @@ impl Micro {
         self.report.time_normal += (self.m.cycles() - start_cycles) as f64;
 
         // comparison
+        let cmp_g = self.rec.span("micro", "compare", self.m.cycles() as f64);
         self.burn(self.cfg.cmp_cycles);
         self.report.time_normal += f64::from(self.cfg.cmp_cycles);
         let t = self.m.cycles() as f64;
+        self.rec.end_span(cmp_g, t);
         if self.trap_evidence.is_some() || !hung.is_empty() {
             self.report.detections += 1;
             self.rec.event(
@@ -320,6 +340,11 @@ impl Micro {
                 "micro",
                 "detect",
                 vec![("round", i.into()), ("evidence", "trap".into())],
+            );
+            self.rec.end_span_with(
+                round_g,
+                t,
+                vec![("round", i.into()), ("outcome", "detect".into())],
             );
             return Some(i);
         }
@@ -333,6 +358,11 @@ impl Micro {
                 "detect",
                 vec![("round", i.into()), ("evidence", "mismatch".into())],
             );
+            self.rec.end_span_with(
+                round_g,
+                t,
+                vec![("round", i.into()), ("outcome", "detect".into())],
+            );
             Some(i)
         } else {
             self.rounds_since = i;
@@ -343,12 +373,19 @@ impl Micro {
                 "round",
                 vec![("round", i.into()), ("comparison", "match".into())],
             );
+            self.rec.end_span_with(
+                round_g,
+                t,
+                vec![("round", i.into()), ("outcome", "commit".into())],
+            );
             None
         }
     }
 
     fn take_checkpoint(&mut self) {
+        let g = self.rec.span("micro", "checkpoint", self.m.cycles() as f64);
         self.burn(self.cfg.ckpt_cycles);
+        self.rec.end_span(g, self.m.cycles() as f64);
         self.report.time_checkpoint += f64::from(self.cfg.ckpt_cycles);
         self.ckpt_img = self.dmem_of(self.active[0]);
         self.rounds_since = 0;
@@ -362,12 +399,14 @@ impl Micro {
         );
     }
 
-    /// Run a list of segments on one hardware thread, collecting each
-    /// segment's end image. `Err(())` on a trap.
+    /// Run a list of named segments plans, one per hardware thread,
+    /// collecting each segment's end image. `Err(())` on a trap. Each
+    /// plan is recorded as a span (`"retry"` / `"rollforward"`) on its
+    /// hardware thread's lane.
     #[allow(clippy::type_complexity)]
     fn run_segments_parallel(
         &mut self,
-        plans: Vec<(ThreadId, Vec<Seg>)>,
+        plans: Vec<(ThreadId, &'static str, Vec<Seg>)>,
     ) -> Vec<Result<Vec<Vec<u32>>, ()>> {
         struct PlanState {
             hw: ThreadId,
@@ -376,16 +415,28 @@ impl Micro {
             done_rounds: u32,
             images: Vec<Vec<u32>>,
             failed: bool,
+            guard: Option<vds_obs::SpanGuard>,
         }
         let mut states: Vec<PlanState> = plans
             .into_iter()
-            .map(|(hw, segs)| PlanState {
-                hw,
-                segs,
-                idx: 0,
-                done_rounds: 0,
-                images: Vec::new(),
-                failed: false,
+            .map(|(hw, name, segs)| {
+                let guard = if segs.is_empty() {
+                    None
+                } else {
+                    Some(
+                        self.rec
+                            .span_on(hw.0 as u32, "micro", name, self.m.cycles() as f64),
+                    )
+                };
+                PlanState {
+                    hw,
+                    segs,
+                    idx: 0,
+                    done_rounds: 0,
+                    images: Vec::new(),
+                    failed: false,
+                    guard,
+                }
             })
             .collect();
 
@@ -424,6 +475,8 @@ impl Micro {
                                 self.m.preempt(self.procs[next.version]);
                                 self.m.replace_context(self.procs[next.version], ctx);
                                 self.m.dispatch(self.procs[next.version], st.hw);
+                            } else if let Some(g) = st.guard.take() {
+                                self.rec.end_span(g, self.m.cycles() as f64);
                             }
                         } else {
                             // next round of the same segment
@@ -442,6 +495,21 @@ impl Micro {
                     None => {} // nothing resident on this hw anymore
                     other => panic!("segment run: unexpected {other:?}"),
                 }
+                if st.failed {
+                    if let Some(g) = st.guard.take() {
+                        self.rec.end_span_with(
+                            g,
+                            self.m.cycles() as f64,
+                            vec![("outcome", "failed".into())],
+                        );
+                    }
+                }
+            }
+        }
+        let end = self.m.cycles() as f64;
+        for st in &mut states {
+            if let Some(g) = st.guard.take() {
+                self.rec.end_span(g, end);
             }
         }
         states
@@ -472,6 +540,7 @@ impl Micro {
     /// Recovery for a detection at round `i`.
     fn recover(&mut self, i: u32) {
         let start_cycles = self.m.cycles();
+        let recovery_g = self.rec.span("micro", "recovery", start_cycles as f64);
         let (a, b) = (self.active[0], self.active[1]);
         self.m.preempt(self.procs[a]);
         self.m.preempt(self.procs[b]);
@@ -487,11 +556,12 @@ impl Micro {
             rounds: i,
         }];
 
-        let mut plans = vec![(ThreadId(0), retry_plan)];
+        let mut plans = vec![(ThreadId(0), "retry", retry_plan)];
         if self.cfg.scheme != Scheme::Conventional && x > 0 {
             match self.cfg.scheme {
                 Scheme::SmtProbabilistic => plans.push((
                     ThreadId(1),
+                    "rollforward",
                     vec![
                         Seg {
                             version: b,
@@ -507,6 +577,7 @@ impl Micro {
                 )),
                 Scheme::SmtDeterministic => plans.push((
                     ThreadId(1),
+                    "rollforward",
                     vec![
                         Seg {
                             version: b,
@@ -532,6 +603,7 @@ impl Micro {
                 )),
                 Scheme::SmtPredictive => plans.push((
                     ThreadId(1),
+                    "rollforward",
                     vec![Seg {
                         version: self.active[guess_slot],
                         start_img: guess_img.clone(),
@@ -544,6 +616,7 @@ impl Micro {
                     // picked state — detection retained via T = U
                     plans.push((
                         ThreadId(1),
+                        "rollforward",
                         vec![Seg {
                             version: a,
                             start_img: guess_img.clone(),
@@ -552,6 +625,7 @@ impl Micro {
                     ));
                     plans.push((
                         ThreadId(2),
+                        "rollforward",
                         vec![Seg {
                             version: b,
                             start_img: guess_img.clone(),
@@ -568,7 +642,9 @@ impl Micro {
         let rf_results = results; // 0, 1 or 2 roll-forward plans
 
         // majority vote
+        let vote_g = self.rec.span("micro", "vote", self.m.cycles() as f64);
         self.burn(2 * self.cfg.cmp_cycles);
+        self.rec.end_span(vote_g, self.m.cycles() as f64);
 
         let vote = match &retry_result {
             Err(()) => None, // fault (trap) during retry
@@ -728,6 +804,11 @@ impl Micro {
         }
         self.trap_evidence = None;
         self.report.time_recovery += (self.m.cycles() - start_cycles) as f64;
+        self.rec.end_span_with(
+            recovery_g,
+            self.m.cycles() as f64,
+            vec![("round", i.into())],
+        );
     }
 }
 
@@ -771,6 +852,17 @@ pub fn run_micro_recorded_with_state(
     run_micro_engine(cfg, fault, target_rounds, Recorder::new())
 }
 
+/// [`run_micro_recorded_with_state`] with a caller-supplied recorder, so
+/// the CLI can honour `--trace-capacity` and other ring-size overrides.
+pub fn run_micro_with_recorder(
+    cfg: &MicroConfig,
+    fault: Option<MicroFault>,
+    target_rounds: u64,
+    rec: Recorder,
+) -> (RunReport, Vec<u32>, Recorder) {
+    run_micro_engine(cfg, fault, target_rounds, rec)
+}
+
 fn run_micro_engine(
     cfg: &MicroConfig,
     fault: Option<MicroFault>,
@@ -812,6 +904,8 @@ fn run_micro_engine(
     let mut rec = e.rec;
     e.report.export_metrics(&mut rec, "vds");
     e.m.core().export_metrics(&mut rec);
+    e.m.core().export_spans(&mut rec);
+    rec.rollup_spans();
     (e.report, img, rec)
 }
 
@@ -1049,6 +1143,24 @@ mod tests {
         let (_, rec2) = run_micro_recorded(&cfg, Some(fault_mem(4, Victim::V2)), 15);
         assert_eq!(rec.registry().to_csv(), rec2.registry().to_csv());
         assert_eq!(rec.trace().to_jsonl(), rec2.trace().to_jsonl());
+        // span layer: every phase shows up, exports are deterministic,
+        // and the rollups landed in the registry
+        let names: Vec<&str> = rec.spans().records().map(|s| s.name).collect();
+        for phase in [
+            "round",
+            "compute",
+            "compare",
+            "checkpoint",
+            "recovery",
+            "retry",
+        ] {
+            assert!(names.contains(&phase), "missing span {phase}: {names:?}");
+        }
+        assert!(rec.spans().records().any(|s| s.component == "smt"));
+        assert_eq!(rec.spans().to_chrome_json(), rec2.spans().to_chrome_json());
+        assert_eq!(rec.spans().to_folded(), rec2.spans().to_folded());
+        assert!(reg.summary("span.micro.round.total").is_some());
+        assert!(reg.summary("span.micro.compare.self").is_some());
     }
 
     #[test]

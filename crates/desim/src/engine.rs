@@ -167,6 +167,37 @@ impl<W> Sim<W> {
         }
     }
 
+    /// [`Sim::run`] with event-loop profiling: the whole drain is wrapped
+    /// in a `desim`/`run` span and every event dispatch in a
+    /// `desim`/`dispatch` span — begin at the event's firing time, end at
+    /// the clock position when its action returns (the simulated time the
+    /// handler advanced past, e.g. by draining nested work).
+    pub fn run_spanned(&mut self, world: &mut W, rec: &mut vds_obs::Recorder) -> RunStats {
+        self.stopped = false;
+        let start_fired = self.fired;
+        let run_g = rec.span("desim", "run", self.clock.as_secs());
+        while let Some(ev) = self.queue.pop() {
+            debug_assert!(ev.at >= self.clock, "event calendar went backwards");
+            self.clock = ev.at;
+            self.fired += 1;
+            let g = rec.span("desim", "dispatch", self.clock.as_secs());
+            (ev.action)(self, world);
+            rec.end_span_with(
+                g,
+                self.clock.as_secs(),
+                vec![("at", ev.at.as_secs().into())],
+            );
+            if self.stopped {
+                break;
+            }
+        }
+        let fired = self.fired - start_fired;
+        rec.end_span_with(run_g, self.clock.as_secs(), vec![("events", fired.into())]);
+        RunStats {
+            events_fired: fired,
+        }
+    }
+
     /// Pop and fire exactly one event, if any. Returns `true` if an event
     /// fired.
     pub fn step(&mut self, world: &mut W) -> bool {
@@ -318,6 +349,29 @@ mod tests {
             rec.registry().gauge_value("desim.events_per_sim_sec"),
             Some(1.0)
         );
+    }
+
+    #[test]
+    fn run_spanned_records_dispatch_spans() {
+        let run = || {
+            let mut sim: Sim<u32> = Sim::new();
+            sim.schedule_at(at(1.0), |sim, n| {
+                *n += 1;
+                sim.schedule_in(at(0.5), |_, n| *n += 10);
+            });
+            let mut rec = vds_obs::Recorder::new();
+            let mut n = 0;
+            let stats = sim.run_spanned(&mut n, &mut rec);
+            assert_eq!(stats.events_fired, 2);
+            assert_eq!(n, 11);
+            rec
+        };
+        let rec = run();
+        let names: Vec<&str> = rec.spans().records().map(|s| s.name).collect();
+        assert_eq!(names.iter().filter(|n| **n == "dispatch").count(), 2);
+        assert!(names.contains(&"run"));
+        // deterministic export bytes
+        assert_eq!(rec.spans().to_chrome_json(), run().spans().to_chrome_json());
     }
 
     #[test]

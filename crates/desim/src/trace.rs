@@ -177,6 +177,28 @@ impl Timeline {
         out
     }
 
+    /// Convert the timeline into profiler spans on `rec`: one span per
+    /// recorded [`Span`], lane = hardware-thread id, under the given
+    /// component (a lane per `(component, tid)` pair in the Chrome
+    /// export). Labels travel along as a `label` field.
+    pub fn export_spans(&self, rec: &mut vds_obs::Recorder, component: &'static str) {
+        for s in &self.spans {
+            let fields = if s.label.is_empty() {
+                Vec::new()
+            } else {
+                vec![("label", vds_obs::Value::from(s.label.clone()))]
+            };
+            rec.record_span(vds_obs::SpanRecord {
+                begin: s.start.as_secs(),
+                end: s.end.as_secs(),
+                component,
+                name: s.kind.name(),
+                tid: s.lane as u32,
+                fields,
+            });
+        }
+    }
+
     /// Tab-separated dump: `lane  start  end  kind  label`.
     pub fn to_tsv(&self) -> String {
         let mut out = String::from("lane\tstart\tend\tkind\tlabel\n");

@@ -161,6 +161,7 @@ fn shard_bounds(n: u64, shards: u64, s: u64) -> (u64, u64) {
 }
 
 fn run_campaign_impl<F>(
+    component: &'static str,
     n: u64,
     workers: usize,
     record: bool,
@@ -184,16 +185,23 @@ where
                 let (lo, hi) = shard_bounds(n, shards, s);
                 let mut local = CampaignReport::default();
                 let mut rec = if record {
-                    // metrics only: per-shard traces would interleave by
-                    // completion order; the shard_done event below is
-                    // emitted with the shard index as its time instead
-                    Recorder::with_trace_capacity(0)
+                    // metrics + spans only: per-shard traces would
+                    // interleave by completion order; the shard_done
+                    // event below is emitted with the shard index as its
+                    // time instead. Span merging is shard-ordered, so a
+                    // shard keeps exactly its own spans (one per shard
+                    // plus one per trial) on the trial-index time axis.
+                    Recorder::with_capacities(0, (hi - lo) as usize + 1)
                 } else {
                     Recorder::disabled()
                 };
+                let shard_g = rec.span(component, "shard", lo as f64);
                 for i in lo..hi {
+                    let trial_g = rec.span(component, "trial", i as f64);
                     local.absorb(trial(i, &mut rec));
+                    rec.end_span(trial_g, (i + 1) as f64);
                 }
+                rec.end_span_with(shard_g, hi as f64, vec![("shard", s.into())]);
                 *slots[s as usize].lock().unwrap() = Some((local, rec));
             });
         }
@@ -226,6 +234,7 @@ where
     if record {
         report.export_metrics(&mut rec);
         rec.gauge("campaign.shards", shards as f64);
+        rec.rollup_spans();
     }
     (report, rec)
 }
@@ -237,18 +246,34 @@ pub fn run_campaign<F>(n: u64, workers: usize, trial: F) -> CampaignReport
 where
     F: Fn(u64) -> TrialResult + Sync,
 {
-    run_campaign_impl(n, workers, false, |i, _| trial(i)).0
+    run_campaign_impl("campaign", n, workers, false, |i, _| trial(i)).0
 }
 
 /// [`run_campaign`] with metrics: each trial may record into a shard
 /// recorder; shard registries merge in shard order (bit-deterministic),
 /// and the campaign's own counters/summaries are added under
-/// `campaign.*`.
+/// `campaign.*`. Shard and trial spans (on the trial-index time axis)
+/// land under the `"campaign"` component.
 pub fn run_campaign_recorded<F>(n: u64, workers: usize, trial: F) -> (CampaignReport, Recorder)
 where
     F: Fn(u64, &mut Recorder) -> TrialResult + Sync,
 {
-    run_campaign_impl(n, workers, true, trial)
+    run_campaign_impl("campaign", n, workers, true, trial)
+}
+
+/// [`run_campaign_recorded`] with an explicit span component, so callers
+/// running several campaigns into one recorder (e.g. experiment E10's
+/// diverse vs identical arms) keep their span lanes apart.
+pub fn run_campaign_recorded_as<F>(
+    component: &'static str,
+    n: u64,
+    workers: usize,
+    trial: F,
+) -> (CampaignReport, Recorder)
+where
+    F: Fn(u64, &mut Recorder) -> TrialResult + Sync,
+{
+    run_campaign_impl(component, n, workers, true, trial)
 }
 
 #[cfg(test)]
@@ -327,6 +352,26 @@ mod tests {
             300
         );
         assert_eq!(reca.trace().len(), LOGICAL_SHARDS as usize);
+    }
+
+    #[test]
+    fn campaign_spans_are_worker_invariant() {
+        let f = |i: u64, _: &mut Recorder| TrialResult::with_value("lat", i as f64);
+        let (_, reca) = run_campaign_recorded(150, 1, f);
+        let (_, recb) = run_campaign_recorded(150, 4, f);
+        // one span per shard plus one per trial, merged in shard order
+        assert_eq!(reca.spans().len(), 150 + LOGICAL_SHARDS as usize);
+        assert_eq!(
+            reca.spans().to_chrome_json(),
+            recb.spans().to_chrome_json(),
+            "span export must be byte-identical across worker counts"
+        );
+        assert!(reca
+            .registry()
+            .summary("span.campaign.trial.total")
+            .is_some());
+        let (_, recc) = run_campaign_recorded_as("custom", 10, 2, f);
+        assert!(recc.spans().records().all(|s| s.component == "custom"));
     }
 
     #[test]

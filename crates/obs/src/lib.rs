@@ -7,7 +7,7 @@
 //! estimation*, so every backend must be able to say where simulated time
 //! and host time go — cheaply, and reproducibly.
 //!
-//! Three pieces:
+//! Four pieces:
 //!
 //! * [`Registry`] — named counters, gauges and [`Summary`] streaming
 //!   statistics (Welford mean/variance plus fixed-bucket percentiles),
@@ -15,15 +15,22 @@
 //!   live in a separate section that the deterministic exporters omit.
 //! * [`Trace`] — a bounded ring buffer of `(sim_time, component, event,
 //!   fields)` records with a JSON-lines exporter.
+//! * [`SpanSet`] — a bounded ring buffer of `(begin, end, component,
+//!   name, tid, fields)` phase spans with three exporters: Chrome
+//!   trace-event JSON ([`SpanSet::to_chrome_json`], loadable in
+//!   Perfetto/`chrome://tracing`), folded stacks for flamegraph tools
+//!   ([`SpanSet::to_folded`]), and per-phase self/total rollups into the
+//!   registry ([`SpanSet::rollup_into`]).
 //! * [`Recorder`] — the handle instrumented code accepts; a disabled
 //!   recorder costs one branch per call.
 //!
 //! **Determinism contract:** for a fixed seed, the content of a
-//! recorder's registry and trace — and therefore the bytes of
-//! [`Registry::to_csv`] / [`Registry::to_jsonl`] / [`Trace::to_jsonl`] —
-//! are identical across runs and across worker counts, provided parallel
-//! shards are merged in a fixed order (see `vds-fault`'s logical shards).
-//! Host wall-clock timings are the one exception, which is why they are
+//! recorder's registry, trace and spans — and therefore the bytes of
+//! [`Registry::to_csv`] / [`Registry::to_jsonl`] / [`Trace::to_jsonl`] /
+//! [`SpanSet::to_chrome_json`] / [`SpanSet::to_folded`] — are identical
+//! across runs and across worker counts, provided parallel shards are
+//! merged in a fixed order (see `vds-fault`'s logical shards). Host
+//! wall-clock timings are the one exception, which is why they are
 //! quarantined in their own export section.
 //!
 //! ```
@@ -40,10 +47,12 @@
 
 pub mod recorder;
 pub mod registry;
+pub mod span;
 pub mod summary;
 pub mod trace;
 
 pub use recorder::{Recorder, Stopwatch, DEFAULT_TRACE_CAPACITY};
 pub use registry::Registry;
+pub use span::{SpanGuard, SpanRecord, SpanSet, DEFAULT_SPAN_CAPACITY};
 pub use summary::Summary;
 pub use trace::{Record, Trace, Value};

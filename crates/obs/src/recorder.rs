@@ -9,32 +9,42 @@
 //! fixed seed regardless of worker count.
 
 use crate::registry::Registry;
+use crate::span::{SpanGuard, SpanRecord, SpanSet};
 use crate::trace::{Record, Trace, Value};
 use std::time::Instant;
 
 /// Default trace capacity for enabled recorders.
 pub const DEFAULT_TRACE_CAPACITY: usize = 4096;
 
-/// Metrics + trace sink handed through the stack.
+/// Metrics + trace + span sink handed through the stack.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Recorder {
     enabled: bool,
     registry: Registry,
     trace: Trace,
+    spans: SpanSet,
 }
 
 impl Recorder {
-    /// Enabled recorder with the default trace capacity.
+    /// Enabled recorder with the default trace and span capacities.
     pub fn new() -> Self {
         Self::with_trace_capacity(DEFAULT_TRACE_CAPACITY)
     }
 
-    /// Enabled recorder with an explicit trace capacity (0 = metrics only).
+    /// Enabled recorder with an explicit trace capacity, mirrored onto
+    /// the span ring (0 = metrics only).
     pub fn with_trace_capacity(capacity: usize) -> Self {
+        Self::with_capacities(capacity, capacity)
+    }
+
+    /// Enabled recorder with independent trace and span capacities
+    /// (campaign shards keep spans but skip per-trial event traces).
+    pub fn with_capacities(trace_capacity: usize, span_capacity: usize) -> Self {
         Recorder {
             enabled: true,
             registry: Registry::new(),
-            trace: Trace::with_capacity(capacity),
+            trace: Trace::with_capacity(trace_capacity),
+            spans: SpanSet::with_capacity(span_capacity),
         }
     }
 
@@ -44,6 +54,7 @@ impl Recorder {
             enabled: false,
             registry: Registry::new(),
             trace: Trace::with_capacity(0),
+            spans: SpanSet::with_capacity(0),
         }
     }
 
@@ -103,6 +114,67 @@ impl Recorder {
         }
     }
 
+    /// Open a span at simulated time `begin` on lane (tid) 0. Close the
+    /// returned guard with [`Recorder::end_span`].
+    pub fn span(&mut self, component: &'static str, name: &'static str, begin: f64) -> SpanGuard {
+        self.span_on(0, component, name, begin)
+    }
+
+    /// Open a span on an explicit hardware-thread lane.
+    pub fn span_on(
+        &mut self,
+        tid: u32,
+        component: &'static str,
+        name: &'static str,
+        begin: f64,
+    ) -> SpanGuard {
+        if !self.enabled {
+            return SpanGuard::INERT;
+        }
+        SpanGuard {
+            id: self.spans.begin_span(component, name, tid, begin),
+        }
+    }
+
+    /// Close a span at simulated time `end`.
+    pub fn end_span(&mut self, guard: SpanGuard, end: f64) {
+        self.end_span_with(guard, end, Vec::new());
+    }
+
+    /// Close a span, attaching key/value fields (they become the Chrome
+    /// trace event's `args`).
+    pub fn end_span_with(
+        &mut self,
+        guard: SpanGuard,
+        end: f64,
+        fields: Vec<(&'static str, Value)>,
+    ) {
+        if self.enabled {
+            self.spans.end_span(guard.id, end, fields);
+        }
+    }
+
+    /// Record an already-completed span directly (timeline conversions).
+    pub fn record_span(&mut self, record: SpanRecord) {
+        if self.enabled {
+            self.spans.push(record);
+        }
+    }
+
+    /// Read access to the collected spans.
+    pub fn spans(&self) -> &SpanSet {
+        &self.spans
+    }
+
+    /// Fold per-phase `span.<component>.<name>.total` / `.self` summaries
+    /// into this recorder's registry. Call once at the top level (after
+    /// shard merging) so rollups are not double counted.
+    pub fn rollup_spans(&mut self) {
+        if self.enabled {
+            self.spans.rollup_into(&mut self.registry);
+        }
+    }
+
     /// Time the host wall-clock duration of `f` into the registry's host
     /// section (excluded from deterministic exports).
     pub fn time_host<R>(&mut self, name: &str, f: impl FnOnce() -> R) -> R {
@@ -133,18 +205,27 @@ impl Recorder {
         &self.trace
     }
 
-    /// Consume the recorder, returning its registry and trace.
-    pub fn into_parts(self) -> (Registry, Trace) {
-        (self.registry, self.trace)
+    /// Consume the recorder, returning its registry, trace and spans.
+    pub fn into_parts(self) -> (Registry, Trace, SpanSet) {
+        (self.registry, self.trace, self.spans)
     }
 
     /// Merge another recorder's content into this one (counters add,
-    /// gauges max, summaries merge, traces concatenate). Merge shards in
-    /// a fixed order for bit-reproducibility.
+    /// gauges max, summaries merge, traces and spans concatenate). Merge
+    /// shards in a fixed order for bit-reproducibility.
     pub fn merge(&mut self, other: &Recorder) {
         if self.enabled {
             self.registry.merge(&other.registry);
             self.trace.extend_from(&other.trace);
+            self.spans.extend_from(&other.spans);
+        }
+    }
+
+    /// Merge only another recorder's completed spans (callers that merge
+    /// registries with [`Recorder::merge_prefixed`] still want the spans).
+    pub fn merge_spans(&mut self, other: &Recorder) {
+        if self.enabled {
+            self.spans.extend_from(&other.spans);
         }
     }
 

@@ -181,6 +181,12 @@ impl Registry {
     }
 
     fn summary_rows(out: &mut String, kind: &str, name: &str, s: &Summary) {
+        if s.count() == 0 {
+            // An empty summary has no meaningful statistics; emit only the
+            // count row so exports stay nan-free.
+            let _ = writeln!(out, "{kind},{name},count,0");
+            return;
+        }
         let rows: [(&str, String); 7] = [
             ("count", s.count().to_string()),
             ("mean", fmt_f64(s.mean())),
@@ -242,6 +248,14 @@ impl Registry {
             );
         }
         for (k, s) in &self.summaries {
+            if s.count() == 0 {
+                let _ = writeln!(
+                    out,
+                    "{{\"kind\":\"summary\",\"name\":\"{}\",\"count\":0}}",
+                    json_escape(k)
+                );
+                continue;
+            }
             let _ = writeln!(
                 out,
                 "{{\"kind\":\"summary\",\"name\":\"{}\",\"count\":{},\"mean\":{},\"variance\":{},\"min\":{},\"p50\":{},\"p99\":{},\"max\":{}}}",
@@ -320,6 +334,35 @@ mod tests {
         assert!(!csv.contains("wall"), "host section must not leak: {csv}");
         assert!(r.to_csv_with_host().contains("host,wall,count,1"));
         assert_eq!(csv, r.clone().to_csv());
+    }
+
+    #[test]
+    fn empty_summary_exports_are_nan_free() {
+        let mut a = Registry::new();
+        a.observe("s", 1.0);
+        let mut r = Registry::new();
+        r.merge(&a.prefixed("x"));
+        // Merging created summary entries; simulate one that stays empty.
+        r.merge_summary("empty", &Summary::new());
+        let csv = r.to_csv();
+        assert!(csv.contains("summary,empty,count,0"), "csv: {csv}");
+        assert!(!csv.to_lowercase().contains("nan"), "csv: {csv}");
+        let jsonl = r.to_jsonl();
+        assert!(
+            jsonl.contains("{\"kind\":\"summary\",\"name\":\"empty\",\"count\":0}"),
+            "jsonl: {jsonl}"
+        );
+        assert!(!jsonl.to_lowercase().contains("nan"), "jsonl: {jsonl}");
+    }
+
+    #[test]
+    fn single_observation_summary_rows_report_the_value() {
+        let mut r = Registry::new();
+        r.observe("lat", 12.5);
+        let csv = r.to_csv();
+        assert!(csv.contains("summary,lat,p50,12.5"), "csv: {csv}");
+        assert!(csv.contains("summary,lat,p99,12.5"), "csv: {csv}");
+        assert!(!csv.to_lowercase().contains("nan"), "csv: {csv}");
     }
 
     #[test]

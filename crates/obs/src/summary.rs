@@ -216,6 +216,17 @@ mod tests {
     }
 
     #[test]
+    fn single_observation_percentiles_equal_the_value() {
+        for v in [42.5, -3.0, 0.0, 1e-9, 7e12] {
+            let s = Summary::from_iter([v]);
+            assert_eq!(s.quantile(0.5), Some(v), "p50 of single obs {v}");
+            assert_eq!(s.quantile(0.99), Some(v), "p99 of single obs {v}");
+            assert_eq!(s.min(), v);
+            assert_eq!(s.max(), v);
+        }
+    }
+
+    #[test]
     fn quantiles_bracket_the_data() {
         let s = Summary::from_iter((1..=1000).map(f64::from));
         let p50 = s.quantile(0.5).unwrap();

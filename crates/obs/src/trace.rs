@@ -23,6 +23,8 @@ pub enum Value {
     F64(f64),
     /// Short string (outcome names, labels).
     Str(&'static str),
+    /// Owned string (runtime-built labels, e.g. timeline annotations).
+    Owned(String),
 }
 
 impl From<u64> for Value {
@@ -55,6 +57,11 @@ impl From<&'static str> for Value {
         Value::Str(v)
     }
 }
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Owned(v)
+    }
+}
 impl From<bool> for Value {
     fn from(v: bool) -> Self {
         Value::Str(if v { "true" } else { "false" })
@@ -68,18 +75,20 @@ impl std::fmt::Display for Value {
             Value::I64(v) => write!(f, "{v}"),
             Value::F64(v) => write!(f, "{}", fmt_f64(*v)),
             Value::Str(v) => write!(f, "{v}"),
+            Value::Owned(v) => write!(f, "{v}"),
         }
     }
 }
 
 impl Value {
-    fn to_json(&self) -> String {
+    pub(crate) fn to_json(&self) -> String {
         match self {
             Value::U64(v) => v.to_string(),
             Value::I64(v) => v.to_string(),
             Value::F64(v) if v.is_finite() => format!("{v}"),
             Value::F64(v) => format!("\"{}\"", fmt_f64(*v)),
             Value::Str(v) => format!("\"{}\"", json_escape(v)),
+            Value::Owned(v) => format!("\"{}\"", json_escape(v)),
         }
     }
 }

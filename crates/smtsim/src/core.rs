@@ -291,6 +291,26 @@ struct FuReservation {
     until: u64,
 }
 
+/// A closed pipeline window of one hardware thread: the cycle range from
+/// the thread becoming runnable to it parking (yield / halt / trap /
+/// context switch), with the instructions it issued and retired inside.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineWindow {
+    /// Hardware thread index.
+    pub thread: usize,
+    /// First cycle of the window.
+    pub start_cycle: u64,
+    /// Last cycle of the window.
+    pub end_cycle: u64,
+    /// Cycles in which the thread issued an instruction.
+    pub issued: u64,
+    /// Instructions retired during the window.
+    pub retired: u64,
+}
+
+/// Cap on recorded pipeline windows (drops are counted, not silent).
+const MAX_WINDOWS: usize = 16_384;
+
 /// The simultaneous multithreaded core.
 #[derive(Debug, Clone)]
 pub struct Core {
@@ -302,6 +322,12 @@ pub struct Core {
     reservations: Vec<FuReservation>,
     faults: Vec<FuFault>,
     rr_offset: usize,
+    record_windows: bool,
+    windows: Vec<PipelineWindow>,
+    /// Per-thread open window: (start_cycle, issued-at-start,
+    /// retired-at-start) counter snapshots.
+    open_windows: Vec<Option<(u64, u64, u64)>>,
+    windows_dropped: u64,
 }
 
 impl Core {
@@ -321,7 +347,48 @@ impl Core {
             reservations: Vec::new(),
             faults: Vec::new(),
             rr_offset: 0,
+            record_windows: false,
+            windows: Vec::new(),
+            open_windows: Vec::new(),
+            windows_dropped: 0,
         }
+    }
+
+    /// Enable or disable pipeline-window span recording (off by default;
+    /// the windows feed [`Core::export_spans`]).
+    pub fn set_window_recording(&mut self, on: bool) {
+        self.record_windows = on;
+    }
+
+    fn open_window(&mut self, tid: usize) {
+        if self.open_windows.len() < self.threads.len() {
+            self.open_windows.resize(self.threads.len(), None);
+        }
+        if self.open_windows[tid].is_none() {
+            let c = &self.threads[tid].counters;
+            self.open_windows[tid] = Some((self.cycle, c.issued_cycles, c.retired));
+        }
+    }
+
+    fn close_window(&mut self, tid: usize) {
+        let Some(open) = self.open_windows.get_mut(tid) else {
+            return;
+        };
+        let Some((start, issued0, retired0)) = open.take() else {
+            return;
+        };
+        if self.windows.len() >= MAX_WINDOWS {
+            self.windows_dropped += 1;
+            return;
+        }
+        let c = &self.threads[tid].counters;
+        self.windows.push(PipelineWindow {
+            thread: tid,
+            start_cycle: start,
+            end_cycle: self.cycle,
+            issued: c.issued_cycles - issued0,
+            retired: c.retired - retired0,
+        });
     }
 
     /// Configuration.
@@ -407,6 +474,44 @@ impl Core {
         }
     }
 
+    /// Export recorded pipeline windows as spans (component `"smt"`, one
+    /// lane per hardware thread). Still-open windows are clamped to the
+    /// current cycle without being consumed.
+    pub fn export_spans(&self, rec: &mut vds_obs::Recorder) {
+        let window_fields = |issued: u64, retired: u64| {
+            vec![
+                ("issued", vds_obs::Value::from(issued)),
+                ("retired", vds_obs::Value::from(retired)),
+            ]
+        };
+        for w in &self.windows {
+            rec.record_span(vds_obs::SpanRecord {
+                begin: w.start_cycle as f64,
+                end: w.end_cycle as f64,
+                component: "smt",
+                name: "pipeline",
+                tid: w.thread as u32,
+                fields: window_fields(w.issued, w.retired),
+            });
+        }
+        for (tid, open) in self.open_windows.iter().enumerate() {
+            if let Some((start, issued0, retired0)) = open {
+                let c = &self.threads[tid].counters;
+                rec.record_span(vds_obs::SpanRecord {
+                    begin: *start as f64,
+                    end: self.cycle as f64,
+                    component: "smt",
+                    name: "pipeline",
+                    tid: tid as u32,
+                    fields: window_fields(c.issued_cycles - issued0, c.retired - retired0),
+                });
+            }
+        }
+        if self.windows_dropped > 0 {
+            rec.count("smt.windows_dropped", self.windows_dropped);
+        }
+    }
+
     /// Park a thread for `cycles` cycles (the OS layer uses this to
     /// charge context-switch overhead to the hardware thread).
     ///
@@ -444,6 +549,9 @@ impl Core {
     /// (the OS context switch). Returns the previous context. The incoming
     /// context's `state` is restored as saved.
     pub fn swap_context(&mut self, id: ThreadId, incoming: SavedContext) -> SavedContext {
+        if self.record_windows {
+            self.close_window(id.0);
+        }
         let t = &mut self.threads[id.0];
         let outgoing = SavedContext {
             regs: t.regs,
@@ -516,6 +624,14 @@ impl Core {
         for tid in order {
             // per-cycle bookkeeping
             self.threads[tid].counters.cycles += 1;
+            if self.record_windows {
+                match self.threads[tid].state {
+                    ThreadState::Yielded | ThreadState::Halted | ThreadState::Trapped(_) => {
+                        self.close_window(tid);
+                    }
+                    _ => self.open_window(tid),
+                }
+            }
             match self.threads[tid].state {
                 ThreadState::StalledUntil(until) => {
                     if self.cycle >= until {
@@ -860,6 +976,36 @@ mod tests {
             reg.counter("smt.icache.hits") + reg.counter("smt.icache.misses"),
             core.icache_stats().accesses()
         );
+    }
+
+    #[test]
+    fn pipeline_windows_are_recorded_and_exported() {
+        let prog = assemble("addi r1, r0, 1\nyield\naddi r1, r1, 1\nhalt\n").unwrap();
+        let mut core = Core::new(CoreConfig::default());
+        core.set_window_recording(true);
+        let t = core.add_thread(&prog, 16);
+        core.run_until_all_blocked(1000);
+        core.step(); // parked cycle closes the yield window
+        core.resume(t);
+        core.run_until_all_blocked(1000);
+        let mut rec = vds_obs::Recorder::new();
+        core.export_spans(&mut rec);
+        assert!(rec.spans().len() >= 2, "spans: {}", rec.spans().len());
+        let total_retired: u64 = rec
+            .spans()
+            .records()
+            .flat_map(|s| s.fields.iter())
+            .filter(|(k, _)| *k == "retired")
+            .map(|(_, v)| match v {
+                vds_obs::Value::U64(n) => *n,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(total_retired, core.thread(t).counters.retired);
+        for s in rec.spans().records() {
+            assert!(s.end >= s.begin);
+            assert_eq!(s.component, "smt");
+        }
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! | [`checkpoint`] | `vds-checkpoint` | snapshots, digests, stable storage |
 //! | [`predictor`] | `vds-predictor` | fault-version prediction (§4/§5) |
 //! | [`desim`] | `vds-desim` | discrete-event engine, statistics, timelines |
+//! | [`obs`] | `vds-obs` | deterministic metrics, event traces, profiler spans |
 //!
 //! ## Quick start
 //!
@@ -55,6 +56,7 @@ pub use vds_core as core;
 pub use vds_desim as desim;
 pub use vds_diversity as diversity;
 pub use vds_fault as fault;
+pub use vds_obs as obs;
 pub use vds_predictor as predictor;
 pub use vds_sched as sched;
 pub use vds_smtsim as smtsim;

@@ -222,3 +222,181 @@ proptest! {
         prop_assert_eq!(prog.text, back.text);
     }
 }
+
+// ---- observability: the span layer's export invariants ----
+
+/// One step of a free-form recorder workload: open a span, close some
+/// open span, emit an event, or record a completed span directly.
+#[derive(Debug, Clone)]
+enum ObsOp {
+    Begin {
+        comp: u8,
+        name: u8,
+        tid: u8,
+        at: u16,
+    },
+    End {
+        pick: u8,
+        at: u16,
+    },
+    Event {
+        at: u16,
+    },
+    Push {
+        comp: u8,
+        name: u8,
+        tid: u8,
+        begin: u16,
+        len: u16,
+    },
+}
+
+const OBS_COMPONENTS: [&str; 3] = ["alpha", "beta", "gamma"];
+const OBS_NAMES: [&str; 4] = ["round", "compute", "compare", "recovery"];
+
+fn arb_obs_op() -> impl Strategy<Value = ObsOp> {
+    prop_oneof![
+        (any::<u8>(), any::<u8>(), 0u8..3, any::<u16>()).prop_map(|(comp, name, tid, at)| {
+            ObsOp::Begin {
+                comp,
+                name,
+                tid,
+                at,
+            }
+        }),
+        (any::<u8>(), any::<u16>()).prop_map(|(pick, at)| ObsOp::End { pick, at }),
+        any::<u16>().prop_map(|at| ObsOp::Event { at }),
+        (any::<u8>(), any::<u8>(), 0u8..3, any::<u16>(), any::<u16>()).prop_map(
+            |(comp, name, tid, begin, len)| ObsOp::Push {
+                comp,
+                name,
+                tid,
+                begin,
+                len
+            }
+        ),
+    ]
+}
+
+/// Replay a workload into a fresh recorder.
+fn replay_obs(ops: &[ObsOp]) -> vds::obs::Recorder {
+    let mut rec = vds::obs::Recorder::with_trace_capacity(64);
+    let mut open: Vec<vds::obs::SpanGuard> = Vec::new();
+    for op in ops {
+        match op {
+            ObsOp::Begin {
+                comp,
+                name,
+                tid,
+                at,
+            } => {
+                let comp = OBS_COMPONENTS[*comp as usize % OBS_COMPONENTS.len()];
+                let name = OBS_NAMES[*name as usize % OBS_NAMES.len()];
+                open.push(rec.span_on(u32::from(*tid), comp, name, f64::from(*at)));
+            }
+            ObsOp::End { pick, at } => {
+                if !open.is_empty() {
+                    let g = open.remove(*pick as usize % open.len());
+                    rec.end_span_with(g, f64::from(*at), vec![("at", u64::from(*at).into())]);
+                }
+            }
+            ObsOp::Event { at } => rec.event(f64::from(*at), "alpha", "tick", vec![]),
+            ObsOp::Push {
+                comp,
+                name,
+                tid,
+                begin,
+                len,
+            } => {
+                rec.record_span(vds::obs::SpanRecord {
+                    begin: f64::from(*begin),
+                    end: f64::from(*begin) + f64::from(*len),
+                    component: OBS_COMPONENTS[*comp as usize % OBS_COMPONENTS.len()],
+                    name: OBS_NAMES[*name as usize % OBS_NAMES.len()],
+                    tid: u32::from(*tid),
+                    fields: vec![],
+                });
+            }
+        }
+    }
+    rec
+}
+
+/// Assert the Chrome trace JSON is well nested: every `"E"` closes the
+/// innermost open `"B"` and timestamps are non-decreasing per
+/// `(pid, tid)` lane.
+fn assert_chrome_well_nested(json: &str) {
+    let field = |line: &str, key: &str| -> Option<String> {
+        let pat = format!("\"{key}\":");
+        let at = line.find(&pat)? + pat.len();
+        let rest = &line[at..];
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Some(rest[..end].trim_matches('"').to_string())
+    };
+    let mut stacks: std::collections::BTreeMap<(String, String), Vec<String>> = Default::default();
+    let mut last_ts: std::collections::BTreeMap<(String, String), f64> = Default::default();
+    for line in json.lines() {
+        let Some(ph) = field(line, "ph") else {
+            continue;
+        };
+        if ph != "B" && ph != "E" {
+            continue;
+        }
+        let key = (
+            field(line, "pid").expect("pid"),
+            field(line, "tid").expect("tid"),
+        );
+        let ts: f64 = field(line, "ts").expect("ts").parse().expect("numeric ts");
+        let name = field(line, "name").expect("name");
+        let prev = last_ts.entry(key.clone()).or_insert(f64::NEG_INFINITY);
+        prop_assert!(ts >= *prev, "timestamps regress on {key:?}: {line}");
+        *prev = ts;
+        let stack = stacks.entry(key).or_default();
+        if ph == "B" {
+            stack.push(name);
+        } else {
+            let open = stack.pop();
+            prop_assert_eq!(open.as_deref(), Some(name.as_str()), "E without matching B");
+        }
+    }
+    for (k, s) in stacks {
+        prop_assert!(s.is_empty(), "unclosed spans on {k:?}: {s:?}");
+    }
+}
+
+proptest! {
+    // Any sequence of span/event calls exports a well-nested Chrome
+    // trace, and export bytes are identical across two identical runs.
+    #[test]
+    fn span_exports_are_well_nested_and_deterministic(
+        ops in proptest::collection::vec(arb_obs_op(), 0..60),
+    ) {
+        let rec = replay_obs(&ops);
+        let json = rec.spans().to_chrome_json();
+        assert_chrome_well_nested(&json);
+        // byte-determinism: an identical replay exports identical bytes
+        let rec2 = replay_obs(&ops);
+        prop_assert_eq!(&json, &rec2.spans().to_chrome_json());
+        prop_assert_eq!(rec.spans().to_folded(), rec2.spans().to_folded());
+        prop_assert_eq!(rec.trace().to_jsonl(), rec2.trace().to_jsonl());
+    }
+
+    // Campaign span/metric exports are byte-identical across --workers 1
+    // and --workers 4, and stay well nested after shard merging.
+    #[test]
+    fn campaign_exports_are_worker_invariant(trials in 1u64..80, salt in any::<u64>()) {
+        use vds::fault::campaign::{run_campaign_recorded, TrialResult};
+        let trial = |i: u64, rec: &mut vds::obs::Recorder| {
+            rec.bump("trials");
+            TrialResult::with_value("lat", ((i ^ salt) % 97) as f64)
+        };
+        let (ra, reca) = run_campaign_recorded(trials, 1, trial);
+        let (rb, recb) = run_campaign_recorded(trials, 4, trial);
+        prop_assert_eq!(ra.trials, rb.trials);
+        let json = reca.spans().to_chrome_json();
+        assert_chrome_well_nested(&json);
+        prop_assert_eq!(&json, &recb.spans().to_chrome_json());
+        prop_assert_eq!(reca.registry().to_csv(), recb.registry().to_csv());
+        prop_assert_eq!(reca.spans().to_folded(), recb.spans().to_folded());
+    }
+}
