@@ -37,6 +37,7 @@ pub mod e11_prediction;
 pub mod e12_checkpoint;
 pub mod e13_multithread;
 pub mod e14_ablation;
+pub mod live;
 pub mod perf;
 pub mod registry;
 

@@ -33,10 +33,19 @@
 //! `vds bench --check BASELINE.json` exits nonzero on work-counter drift
 //! or a throughput regression against the committed baseline.
 //!
+//! `vds serve` runs a live fault campaign behind a zero-dependency
+//! telemetry HTTP server (`/metrics` Prometheus exposition, `/healthz`,
+//! `/readyz`, `/trace`, `/progress`) and shuts down gracefully on
+//! Ctrl-C/SIGTERM; `vds stats --json` / `vds bench --json` emit the
+//! machine-readable forms of their reports; `--log-level` (or `VDS_LOG`)
+//! tunes the structured JSONL logging on stderr.
+//!
 //! The command dispatch lives in this library crate so it is unit-testable;
 //! `main.rs` only forwards `std::env::args`.
 
 use std::fmt::Write as _;
+
+mod serve;
 
 /// CLI error: message plus the exit code to use.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -78,9 +87,10 @@ USAGE:
     vds flowchart <scheme>              recovery flow chart as DOT
     vds experiment <e1..e14|all>        regenerate a paper artefact
     vds bench                           run the pinned perf suite
+    vds serve                           run a live fault campaign behind a telemetry HTTP server
     vds gains [alpha] [beta] [p]        closed-form gain summary
 
-FLAGS (alpha / duplex / stats / report / experiment / bench; `--flag v` or `--flag=v`):
+FLAGS (alpha / duplex / stats / report / experiment / bench / serve; `--flag v` or `--flag=v`):
     --rounds N           size knob: rounds, trials or samples
     --seed N             seed override for seeded runs
     --workers N          worker threads for campaign-style experiments
@@ -89,6 +99,15 @@ FLAGS (alpha / duplex / stats / report / experiment / bench; `--flag v` or `--fl
     --trace-capacity N   resize the bounded trace and span rings
     --out PATH           bench: write BENCH json to PATH (default BENCH_<n>.json)
     --check PATH         bench: compare against a baseline; exit 1 on drift
+    --json               stats / bench: machine-readable JSON on stdout
+    --log-level LEVEL    off|error|warn|info|debug (default info; also VDS_LOG)
+    --addr HOST          serve: bind address (default 127.0.0.1)
+    --port N             serve: TCP port (0 = ephemeral; default 9898)
+    --port-file PATH     serve: write the bound port to PATH once listening
+    --trials N           serve: campaign trials (default 200)
+    --once               serve: exit after the campaign instead of waiting for Ctrl-C
+
+ENDPOINTS (vds serve): /metrics (Prometheus), /healthz, /readyz, /trace (Chrome JSON), /progress (JSON)
 
 SCHEMES: conventional, smt-det, smt-prob, smt-pred, smt-boost3, smt-boost5"
 }
@@ -104,12 +123,20 @@ struct Flags {
     trace_capacity: Option<usize>,
     out: Option<String>,
     check: Option<String>,
+    json: bool,
+    addr: Option<String>,
+    port: Option<u16>,
+    port_file: Option<String>,
+    trials: Option<u64>,
+    once: bool,
     positional: Vec<String>,
 }
 
-/// Hand-rolled flag parser: accepts `--flag value` and `--flag=value`,
-/// rejects unknown `--flags`, and passes everything else through as
-/// positional arguments (so the historical positional forms keep working).
+/// Hand-rolled flag parser: accepts `--flag value` and `--flag=value`
+/// (boolean flags take no value), rejects unknown `--flags`, and passes
+/// everything else through as positional arguments (so the historical
+/// positional forms keep working). `--log-level` is applied immediately
+/// to the process-global logging threshold.
 fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
     let mut f = Flags::default();
     let mut it = args.iter();
@@ -122,13 +149,35 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
             Some((n, v)) => (n, Some(v.to_string())),
             None => (rest, None),
         };
+        if matches!(name, "json" | "once") {
+            if inline.is_some() {
+                return Err(CliError::usage(format!("--{name} takes no value")));
+            }
+            match name {
+                "json" => f.json = true,
+                _ => f.once = true,
+            }
+            continue;
+        }
         if !matches!(
             name,
-            "rounds" | "seed" | "workers" | "metrics" | "trace-capacity" | "out" | "check"
+            "rounds"
+                | "seed"
+                | "workers"
+                | "metrics"
+                | "trace-capacity"
+                | "out"
+                | "check"
+                | "log-level"
+                | "addr"
+                | "port"
+                | "port-file"
+                | "trials"
         ) {
             return Err(CliError::usage(format!(
                 "unknown flag `--{name}` (known: --rounds, --seed, --workers, \
-                 --metrics, --trace-capacity, --out, --check)"
+                 --metrics, --trace-capacity, --out, --check, --json, --log-level, \
+                 --addr, --port, --port-file, --trials, --once)"
             )));
         }
         let value = match inline {
@@ -145,6 +194,11 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
             "trace-capacity" => f.trace_capacity = Some(parse_num(&value, "--trace-capacity")?),
             "out" => f.out = Some(value),
             "check" => f.check = Some(value),
+            "log-level" => vds_obs::logging::set_level_str(&value).map_err(CliError::usage)?,
+            "addr" => f.addr = Some(value),
+            "port" => f.port = Some(parse_num(&value, "--port")?),
+            "port-file" => f.port_file = Some(value),
+            "trials" => f.trials = Some(parse_num(&value, "--trials")?),
             _ => f.metrics = Some(value),
         }
     }
@@ -224,6 +278,7 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
         "stats" => cmd_duplex(&args[1..], DuplexMode::Stats),
         "report" => cmd_duplex(&args[1..], DuplexMode::Report),
         "bench" => cmd_bench(&args[1..]),
+        "serve" => serve::cmd_serve(&args[1..]),
         "flowchart" => {
             let scheme = parse_scheme(
                 args.get(1)
@@ -428,25 +483,40 @@ fn cmd_duplex(args: &[String], mode: DuplexMode) -> Result<String, CliError> {
     if let Some(rec) = rec {
         let (registry, trace, spans) = rec.into_parts();
         if mode == DuplexMode::Stats {
-            let _ = write!(out, "\n---- metrics ----\n{registry}");
-            let _ = write!(out, "---- trace ----\n{trace}");
+            // overflow reporting goes through the structured-logging
+            // facade (stderr JSONL), keeping stdout clean for --json
             if trace.dropped() > 0 {
-                let _ = writeln!(
-                    out,
-                    "WARNING: {} trace records dropped (ring capacity {}) — \
-                     raise it with --trace-capacity N",
-                    trace.dropped(),
-                    trace.capacity()
+                vds_obs::logging::log_with(
+                    vds_obs::Level::Warn,
+                    "cli",
+                    "trace records dropped — raise --trace-capacity",
+                    &[
+                        ("dropped", trace.dropped().into()),
+                        ("capacity", (trace.capacity() as u64).into()),
+                    ],
                 );
             }
             if spans.dropped() > 0 {
-                let _ = writeln!(
-                    out,
-                    "WARNING: {} span records dropped (ring capacity {}) — \
-                     raise it with --trace-capacity N",
-                    spans.dropped(),
-                    spans.capacity()
+                vds_obs::logging::log_with(
+                    vds_obs::Level::Warn,
+                    "cli",
+                    "span records dropped — raise --trace-capacity",
+                    &[
+                        ("dropped", spans.dropped().into()),
+                        ("capacity", (spans.capacity() as u64).into()),
+                    ],
                 );
+            }
+            if f.json {
+                // one serializer with the telemetry server's /progress
+                out = format!(
+                    "{{\"verdict\":\"{}\",\"metrics\":{}}}\n",
+                    if got == &want[..] { "correct" } else { "wrong" },
+                    registry.to_json_object()
+                );
+            } else {
+                let _ = write!(out, "\n---- metrics ----\n{registry}");
+                let _ = write!(out, "---- trace ----\n{trace}");
             }
         }
         if mode == DuplexMode::Report {
@@ -457,7 +527,13 @@ fn cmd_duplex(args: &[String], mode: DuplexMode) -> Result<String, CliError> {
             );
         }
         if let Some(path) = &f.metrics {
-            out.push_str(&write_metrics(path, &registry, Some(&trace), Some(&spans))?);
+            let note = write_metrics(path, &registry, Some(&trace), Some(&spans))?;
+            if f.json {
+                // keep stdout pure JSON; the confirmation goes to the log
+                vds_obs::log_info!("cli", "{}", note.trim_end());
+            } else {
+                out.push_str(&note);
+            }
         }
     }
     Ok(out)
@@ -524,6 +600,27 @@ fn cmd_bench(args: &[String]) -> Result<String, CliError> {
         .workers
         .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, |n| n.get()));
     let report = perf::run_suite_with(workers, f.seed, f.rounds);
+    if f.json {
+        // machine-readable form: exactly the BENCH_<n>.json bytes
+        let json = report.to_json();
+        if let Some(p) = &f.out {
+            std::fs::write(p, &json)
+                .map_err(|e| CliError::runtime(format!("cannot write `{p}`: {e}")))?;
+        }
+        if let Some(base_path) = &f.check {
+            let base = BenchReport::from_json(&read_file(base_path)?)
+                .map_err(|e| CliError::runtime(format!("cannot parse `{base_path}`: {e}")))?;
+            let issues = perf::check(&report, &base, perf::DEFAULT_REGRESSION_THRESHOLD);
+            if !issues.is_empty() {
+                let mut msg = format!("bench check FAILED against {base_path}:\n");
+                for issue in &issues {
+                    let _ = writeln!(msg, "  - {issue}");
+                }
+                return Err(CliError::runtime(msg));
+            }
+        }
+        return Ok(json);
+    }
     let mut out = format!(
         "vds bench — pinned perf suite, schema v{}\n{:<5} {:>10} {:>11} {:>12} {:>10}\n",
         report.schema_version, "id", "sim_rounds", "host_ms", "work_units", "work/ms"
@@ -799,15 +896,64 @@ mod tests {
 
     #[test]
     fn stats_warns_when_trace_ring_overflows() {
+        // overflow reporting goes through the structured-logging facade
+        let cap = vds_obs::logging::capture();
         let out = run(&["stats", "smt-det", "40", "--trace-capacity", "8"]).unwrap();
-        assert!(out.contains("WARNING:"), "{out}");
-        assert!(
-            out.contains("trace records dropped (ring capacity 8)"),
-            "{out}"
-        );
+        let logged = cap.take();
+        assert!(logged.contains("\"level\":\"warn\""), "{logged}");
+        assert!(logged.contains("trace records dropped"), "{logged}");
+        assert!(logged.contains("\"capacity\":8"), "{logged}");
+        assert!(!out.contains("WARNING"), "stdout stays clean: {out}");
         // a roomy ring stays silent
-        let ok = run(&["stats", "smt-det", "12", "4"]).unwrap();
-        assert!(!ok.contains("WARNING:"), "{ok}");
+        let cap = vds_obs::logging::capture();
+        run(&["stats", "smt-det", "12", "4"]).unwrap();
+        let quiet = cap.take();
+        assert!(!quiet.contains("dropped"), "{quiet}");
+    }
+
+    #[test]
+    fn stats_json_shares_the_progress_serializer() {
+        let out = run(&["stats", "smt-det", "12", "4", "--json"]).unwrap();
+        assert!(out.starts_with("{\"verdict\":\"correct\""), "{out}");
+        assert!(out.contains("\"counters\":{"), "{out}");
+        assert!(out.contains("\"vds.detections\":1"), "{out}");
+        assert!(out.contains("\"gauges\":{"), "{out}");
+        assert!(out.contains("\"summaries\":{"), "{out}");
+        // byte-stable for the fixed seed
+        let again = run(&["stats", "smt-det", "12", "4", "--json"]).unwrap();
+        assert_eq!(out, again);
+    }
+
+    #[test]
+    fn bench_json_emits_the_report_json() {
+        let out = run(&["bench", "--rounds", "2", "--json"]).unwrap();
+        assert!(out.contains("\"schema_version\": 1"), "{out}");
+        assert!(out.contains("\"id\":\"E1\""), "{out}");
+        assert!(!out.contains("pinned perf suite"), "no table: {out}");
+    }
+
+    #[test]
+    fn log_level_flag_applies_and_rejects_garbage() {
+        let cap = vds_obs::logging::capture();
+        run(&[
+            "stats",
+            "smt-det",
+            "40",
+            "--trace-capacity",
+            "8",
+            "--log-level",
+            "error",
+        ])
+        .unwrap();
+        let logged = cap.take();
+        assert!(
+            logged.is_empty(),
+            "warn suppressed at error level: {logged}"
+        );
+        vds_obs::logging::set_level_str("info").unwrap();
+        let e = run(&["stats", "smt-det", "--log-level", "loud"]).unwrap_err();
+        assert_eq!(e.code, 2);
+        assert!(e.msg.contains("unknown log level"), "{}", e.msg);
     }
 
     #[test]

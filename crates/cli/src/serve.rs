@@ -1,0 +1,187 @@
+//! `vds serve` — a live fault campaign behind the telemetry HTTP server.
+//!
+//! Binds a [`vds_obs::TelemetryServer`] (default `127.0.0.1:9898`, `--port
+//! 0` for an ephemeral port, `--port-file` to publish the bound port),
+//! then runs the instrumented serve campaign
+//! ([`vds_bench::live::campaign_trial`]) with a
+//! [`vds_fault::campaign::HubMonitor`] attached, so `/metrics` and
+//! `/progress` fill in while trials run. When the campaign finishes the
+//! canonical (shard-ordered) registry and spans replace the live snapshot
+//! — from then on `/metrics` is byte-stable for the seed — and the server
+//! keeps answering until Ctrl-C/SIGTERM (or immediately exits with
+//! `--once`). The monitor only ever sees copies, so `--metrics` exports
+//! are byte-identical to a serverless run of the same campaign.
+
+use crate::{write_metrics, CliError, Flags};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+use vds_fault::campaign::{run_campaign_recorded_monitored, HubMonitor, LOGICAL_SHARDS};
+use vds_obs::{log_info, TelemetryHub, TelemetryServer};
+
+/// SIGINT/SIGTERM handling without any dependency: a raw `signal(2)`
+/// registration flipping one atomic the wait loop polls.
+#[cfg(unix)]
+mod sig {
+    use std::sync::atomic::AtomicBool;
+
+    /// Set by the handler; polled by the serve wait loop.
+    pub static STOP: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn handle(_signum: i32) {
+        STOP.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    /// Install the handler for SIGINT (2) and SIGTERM (15).
+    pub fn install() {
+        unsafe {
+            signal(2, handle);
+            signal(15, handle);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod sig {
+    use std::sync::atomic::AtomicBool;
+
+    /// Never set off unix; `--once` is the only clean exit there.
+    pub static STOP: AtomicBool = AtomicBool::new(false);
+
+    /// No-op off unix.
+    pub fn install() {}
+}
+
+pub(crate) fn cmd_serve(args: &[String]) -> Result<String, CliError> {
+    let f = crate::parse_flags(args)?;
+    if !f.positional.is_empty() {
+        return Err(CliError::usage("serve: unexpected positional arguments"));
+    }
+    let opts = ServeOpts::from_flags(&f);
+    serve(&opts, &f)
+}
+
+/// Resolved `vds serve` options.
+struct ServeOpts {
+    addr: String,
+    trials: u64,
+    target_rounds: u64,
+    seed: u64,
+    workers: usize,
+    once: bool,
+}
+
+impl ServeOpts {
+    fn from_flags(f: &Flags) -> ServeOpts {
+        ServeOpts {
+            addr: format!(
+                "{}:{}",
+                f.addr.as_deref().unwrap_or("127.0.0.1"),
+                f.port.unwrap_or(9898)
+            ),
+            trials: f.trials.unwrap_or(200),
+            target_rounds: f.rounds.unwrap_or(40),
+            seed: f.seed.unwrap_or(1),
+            workers: f
+                .workers
+                .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, |n| n.get())),
+            once: f.once,
+        }
+    }
+}
+
+fn serve(opts: &ServeOpts, f: &Flags) -> Result<String, CliError> {
+    sig::install();
+    let hub = TelemetryHub::new();
+    let server = TelemetryServer::bind(&opts.addr, Arc::clone(&hub))
+        .map_err(|e| CliError::runtime(format!("cannot bind `{}`: {e}", opts.addr)))?;
+    let bound = server.local_addr();
+    if let Some(path) = &f.port_file {
+        std::fs::write(path, format!("{}\n", bound.port()))
+            .map_err(|e| CliError::runtime(format!("cannot write `{path}`: {e}")))?;
+    }
+    log_info!(
+        "serve",
+        "listening on http://{bound} — /metrics /healthz /readyz /trace /progress"
+    );
+
+    hub.begin_campaign(
+        "serve-campaign",
+        opts.trials,
+        opts.trials.clamp(1, LOGICAL_SHARDS),
+    );
+    hub.mark_ready();
+    let monitor = HubMonitor::new(Arc::clone(&hub));
+    let (base_seed, target_rounds) = (opts.seed, opts.target_rounds);
+    let (report, rec) =
+        run_campaign_recorded_monitored("serve", opts.trials, opts.workers, &monitor, |i, rec| {
+            vds_bench::live::campaign_trial(i, base_seed, target_rounds, rec)
+        });
+    // swap the completion-ordered live view for the canonical
+    // shard-ordered result: /metrics is byte-stable from here on
+    hub.replace_registry(rec.registry().clone());
+    hub.publish_spans(rec.spans());
+    hub.mark_done();
+    log_info!(
+        "serve",
+        "campaign finished: {} trials in {:.2}s",
+        report.trials,
+        hub.elapsed_secs()
+    );
+
+    let mut out = format!("vds serve — campaign on http://{bound}\n{report}");
+    if let Some(path) = &f.metrics {
+        out.push_str(&write_metrics(
+            path,
+            rec.registry(),
+            Some(rec.trace()),
+            Some(rec.spans()),
+        )?);
+    }
+    if !opts.once {
+        log_info!("serve", "serving until SIGINT/SIGTERM (Ctrl-C to stop)");
+        while !sig::STOP.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        log_info!("serve", "signal received — shutting down");
+    }
+    server.shutdown();
+    out.push_str("telemetry server shut down cleanly\n");
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_opts_defaults_and_overrides() {
+        let d = ServeOpts::from_flags(&Flags::default());
+        assert_eq!(d.addr, "127.0.0.1:9898");
+        assert_eq!((d.trials, d.target_rounds, d.seed), (200, 40, 1));
+        assert!(!d.once);
+        let f = Flags {
+            addr: Some("0.0.0.0".into()),
+            port: Some(0),
+            trials: Some(12),
+            rounds: Some(25),
+            seed: Some(7),
+            once: true,
+            ..Flags::default()
+        };
+        let o = ServeOpts::from_flags(&f);
+        assert_eq!(o.addr, "0.0.0.0:0");
+        assert_eq!((o.trials, o.target_rounds, o.seed), (12, 25, 7));
+        assert!(o.once);
+    }
+
+    #[test]
+    fn serve_rejects_positionals() {
+        let args = vec!["extra".to_string()];
+        assert!(cmd_serve(&args).is_err());
+    }
+}

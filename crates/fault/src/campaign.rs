@@ -17,8 +17,8 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
-use vds_obs::{Recorder, Summary};
+use std::sync::{Arc, Mutex};
+use vds_obs::{Recorder, Registry, Summary, TelemetryHub};
 
 /// Number of logical shards a campaign is split into (capped by the
 /// trial count). Fixed so that the shard partition — and therefore the
@@ -155,6 +155,53 @@ impl std::fmt::Display for CampaignReport {
     }
 }
 
+/// Observer of a running campaign, called from worker threads.
+///
+/// Monitors are *read-only taps*: a campaign hands them progress events
+/// and per-shard registry copies, and nothing flows back. Trial and
+/// shard callbacks arrive in completion order (which varies with the
+/// worker count), so a monitor must only do order-insensitive things
+/// with them — counting, and merging commutative aggregates. The
+/// canonical campaign result is accumulated separately, in shard order,
+/// and is bit-identical with or without a monitor attached.
+pub trait CampaignMonitor: Sync {
+    /// One trial finished (called after every trial, any worker).
+    fn trial_done(&self) {}
+
+    /// One logical shard finished; `registry` is that shard's metric
+    /// content (already including the shard's trial recordings).
+    fn shard_done(&self, registry: &Registry) {
+        let _ = registry;
+    }
+}
+
+/// The standard monitor: forwards campaign progress into a live
+/// [`TelemetryHub`] so an attached [`vds_obs::TelemetryServer`] can
+/// stream it (`/progress`, `/metrics`). Counters and gauges merge
+/// commutatively, so the hub's live view converges to the canonical
+/// result regardless of shard completion order.
+pub struct HubMonitor {
+    hub: Arc<TelemetryHub>,
+}
+
+impl HubMonitor {
+    /// Monitor publishing into `hub`.
+    pub fn new(hub: Arc<TelemetryHub>) -> Self {
+        HubMonitor { hub }
+    }
+}
+
+impl CampaignMonitor for HubMonitor {
+    fn trial_done(&self) {
+        self.hub.trial_done();
+    }
+
+    fn shard_done(&self, registry: &Registry) {
+        self.hub.merge_registry(registry);
+        self.hub.shard_done();
+    }
+}
+
 /// `[lo, hi)` trial range of logical shard `s` out of `shards`.
 fn shard_bounds(n: u64, shards: u64, s: u64) -> (u64, u64) {
     (s * n / shards, (s + 1) * n / shards)
@@ -165,6 +212,7 @@ fn run_campaign_impl<F>(
     n: u64,
     workers: usize,
     record: bool,
+    monitor: Option<&dyn CampaignMonitor>,
     trial: F,
 ) -> (CampaignReport, Recorder)
 where
@@ -200,8 +248,14 @@ where
                     let trial_g = rec.span(component, "trial", i as f64);
                     local.absorb(trial(i, &mut rec));
                     rec.end_span(trial_g, (i + 1) as f64);
+                    if let Some(m) = monitor {
+                        m.trial_done();
+                    }
                 }
                 rec.end_span_with(shard_g, hi as f64, vec![("shard", s.into())]);
+                if let Some(m) = monitor {
+                    m.shard_done(rec.registry());
+                }
                 *slots[s as usize].lock().unwrap() = Some((local, rec));
             });
         }
@@ -246,7 +300,7 @@ pub fn run_campaign<F>(n: u64, workers: usize, trial: F) -> CampaignReport
 where
     F: Fn(u64) -> TrialResult + Sync,
 {
-    run_campaign_impl("campaign", n, workers, false, |i, _| trial(i)).0
+    run_campaign_impl("campaign", n, workers, false, None, |i, _| trial(i)).0
 }
 
 /// [`run_campaign`] with metrics: each trial may record into a shard
@@ -258,7 +312,7 @@ pub fn run_campaign_recorded<F>(n: u64, workers: usize, trial: F) -> (CampaignRe
 where
     F: Fn(u64, &mut Recorder) -> TrialResult + Sync,
 {
-    run_campaign_impl("campaign", n, workers, true, trial)
+    run_campaign_impl("campaign", n, workers, true, None, trial)
 }
 
 /// [`run_campaign_recorded`] with an explicit span component, so callers
@@ -273,7 +327,25 @@ pub fn run_campaign_recorded_as<F>(
 where
     F: Fn(u64, &mut Recorder) -> TrialResult + Sync,
 {
-    run_campaign_impl(component, n, workers, true, trial)
+    run_campaign_impl(component, n, workers, true, None, trial)
+}
+
+/// [`run_campaign_recorded`] with a [`CampaignMonitor`] tap attached:
+/// trial/shard completions and shard registry snapshots stream to the
+/// monitor as they happen, while the returned report and recorder stay
+/// byte-identical to an unmonitored run (the monitor only ever receives
+/// copies and reference taps; it cannot write back).
+pub fn run_campaign_recorded_monitored<F>(
+    component: &'static str,
+    n: u64,
+    workers: usize,
+    monitor: &dyn CampaignMonitor,
+    trial: F,
+) -> (CampaignReport, Recorder)
+where
+    F: Fn(u64, &mut Recorder) -> TrialResult + Sync,
+{
+    run_campaign_impl(component, n, workers, true, Some(monitor), trial)
 }
 
 #[cfg(test)]
@@ -372,6 +444,31 @@ mod tests {
             .is_some());
         let (_, recc) = run_campaign_recorded_as("custom", 10, 2, f);
         assert!(recc.spans().records().all(|s| s.component == "custom"));
+    }
+
+    #[test]
+    fn monitor_sees_everything_and_changes_nothing() {
+        let f = |i: u64, rec: &mut Recorder| {
+            rec.bump("trial.custom");
+            TrialResult::with_value("lat", (i % 11) as f64)
+        };
+        let (plain_report, plain_rec) = run_campaign_recorded_as("mon", 200, 3, f);
+        let hub = TelemetryHub::new();
+        let monitor = HubMonitor::new(Arc::clone(&hub));
+        hub.begin_campaign("mon", 200, 200u64.clamp(1, LOGICAL_SHARDS));
+        let (report, rec) = run_campaign_recorded_monitored("mon", 200, 3, &monitor, f);
+        // canonical outputs are byte-identical with the monitor attached
+        assert_eq!(plain_report, report);
+        assert_eq!(plain_rec.registry().to_csv(), rec.registry().to_csv());
+        assert_eq!(
+            plain_rec.spans().to_chrome_json(),
+            rec.spans().to_chrome_json()
+        );
+        // and the hub saw every trial and shard, with converged counters
+        let progress = hub.progress_json();
+        assert!(progress.contains("\"trials_done\":200"), "{progress}");
+        assert!(progress.contains("\"shards_done\":64"), "{progress}");
+        assert_eq!(hub.registry_snapshot().counter("trial.custom"), 200);
     }
 
     #[test]

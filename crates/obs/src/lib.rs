@@ -24,6 +24,13 @@
 //! * [`Recorder`] — the handle instrumented code accepts; a disabled
 //!   recorder costs one branch per call.
 //!
+//! Live telemetry rides on top of the same registry: [`prom`] renders
+//! Prometheus text exposition, [`serve`] adds a [`TelemetryHub`] +
+//! zero-dependency HTTP [`TelemetryServer`] (`/metrics`, `/healthz`,
+//! `/readyz`, `/trace`, `/progress`), and [`logging`] is the leveled
+//! JSONL-on-stderr facade (`log_warn!` & friends, `VDS_LOG` /
+//! `--log-level`).
+//!
 //! **Determinism contract:** for a fixed seed, the content of a
 //! recorder's registry, trace and spans — and therefore the bytes of
 //! [`Registry::to_csv`] / [`Registry::to_jsonl`] / [`Trace::to_jsonl`] /
@@ -45,14 +52,19 @@
 //! assert!(csv.contains("counter,core.rounds.committed,value,1"));
 //! ```
 
+pub mod logging;
+pub mod prom;
 pub mod recorder;
 pub mod registry;
+pub mod serve;
 pub mod span;
 pub mod summary;
 pub mod trace;
 
+pub use logging::Level;
 pub use recorder::{Recorder, Stopwatch, DEFAULT_TRACE_CAPACITY};
 pub use registry::Registry;
+pub use serve::{TelemetryHub, TelemetryServer};
 pub use span::{SpanGuard, SpanRecord, SpanSet, DEFAULT_SPAN_CAPACITY};
 pub use summary::Summary;
 pub use trace::{Record, Trace, Value};

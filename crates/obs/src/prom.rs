@@ -1,0 +1,370 @@
+//! Prometheus text exposition (format version 0.0.4) rendering of a
+//! [`Registry`].
+//!
+//! This is what `GET /metrics` on the telemetry server serves. The
+//! renderer maps the registry's dotted metric names onto the Prometheus
+//! grammar:
+//!
+//! * **names** are sanitized to `[a-zA-Z_:][a-zA-Z0-9_:]*` (every other
+//!   character becomes `_`; a leading digit is prefixed with `_`),
+//! * **counters** gain the conventional `_total` suffix,
+//! * **summaries** render as native Prometheus summaries: `{quantile=…}`
+//!   samples plus `_sum` and `_count`,
+//! * when two distinct registry names collapse onto one sanitized family
+//!   (e.g. `a.b` and `a/b`), every sample in that family carries a
+//!   `name="<original>"` label so no data is silently lost,
+//! * **non-finite values are suppressed**: a NaN/Inf gauge, quantile or
+//!   sum emits no sample (and a family whose samples are all suppressed
+//!   emits nothing at all) — scrapers treat NaN as "no data", and the
+//!   deterministic registry never needs them.
+//!
+//! The output is a pure function of registry content: families and
+//! samples render in sorted order, so for a fixed seed the `/metrics`
+//! bytes are as reproducible as the registry's CSV export.
+
+use crate::registry::Registry;
+use crate::summary::Summary;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Sanitize a registry metric name into a legal Prometheus metric name
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`). Illegal characters map to `_`; a name
+/// starting with a digit is prefixed with `_`; an empty name becomes `_`.
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_alphabetic() || c == '_' || c == ':' {
+            out.push(c);
+        } else if c.is_ascii_digit() {
+            if i == 0 {
+                out.push('_');
+            }
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Escape a label value per the exposition format: backslash, double
+/// quote and newline must be escaped; everything else passes through.
+pub fn escape_label_value(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escape HELP text: backslash and newline only (quotes are legal there).
+pub fn escape_help(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One source metric inside a family.
+enum Sample<'a> {
+    Counter(u64),
+    Gauge(f64),
+    Summary(&'a Summary),
+}
+
+/// Format a finite f64 the way Prometheus expects (plain decimal /
+/// scientific, as produced by Rust's shortest round-trip formatting).
+fn fmt_sample(x: f64) -> String {
+    format!("{x}")
+}
+
+/// The `{name="…"}` label clause for a sample, or the empty string when
+/// the family has a single member (the common case).
+fn name_label(multi: bool, orig: &str) -> String {
+    if multi {
+        format!("{{name=\"{}\"}}", escape_label_value(orig))
+    } else {
+        String::new()
+    }
+}
+
+/// Like [`name_label`] but merging the `name` label with an extra
+/// `quantile` label (summaries).
+fn quantile_label(multi: bool, orig: &str, q: &str) -> String {
+    if multi {
+        format!("{{name=\"{}\",quantile=\"{q}\"}}", escape_label_value(orig))
+    } else {
+        format!("{{quantile=\"{q}\"}}")
+    }
+}
+
+/// Render a registry's deterministic content as Prometheus text
+/// exposition (version 0.0.4). Host wall-clock timings are excluded, as
+/// in every other deterministic export.
+pub fn render(registry: &Registry) -> String {
+    // Group source metrics into exposition families keyed by sanitized
+    // name. Counters, gauges and summaries use distinct suffix patterns,
+    // so families stay homogeneous; same-kind collisions share a family
+    // and are told apart by a `name` label.
+    let mut counters: BTreeMap<String, Vec<(&str, Sample)>> = BTreeMap::new();
+    for (k, v) in registry.counters() {
+        let mut fam = sanitize_metric_name(k);
+        if !fam.ends_with("_total") {
+            fam.push_str("_total");
+        }
+        counters
+            .entry(fam)
+            .or_default()
+            .push((k, Sample::Counter(v)));
+    }
+    let mut gauges: BTreeMap<String, Vec<(&str, Sample)>> = BTreeMap::new();
+    for (k, v) in registry.gauges() {
+        gauges
+            .entry(sanitize_metric_name(k))
+            .or_default()
+            .push((k, Sample::Gauge(v)));
+    }
+    let mut summaries: BTreeMap<String, Vec<(&str, Sample)>> = BTreeMap::new();
+    for (k, s) in registry.summaries() {
+        summaries
+            .entry(sanitize_metric_name(k))
+            .or_default()
+            .push((k, Sample::Summary(s)));
+    }
+
+    let mut out = String::new();
+    for (fam, members) in &counters {
+        render_family(&mut out, fam, "counter", members);
+    }
+    for (fam, members) in &gauges {
+        render_family(&mut out, fam, "gauge", members);
+    }
+    for (fam, members) in &summaries {
+        render_family(&mut out, fam, "summary", members);
+    }
+    out
+}
+
+fn render_family(out: &mut String, fam: &str, kind: &str, members: &[(&str, Sample)]) {
+    let multi = members.len() > 1;
+    // Render samples first so a fully-suppressed family (all-NaN gauges)
+    // emits no HELP/TYPE header either.
+    let mut body = String::new();
+    for (orig, sample) in members {
+        match sample {
+            Sample::Counter(v) => {
+                let _ = writeln!(body, "{fam}{} {v}", name_label(multi, orig));
+            }
+            Sample::Gauge(v) => {
+                if v.is_finite() {
+                    let _ = writeln!(body, "{fam}{} {}", name_label(multi, orig), fmt_sample(*v));
+                }
+            }
+            Sample::Summary(s) => {
+                if s.count() > 0 {
+                    for (q, qs) in [(0.5, "0.5"), (0.99, "0.99")] {
+                        if let Some(v) = s.quantile(q).filter(|v| v.is_finite()) {
+                            let _ = writeln!(
+                                body,
+                                "{fam}{} {}",
+                                quantile_label(multi, orig, qs),
+                                fmt_sample(v)
+                            );
+                        }
+                    }
+                    if s.sum().is_finite() {
+                        let _ = writeln!(
+                            body,
+                            "{fam}_sum{} {}",
+                            name_label(multi, orig),
+                            fmt_sample(s.sum())
+                        );
+                    }
+                }
+                let _ = writeln!(body, "{fam}_count{} {}", name_label(multi, orig), s.count());
+            }
+        }
+    }
+    if body.is_empty() {
+        return;
+    }
+    let help = if multi {
+        format!("vds {kind} ({} source metrics)", members.len())
+    } else {
+        format!("vds {kind} {}", escape_help(members[0].0))
+    };
+    let _ = writeln!(out, "# HELP {fam} {help}");
+    let _ = writeln!(out, "# TYPE {fam} {kind}");
+    out.push_str(&body);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A sample line must be `name[{labels}] value`.
+    fn assert_well_formed(exposition: &str) {
+        for line in exposition.lines() {
+            if line.starts_with('#') {
+                assert!(
+                    line.starts_with("# HELP ") || line.starts_with("# TYPE "),
+                    "bad comment: {line}"
+                );
+                continue;
+            }
+            let (name_part, value) = line.rsplit_once(' ').expect("sample has a value");
+            let name_end = name_part.find('{').unwrap_or(name_part.len());
+            let name = &name_part[..name_end];
+            assert!(!name.is_empty(), "empty metric name: {line}");
+            let mut chars = name.chars();
+            let first = chars.next().unwrap();
+            assert!(
+                first.is_ascii_alphabetic() || first == '_' || first == ':',
+                "bad first char in {line}"
+            );
+            assert!(
+                chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "bad name char in {line}"
+            );
+            assert!(value.parse::<f64>().is_ok(), "bad value in {line}");
+            assert!(
+                value.parse::<f64>().unwrap().is_finite(),
+                "non-finite sample: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn sanitization() {
+        assert_eq!(sanitize_metric_name("a.b-c/d"), "a_b_c_d");
+        assert_eq!(sanitize_metric_name("9lives"), "_9lives");
+        assert_eq!(sanitize_metric_name(""), "_");
+        assert_eq!(sanitize_metric_name("ok_name:sub"), "ok_name:sub");
+        assert_eq!(sanitize_metric_name("smt.thread0.ipc"), "smt_thread0_ipc");
+    }
+
+    #[test]
+    fn label_and_help_escaping() {
+        assert_eq!(escape_label_value("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape_help("a\\b\nc\"d"), "a\\\\b\\nc\"d");
+    }
+
+    #[test]
+    fn counters_get_total_suffix_once() {
+        let mut r = Registry::new();
+        r.count("x.events", 3);
+        r.count("y.bytes_total", 9);
+        let p = render(&r);
+        assert!(p.contains("# TYPE x_events_total counter"), "{p}");
+        assert!(p.contains("x_events_total 3\n"), "{p}");
+        assert!(p.contains("y_bytes_total 9\n"), "{p}");
+        assert!(!p.contains("_total_total"), "{p}");
+        assert_well_formed(&p);
+    }
+
+    #[test]
+    fn nan_and_inf_gauges_are_suppressed_family_and_all() {
+        let mut r = Registry::new();
+        r.gauge("bad.nan", f64::NAN);
+        r.gauge("bad.inf", f64::INFINITY);
+        r.gauge("good", 1.5);
+        let p = render(&r);
+        assert!(!p.to_lowercase().contains("nan"), "{p}");
+        assert!(!p.to_lowercase().contains("inf"), "{p}");
+        assert!(
+            !p.contains("bad_nan"),
+            "suppressed family leaked header: {p}"
+        );
+        assert!(p.contains("# TYPE good gauge"), "{p}");
+        assert!(p.contains("good 1.5\n"), "{p}");
+        assert_well_formed(&p);
+    }
+
+    #[test]
+    fn name_collisions_get_name_labels() {
+        let mut r = Registry::new();
+        r.count("a.b", 1);
+        r.count("a/b", 2);
+        let p = render(&r);
+        assert_eq!(p.matches("# TYPE a_b_total counter").count(), 1, "{p}");
+        assert!(p.contains("a_b_total{name=\"a.b\"} 1\n"), "{p}");
+        assert!(p.contains("a_b_total{name=\"a/b\"} 2\n"), "{p}");
+        assert_well_formed(&p);
+    }
+
+    #[test]
+    fn summaries_render_quantiles_sum_count() {
+        let mut r = Registry::new();
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            r.observe("lat.ms", v);
+        }
+        r.merge_summary("empty", &Summary::new());
+        let p = render(&r);
+        assert!(p.contains("# TYPE lat_ms summary"), "{p}");
+        assert!(p.contains("lat_ms{quantile=\"0.5\"}"), "{p}");
+        assert!(p.contains("lat_ms{quantile=\"0.99\"}"), "{p}");
+        assert!(p.contains("lat_ms_sum 10\n"), "{p}");
+        assert!(p.contains("lat_ms_count 4\n"), "{p}");
+        // empty summary: count row only, no quantiles, no NaN
+        assert!(p.contains("empty_count 0\n"), "{p}");
+        assert!(!p.contains("empty{"), "{p}");
+        assert!(!p.to_lowercase().contains("nan"), "{p}");
+        assert_well_formed(&p);
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let mut r = Registry::new();
+        r.count("z.c", 1);
+        r.count("a.c", 2);
+        r.gauge("m.g", 0.25);
+        r.observe("s", 7.0);
+        assert_eq!(render(&r), render(&r));
+        let a = render(&r).find("# HELP a_c_total").unwrap();
+        let z = render(&r).find("# HELP z_c_total").unwrap();
+        assert!(a < z, "families must be sorted");
+    }
+
+    /// Golden-file pin of the full exposition for a synthetic registry
+    /// exercising sanitization, escaping, collisions and suppression.
+    /// Regenerate with `VDS_UPDATE_GOLDEN=1 cargo test -p vds-obs`.
+    #[test]
+    fn golden_exposition() {
+        let mut r = Registry::new();
+        r.count("campaign.count.transient/recovered", 12);
+        r.count("campaign.trials", 64);
+        r.count("9starts.with.digit", 1);
+        r.gauge("smt.thread0.ipc", 1.75);
+        r.gauge("broken.gauge", f64::NAN);
+        r.gauge("label\"quote", 2.0);
+        for v in [0.5, 1.0, 2.0] {
+            r.observe("vds.recovery_time", v);
+        }
+        r.merge_summary("never.observed", &Summary::new());
+        let got = render(&r);
+        assert_well_formed(&got);
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/testdata/exposition.golden.prom"
+        );
+        if std::env::var_os("VDS_UPDATE_GOLDEN").is_some() {
+            std::fs::write(path, &got).unwrap();
+        }
+        let want = std::fs::read_to_string(path)
+            .expect("golden file present (regenerate with VDS_UPDATE_GOLDEN=1)");
+        assert_eq!(got, want, "exposition drifted from the golden file");
+    }
+}

@@ -271,6 +271,51 @@ impl Registry {
         }
         out
     }
+
+    /// One JSON object covering the deterministic content:
+    /// `{"counters":{…},"gauges":{…},"summaries":{…}}`. This is the
+    /// shared serializer behind `vds stats --json` and the telemetry
+    /// server's `/progress` endpoint, so the two never drift apart.
+    pub fn to_json_object(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{v}", json_escape(k));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{}", json_escape(k), json_number(*v));
+        }
+        out.push_str("},\"summaries\":{");
+        for (i, (k, s)) in self.summaries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            if s.count() == 0 {
+                let _ = write!(out, "\"{}\":{{\"count\":0}}", json_escape(k));
+                continue;
+            }
+            let _ = write!(
+                out,
+                "\"{}\":{{\"count\":{},\"mean\":{},\"variance\":{},\"min\":{},\"p50\":{},\"p99\":{},\"max\":{}}}",
+                json_escape(k),
+                s.count(),
+                json_number(s.mean()),
+                json_number(s.variance()),
+                json_number(s.min()),
+                json_number(s.quantile(0.5).unwrap_or(f64::NAN)),
+                json_number(s.quantile(0.99).unwrap_or(f64::NAN)),
+                json_number(s.max()),
+            );
+        }
+        out.push_str("}}");
+        out
+    }
 }
 
 /// JSON has no inf/nan literals; encode them as strings.
@@ -411,5 +456,23 @@ mod tests {
     #[test]
     fn json_escaping() {
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn json_object_shape_and_determinism() {
+        let mut r = Registry::new();
+        r.count("b", 2);
+        r.count("a", 1);
+        r.gauge("g", f64::INFINITY);
+        r.observe("s", 4.0);
+        r.merge_summary("empty", &Summary::new());
+        r.observe_host("wall", 0.5);
+        let j = r.to_json_object();
+        assert!(j.starts_with("{\"counters\":{\"a\":1,\"b\":2}"), "{j}");
+        assert!(j.contains("\"gauges\":{\"g\":\"inf\"}"), "{j}");
+        assert!(j.contains("\"empty\":{\"count\":0}"), "{j}");
+        assert!(j.contains("\"s\":{\"count\":1,\"mean\":4,"), "{j}");
+        assert!(!j.contains("wall"), "host section must not leak: {j}");
+        assert_eq!(j, r.clone().to_json_object());
     }
 }

@@ -1,0 +1,467 @@
+//! Live telemetry: a publisher hub and a zero-dependency HTTP server.
+//!
+//! Long-running commands (`vds serve`) publish periodic snapshots of
+//! their metric registry into a [`TelemetryHub`]; a [`TelemetryServer`]
+//! on a plain [`std::net::TcpListener`] serves them over HTTP/1.1:
+//!
+//! | endpoint    | content |
+//! |-------------|---------|
+//! | `/metrics`  | Prometheus text exposition of the latest registry snapshot ([`crate::prom`]) |
+//! | `/healthz`  | liveness: `200 ok` while the process runs |
+//! | `/readyz`   | readiness: `200` once the campaign is configured, `503` before |
+//! | `/trace`    | Chrome trace-event JSON of the latest published [`SpanSet`] |
+//! | `/progress` | JSON snapshot: trial/shard completion, work units per second, full metrics |
+//! | `/`         | plain-text index of the above |
+//!
+//! **Determinism contract.** The hub is strictly write-through from the
+//! simulation's point of view: publishers hand it *copies* (merged under
+//! a lock the simulation never holds during computation), readers only
+//! read, and nothing ever flows back. Attaching or detaching a server —
+//! or scraping it at any rate — cannot change a single exported byte;
+//! `crates/cli/tests/serve_telemetry.rs` pins that with a byte-identity
+//! test. Wall-clock (`elapsed_secs`, `work_units_per_sec`) appears only
+//! in `/progress`, quarantined exactly like the registry's host section.
+
+use crate::prom;
+use crate::registry::{json_escape, Registry};
+use crate::span::SpanSet;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::{Duration, Instant};
+
+/// Mutable snapshot state behind the hub's lock.
+struct HubState {
+    phase: String,
+    registry: Registry,
+    trace_json: String,
+}
+
+/// The publisher/reader rendezvous: campaigns merge snapshots in,
+/// the HTTP server renders them out.
+pub struct TelemetryHub {
+    start: Instant,
+    ready: AtomicBool,
+    done: AtomicBool,
+    trials_total: AtomicU64,
+    trials_done: AtomicU64,
+    shards_total: AtomicU64,
+    shards_done: AtomicU64,
+    state: RwLock<HubState>,
+}
+
+impl TelemetryHub {
+    /// A fresh hub (not ready, nothing published).
+    #[allow(clippy::new_ret_no_self)]
+    pub fn new() -> Arc<TelemetryHub> {
+        Arc::new(TelemetryHub {
+            start: Instant::now(),
+            ready: AtomicBool::new(false),
+            done: AtomicBool::new(false),
+            trials_total: AtomicU64::new(0),
+            trials_done: AtomicU64::new(0),
+            shards_total: AtomicU64::new(0),
+            shards_done: AtomicU64::new(0),
+            state: RwLock::new(HubState {
+                phase: "idle".to_string(),
+                registry: Registry::new(),
+                trace_json: SpanSet::default().to_chrome_json(),
+            }),
+        })
+    }
+
+    /// Mark the process ready to serve meaningful answers (`/readyz`).
+    pub fn mark_ready(&self) {
+        self.ready.store(true, Ordering::Release);
+    }
+
+    /// Whether `/readyz` answers 200.
+    pub fn is_ready(&self) -> bool {
+        self.ready.load(Ordering::Acquire)
+    }
+
+    /// Mark the campaign finished (`/progress` reports `done: true`).
+    pub fn mark_done(&self) {
+        self.done.store(true, Ordering::Release);
+    }
+
+    /// Whether the campaign has finished.
+    pub fn is_done(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+
+    /// Configure a new campaign phase: its name and the totals progress
+    /// is counted against. Resets the done-counters, keeps the registry.
+    pub fn begin_campaign(&self, phase: &str, trials_total: u64, shards_total: u64) {
+        self.trials_total.store(trials_total, Ordering::Relaxed);
+        self.shards_total.store(shards_total, Ordering::Relaxed);
+        self.trials_done.store(0, Ordering::Relaxed);
+        self.shards_done.store(0, Ordering::Relaxed);
+        self.done.store(false, Ordering::Release);
+        self.state.write().unwrap_or_else(|e| e.into_inner()).phase = phase.to_string();
+    }
+
+    /// One trial finished (called from worker threads; lock-free).
+    pub fn trial_done(&self) {
+        self.trials_done.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One logical shard finished (called from worker threads).
+    pub fn shard_done(&self) {
+        self.shards_done.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Merge a registry delta into the live snapshot. Publishers hand in
+    /// *copies*; merge order here follows completion order, which is fine
+    /// for a live view — the canonical export still merges in shard
+    /// order on the simulation side.
+    pub fn merge_registry(&self, delta: &Registry) {
+        self.state
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .registry
+            .merge(delta);
+    }
+
+    /// Replace the snapshot with the canonical end-of-run registry.
+    pub fn replace_registry(&self, canonical: Registry) {
+        self.state
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .registry = canonical;
+    }
+
+    /// Publish the latest profiler spans (`/trace` serves this rendering).
+    pub fn publish_spans(&self, spans: &SpanSet) {
+        self.state
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .trace_json = spans.to_chrome_json();
+    }
+
+    /// A copy of the current registry snapshot.
+    pub fn registry_snapshot(&self) -> Registry {
+        self.state
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .registry
+            .clone()
+    }
+
+    /// Seconds since the hub was created (host wall-clock).
+    pub fn elapsed_secs(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// The `/metrics` body: Prometheus text exposition of the snapshot.
+    /// A pure function of published registry content — byte-stable for a
+    /// fixed seed once the final snapshot is in.
+    pub fn metrics_text(&self) -> String {
+        prom::render(
+            &self
+                .state
+                .read()
+                .unwrap_or_else(|e| e.into_inner())
+                .registry,
+        )
+    }
+
+    /// The `/trace` body: Chrome trace-event JSON of the latest spans.
+    pub fn trace_json(&self) -> String {
+        self.state
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .trace_json
+            .clone()
+    }
+
+    /// The `/progress` body: campaign completion, throughput and the full
+    /// metric snapshot (same [`Registry::to_json_object`] serializer as
+    /// `vds stats --json`).
+    pub fn progress_json(&self) -> String {
+        let st = self.state.read().unwrap_or_else(|e| e.into_inner());
+        let work_units: u64 = st.registry.counters().map(|(_, v)| v).sum();
+        let elapsed = self.elapsed_secs();
+        let rate = if elapsed > 0.0 {
+            work_units as f64 / elapsed
+        } else {
+            0.0
+        };
+        format!(
+            "{{\"phase\":\"{}\",\"ready\":{},\"done\":{},\"elapsed_secs\":{:.3},\
+             \"trials_done\":{},\"trials_total\":{},\"shards_done\":{},\"shards_total\":{},\
+             \"work_units\":{},\"work_units_per_sec\":{:.3},\"metrics\":{}}}",
+            json_escape(&st.phase),
+            self.is_ready(),
+            self.is_done(),
+            elapsed,
+            self.trials_done.load(Ordering::Relaxed),
+            self.trials_total.load(Ordering::Relaxed),
+            self.shards_done.load(Ordering::Relaxed),
+            self.shards_total.load(Ordering::Relaxed),
+            work_units,
+            rate,
+            st.registry.to_json_object()
+        )
+    }
+}
+
+/// The HTTP/1.1 telemetry server: one background thread accepting on a
+/// [`TcpListener`], answering every request from the hub and closing the
+/// connection. Requests are tiny and handled inline; there is no
+/// keep-alive, no routing table, no dependency.
+pub struct TelemetryServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl TelemetryServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:9898"`; port 0 picks an ephemeral
+    /// port — read it back with [`TelemetryServer::local_addr`]) and
+    /// start serving `hub` on a background thread.
+    pub fn bind(addr: &str, hub: Arc<TelemetryHub>) -> std::io::Result<TelemetryServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("vds-telemetry".to_string())
+            .spawn(move || accept_loop(listener, hub, stop2))?;
+        Ok(TelemetryServer {
+            addr: local,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, drain the accept loop and join the thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for TelemetryServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(listener: TcpListener, hub: Arc<TelemetryHub>, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => handle_conn(stream, &hub),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+const TEXT: &str = "text/plain; charset=utf-8";
+const PROM: &str = "text/plain; version=0.0.4; charset=utf-8";
+const JSON: &str = "application/json";
+
+const INDEX: &str = "vds telemetry\n\
+                     GET /metrics   Prometheus text exposition\n\
+                     GET /healthz   liveness\n\
+                     GET /readyz    readiness\n\
+                     GET /trace     Chrome trace-event JSON (open in ui.perfetto.dev)\n\
+                     GET /progress  campaign progress JSON\n";
+
+fn handle_conn(mut stream: TcpStream, hub: &TelemetryHub) {
+    // Accepted sockets do not reliably inherit blocking mode.
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(800)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    let mut head = Vec::with_capacity(512);
+    let mut buf = [0u8; 1024];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                head.extend_from_slice(&buf[..n]);
+                if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() > 16 * 1024 {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let req = String::from_utf8_lossy(&head);
+    let mut parts = req.lines().next().unwrap_or("").split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let path = path.split('?').next().unwrap_or("");
+    let (status, ctype, body) = route(method, path, hub);
+    let reason = match status {
+        200 => "OK",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        503 => "Service Unavailable",
+        _ => "Error",
+    };
+    let header = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {ctype}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(header.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+fn route(method: &str, path: &str, hub: &TelemetryHub) -> (u16, &'static str, String) {
+    if method != "GET" {
+        return (405, TEXT, "method not allowed\n".to_string());
+    }
+    match path {
+        "/metrics" => (200, PROM, hub.metrics_text()),
+        "/healthz" => (200, TEXT, "ok\n".to_string()),
+        "/readyz" => {
+            if hub.is_ready() {
+                (200, TEXT, "ready\n".to_string())
+            } else {
+                (503, TEXT, "starting\n".to_string())
+            }
+        }
+        "/trace" => (200, JSON, hub.trace_json()),
+        "/progress" => (200, JSON, hub.progress_json()),
+        "/" => (200, TEXT, INDEX.to_string()),
+        _ => (404, TEXT, "not found\n".to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+        let mut s = TcpStream::connect(addr).unwrap();
+        write!(
+            s,
+            "GET {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n"
+        )
+        .unwrap();
+        let mut resp = String::new();
+        s.read_to_string(&mut resp).unwrap();
+        let status: u16 = resp
+            .split_whitespace()
+            .nth(1)
+            .expect("status line")
+            .parse()
+            .unwrap();
+        let body = resp
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        (status, body)
+    }
+
+    #[test]
+    fn endpoints_roundtrip() {
+        let hub = TelemetryHub::new();
+        let mut r = Registry::new();
+        r.count("vds.detections", 3);
+        r.gauge("smt.thread0.ipc", 1.5);
+        hub.merge_registry(&r);
+        hub.begin_campaign("test", 10, 4);
+        let server = TelemetryServer::bind("127.0.0.1:0", Arc::clone(&hub)).unwrap();
+        let addr = server.local_addr();
+
+        let (st, body) = get(addr, "/healthz");
+        assert_eq!((st, body.as_str()), (200, "ok\n"));
+
+        // not ready yet
+        let (st, _) = get(addr, "/readyz");
+        assert_eq!(st, 503);
+        hub.mark_ready();
+        let (st, body) = get(addr, "/readyz");
+        assert_eq!((st, body.as_str()), (200, "ready\n"));
+
+        let (st, body) = get(addr, "/metrics");
+        assert_eq!(st, 200);
+        assert!(
+            body.contains("# TYPE vds_detections_total counter"),
+            "{body}"
+        );
+        assert!(body.contains("vds_detections_total 3"), "{body}");
+        assert!(body.contains("smt_thread0_ipc 1.5"), "{body}");
+
+        let (st, body) = get(addr, "/progress");
+        assert_eq!(st, 200);
+        assert!(body.contains("\"phase\":\"test\""), "{body}");
+        assert!(body.contains("\"trials_total\":10"), "{body}");
+        assert!(body.contains("\"work_units\":3"), "{body}");
+        assert!(
+            body.contains("\"counters\":{\"vds.detections\":3}"),
+            "{body}"
+        );
+
+        let (st, body) = get(addr, "/trace");
+        assert_eq!(st, 200);
+        assert!(body.starts_with("{\"traceEvents\":["), "{body}");
+
+        let (st, _) = get(addr, "/nope");
+        assert_eq!(st, 404);
+        let (st, body) = get(addr, "/");
+        assert_eq!(st, 200);
+        assert!(body.contains("/metrics"), "{body}");
+
+        // POST is refused
+        let mut s = TcpStream::connect(addr).unwrap();
+        write!(
+            s,
+            "POST /metrics HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"
+        )
+        .unwrap();
+        let mut resp = String::new();
+        s.read_to_string(&mut resp).unwrap();
+        assert!(resp.starts_with("HTTP/1.1 405"), "{resp}");
+
+        server.shutdown();
+        // the port is released: a fresh bind to the same address works
+        let again = TcpListener::bind(addr);
+        assert!(again.is_ok());
+    }
+
+    #[test]
+    fn progress_counts_and_done_flag() {
+        let hub = TelemetryHub::new();
+        hub.begin_campaign("phase-one", 100, 8);
+        for _ in 0..5 {
+            hub.trial_done();
+        }
+        hub.shard_done();
+        let p = hub.progress_json();
+        assert!(p.contains("\"trials_done\":5"), "{p}");
+        assert!(p.contains("\"shards_done\":1"), "{p}");
+        assert!(p.contains("\"done\":false"), "{p}");
+        hub.mark_done();
+        assert!(hub.progress_json().contains("\"done\":true"));
+        // a new phase resets the counters but keeps the registry
+        let mut r = Registry::new();
+        r.count("kept", 1);
+        hub.merge_registry(&r);
+        hub.begin_campaign("phase-two", 7, 2);
+        let p = hub.progress_json();
+        assert!(p.contains("\"phase\":\"phase-two\""), "{p}");
+        assert!(p.contains("\"trials_done\":0"), "{p}");
+        assert!(p.contains("\"kept\":1"), "{p}");
+    }
+}

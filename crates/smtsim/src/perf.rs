@@ -73,6 +73,19 @@ impl ThreadCounters {
         }
     }
 
+    /// Fraction of the thread's lifetime cycles it issued an instruction
+    /// (0.0 before the first cycle). Unlike [`ThreadCounters::ipc`] this
+    /// includes parked cycles, so it is the hardware-thread utilisation a
+    /// live dashboard wants: how much of the core's time this thread
+    /// actually used.
+    pub fn utilization(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.issued_cycles as f64 / self.cycles as f64
+        }
+    }
+
     /// Branch prediction accuracy (1.0 when no branches ran).
     pub fn branch_accuracy(&self) -> f64 {
         if self.branches == 0 {
@@ -109,6 +122,7 @@ impl ThreadCounters {
             rec.count(&format!("{prefix}.{field}"), v);
         }
         rec.gauge(&format!("{prefix}.ipc"), self.ipc());
+        rec.gauge(&format!("{prefix}.utilization"), self.utilization());
         rec.gauge(&format!("{prefix}.branch_accuracy"), self.branch_accuracy());
     }
 }
@@ -166,6 +180,24 @@ mod tests {
         assert_eq!(c.stall_dcache, 2);
         assert_eq!(c.total_stalls(), 6);
         assert_eq!(c.parked, 1);
+    }
+
+    #[test]
+    fn utilization_counts_parked_time_against_the_thread() {
+        let c = ThreadCounters {
+            cycles: 200,
+            issued_cycles: 50,
+            parked: 100,
+            ..Default::default()
+        };
+        assert!((c.utilization() - 0.25).abs() < 1e-12);
+        assert_eq!(ThreadCounters::default().utilization(), 0.0);
+        let mut rec = vds_obs::Recorder::new();
+        c.export_metrics(&mut rec, "smt.thread0");
+        assert_eq!(
+            rec.registry().gauge_value("smt.thread0.utilization"),
+            Some(0.25)
+        );
     }
 
     #[test]
