@@ -9,17 +9,20 @@
 
 use rand::rngs::SmallRng;
 use rand::{Rng as _, SeedableRng};
-use vds_core::micro_vds::{run_micro_recorded, MicroConfig, MicroFault};
+use vds_core::micro_vds::{run_micro_recorded, run_micro_with_recorder, MicroConfig, MicroFault};
 use vds_core::workload;
 use vds_core::{Scheme, Victim};
 use vds_fault::campaign::TrialResult;
 use vds_fault::model::{sample_transient_site, FaultKind};
-use vds_obs::Recorder;
+use vds_obs::{JournalHeader, Recorder};
 
 /// One instrumented trial of the serve campaign: a transient fault at a
 /// random round/site against the diversified micro VDS. Deterministic in
 /// `(index, base_seed, target_rounds)`; records the run's `vds.*` and
-/// `smt.*` metrics into `rec`.
+/// `smt.*` metrics into `rec`. When `rec` carries an enabled
+/// flight-recorder journal (a campaign launched through
+/// `run_campaign_journaled`), the micro run is journaled too and its
+/// round entries are adopted under lane `index`.
 pub fn campaign_trial(
     index: u64,
     base_seed: u64,
@@ -43,8 +46,19 @@ pub fn campaign_trial(
         victim,
         kind: FaultKind::Transient(site),
     };
-    let (report, run_rec) = run_micro_recorded(&cfg, Some(fault), target_rounds);
+    let (report, run_rec) = if rec.journal_enabled() {
+        let mut run_rec = Recorder::new();
+        if let Some(h) = rec.journal().header() {
+            run_rec.enable_journal(h.clone());
+        }
+        let (report, _, run_rec) =
+            run_micro_with_recorder(&cfg, Some(fault), target_rounds, run_rec);
+        (report, run_rec)
+    } else {
+        run_micro_recorded(&cfg, Some(fault), target_rounds)
+    };
     rec.merge_registry(run_rec.registry());
+    rec.adopt_journal(run_rec.journal(), index);
     let label = if report.shutdown {
         "failsafe-shutdown"
     } else if report.detections == 0 {
@@ -55,6 +69,21 @@ pub fn campaign_trial(
         "recovered"
     };
     TrialResult::with_value(label, report.detections as f64)
+}
+
+/// The journal header describing a serve/fault campaign, so recordings
+/// and `vds replay` re-runs agree on the run's identity. `s` and the
+/// scheme mirror [`campaign_trial`]'s fixed configuration.
+pub fn campaign_journal_header(trials: u64, base_seed: u64, target_rounds: u64) -> JournalHeader {
+    let cfg = MicroConfig::new(Scheme::SmtProbabilistic, 8);
+    JournalHeader::new(
+        "campaign",
+        Scheme::SmtProbabilistic.name(),
+        base_seed,
+        cfg.s,
+        target_rounds,
+    )
+    .with_meta("trials", &trials.to_string())
 }
 
 #[cfg(test)]
@@ -80,5 +109,32 @@ mod tests {
             .registry()
             .counters()
             .any(|(name, _)| name.starts_with("smt.")));
+    }
+
+    #[test]
+    fn journaled_serve_campaign_is_byte_identical_across_workers() {
+        use vds_fault::campaign::run_campaign_journaled;
+        let header = campaign_journal_header(12, 42, 30);
+        let run = |workers| {
+            run_campaign_journaled("serve", 12, workers, None, &header, |i, rec| {
+                campaign_trial(i, 42, 30, rec)
+            })
+        };
+        let (ra, reca) = run(1);
+        let (rb, recb) = run(4);
+        assert_eq!(ra, rb);
+        let j = reca.journal();
+        assert_eq!(j.to_jsonl(), recb.journal().to_jsonl());
+        assert!(!j.is_empty());
+        // lanes are trial indices, in trial order
+        let lanes: Vec<u64> = j.entries().iter().map(|e| e.lane).collect();
+        let mut sorted = lanes.clone();
+        sorted.sort_unstable();
+        assert_eq!(lanes, sorted);
+        assert_eq!(*lanes.last().unwrap(), 11);
+        // header survives into the merged journal
+        assert_eq!(j.header().unwrap().meta("trials"), Some("12"));
+        // the journal block is exported into the merged registry
+        assert_eq!(reca.registry().counter("journal.rounds"), j.len() as u64);
     }
 }

@@ -8,91 +8,23 @@
 //! cryptographic digests or word-wise comparison; for a simulator the
 //! 128-bit combination is far beyond the experiment scales of 10⁴–10⁶
 //! comparisons.)
+//!
+//! The implementation lives in `vds-obs` ([`vds_obs::journal`]) so the
+//! flight-recorder journal — which sits below this crate in the dependency
+//! stack — can stamp the same digests into its round entries. This module
+//! re-exports it under the historical names; the algorithm and therefore
+//! every digest value is unchanged.
 
-/// A 128-bit state digest (two independent 64-bit halves).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct StateDigest {
-    /// FNV-1a half.
-    pub fnv: u64,
-    /// Mix half (splitmix-style avalanche over a running state).
-    pub mix: u64,
-}
+/// A 128-bit state digest (two independent 64-bit halves). Alias of
+/// [`vds_obs::Digest128`]; `Display` renders 32 hex characters.
+pub type StateDigest = vds_obs::Digest128;
 
-impl StateDigest {
-    /// Digest of an empty input.
-    pub fn empty() -> Self {
-        Digester::new().finish()
-    }
-}
-
-impl std::fmt::Display for StateDigest {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{:016x}{:016x}", self.fnv, self.mix)
-    }
-}
-
-/// Incremental digest builder.
-#[derive(Debug, Clone)]
-pub struct Digester {
-    fnv: u64,
-    mix: u64,
-    count: u64,
-}
-
-impl Default for Digester {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl Digester {
-    /// Fresh digester.
-    pub fn new() -> Self {
-        Digester {
-            fnv: 0xcbf2_9ce4_8422_2325,
-            mix: 0x9E37_79B9_7F4A_7C15,
-            count: 0,
-        }
-    }
-
-    /// Absorb one 32-bit word.
-    #[inline]
-    pub fn push_word(&mut self, w: u32) {
-        for b in w.to_le_bytes() {
-            self.fnv ^= u64::from(b);
-            self.fnv = self.fnv.wrapping_mul(0x0000_0100_0000_01B3);
-        }
-        let mut z = self.mix ^ (u64::from(w)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z ^= z >> 27;
-        z = z.wrapping_mul(0x94D0_49BB_1331_11EB);
-        self.mix = z.rotate_left(17) ^ (z >> 31);
-        self.count += 1;
-    }
-
-    /// Absorb a word slice.
-    pub fn push_words(&mut self, ws: &[u32]) {
-        for &w in ws {
-            self.push_word(w);
-        }
-    }
-
-    /// Finalise (length-aware, so prefixes don't collide with wholes).
-    pub fn finish(&self) -> StateDigest {
-        let mut d = self.clone();
-        d.push_word(self.count as u32);
-        d.push_word((self.count >> 32) as u32);
-        StateDigest {
-            fnv: d.fnv,
-            mix: d.mix,
-        }
-    }
-}
+/// Incremental digest builder. Alias of [`vds_obs::Digester128`].
+pub type Digester = vds_obs::Digester128;
 
 /// One-shot digest of a word slice.
 pub fn digest_words(ws: &[u32]) -> StateDigest {
-    let mut d = Digester::new();
-    d.push_words(ws);
-    d.finish()
+    vds_obs::digest_words128(ws)
 }
 
 #[cfg(test)]
@@ -136,6 +68,36 @@ mod tests {
         d.push_words(&[10, 20]);
         d.push_word(30);
         assert_eq!(d.finish(), digest_words(&[10, 20, 30]));
+    }
+
+    #[test]
+    fn empty_digest_matches_helper() {
+        assert_eq!(StateDigest::empty(), digest_words(&[]));
+    }
+
+    #[test]
+    fn pinned_against_historical_algorithm() {
+        // The delegation to vds-obs must not change any digest value:
+        // recompute [1,2,3] with the original algorithm inline.
+        let (mut fnv, mut mix) = (0xcbf2_9ce4_8422_2325u64, 0x9E37_79B9_7F4A_7C15u64);
+        let push = |w: u32, fnv: &mut u64, mix: &mut u64| {
+            for b in w.to_le_bytes() {
+                *fnv ^= u64::from(b);
+                *fnv = fnv.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            let mut z = *mix ^ (u64::from(w)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z ^= z >> 27;
+            z = z.wrapping_mul(0x94D0_49BB_1331_11EB);
+            *mix = z.rotate_left(17) ^ (z >> 31);
+        };
+        for w in [1u32, 2, 3] {
+            push(w, &mut fnv, &mut mix);
+        }
+        // length-aware finish: count = 3
+        push(3, &mut fnv, &mut mix);
+        push(0, &mut fnv, &mut mix);
+        let d = digest_words(&[1, 2, 3]);
+        assert_eq!((d.fnv, d.mix), (fnv, mix));
     }
 
     #[test]

@@ -1,0 +1,268 @@
+//! `vds replay` and `vds audit diff` — consumers of the flight-recorder
+//! journal.
+//!
+//! `vds replay <journal>` re-executes the run described by the journal's
+//! header (backend, scheme, seed, `s`, target rounds, fault meta) and
+//! asserts digest-for-digest agreement with the recorded entries: any
+//! nondeterminism, code drift or file tampering surfaces as a structured
+//! first-divergence report. `vds audit diff <a> <b>` compares two
+//! recordings directly, binary-searching to the first divergent round;
+//! it exits 0 when they are identical and 1 with the report otherwise.
+
+use crate::{parse_flags, parse_scheme, read_file, CliError};
+use vds_core::micro_vds::{run_micro_with_recorder, MicroConfig, MicroFault};
+use vds_core::Victim;
+use vds_fault::model::FaultKind;
+use vds_obs::{Journal, JournalHeader, Recorder};
+
+/// `vds replay <journal>` — re-execute and verify a recording.
+pub(crate) fn cmd_replay(args: &[String]) -> Result<String, CliError> {
+    let f = parse_flags(args)?;
+    let path = f
+        .positional
+        .first()
+        .ok_or_else(|| CliError::usage("replay: missing journal path"))?;
+    if f.positional.len() > 1 {
+        return Err(CliError::usage("replay: too many arguments"));
+    }
+    let recorded = load_journal(path)?;
+    let header = recorded
+        .header()
+        .ok_or_else(|| CliError::runtime(format!("`{path}` has no journal header to replay")))?
+        .clone();
+    let workers = f
+        .workers
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, |n| n.get()));
+    let replayed = re_execute(&header, workers)?;
+    match recorded.first_divergence(&replayed) {
+        None => Ok(format!(
+            "replay OK: {path} — {} rounds re-executed digest-for-digest \
+             (backend {}, scheme {}, seed {})\n",
+            recorded.len(),
+            header.backend,
+            header.scheme,
+            header.seed
+        )),
+        Some(d) => Err(CliError::runtime(format!(
+            "replay DIVERGED: {path} does not match its re-execution \
+             (a = recorded, b = replayed)\n{}",
+            d.report()
+        ))),
+    }
+}
+
+/// `vds audit diff <a> <b>` — first divergent round between recordings.
+pub(crate) fn cmd_audit(args: &[String]) -> Result<String, CliError> {
+    let f = parse_flags(args)?;
+    if f.positional.first().map(String::as_str) != Some("diff") {
+        return Err(CliError::usage("audit: expected `audit diff <a> <b>`"));
+    }
+    let a_path = f
+        .positional
+        .get(1)
+        .ok_or_else(|| CliError::usage("audit diff: missing first journal"))?;
+    let b_path = f
+        .positional
+        .get(2)
+        .ok_or_else(|| CliError::usage("audit diff: missing second journal"))?;
+    if f.positional.len() > 3 {
+        return Err(CliError::usage("audit diff: too many arguments"));
+    }
+    let a = load_journal(a_path)?;
+    let b = load_journal(b_path)?;
+    match a.first_divergence(&b) {
+        None => Ok(format!(
+            "journals identical: {} entries ({a_path} vs {b_path})\n",
+            a.len()
+        )),
+        Some(d) => Err(CliError::runtime(format!(
+            "audit diff {a_path} {b_path}:\n{}",
+            d.report()
+        ))),
+    }
+}
+
+fn load_journal(path: &str) -> Result<Journal, CliError> {
+    Journal::from_jsonl(&read_file(path)?)
+        .map_err(|e| CliError::runtime(format!("cannot parse `{path}`: {e}")))
+}
+
+/// Re-run the recorded configuration, producing a fresh journal.
+fn re_execute(header: &JournalHeader, workers: usize) -> Result<Journal, CliError> {
+    match header.backend.as_str() {
+        "micro" => replay_micro(header),
+        "campaign" => replay_campaign(header, workers),
+        other => Err(CliError::runtime(format!(
+            "cannot replay `{other}` journals (replayable backends: micro, campaign)"
+        ))),
+    }
+}
+
+fn replay_micro(header: &JournalHeader) -> Result<Journal, CliError> {
+    let scheme = parse_scheme(&header.scheme)?;
+    if scheme == vds_core::Scheme::SmtBoosted5 {
+        return Err(CliError::runtime(
+            "micro journals cannot use smt-boost5 (abstract backend only)",
+        ));
+    }
+    let mut cfg = MicroConfig::new(scheme, header.s);
+    cfg.seed = header.seed;
+    let fault = match header.meta("fault") {
+        Some(spec) => {
+            let kind = FaultKind::parse_spec(spec).ok_or_else(|| {
+                CliError::runtime(format!("journal header has malformed fault spec `{spec}`"))
+            })?;
+            let at_round = header
+                .meta("fault_round")
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| {
+                    CliError::runtime("journal header has a fault but no valid fault_round")
+                })?;
+            let victim = match header.meta("fault_victim") {
+                Some("v1") => Victim::V1,
+                Some("v2") | None => Victim::V2,
+                Some(other) => {
+                    return Err(CliError::runtime(format!(
+                        "journal header has unknown fault_victim `{other}`"
+                    )))
+                }
+            };
+            Some(MicroFault {
+                at_round,
+                victim,
+                kind,
+            })
+        }
+        None => None,
+    };
+    let mut rec = Recorder::new();
+    rec.enable_journal(header.clone());
+    let (_, _, rec) = run_micro_with_recorder(&cfg, fault, header.target_rounds, rec);
+    Ok(rec.journal().clone())
+}
+
+fn replay_campaign(header: &JournalHeader, workers: usize) -> Result<Journal, CliError> {
+    use vds_bench::live::campaign_trial;
+    use vds_fault::campaign::run_campaign_journaled;
+    // campaign journals record the serve campaign, whose trial body pins
+    // the scheme; a header claiming another scheme cannot be honoured
+    let expected = vds_core::Scheme::SmtProbabilistic.name();
+    if header.scheme != expected {
+        return Err(CliError::runtime(format!(
+            "campaign journals replay the serve campaign (scheme {expected}), \
+             header says `{}`",
+            header.scheme
+        )));
+    }
+    let trials: u64 = header
+        .meta("trials")
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| CliError::runtime("campaign journal header has no valid trials meta"))?;
+    let (base_seed, target_rounds) = (header.seed, header.target_rounds);
+    let (_, rec) = run_campaign_journaled("replay", trials, workers, None, header, |i, rec| {
+        campaign_trial(i, base_seed, target_rounds, rec)
+    });
+    Ok(rec.journal().clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{dispatch, CliError};
+
+    fn run(args: &[&str]) -> Result<String, CliError> {
+        let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        dispatch(&v)
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("vds-cli-audit");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    /// Flip the low bit of the first hex digit of the first `d2` digest
+    /// at or after `from_line`, returning the corrupted text and the
+    /// `round` field of the entry that was hit.
+    fn corrupt_one_digest_bit(text: &str, from_line: usize) -> (String, u64) {
+        let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+        let idx = (from_line..lines.len())
+            .find(|&i| lines[i].contains("\"d2\":\""))
+            .expect("no entry with a d2 digest");
+        let line = &lines[idx];
+        let pos = line.find("\"d2\":\"").unwrap() + "\"d2\":\"".len();
+        let old = line.as_bytes()[pos] as char;
+        let flipped = char::from_digit(old.to_digit(16).unwrap() ^ 1, 16).unwrap();
+        let mut corrupted = line.clone();
+        corrupted.replace_range(pos..pos + 1, &flipped.to_string());
+        let round = corrupted
+            .split("\"round\":")
+            .nth(1)
+            .and_then(|s| s.split(',').next())
+            .and_then(|s| s.parse().ok())
+            .unwrap();
+        lines[idx] = corrupted;
+        (lines.join("\n") + "\n", round)
+    }
+
+    #[test]
+    fn replay_verifies_a_faulty_duplex_recording() {
+        let p = tmp("duplex.journal.jsonl");
+        let ps = p.to_str().unwrap();
+        let out = run(&["duplex", "smt-det", "15", "4", "--journal", ps]).unwrap();
+        assert!(out.contains("journal ("), "{out}");
+        assert!(out.contains("vds replay"), "{out}");
+        let ok = run(&["replay", ps]).unwrap();
+        assert!(ok.contains("replay OK"), "{ok}");
+        assert!(ok.contains("backend micro, scheme smt-det"), "{ok}");
+    }
+
+    #[test]
+    fn replay_rejects_a_tampered_recording() {
+        let p = tmp("tampered.journal.jsonl");
+        let ps = p.to_str().unwrap();
+        run(&["duplex", "smt-prob", "12", "--seed", "7", "--journal", ps]).unwrap();
+        let text = std::fs::read_to_string(&p).unwrap();
+        let (bad, _) = corrupt_one_digest_bit(&text, 1);
+        std::fs::write(&p, bad).unwrap();
+        let e = run(&["replay", ps]).unwrap_err();
+        assert_eq!(e.code, 1);
+        assert!(e.msg.contains("replay DIVERGED"), "{}", e.msg);
+        assert!(e.msg.contains("d2 (version 2 digest)"), "{}", e.msg);
+    }
+
+    #[test]
+    fn audit_diff_identical_then_pinpoints_the_corrupted_round() {
+        let (pa, pb) = (tmp("a.journal.jsonl"), tmp("b.journal.jsonl"));
+        let (sa, sb) = (pa.to_str().unwrap(), pb.to_str().unwrap());
+        run(&["duplex", "smt-det", "20", "4", "--journal", sa]).unwrap();
+        run(&["duplex", "smt-det", "20", "4", "--journal", sb]).unwrap();
+        // recovery roll-forward salvages a round, so entries < rounds
+        let ok = run(&["audit", "diff", sa, sb]).unwrap();
+        assert!(ok.contains("journals identical: 19 entries"), "{ok}");
+        // flip one digest bit deep in b: the diff names that exact round
+        let text = std::fs::read_to_string(&pb).unwrap();
+        let (bad, round) = corrupt_one_digest_bit(&text, 13);
+        std::fs::write(&pb, bad).unwrap();
+        let e = run(&["audit", "diff", sa, sb]).unwrap_err();
+        assert_eq!(e.code, 1);
+        assert!(
+            e.msg.contains(&format!("round {round})")),
+            "expected round {round} in: {}",
+            e.msg
+        );
+        assert!(e.msg.contains("first differing field: d2"), "{}", e.msg);
+    }
+
+    #[test]
+    fn replay_and_audit_reject_bad_usage() {
+        assert_eq!(run(&["replay"]).unwrap_err().code, 2);
+        assert_eq!(run(&["audit", "frob"]).unwrap_err().code, 2);
+        assert_eq!(run(&["audit", "diff", "only-one"]).unwrap_err().code, 2);
+        // a journal without a header cannot be replayed
+        let p = tmp("headerless.jsonl");
+        std::fs::write(&p, "").unwrap();
+        let e = run(&["replay", p.to_str().unwrap()]).unwrap_err();
+        assert_eq!(e.code, 1);
+        assert!(e.msg.contains("no journal header"), "{}", e.msg);
+    }
+}

@@ -45,6 +45,7 @@
 
 use std::fmt::Write as _;
 
+mod audit;
 mod serve;
 
 /// CLI error: message plus the exit code to use.
@@ -88,6 +89,8 @@ USAGE:
     vds experiment <e1..e14|all>        regenerate a paper artefact
     vds bench                           run the pinned perf suite
     vds serve                           run a live fault campaign behind a telemetry HTTP server
+    vds replay <journal>                re-execute a recorded run, assert digest-for-digest agreement
+    vds audit diff <a> <b>              first divergent round between two journals
     vds gains [alpha] [beta] [p]        closed-form gain summary
 
 FLAGS (alpha / duplex / stats / report / experiment / bench / serve; `--flag v` or `--flag=v`):
@@ -106,8 +109,10 @@ FLAGS (alpha / duplex / stats / report / experiment / bench / serve; `--flag v` 
     --port-file PATH     serve: write the bound port to PATH once listening
     --trials N           serve: campaign trials (default 200)
     --once               serve: exit after the campaign instead of waiting for Ctrl-C
+    --journal PATH       duplex / stats / report / serve: write the flight-recorder
+                         round journal (JSONL) to PATH; replay it with `vds replay`
 
-ENDPOINTS (vds serve): /metrics (Prometheus), /healthz, /readyz, /trace (Chrome JSON), /progress (JSON)
+ENDPOINTS (vds serve): /metrics (Prometheus), /healthz, /readyz, /trace (Chrome JSON), /progress (JSON), /journal (JSONL)
 
 SCHEMES: conventional, smt-det, smt-prob, smt-pred, smt-boost3, smt-boost5"
 }
@@ -129,6 +134,7 @@ struct Flags {
     port_file: Option<String>,
     trials: Option<u64>,
     once: bool,
+    journal: Option<String>,
     positional: Vec<String>,
 }
 
@@ -173,11 +179,12 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
                 | "port"
                 | "port-file"
                 | "trials"
+                | "journal"
         ) {
             return Err(CliError::usage(format!(
                 "unknown flag `--{name}` (known: --rounds, --seed, --workers, \
                  --metrics, --trace-capacity, --out, --check, --json, --log-level, \
-                 --addr, --port, --port-file, --trials, --once)"
+                 --addr, --port, --port-file, --trials, --once, --journal)"
             )));
         }
         let value = match inline {
@@ -199,6 +206,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
             "port" => f.port = Some(parse_num(&value, "--port")?),
             "port-file" => f.port_file = Some(value),
             "trials" => f.trials = Some(parse_num(&value, "--trials")?),
+            "journal" => f.journal = Some(value),
             _ => f.metrics = Some(value),
         }
     }
@@ -279,6 +287,8 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
         "report" => cmd_duplex(&args[1..], DuplexMode::Report),
         "bench" => cmd_bench(&args[1..]),
         "serve" => serve::cmd_serve(&args[1..]),
+        "replay" => audit::cmd_replay(&args[1..]),
+        "audit" => audit::cmd_audit(&args[1..]),
         "flowchart" => {
             let scheme = parse_scheme(
                 args.get(1)
@@ -394,6 +404,25 @@ fn cmd_alpha(args: &[String]) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// The journal header describing a micro duplex run: everything `vds
+/// replay` needs to re-execute it (scheme, seed, `s`, target rounds and
+/// the injected fault, if any) lives in the header, so a journal file is
+/// self-describing.
+pub(crate) fn micro_journal_header(
+    cfg: &vds_core::micro_vds::MicroConfig,
+    rounds: u64,
+    fault: Option<&vds_core::micro_vds::MicroFault>,
+) -> vds_obs::JournalHeader {
+    let mut h = vds_obs::JournalHeader::new("micro", cfg.scheme.name(), cfg.seed, cfg.s, rounds);
+    if let Some(fl) = fault {
+        h = h
+            .with_meta("fault", &fl.kind.spec_string())
+            .with_meta("fault_round", &fl.at_round.to_string())
+            .with_meta("fault_victim", &format!("v{}", fl.victim.index() + 1));
+    }
+    h
+}
+
 /// The three faces of a recorded micro-VDS run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum DuplexMode {
@@ -459,12 +488,16 @@ fn cmd_duplex(args: &[String], mode: DuplexMode) -> Result<String, CliError> {
         return Err(CliError::usage(format!("{what}: too many arguments")));
     }
     // recording costs a little time, so the plain path stays unrecorded
-    let record = mode != DuplexMode::Plain || f.metrics.is_some() || f.trace_capacity.is_some();
+    let record = mode != DuplexMode::Plain
+        || f.metrics.is_some()
+        || f.trace_capacity.is_some()
+        || f.journal.is_some();
     let (r, img, rec) = if record {
-        let recorder = match f.trace_capacity {
+        let mut recorder = match f.trace_capacity {
             Some(cap) => vds_obs::Recorder::with_trace_capacity(cap),
             None => vds_obs::Recorder::new(),
         };
+        recorder.enable_journal(micro_journal_header(&cfg, rounds, fault.as_ref()));
         let (r, img, rec) = run_micro_with_recorder(&cfg, fault, rounds, recorder);
         (r, img, Some(rec))
     } else {
@@ -480,7 +513,21 @@ fn cmd_duplex(args: &[String], mode: DuplexMode) -> Result<String, CliError> {
         "output WRONG"
     };
     let mut out = format!("{r}\n{verdict} versus the oracle\n");
-    if let Some(rec) = rec {
+    if let Some(mut rec) = rec {
+        // single-run top level: fold journal.* into the registry here
+        rec.export_journal_metrics();
+        let journal_note = match &f.journal {
+            Some(path) => {
+                std::fs::write(path, rec.journal().to_jsonl())
+                    .map_err(|e| CliError::runtime(format!("cannot write `{path}`: {e}")))?;
+                Some(format!(
+                    "journal ({} rounds) written to {path} — replay with `vds replay {path}`\n",
+                    rec.journal().len()
+                ))
+            }
+            None => None,
+        };
+        let journal_summary = rec.journal().summary_json();
         let (registry, trace, spans) = rec.into_parts();
         if mode == DuplexMode::Stats {
             // overflow reporting goes through the structured-logging
@@ -510,8 +557,9 @@ fn cmd_duplex(args: &[String], mode: DuplexMode) -> Result<String, CliError> {
             if f.json {
                 // one serializer with the telemetry server's /progress
                 out = format!(
-                    "{{\"verdict\":\"{}\",\"metrics\":{}}}\n",
+                    "{{\"verdict\":\"{}\",\"journal\":{},\"metrics\":{}}}\n",
                     if got == &want[..] { "correct" } else { "wrong" },
+                    journal_summary,
                     registry.to_json_object()
                 );
             } else {
@@ -530,6 +578,13 @@ fn cmd_duplex(args: &[String], mode: DuplexMode) -> Result<String, CliError> {
             let note = write_metrics(path, &registry, Some(&trace), Some(&spans))?;
             if f.json {
                 // keep stdout pure JSON; the confirmation goes to the log
+                vds_obs::log_info!("cli", "{}", note.trim_end());
+            } else {
+                out.push_str(&note);
+            }
+        }
+        if let Some(note) = journal_note {
+            if f.json {
                 vds_obs::log_info!("cli", "{}", note.trim_end());
             } else {
                 out.push_str(&note);
@@ -578,14 +633,31 @@ fn cmd_experiment(args: &[String]) -> Result<String, CliError> {
     Ok(out)
 }
 
-/// First `BENCH_<n>.json` (n ≥ 1) that does not exist yet in the current
-/// directory — the default `vds bench` output path, so successive runs
-/// append to the perf trajectory instead of overwriting it.
+/// `BENCH_<n>.json` with n = (highest existing index) + 1 — the default
+/// `vds bench` output path, so successive runs always append to the end
+/// of the perf trajectory. Filling the first gap instead would renumber
+/// history: with BENCH_1 and BENCH_3 present, a gap-filling default
+/// would write a fresh run as BENCH_2 and corrupt the trajectory's
+/// time order.
 fn next_bench_path() -> String {
-    (1u32..)
-        .map(|n| format!("BENCH_{n}.json"))
-        .find(|p| !std::path::Path::new(p).exists())
-        .expect("some BENCH_<n>.json slot is free")
+    next_bench_path_in(std::path::Path::new("."))
+}
+
+fn next_bench_path_in(dir: &std::path::Path) -> String {
+    let max = std::fs::read_dir(dir)
+        .into_iter()
+        .flatten()
+        .flatten()
+        .filter_map(|e| {
+            let name = e.file_name().into_string().ok()?;
+            name.strip_prefix("BENCH_")?
+                .strip_suffix(".json")?
+                .parse::<u32>()
+                .ok()
+        })
+        .max()
+        .unwrap_or(0);
+    format!("BENCH_{}.json", max + 1)
 }
 
 /// `vds bench` — run the pinned perf suite, print the table, write the
@@ -915,7 +987,11 @@ mod tests {
     fn stats_json_shares_the_progress_serializer() {
         let out = run(&["stats", "smt-det", "12", "4", "--json"]).unwrap();
         assert!(out.starts_with("{\"verdict\":\"correct\""), "{out}");
+        // the flight-recorder summary rides along, like /progress
+        assert!(out.contains("\"journal\":{\"rounds\":"), "{out}");
+        assert!(out.contains("\"divergences\":1"), "{out}");
         assert!(out.contains("\"counters\":{"), "{out}");
+        assert!(out.contains("\"journal.rounds\":"), "{out}");
         assert!(out.contains("\"vds.detections\":1"), "{out}");
         assert!(out.contains("\"gauges\":{"), "{out}");
         assert!(out.contains("\"summaries\":{"), "{out}");
@@ -998,6 +1074,44 @@ mod tests {
         assert_eq!(e.code, 1);
         assert!(e.msg.contains("work_units drifted"), "{}", e.msg);
         assert!(run(&["bench", "extra-positional"]).is_err());
+    }
+
+    #[test]
+    fn next_bench_path_appends_after_the_highest_index() {
+        let dir = std::env::temp_dir().join("vds-cli-bench-numbering");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        assert_eq!(next_bench_path_in(&dir), "BENCH_1.json");
+        // a gap below the maximum must NOT be filled — that would
+        // renumber the trajectory's history
+        for name in ["BENCH_1.json", "BENCH_3.json", "BENCH_x.json", "other"] {
+            std::fs::write(dir.join(name), "{}").unwrap();
+        }
+        assert_eq!(next_bench_path_in(&dir), "BENCH_4.json");
+    }
+
+    #[test]
+    fn duplex_journal_flag_writes_a_replayable_journal() {
+        let dir = std::env::temp_dir().join("vds-cli-journal");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.journal.jsonl");
+        let p = path.to_str().unwrap();
+        let out = run(&["duplex", "smt-det", "12", "4", "--journal", p]).unwrap();
+        assert!(out.contains("journal ("), "{out}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let j = vds_obs::Journal::from_jsonl(&text).unwrap();
+        let h = j.header().expect("header present");
+        assert_eq!(
+            (h.backend.as_str(), h.scheme.as_str()),
+            ("micro", "smt-det")
+        );
+        assert_eq!(h.meta("fault"), Some("transient:mem:4:9"));
+        assert_eq!(h.meta("fault_round"), Some("4"));
+        assert_eq!(h.meta("fault_victim"), Some("v2"));
+        assert_eq!(j.divergences(), 1);
+        // byte-identical on a re-run (the determinism contract)
+        run(&["duplex", "smt-det", "12", "4", "--journal", p]).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), text);
     }
 
     #[test]

@@ -13,10 +13,11 @@
 //! are byte-identical to a serverless run of the same campaign.
 
 use crate::{write_metrics, CliError, Flags};
+use std::fmt::Write as _;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
-use vds_fault::campaign::{run_campaign_recorded_monitored, HubMonitor, LOGICAL_SHARDS};
+use vds_fault::campaign::{run_campaign_journaled, HubMonitor, LOGICAL_SHARDS};
 use vds_obs::{log_info, TelemetryHub, TelemetryServer};
 
 /// SIGINT/SIGTERM handling without any dependency: a raw `signal(2)`
@@ -106,7 +107,7 @@ fn serve(opts: &ServeOpts, f: &Flags) -> Result<String, CliError> {
     }
     log_info!(
         "serve",
-        "listening on http://{bound} — /metrics /healthz /readyz /trace /progress"
+        "listening on http://{bound} — /metrics /healthz /readyz /trace /progress /journal"
     );
 
     hub.begin_campaign(
@@ -117,14 +118,20 @@ fn serve(opts: &ServeOpts, f: &Flags) -> Result<String, CliError> {
     hub.mark_ready();
     let monitor = HubMonitor::new(Arc::clone(&hub));
     let (base_seed, target_rounds) = (opts.seed, opts.target_rounds);
-    let (report, rec) =
-        run_campaign_recorded_monitored("serve", opts.trials, opts.workers, &monitor, |i, rec| {
-            vds_bench::live::campaign_trial(i, base_seed, target_rounds, rec)
-        });
+    let header = vds_bench::live::campaign_journal_header(opts.trials, base_seed, target_rounds);
+    let (report, rec) = run_campaign_journaled(
+        "serve",
+        opts.trials,
+        opts.workers,
+        Some(&monitor),
+        &header,
+        |i, rec| vds_bench::live::campaign_trial(i, base_seed, target_rounds, rec),
+    );
     // swap the completion-ordered live view for the canonical
     // shard-ordered result: /metrics is byte-stable from here on
     hub.replace_registry(rec.registry().clone());
     hub.publish_spans(rec.spans());
+    hub.publish_journal(rec.journal());
     hub.mark_done();
     log_info!(
         "serve",
@@ -141,6 +148,15 @@ fn serve(opts: &ServeOpts, f: &Flags) -> Result<String, CliError> {
             Some(rec.trace()),
             Some(rec.spans()),
         )?);
+    }
+    if let Some(path) = &f.journal {
+        std::fs::write(path, rec.journal().to_jsonl())
+            .map_err(|e| CliError::runtime(format!("cannot write `{path}`: {e}")))?;
+        let _ = writeln!(
+            out,
+            "journal ({} rounds) written to {path} — replay with `vds replay {path}`",
+            rec.journal().len()
+        );
     }
     if !opts.once {
         log_info!("serve", "serving until SIGINT/SIGTERM (Ctrl-C to stop)");

@@ -9,7 +9,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use vds_fault::campaign::{
-    run_campaign_recorded_as, run_campaign_recorded_monitored, HubMonitor, LOGICAL_SHARDS,
+    run_campaign_journaled, run_campaign_recorded_as, run_campaign_recorded_monitored, HubMonitor,
+    LOGICAL_SHARDS,
 };
 use vds_obs::{TelemetryHub, TelemetryServer};
 
@@ -117,9 +118,12 @@ fn endpoints_serve_live_campaign_state_and_stable_metrics() {
     let addr = server.local_addr();
 
     let monitor = HubMonitor::new(Arc::clone(&hub));
-    let (_, rec) = run_campaign_recorded_monitored("serve", TRIALS, 2, &monitor, campaign_trial);
+    let header = vds_bench::live::campaign_journal_header(TRIALS, 42, 30);
+    let (_, rec) =
+        run_campaign_journaled("serve", TRIALS, 2, Some(&monitor), &header, campaign_trial);
     hub.replace_registry(rec.registry().clone());
     hub.publish_spans(rec.spans());
+    hub.publish_journal(rec.journal());
     hub.mark_done();
 
     let (status, metrics) = get(addr, "/metrics");
@@ -131,6 +135,7 @@ fn endpoints_serve_live_campaign_state_and_stable_metrics() {
     );
     assert!(metrics.contains("vds_detections_total"), "{metrics}");
     assert!(metrics.contains("smt_thread0_utilization"), "{metrics}");
+    assert!(metrics.contains("journal_rounds_total"), "{metrics}");
 
     let (status, progress) = get(addr, "/progress");
     assert_eq!(status, 200);
@@ -140,19 +145,37 @@ fn endpoints_serve_live_campaign_state_and_stable_metrics() {
         "{progress}"
     );
     assert!(progress.contains("\"counters\":{"), "{progress}");
+    assert!(
+        progress.contains(&format!("\"journal\":{{\"rounds\":{}", rec.journal().len())),
+        "{progress}"
+    );
 
     let (status, trace) = get(addr, "/trace");
     assert_eq!(status, 200);
     assert!(trace.starts_with("{\"traceEvents\":["), "{trace}");
     assert!(trace.contains("\"name\":\"trial\""), "{trace}");
 
+    // the flight-recorder journal is served verbatim
+    let (status, journal) = get(addr, "/journal");
+    assert_eq!(status, 200);
+    assert!(
+        journal.starts_with("{\"kind\":\"journal_header\""),
+        "{journal}"
+    );
+    assert_eq!(journal, rec.journal().to_jsonl());
+
     // /metrics bytes are a pure function of the published canonical
     // registry: a re-run of the same fixed-seed campaign produces the
     // exact same exposition
-    let (_, rec2) = run_campaign_recorded_as("serve", TRIALS, 5, campaign_trial);
+    let (_, rec2) = run_campaign_journaled("serve", TRIALS, 5, None, &header, campaign_trial);
     hub.replace_registry(rec2.registry().clone());
     let (_, metrics2) = get(addr, "/metrics");
     assert_eq!(metrics, metrics2, "fixed-seed /metrics must be byte-stable");
+    assert_eq!(
+        rec.journal().to_jsonl(),
+        rec2.journal().to_jsonl(),
+        "fixed-seed journal must be byte-stable across worker counts"
+    );
 
     server.shutdown();
 }
@@ -162,7 +185,9 @@ fn serve_once_binary_lifecycle() {
     let dir = std::env::temp_dir().join("vds-serve-once-test");
     std::fs::create_dir_all(&dir).unwrap();
     let port_file = dir.join("port");
+    let journal_file = dir.join("serve.journal.jsonl");
     let _ = std::fs::remove_file(&port_file);
+    let _ = std::fs::remove_file(&journal_file);
     let child = std::process::Command::new(env!("CARGO_BIN_EXE_vds"))
         .args([
             "serve",
@@ -174,6 +199,8 @@ fn serve_once_binary_lifecycle() {
             "8",
             "--rounds",
             "10",
+            "--journal",
+            journal_file.to_str().unwrap(),
             "--once",
         ])
         .stdout(std::process::Stdio::piped())
@@ -201,6 +228,14 @@ fn serve_once_binary_lifecycle() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("trials: 8"), "{stdout}");
     assert!(stdout.contains("shut down cleanly"), "{stdout}");
+    assert!(stdout.contains("journal ("), "{stdout}");
+    // the recorded journal is a parseable flight-recorder file
+    let journal = std::fs::read_to_string(&journal_file).expect("journal file written");
+    assert!(
+        journal.starts_with("{\"kind\":\"journal_header\""),
+        "{journal}"
+    );
+    assert!(journal.contains("\"backend\":\"campaign\""), "{journal}");
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("\"component\":\"serve\""), "{stderr}");
     assert!(stderr.contains("listening on http://"), "{stderr}");

@@ -21,7 +21,8 @@ use vds_analytic::multithread::alpha_k;
 use vds_analytic::Params;
 use vds_desim::time::SimTime;
 use vds_desim::trace::{SpanKind, Timeline};
-use vds_obs::Recorder;
+use vds_obs::journal::{Action as JournalAction, RoundEntry, Verdict as JournalVerdict};
+use vds_obs::{digest_words128, Recorder};
 use vds_predictor::{FaultPredictor, Suspect};
 
 /// Configuration of an abstract VDS run.
@@ -91,6 +92,9 @@ struct Engine<'a> {
     timeline: Timeline,
     report: RunReport,
     rec: Recorder,
+    /// Flight-recorder entry for the round in flight (see the micro
+    /// engine's equivalent): finalised by [`Engine::journal_finish`].
+    pending: Option<RoundEntry>,
 }
 
 impl<'a> Engine<'a> {
@@ -111,6 +115,63 @@ impl<'a> Engine<'a> {
             timeline: Timeline::new(),
             report: RunReport::default(),
             rec,
+            pending: None,
+        }
+    }
+
+    /// Stash the flight-recorder entry for round `i`. The abstract engine
+    /// has no architectural state to hash, so per-version digests are
+    /// synthesised from the versions' logical round state (round,
+    /// committed count, corruption) — fault-free versions agree, a
+    /// corrupted version diverges, exactly like the micro digests.
+    fn journal_stash(&mut self, i: u32, verdict: JournalVerdict, fault: Option<String>) {
+        if !self.rec.journal_enabled() {
+            return;
+        }
+        let committed = self.report.committed_rounds;
+        let dig = |slot: u32, corrupt: bool| {
+            digest_words128(&[
+                i,
+                committed as u32,
+                (committed >> 32) as u32,
+                if corrupt { slot + 1 } else { 0 },
+            ])
+        };
+        let sched = if self.is_smt() {
+            "coschedule[v1,v2]"
+        } else {
+            "alternate[v1,v2]"
+        };
+        self.pending = Some(RoundEntry {
+            seq: 0,
+            lane: 0,
+            round: u64::from(i),
+            committed: 0,
+            sim_time: self.clock,
+            d1: dig(0, self.corrupt[0]),
+            d2: dig(1, self.corrupt[1]),
+            verdict,
+            sched: sched.to_string(),
+            action: JournalAction::Commit,
+            rollforward: 0,
+            fault,
+        });
+    }
+
+    /// Upgrade the pending journal entry's action.
+    fn journal_action(&mut self, action: JournalAction, rollforward: u32) {
+        if let Some(p) = self.pending.as_mut() {
+            p.action = action;
+            p.rollforward = rollforward;
+        }
+    }
+
+    /// Finalise and push the pending journal entry with the post-action
+    /// committed-round count.
+    fn journal_finish(&mut self) {
+        if let Some(mut p) = self.pending.take() {
+            p.committed = self.report.committed_rounds;
+            self.rec.journal_push(p);
         }
     }
 
@@ -217,18 +278,40 @@ impl<'a> Engine<'a> {
         }
         // fault draws: each version-round is exposed independently
         let mut stopped = false;
+        let mut drawn: Vec<Victim> = Vec::new();
         for v in [Victim::V1, Victim::V2] {
             if self.draw_fault(fm, v, i) {
                 self.report.faults_injected += 1;
                 self.corrupt[v.index()] = true;
                 stopped |= self.classify_corruption(fm, v);
+                drawn.push(v);
             }
         }
         self.span(0, p.t_cmp, SpanKind::Compare, "cmp");
         self.clock += p.t_cmp;
         self.report.time_normal += self.clock - start;
 
+        // canonical fault note for the flight recorder, e.g.
+        // `corrupt@v1`, `crash@v2`, `stop@v1+v2`
+        let fault_note = if drawn.is_empty() || !self.rec.journal_enabled() {
+            None
+        } else {
+            let kind = if stopped {
+                "stop"
+            } else if self.crash.is_some() {
+                "crash"
+            } else {
+                "corrupt"
+            };
+            let victims: Vec<String> = drawn
+                .iter()
+                .map(|v| format!("v{}", v.index() + 1))
+                .collect();
+            Some(format!("{kind}@{}", victims.join("+")))
+        };
+
         if stopped {
+            self.journal_stash(i, JournalVerdict::Hang, fault_note);
             // the whole processor stopped: all volatile state is gone;
             // only the stable-storage checkpoint survives
             self.report.processor_stops += 1;
@@ -250,12 +333,21 @@ impl<'a> Engine<'a> {
             if self.consecutive_rollbacks > self.cfg.max_consecutive_rollbacks {
                 self.report.shutdown = true;
                 self.rec.event(self.clock, "vds", "shutdown", vec![]);
+                self.journal_action(JournalAction::Shutdown, 0);
+            } else {
+                self.journal_action(JournalAction::Rollback, 0);
             }
             return None;
         }
 
         if self.corrupt[0] || self.corrupt[1] || self.crash.is_some() {
             self.report.detections += 1;
+            let verdict = if self.crash.is_some() {
+                JournalVerdict::Trap
+            } else {
+                JournalVerdict::Mismatch
+            };
+            self.journal_stash(i, verdict, fault_note);
             self.rec.event(
                 self.clock,
                 "vds",
@@ -272,6 +364,7 @@ impl<'a> Engine<'a> {
             self.round_in_interval = i;
             self.report.committed_rounds += 1;
             self.consecutive_rollbacks = 0;
+            self.journal_stash(i, JournalVerdict::Match, fault_note);
             self.rec.event(
                 self.clock,
                 "vds",
@@ -437,6 +530,7 @@ impl<'a> Engine<'a> {
             self.corrupt = [false, false];
             self.crash = None;
             self.consecutive_rollbacks = 0;
+            self.journal_action(JournalAction::Recover, progress);
             self.rec.event(
                 self.clock,
                 "vds",
@@ -476,6 +570,9 @@ impl<'a> Engine<'a> {
             if self.consecutive_rollbacks > self.cfg.max_consecutive_rollbacks {
                 self.report.shutdown = true;
                 self.rec.event(self.clock, "vds", "shutdown", vec![]);
+                self.journal_action(JournalAction::Shutdown, 0);
+            } else {
+                self.journal_action(JournalAction::Rollback, 0);
             }
         }
         self.report.time_recovery += self.clock - start;
@@ -510,6 +607,19 @@ pub fn run_recorded(
     seed: u64,
 ) -> (RunReport, Recorder) {
     run_engine(cfg, fault_model, target_rounds, seed, None, Recorder::new())
+}
+
+/// [`run`], with a caller-supplied [`Recorder`] (which may have the
+/// flight-recorder journal enabled — every executed round is then
+/// journalled with synthetic per-version digests).
+pub fn run_with_recorder(
+    cfg: &AbstractConfig,
+    fault_model: FaultModel,
+    target_rounds: u64,
+    seed: u64,
+    rec: Recorder,
+) -> (RunReport, Recorder) {
+    run_engine(cfg, fault_model, target_rounds, seed, None, rec)
 }
 
 /// [`run`], with an optional fault-version predictor supplying the picks
@@ -560,12 +670,14 @@ fn run_engine(
             None => {
                 if e.round_in_interval >= cfg.params.s {
                     e.take_checkpoint();
+                    e.journal_action(JournalAction::Checkpoint, 0);
                 }
             }
             Some(i) => {
                 e.recover(i, &fault_model, &mut predictor);
             }
         }
+        e.journal_finish();
     }
     e.report.total_time = e.clock;
     let mut rec = e.rec;
@@ -950,5 +1062,70 @@ mod tests {
         assert_eq!(a.total_time, b.total_time);
         assert_eq!(a.faults_injected, b.faults_injected);
         assert_eq!(a.rollforward_hits, b.rollforward_hits);
+    }
+
+    #[test]
+    fn journaled_run_records_every_executed_round() {
+        use vds_obs::journal::JournalHeader;
+        let c = cfg(Scheme::SmtProbabilistic);
+        let fm = FaultModel::PerRound { q: 0.05 };
+        let journaled = || {
+            let mut rec = Recorder::new();
+            rec.enable_journal(JournalHeader::new(
+                "abstract",
+                Scheme::SmtProbabilistic.name(),
+                5,
+                c.params.s,
+                200,
+            ));
+            run_with_recorder(&c, fm, 200, 5, rec)
+        };
+        let (r, rec) = journaled();
+        let j = rec.journal();
+        assert!(r.detections > 0, "fixture must exercise recovery: {r}");
+        assert!(!j.is_empty());
+        // every executed round got exactly one entry; committed counts only
+        // drop across rollbacks, and the last one matches the report
+        let mut last_committed = 0;
+        for e in j.entries() {
+            if e.committed < last_committed {
+                assert!(
+                    matches!(e.action, JournalAction::Rollback | JournalAction::Shutdown),
+                    "{e:?}"
+                );
+            }
+            last_committed = e.committed;
+            assert_eq!(e.lane, 0);
+        }
+        assert_eq!(last_committed, r.committed_rounds);
+        assert_eq!(j.divergences(), r.detections + r.processor_stops);
+        // a fault-free matching round has agreeing synthetic digests; a
+        // mismatch entry has diverging ones
+        let clean = j
+            .entries()
+            .iter()
+            .find(|e| e.verdict == JournalVerdict::Match)
+            .unwrap();
+        assert_eq!(clean.d1, clean.d2);
+        let bad = j
+            .entries()
+            .iter()
+            .find(|e| e.verdict == JournalVerdict::Mismatch)
+            .unwrap();
+        assert_ne!(bad.d1, bad.d2);
+        assert!(bad.fault.is_some());
+        assert!(matches!(
+            bad.action,
+            JournalAction::Recover | JournalAction::Rollback
+        ));
+        // byte-identical across runs, and round-trips through JSONL
+        let (_, rec2) = journaled();
+        assert_eq!(j.to_jsonl(), rec2.journal().to_jsonl());
+        let parsed = vds_obs::Journal::from_jsonl(&j.to_jsonl()).unwrap();
+        assert_eq!(&parsed, j);
+        assert!(parsed.first_divergence(rec2.journal()).is_none());
+        // disabled journal stays empty
+        let (_, plain) = run_recorded(&c, fm, 200, 5);
+        assert!(plain.journal().is_empty());
     }
 }

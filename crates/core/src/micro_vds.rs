@@ -36,6 +36,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng as _, SeedableRng};
 use vds_checkpoint::digest::digest_words;
 use vds_fault::model::FaultKind;
+use vds_obs::journal::{Action as JournalAction, RoundEntry, Verdict as JournalVerdict};
 use vds_obs::Recorder;
 use vds_sched::{Machine, ProcId, ProcOutcome};
 use vds_smtsim::core::{CoreConfig, SavedContext, ThreadId, ThreadState};
@@ -140,6 +141,12 @@ struct Micro {
     trap_evidence: Option<usize>,
     report: RunReport,
     rec: Recorder,
+    /// Flight-recorder entry for the round in flight; the action and
+    /// committed count are finalised by [`Micro::journal_finish`] once the
+    /// engine loop has decided what to do with the round.
+    pending: Option<RoundEntry>,
+    /// Canonical spec of the fault injected this round, if any.
+    injected_spec: Option<String>,
 }
 
 #[derive(Debug, Clone)]
@@ -198,6 +205,8 @@ impl Micro {
             trap_evidence: None,
             report: RunReport::default(),
             rec,
+            pending: None,
+            injected_spec: None,
         }
     }
 
@@ -241,6 +250,13 @@ impl Micro {
         self.fault_pending = false;
         self.report.faults_injected += 1;
         let version = self.active[f.victim.index()];
+        if self.rec.journal_enabled() {
+            self.injected_spec = Some(format!(
+                "{}@v{}",
+                f.kind.spec_string(),
+                f.victim.index() + 1
+            ));
+        }
         vds_fault::inject::inject(&mut self.m, self.procs[version], &f.kind);
         let t = self.m.cycles() as f64;
         self.rec.event(
@@ -249,6 +265,56 @@ impl Micro {
             "fault_injected",
             vec![("round", i.into()), ("version", version.into())],
         );
+    }
+
+    /// Stash the flight-recorder entry for round `i`: digests of both
+    /// active versions at the comparison point, the comparator verdict and
+    /// the scheduler decision. The action defaults to `commit`; the engine
+    /// loop (or recovery) upgrades it before [`Micro::journal_finish`].
+    fn journal_stash(&mut self, i: u32, sim_time: f64, verdict: JournalVerdict) {
+        if !self.rec.journal_enabled() {
+            return;
+        }
+        let (a, b) = (self.active[0], self.active[1]);
+        let d1 = Self::window_digest(&self.dmem_of(a));
+        let d2 = Self::window_digest(&self.dmem_of(b));
+        let sched = if self.cfg.scheme == Scheme::Conventional {
+            format!("alternate[v{},v{}]", a + 1, b + 1)
+        } else {
+            format!("coschedule[v{},v{}]", a + 1, b + 1)
+        };
+        self.pending = Some(RoundEntry {
+            seq: 0,
+            lane: 0,
+            round: u64::from(i),
+            committed: 0,
+            sim_time,
+            d1,
+            d2,
+            verdict,
+            sched,
+            action: JournalAction::Commit,
+            rollforward: 0,
+            fault: self.injected_spec.take(),
+        });
+    }
+
+    /// Upgrade the pending journal entry's action (checkpoint, recovery,
+    /// rollback, shutdown).
+    fn journal_action(&mut self, action: JournalAction, rollforward: u32) {
+        if let Some(p) = self.pending.as_mut() {
+            p.action = action;
+            p.rollforward = rollforward;
+        }
+    }
+
+    /// Finalise and push the pending journal entry with the post-action
+    /// committed-round count.
+    fn journal_finish(&mut self) {
+        if let Some(mut p) = self.pending.take() {
+            p.committed = self.report.committed_rounds;
+            self.rec.journal_push(p);
+        }
     }
 
     /// Run one normal round of the active pair. Returns `Some(i)` on a
@@ -335,6 +401,12 @@ impl Micro {
         self.rec.end_span(cmp_g, t);
         if self.trap_evidence.is_some() || !hung.is_empty() {
             self.report.detections += 1;
+            let verdict = if hung.is_empty() {
+                JournalVerdict::Trap
+            } else {
+                JournalVerdict::Hang
+            };
+            self.journal_stash(i, t, verdict);
             self.rec.event(
                 t,
                 "micro",
@@ -352,6 +424,7 @@ impl Micro {
         let db = Self::window_digest(&self.dmem_of(b));
         if da != db {
             self.report.detections += 1;
+            self.journal_stash(i, t, JournalVerdict::Mismatch);
             self.rec.event(
                 t,
                 "micro",
@@ -367,6 +440,7 @@ impl Micro {
         } else {
             self.rounds_since = i;
             self.report.committed_rounds += 1;
+            self.journal_stash(i, t, JournalVerdict::Match);
             self.rec.event(
                 t,
                 "micro",
@@ -763,6 +837,7 @@ impl Micro {
                 }
                 self.rounds_since = i + progress;
                 self.report.committed_rounds += 1 + u64::from(progress);
+                self.journal_action(JournalAction::Recover, progress);
                 let t = self.m.cycles() as f64;
                 self.rec.event(
                     t,
@@ -780,6 +855,7 @@ impl Micro {
             }
             None => {
                 // three differing states: resort to rollback
+                self.journal_action(JournalAction::Rollback, 0);
                 self.report.rollbacks += 1;
                 self.report.committed_rounds = self
                     .report
@@ -882,6 +958,7 @@ fn run_micro_engine(
             None => {
                 if e.rounds_since >= cfg.s {
                     e.take_checkpoint();
+                    e.journal_action(JournalAction::Checkpoint, 0);
                 }
             }
             Some(i) => e.recover(i),
@@ -895,9 +972,12 @@ fn run_micro_engine(
                 e.report.shutdown = true;
                 let t = e.m.cycles() as f64;
                 e.rec.event(t, "micro", "shutdown", vec![]);
+                e.journal_action(JournalAction::Shutdown, 0);
+                e.journal_finish();
                 break;
             }
         }
+        e.journal_finish();
     }
     e.report.total_time = e.m.cycles() as f64;
     let img = e.dmem_of(e.active[0]);
@@ -1161,6 +1241,60 @@ mod tests {
         assert_eq!(rec.spans().to_folded(), rec2.spans().to_folded());
         assert!(reg.summary("span.micro.round.total").is_some());
         assert!(reg.summary("span.micro.compare.self").is_some());
+    }
+
+    #[test]
+    fn journaled_micro_run_records_every_round() {
+        use vds_obs::{Journal, JournalHeader};
+        let cfg = MicroConfig::new(Scheme::SmtProbabilistic, 10);
+        let run = || {
+            let mut rec = Recorder::new();
+            rec.enable_journal(
+                JournalHeader::new("micro", cfg.scheme.name(), cfg.seed, cfg.s, 15)
+                    .with_meta("fault", "transient:mem:4:7@v2"),
+            );
+            run_micro_with_recorder(&cfg, Some(fault_mem(4, Victim::V2)), 15, rec)
+        };
+        let (r, _, rec) = run();
+        let j = rec.journal();
+        assert!(j.is_enabled());
+        // one entry per executed round; a successful recovery commits
+        // 1 + rollforward rounds in its single entry, so with no
+        // rollbacks: executed rounds = committed − salvaged progress
+        let salvaged: u64 = j.entries().iter().map(|e| u64::from(e.rollforward)).sum();
+        assert_eq!(r.rollbacks, 0, "{r}");
+        assert_eq!(j.len() as u64 + salvaged, r.committed_rounds);
+        assert_eq!(j.divergences(), r.detections);
+        assert_eq!(j.entries().last().unwrap().committed, r.committed_rounds);
+        assert_eq!(r.committed_rounds, 15);
+        // the injected fault is stamped on exactly one entry
+        let faults: Vec<_> = j.entries().iter().filter_map(|e| e.fault.clone()).collect();
+        assert_eq!(faults, vec!["transient:mem:4:7@v2".to_string()]);
+        // the detection round carries a non-commit action
+        let detect = j
+            .entries()
+            .iter()
+            .find(|e| e.verdict != JournalVerdict::Match)
+            .expect("detection entry");
+        assert_eq!(detect.round, 4);
+        assert_ne!(detect.d1, detect.d2);
+        assert!(matches!(
+            detect.action,
+            JournalAction::Recover | JournalAction::Rollback
+        ));
+        // checkpoints show up as actions on interval boundaries
+        assert!(j
+            .entries()
+            .iter()
+            .any(|e| e.action == JournalAction::Checkpoint));
+        // byte-identical journals for a fixed seed, lossless round trip
+        let (_, _, rec2) = run();
+        assert_eq!(j.to_jsonl(), rec2.journal().to_jsonl());
+        let back = Journal::from_jsonl(&j.to_jsonl()).expect("parse");
+        assert_eq!(back.entries(), j.entries());
+        // disabled journal keeps the run journal-free
+        let (_, plain) = run_micro_recorded(&cfg, Some(fault_mem(4, Victim::V2)), 15);
+        assert!(plain.journal().is_empty());
     }
 
     #[test]

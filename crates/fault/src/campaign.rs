@@ -18,7 +18,7 @@
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use vds_obs::{Recorder, Registry, Summary, TelemetryHub};
+use vds_obs::{JournalHeader, Recorder, Registry, Summary, TelemetryHub};
 
 /// Number of logical shards a campaign is split into (capped by the
 /// trial count). Fixed so that the shard partition — and therefore the
@@ -213,6 +213,7 @@ fn run_campaign_impl<F>(
     workers: usize,
     record: bool,
     monitor: Option<&dyn CampaignMonitor>,
+    journal: Option<&JournalHeader>,
     trial: F,
 ) -> (CampaignReport, Recorder)
 where
@@ -243,6 +244,13 @@ where
                 } else {
                     Recorder::disabled()
                 };
+                if let Some(h) = journal {
+                    // trials record journal entries into the shard
+                    // recorder; shard journals concatenate in shard (=
+                    // trial) order below, so the merged journal is
+                    // worker-count invariant like everything else.
+                    rec.enable_journal(h.clone());
+                }
                 let shard_g = rec.span(component, "shard", lo as f64);
                 for i in lo..hi {
                     let trial_g = rec.span(component, "trial", i as f64);
@@ -266,6 +274,9 @@ where
     } else {
         Recorder::disabled()
     };
+    if let Some(h) = journal {
+        rec.enable_journal(h.clone());
+    }
     for (s, slot) in slots.into_iter().enumerate() {
         let (shard_report, shard_rec) = slot
             .into_inner()
@@ -288,6 +299,11 @@ where
     if record {
         report.export_metrics(&mut rec);
         rec.gauge("campaign.shards", shards as f64);
+        if journal.is_some() {
+            // only here, after the shard merge — never inside the per-run
+            // engines — so the counters are not double counted
+            rec.export_journal_metrics();
+        }
         rec.rollup_spans();
     }
     (report, rec)
@@ -300,7 +316,7 @@ pub fn run_campaign<F>(n: u64, workers: usize, trial: F) -> CampaignReport
 where
     F: Fn(u64) -> TrialResult + Sync,
 {
-    run_campaign_impl("campaign", n, workers, false, None, |i, _| trial(i)).0
+    run_campaign_impl("campaign", n, workers, false, None, None, |i, _| trial(i)).0
 }
 
 /// [`run_campaign`] with metrics: each trial may record into a shard
@@ -312,7 +328,7 @@ pub fn run_campaign_recorded<F>(n: u64, workers: usize, trial: F) -> (CampaignRe
 where
     F: Fn(u64, &mut Recorder) -> TrialResult + Sync,
 {
-    run_campaign_impl("campaign", n, workers, true, None, trial)
+    run_campaign_impl("campaign", n, workers, true, None, None, trial)
 }
 
 /// [`run_campaign_recorded`] with an explicit span component, so callers
@@ -327,7 +343,7 @@ pub fn run_campaign_recorded_as<F>(
 where
     F: Fn(u64, &mut Recorder) -> TrialResult + Sync,
 {
-    run_campaign_impl(component, n, workers, true, None, trial)
+    run_campaign_impl(component, n, workers, true, None, None, trial)
 }
 
 /// [`run_campaign_recorded`] with a [`CampaignMonitor`] tap attached:
@@ -345,7 +361,30 @@ pub fn run_campaign_recorded_monitored<F>(
 where
     F: Fn(u64, &mut Recorder) -> TrialResult + Sync,
 {
-    run_campaign_impl(component, n, workers, true, Some(monitor), trial)
+    run_campaign_impl(component, n, workers, true, Some(monitor), None, trial)
+}
+
+/// [`run_campaign_recorded_monitored`] with the flight-recorder journal
+/// enabled: every shard recorder handed to `trial` has a journal carrying
+/// a clone of `header`, so trials can journal their rounds (typically by
+/// running a journaled engine and adopting its journal under the trial
+/// index as lane). Shard journals concatenate in shard order into the
+/// returned recorder — like every other campaign output, the merged
+/// journal is **byte-identical for any worker count** — and
+/// `journal.rounds` / `journal.bytes` / `journal.divergences` are
+/// exported into the merged registry after the merge.
+pub fn run_campaign_journaled<F>(
+    component: &'static str,
+    n: u64,
+    workers: usize,
+    monitor: Option<&dyn CampaignMonitor>,
+    header: &JournalHeader,
+    trial: F,
+) -> (CampaignReport, Recorder)
+where
+    F: Fn(u64, &mut Recorder) -> TrialResult + Sync,
+{
+    run_campaign_impl(component, n, workers, true, monitor, Some(header), trial)
 }
 
 #[cfg(test)]
@@ -469,6 +508,54 @@ mod tests {
         assert!(progress.contains("\"trials_done\":200"), "{progress}");
         assert!(progress.contains("\"shards_done\":64"), "{progress}");
         assert_eq!(hub.registry_snapshot().counter("trial.custom"), 200);
+    }
+
+    #[test]
+    fn journaled_campaign_is_worker_invariant() {
+        use vds_obs::journal::{Action, RoundEntry, Verdict};
+        let trial = |i: u64, rec: &mut Recorder| {
+            assert!(rec.journal_enabled());
+            rec.journal_push(RoundEntry {
+                seq: 0,
+                lane: i,
+                round: 1,
+                committed: 1,
+                sim_time: i as f64,
+                d1: vds_obs::digest_words128(&[i as u32]),
+                d2: vds_obs::digest_words128(&[i as u32]),
+                verdict: if i.is_multiple_of(5) {
+                    Verdict::Mismatch
+                } else {
+                    Verdict::Match
+                },
+                sched: "coschedule[v1,v2]".to_string(),
+                action: Action::Commit,
+                rollforward: 0,
+                fault: None,
+            });
+            TrialResult::labelled("done")
+        };
+        let header = JournalHeader::new("campaign", "test", 1, 10, 1);
+        let (ra, reca) = run_campaign_journaled("jc", 100, 1, None, &header, trial);
+        let (rb, recb) = run_campaign_journaled("jc", 100, 4, None, &header, trial);
+        assert_eq!(ra, rb);
+        let j = reca.journal();
+        assert_eq!(j.len(), 100);
+        // entries land in trial order with gap-free seq, any worker count
+        for (k, e) in j.entries().iter().enumerate() {
+            assert_eq!(e.seq, k as u64);
+            assert_eq!(e.lane, k as u64);
+        }
+        assert_eq!(j.to_jsonl(), recb.journal().to_jsonl());
+        assert!(j.first_divergence(recb.journal()).is_none());
+        // journal metrics exported once, after the shard merge
+        assert_eq!(reca.registry().counter("journal.rounds"), 100);
+        assert_eq!(reca.registry().counter("journal.divergences"), 20);
+        assert!(reca.registry().counter("journal.bytes") > 0);
+        // unjournaled campaigns export no journal metrics
+        let (_, plain) = run_campaign_recorded(10, 2, |_, _| TrialResult::labelled("x"));
+        assert_eq!(plain.registry().counter("journal.rounds"), 0);
+        assert!(plain.journal().is_empty());
     }
 
     #[test]

@@ -53,6 +53,85 @@ impl FaultKind {
     pub fn is_transient(&self) -> bool {
         matches!(self, FaultKind::Transient(_) | FaultKind::CrashVersion)
     }
+
+    /// Canonical spec string, used in flight-recorder journal entries and
+    /// understood by [`FaultKind::parse_spec`] (and therefore by
+    /// `vds replay`): `transient:mem:<addr>:<bit>`,
+    /// `transient:reg:<reg>:<bit>`, `transient:text:<index>:<bit>`,
+    /// `permfu:<alu|mul|mem|branch>:<unit>:<bit>:<0|1>`, `crash`, `stop`.
+    pub fn spec_string(&self) -> String {
+        match self {
+            FaultKind::Transient(FaultSite::Register { reg, bit }) => {
+                format!("transient:reg:{reg}:{bit}")
+            }
+            FaultKind::Transient(FaultSite::Memory { addr, bit }) => {
+                format!("transient:mem:{addr}:{bit}")
+            }
+            FaultKind::Transient(FaultSite::Text { index, bit }) => {
+                format!("transient:text:{index}:{bit}")
+            }
+            FaultKind::PermanentFu(f) => {
+                let class = match f.class {
+                    FuClass::Alu => "alu",
+                    FuClass::MulDiv => "mul",
+                    FuClass::Mem => "mem",
+                    FuClass::Branch => "branch",
+                    FuClass::None => "none",
+                };
+                format!("permfu:{class}:{}:{}:{}", f.unit, f.bit, u8::from(f.value))
+            }
+            FaultKind::CrashVersion => "crash".to_string(),
+            FaultKind::ProcessorStop => "stop".to_string(),
+        }
+    }
+
+    /// Inverse of [`FaultKind::spec_string`].
+    pub fn parse_spec(spec: &str) -> Option<FaultKind> {
+        let parts: Vec<&str> = spec.split(':').collect();
+        match parts.as_slice() {
+            ["crash"] => Some(FaultKind::CrashVersion),
+            ["stop"] => Some(FaultKind::ProcessorStop),
+            ["transient", site, a, b] => {
+                let site = match *site {
+                    "reg" => FaultSite::Register {
+                        reg: a.parse().ok()?,
+                        bit: b.parse().ok()?,
+                    },
+                    "mem" => FaultSite::Memory {
+                        addr: a.parse().ok()?,
+                        bit: b.parse().ok()?,
+                    },
+                    "text" => FaultSite::Text {
+                        index: a.parse().ok()?,
+                        bit: b.parse().ok()?,
+                    },
+                    _ => return None,
+                };
+                Some(FaultKind::Transient(site))
+            }
+            ["permfu", class, unit, bit, value] => {
+                let class = match *class {
+                    "alu" => FuClass::Alu,
+                    "mul" => FuClass::MulDiv,
+                    "mem" => FuClass::Mem,
+                    "branch" => FuClass::Branch,
+                    "none" => FuClass::None,
+                    _ => return None,
+                };
+                Some(FaultKind::PermanentFu(FuFault {
+                    class,
+                    unit: unit.parse().ok()?,
+                    bit: bit.parse().ok()?,
+                    value: match *value {
+                        "0" => false,
+                        "1" => true,
+                        _ => return None,
+                    },
+                }))
+            }
+            _ => None,
+        }
+    }
 }
 
 /// Sample a random transient site within a version whose address space
@@ -159,6 +238,29 @@ mod tests {
             }
             assert!(f.bit < 32);
         }
+    }
+
+    #[test]
+    fn fault_spec_round_trips() {
+        let kinds = [
+            FaultKind::Transient(FaultSite::Register { reg: 5, bit: 3 }),
+            FaultKind::Transient(FaultSite::Memory { addr: 4, bit: 9 }),
+            FaultKind::Transient(FaultSite::Text { index: 12, bit: 27 }),
+            FaultKind::PermanentFu(FuFault {
+                class: FuClass::MulDiv,
+                unit: 0,
+                bit: 7,
+                value: true,
+            }),
+            FaultKind::CrashVersion,
+            FaultKind::ProcessorStop,
+        ];
+        for k in kinds {
+            let spec = k.spec_string();
+            assert_eq!(FaultKind::parse_spec(&spec), Some(k), "{spec}");
+        }
+        assert_eq!(FaultKind::parse_spec("transient:mem:4:9@v2"), None);
+        assert_eq!(FaultKind::parse_spec("bogus"), None);
     }
 
     #[test]

@@ -21,6 +21,11 @@
 //!   Perfetto/`chrome://tracing`), folded stacks for flamegraph tools
 //!   ([`SpanSet::to_folded`]), and per-phase self/total rollups into the
 //!   registry ([`SpanSet::rollup_into`]).
+//! * [`Journal`] — the execution flight recorder: one schema-versioned
+//!   entry per simulated round (per-version state digests, comparator
+//!   verdict, scheduler decision, recovery action, injected fault), with
+//!   a JSONL codec and a binary-search first-divergence diff
+//!   ([`Journal::first_divergence`]) behind `vds replay` / `vds audit`.
 //! * [`Recorder`] — the handle instrumented code accepts; a disabled
 //!   recorder costs one branch per call.
 //!
@@ -32,9 +37,10 @@
 //! `--log-level`).
 //!
 //! **Determinism contract:** for a fixed seed, the content of a
-//! recorder's registry, trace and spans — and therefore the bytes of
-//! [`Registry::to_csv`] / [`Registry::to_jsonl`] / [`Trace::to_jsonl`] /
-//! [`SpanSet::to_chrome_json`] / [`SpanSet::to_folded`] — are identical
+//! recorder's registry, trace, spans and journal — and therefore the
+//! bytes of [`Registry::to_csv`] / [`Registry::to_jsonl`] /
+//! [`Trace::to_jsonl`] / [`SpanSet::to_chrome_json`] /
+//! [`SpanSet::to_folded`] / [`Journal::to_jsonl`] — are identical
 //! across runs and across worker counts, provided parallel shards are
 //! merged in a fixed order (see `vds-fault`'s logical shards). Host
 //! wall-clock timings are the one exception, which is why they are
@@ -52,6 +58,7 @@
 //! assert!(csv.contains("counter,core.rounds.committed,value,1"));
 //! ```
 
+pub mod journal;
 pub mod logging;
 pub mod prom;
 pub mod recorder;
@@ -61,6 +68,10 @@ pub mod span;
 pub mod summary;
 pub mod trace;
 
+pub use journal::{
+    digest_words128, Action, Digest128, Digester128, Divergence, Journal, JournalHeader,
+    RoundEntry, Verdict, JOURNAL_SCHEMA,
+};
 pub use logging::Level;
 pub use recorder::{Recorder, Stopwatch, DEFAULT_TRACE_CAPACITY};
 pub use registry::Registry;

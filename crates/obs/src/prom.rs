@@ -354,7 +354,30 @@ mod tests {
             r.observe("vds.recovery_time", v);
         }
         r.merge_summary("never.observed", &Summary::new());
+        // the flight-recorder journal block, exactly as a journaled run
+        // exports it (crate::journal::Journal::export_metrics)
+        let mut j =
+            crate::Journal::enabled(crate::JournalHeader::new("micro", "smt-prob", 1, 10, 2));
+        j.push(crate::RoundEntry {
+            seq: 0,
+            lane: 0,
+            round: 1,
+            committed: 1,
+            sim_time: 0.5,
+            d1: crate::digest_words128(&[1]),
+            d2: crate::digest_words128(&[2]),
+            verdict: crate::journal::Verdict::Mismatch,
+            sched: "coschedule[v1,v2]".to_string(),
+            action: crate::journal::Action::Recover,
+            rollforward: 2,
+            fault: Some("transient:mem:4:9@v2".to_string()),
+        });
+        j.export_metrics(&mut r);
         let got = render(&r);
+        assert!(got.contains("journal_rounds_total 1"), "{got}");
+        assert!(got.contains("journal_divergences_total 1"), "{got}");
+        assert!(got.contains("# TYPE journal_bytes_total counter"), "{got}");
+        assert!(got.contains("journal_last_divergence_round 1"), "{got}");
         assert_well_formed(&got);
         let path = concat!(
             env!("CARGO_MANIFEST_DIR"),

@@ -8,6 +8,7 @@
 //! merges them in a fixed order, which keeps content deterministic for a
 //! fixed seed regardless of worker count.
 
+use crate::journal::{Journal, JournalHeader, RoundEntry};
 use crate::registry::Registry;
 use crate::span::{SpanGuard, SpanRecord, SpanSet};
 use crate::trace::{Record, Trace, Value};
@@ -16,13 +17,14 @@ use std::time::Instant;
 /// Default trace capacity for enabled recorders.
 pub const DEFAULT_TRACE_CAPACITY: usize = 4096;
 
-/// Metrics + trace + span sink handed through the stack.
+/// Metrics + trace + span + journal sink handed through the stack.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Recorder {
     enabled: bool,
     registry: Registry,
     trace: Trace,
     spans: SpanSet,
+    journal: Journal,
 }
 
 impl Recorder {
@@ -45,6 +47,7 @@ impl Recorder {
             registry: Registry::new(),
             trace: Trace::with_capacity(trace_capacity),
             spans: SpanSet::with_capacity(span_capacity),
+            journal: Journal::disabled(),
         }
     }
 
@@ -55,6 +58,7 @@ impl Recorder {
             registry: Registry::new(),
             trace: Trace::with_capacity(0),
             spans: SpanSet::with_capacity(0),
+            journal: Journal::disabled(),
         }
     }
 
@@ -205,19 +209,67 @@ impl Recorder {
         &self.trace
     }
 
+    /// Turn on the execution flight recorder for this recorder's run.
+    /// No-op on a disabled recorder.
+    pub fn enable_journal(&mut self, header: JournalHeader) {
+        if self.enabled {
+            self.journal = Journal::enabled(header);
+        }
+    }
+
+    /// Whether journal entries are being kept.
+    pub fn journal_enabled(&self) -> bool {
+        self.enabled && self.journal.is_enabled()
+    }
+
+    /// Append one round entry to the journal (dropped unless
+    /// [`Recorder::enable_journal`] was called).
+    pub fn journal_push(&mut self, entry: RoundEntry) {
+        if self.enabled {
+            self.journal.push(entry);
+        }
+    }
+
+    /// Read access to the flight-recorder journal.
+    pub fn journal(&self) -> &Journal {
+        &self.journal
+    }
+
+    /// Adopt another journal's entries under campaign lane `lane`
+    /// (no-op unless this recorder's journal is enabled).
+    pub fn adopt_journal(&mut self, other: &Journal, lane: u64) {
+        if self.enabled {
+            self.journal.adopt(other, lane);
+        }
+    }
+
+    /// Fold `journal.rounds` / `journal.bytes` / `journal.divergences`
+    /// (and the last-divergence gauge) into this recorder's registry.
+    /// Call once at the top level, after shard merging, so the counters
+    /// are not double counted.
+    pub fn export_journal_metrics(&mut self) {
+        if self.enabled {
+            let journal = std::mem::take(&mut self.journal);
+            journal.export_metrics(&mut self.registry);
+            self.journal = journal;
+        }
+    }
+
     /// Consume the recorder, returning its registry, trace and spans.
     pub fn into_parts(self) -> (Registry, Trace, SpanSet) {
         (self.registry, self.trace, self.spans)
     }
 
     /// Merge another recorder's content into this one (counters add,
-    /// gauges max, summaries merge, traces and spans concatenate). Merge
-    /// shards in a fixed order for bit-reproducibility.
+    /// gauges max, summaries merge, traces/spans/journal entries
+    /// concatenate). Merge shards in a fixed order for
+    /// bit-reproducibility.
     pub fn merge(&mut self, other: &Recorder) {
         if self.enabled {
             self.registry.merge(&other.registry);
             self.trace.extend_from(&other.trace);
             self.spans.extend_from(&other.spans);
+            self.journal.extend_from(&other.journal);
         }
     }
 

@@ -22,6 +22,7 @@
 //! test. Wall-clock (`elapsed_secs`, `work_units_per_sec`) appears only
 //! in `/progress`, quarantined exactly like the registry's host section.
 
+use crate::journal::Journal;
 use crate::prom;
 use crate::registry::{json_escape, Registry};
 use crate::span::SpanSet;
@@ -36,6 +37,8 @@ struct HubState {
     phase: String,
     registry: Registry,
     trace_json: String,
+    journal_jsonl: String,
+    journal_summary: String,
 }
 
 /// The publisher/reader rendezvous: campaigns merge snapshots in,
@@ -67,6 +70,8 @@ impl TelemetryHub {
                 phase: "idle".to_string(),
                 registry: Registry::new(),
                 trace_json: SpanSet::default().to_chrome_json(),
+                journal_jsonl: String::new(),
+                journal_summary: Journal::default().summary_json(),
             }),
         })
     }
@@ -140,6 +145,26 @@ impl TelemetryHub {
             .trace_json = spans.to_chrome_json();
     }
 
+    /// Publish a flight-recorder journal: `/journal` serves its JSONL
+    /// rendering, and `/progress` carries its summary block. Like every
+    /// other hub publication this is a copy — scraping it cannot perturb
+    /// the recording.
+    pub fn publish_journal(&self, journal: &Journal) {
+        let mut st = self.state.write().unwrap_or_else(|e| e.into_inner());
+        st.journal_jsonl = journal.to_jsonl();
+        st.journal_summary = journal.summary_json();
+    }
+
+    /// The `/journal` body: JSONL of the last published journal (empty
+    /// until one is published).
+    pub fn journal_jsonl(&self) -> String {
+        self.state
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .journal_jsonl
+            .clone()
+    }
+
     /// A copy of the current registry snapshot.
     pub fn registry_snapshot(&self) -> Registry {
         self.state
@@ -191,7 +216,7 @@ impl TelemetryHub {
         format!(
             "{{\"phase\":\"{}\",\"ready\":{},\"done\":{},\"elapsed_secs\":{:.3},\
              \"trials_done\":{},\"trials_total\":{},\"shards_done\":{},\"shards_total\":{},\
-             \"work_units\":{},\"work_units_per_sec\":{:.3},\"metrics\":{}}}",
+             \"work_units\":{},\"work_units_per_sec\":{:.3},\"journal\":{},\"metrics\":{}}}",
             json_escape(&st.phase),
             self.is_ready(),
             self.is_done(),
@@ -202,6 +227,7 @@ impl TelemetryHub {
             self.shards_total.load(Ordering::Relaxed),
             work_units,
             rate,
+            st.journal_summary,
             st.registry.to_json_object()
         )
     }
@@ -282,7 +308,8 @@ const INDEX: &str = "vds telemetry\n\
                      GET /healthz   liveness\n\
                      GET /readyz    readiness\n\
                      GET /trace     Chrome trace-event JSON (open in ui.perfetto.dev)\n\
-                     GET /progress  campaign progress JSON\n";
+                     GET /progress  campaign progress JSON\n\
+                     GET /journal   flight-recorder journal (JSONL; for `vds replay` / `vds audit diff`)\n";
 
 fn handle_conn(mut stream: TcpStream, hub: &TelemetryHub) {
     // Accepted sockets do not reliably inherit blocking mode.
@@ -342,6 +369,7 @@ fn route(method: &str, path: &str, hub: &TelemetryHub) -> (u16, &'static str, St
         }
         "/trace" => (200, JSON, hub.trace_json()),
         "/progress" => (200, JSON, hub.progress_json()),
+        "/journal" => (200, TEXT, hub.journal_jsonl()),
         "/" => (200, TEXT, INDEX.to_string()),
         _ => (404, TEXT, "not found\n".to_string()),
     }
@@ -412,6 +440,38 @@ mod tests {
             body.contains("\"counters\":{\"vds.detections\":3}"),
             "{body}"
         );
+        // journal block present even before a journal is published
+        assert!(
+            body.contains(
+                "\"journal\":{\"rounds\":0,\"bytes\":0,\"divergences\":0,\"last_divergence\":null}"
+            ),
+            "{body}"
+        );
+
+        // /journal is empty until published, then serves the JSONL
+        let (st, body) = get(addr, "/journal");
+        assert_eq!((st, body.as_str()), (200, ""));
+        let mut j = Journal::enabled(crate::JournalHeader::new("micro", "smt-prob", 1, 10, 2));
+        j.push(crate::RoundEntry {
+            seq: 0,
+            lane: 0,
+            round: 1,
+            committed: 1,
+            sim_time: 0.5,
+            d1: crate::digest_words128(&[1]),
+            d2: crate::digest_words128(&[1]),
+            verdict: crate::journal::Verdict::Match,
+            sched: "coschedule[v1,v2]".to_string(),
+            action: crate::journal::Action::Commit,
+            rollforward: 0,
+            fault: None,
+        });
+        hub.publish_journal(&j);
+        let (st, body) = get(addr, "/journal");
+        assert_eq!(st, 200);
+        assert_eq!(body, j.to_jsonl());
+        let (_, body) = get(addr, "/progress");
+        assert!(body.contains("\"journal\":{\"rounds\":1,"), "{body}");
 
         let (st, body) = get(addr, "/trace");
         assert_eq!(st, 200);

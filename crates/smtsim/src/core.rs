@@ -250,6 +250,21 @@ impl Thread {
             ThreadState::Ready | ThreadState::StalledUntil(_)
         )
     }
+
+    /// 128-bit digest of the thread's architectural state (registers, pc,
+    /// data memory) — the same quantity a VDS comparison round hashes, in
+    /// canonical order. Micro-architectural state (caches, predictor,
+    /// counters) is deliberately excluded: two contexts that agree
+    /// architecturally must digest equal even if they took different
+    /// timing paths. Used by the checkpoint layer and the flight-recorder
+    /// journal.
+    pub fn state_digest(&self) -> vds_obs::Digest128 {
+        let mut d = vds_obs::Digester128::new();
+        d.push_words(&self.regs);
+        d.push_word(self.pc);
+        d.push_words(&self.dmem);
+        d.finish()
+    }
 }
 
 /// Saved architectural state for OS-level context switching
@@ -902,6 +917,29 @@ mod tests {
             "#,
         );
         assert_eq!(core.thread(ThreadId(0)).regs[3], 42);
+    }
+
+    #[test]
+    fn state_digest_reflects_architectural_state_only() {
+        let a = run_program("addi r1, r0, 6\nhalt\n");
+        let b = run_program("addi r1, r0, 6\nhalt\n");
+        assert_eq!(
+            a.thread(ThreadId(0)).state_digest(),
+            b.thread(ThreadId(0)).state_digest()
+        );
+        let c = run_program("addi r1, r0, 7\nhalt\n");
+        assert_ne!(
+            a.thread(ThreadId(0)).state_digest(),
+            c.thread(ThreadId(0)).state_digest()
+        );
+        // micro-architectural divergence (counters) must not affect it
+        let mut d = run_program("addi r1, r0, 6\nhalt\n");
+        let t = d.thread_mut(ThreadId(0));
+        t.counters = ThreadCounters::default();
+        assert_eq!(
+            a.thread(ThreadId(0)).state_digest(),
+            d.thread(ThreadId(0)).state_digest()
+        );
     }
 
     #[test]
