@@ -1,6 +1,6 @@
 //! # vds-bench — the figure-regeneration harness
 //!
-//! One module per experiment in DESIGN.md's index (E1–E13), each built
+//! One module per experiment in DESIGN.md's index (E1–E16), each built
 //! around a `report()` function that regenerates the corresponding paper
 //! artefact (equation curve, figure surface, timeline, flow chart) and
 //! returns it as printable text plus machine-readable CSV/TSV blocks.
@@ -22,6 +22,8 @@
 //! | [`e12_checkpoint`] | §2.2 interval trade-off |
 //! | [`e13_multithread`] | §5 boosted variants + clock scaling |
 //! | [`e14_ablation`] | design-choice ablations (fetch policy, cache, diversity) |
+//! | [`e15_alpha_sweep`] | sweep-backed α-sensitivity of measured G_round |
+//! | [`e16_heatmap`] | sweep-backed s × scheme heatmap under faults |
 
 pub mod e01_round_gain;
 pub mod e02_timelines;
@@ -37,6 +39,8 @@ pub mod e11_prediction;
 pub mod e12_checkpoint;
 pub mod e13_multithread;
 pub mod e14_ablation;
+pub mod e15_alpha_sweep;
+pub mod e16_heatmap;
 pub mod live;
 pub mod perf;
 pub mod registry;

@@ -163,11 +163,24 @@ experiment!(
     "Ablations — fetch policy, cache pressure, diversity transforms",
     |p| crate::e14_ablation::report(p.rounds_or(40))
 );
+experiment!(
+    E15,
+    "E15",
+    "Measured α-sensitivity of G_round (sweep-backed)",
+    |p| crate::e15_alpha_sweep::report(p.rounds_or(1_000), p.workers, p.seed.unwrap_or(1))
+);
+experiment!(
+    E16,
+    "E16",
+    "s × scheme heatmap under stochastic faults (sweep-backed)",
+    |p| crate::e16_heatmap::report(p.rounds_or(1_000), p.workers, p.seed.unwrap_or(1))
+);
 
 /// All experiments, in id order.
 pub fn registry() -> &'static [&'static dyn Experiment] {
     const REGISTRY: &[&'static dyn Experiment] = &[
-        &E01, &E02, &E03, &E04, &E05, &E06, &E07, &E08, &E09, &E10, &E11, &E12, &E13, &E14,
+        &E01, &E02, &E03, &E04, &E05, &E06, &E07, &E08, &E09, &E10, &E11, &E12, &E13, &E14, &E15,
+        &E16,
     ];
     REGISTRY
 }
@@ -190,7 +203,7 @@ mod tests {
     #[test]
     fn registry_ids_are_unique_and_ordered() {
         let ids: Vec<&str> = registry().iter().map(|e| e.id()).collect();
-        assert_eq!(ids.len(), 14);
+        assert_eq!(ids.len(), 16);
         let mut nums: Vec<u32> = ids
             .iter()
             .map(|i| i.trim_start_matches('E').parse().unwrap())
@@ -199,7 +212,7 @@ mod tests {
         nums.sort_unstable();
         assert_eq!(nums, sorted, "registry not in id order");
         nums.dedup();
-        assert_eq!(nums.len(), 14, "duplicate ids");
+        assert_eq!(nums.len(), 16, "duplicate ids");
     }
 
     #[test]
@@ -209,7 +222,9 @@ mod tests {
         }
         assert_eq!(find("e10").unwrap().id(), "E10");
         assert_eq!(find("E014").unwrap().id(), "E14");
-        assert!(find("e15").is_none());
+        assert_eq!(find("e15").unwrap().id(), "E15");
+        assert_eq!(find("E016").unwrap().id(), "E16");
+        assert!(find("e17").is_none());
         assert!(find("bogus").is_none());
     }
 

@@ -14,8 +14,9 @@
 //! vds stats <scheme> [rounds] [at]  run a micro VDS and print its metrics/trace
 //! vds report <scheme> [rounds] [at] run a micro VDS, print folded span stacks
 //! vds flowchart <scheme>            print a recovery flow chart as Graphviz DOT
-//! vds experiment <id>               regenerate a paper artefact (e1..e14, all)
+//! vds experiment <id>               regenerate a paper artefact (e1..e16, all)
 //! vds bench                         run the pinned perf suite (BENCH_<n>.json)
+//! vds sweep --grid SPEC             deterministic parallel parameter sweep
 //! vds gains [alpha] [beta] [p]      print the closed-form gain summary
 //! ```
 //!
@@ -47,6 +48,7 @@ use std::fmt::Write as _;
 
 mod audit;
 mod serve;
+mod sweep_cmd;
 
 /// CLI error: message plus the exit code to use.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -86,8 +88,9 @@ USAGE:
     vds stats <scheme> [rounds] [at]    run a micro VDS, print metrics + trace
     vds report <scheme> [rounds] [at]   run a micro VDS, print folded span stacks
     vds flowchart <scheme>              recovery flow chart as DOT
-    vds experiment <e1..e14|all>        regenerate a paper artefact
+    vds experiment <e1..e16|all>        regenerate a paper artefact
     vds bench                           run the pinned perf suite
+    vds sweep --grid SPEC|FILE          deterministic parallel parameter sweep over the VDS grid
     vds serve                           run a live fault campaign behind a telemetry HTTP server
     vds replay <journal>                re-execute a recorded run, assert digest-for-digest agreement
     vds audit diff <a> <b>              first divergent round between two journals
@@ -111,6 +114,10 @@ FLAGS (alpha / duplex / stats / report / experiment / bench / serve; `--flag v` 
     --once               serve: exit after the campaign instead of waiting for Ctrl-C
     --journal PATH       duplex / stats / report / serve: write the flight-recorder
                          round journal (JSONL) to PATH; replay it with `vds replay`
+    --grid SPEC|FILE     sweep: inline axes (alpha=0.55,0.65;s=10,20;scheme=smt-det;
+                         q=0.01;backend=abstract;rounds=2000;seed=1) or a TOML file
+    --resume PATH        sweep: append completed cells to a journal at PATH and, when
+                         it already holds rows for this grid, skip those cells
 
 ENDPOINTS (vds serve): /metrics (Prometheus), /healthz, /readyz, /trace (Chrome JSON), /progress (JSON), /journal (JSONL)
 
@@ -135,6 +142,8 @@ struct Flags {
     trials: Option<u64>,
     once: bool,
     journal: Option<String>,
+    grid: Option<String>,
+    resume: Option<String>,
     positional: Vec<String>,
 }
 
@@ -180,11 +189,14 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
                 | "port-file"
                 | "trials"
                 | "journal"
+                | "grid"
+                | "resume"
         ) {
             return Err(CliError::usage(format!(
                 "unknown flag `--{name}` (known: --rounds, --seed, --workers, \
                  --metrics, --trace-capacity, --out, --check, --json, --log-level, \
-                 --addr, --port, --port-file, --trials, --once, --journal)"
+                 --addr, --port, --port-file, --trials, --once, --journal, \
+                 --grid, --resume)"
             )));
         }
         let value = match inline {
@@ -207,10 +219,29 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
             "port-file" => f.port_file = Some(value),
             "trials" => f.trials = Some(parse_num(&value, "--trials")?),
             "journal" => f.journal = Some(value),
+            "grid" => f.grid = Some(value),
+            "resume" => f.resume = Some(value),
             _ => f.metrics = Some(value),
         }
     }
     Ok(f)
+}
+
+/// Write `bytes` to `path` atomically: a temp file in the same directory
+/// plus a rename, so a kill mid-write (or a concurrent reader — CI tails
+/// `BENCH_<n>.json` and the sweep exports) never observes a truncated
+/// file. The temp name carries the pid, so two concurrent writers cannot
+/// clobber each other's staging file either.
+pub(crate) fn write_atomic(path: &str, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = format!("{path}.tmp.{}", std::process::id());
+    std::fs::write(&tmp, bytes)?;
+    match std::fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
 }
 
 /// Write the registry as CSV to `path` and, when a trace / spans were
@@ -286,6 +317,7 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
         "stats" => cmd_duplex(&args[1..], DuplexMode::Stats),
         "report" => cmd_duplex(&args[1..], DuplexMode::Report),
         "bench" => cmd_bench(&args[1..]),
+        "sweep" => sweep_cmd::cmd_sweep(&args[1..]),
         "serve" => serve::cmd_serve(&args[1..]),
         "replay" => audit::cmd_replay(&args[1..]),
         "audit" => audit::cmd_audit(&args[1..]),
@@ -600,7 +632,7 @@ fn cmd_experiment(args: &[String]) -> Result<String, CliError> {
     let id = f
         .positional
         .first()
-        .ok_or_else(|| CliError::usage("experiment: missing id (e1..e14|all)"))?;
+        .ok_or_else(|| CliError::usage("experiment: missing id (e1..e16|all)"))?;
     if f.positional.len() > 1 {
         return Err(CliError::usage("experiment: too many arguments"));
     }
@@ -615,7 +647,7 @@ fn cmd_experiment(args: &[String]) -> Result<String, CliError> {
         registry().to_vec()
     } else {
         vec![find(id).ok_or_else(|| {
-            CliError::usage(format!("unknown experiment `{id}` (e1..e14 or all)"))
+            CliError::usage(format!("unknown experiment `{id}` (e1..e16 or all)"))
         })?]
     };
     let mut out = String::new();
@@ -676,7 +708,7 @@ fn cmd_bench(args: &[String]) -> Result<String, CliError> {
         // machine-readable form: exactly the BENCH_<n>.json bytes
         let json = report.to_json();
         if let Some(p) = &f.out {
-            std::fs::write(p, &json)
+            write_atomic(p, json.as_bytes())
                 .map_err(|e| CliError::runtime(format!("cannot write `{p}`: {e}")))?;
         }
         if let Some(base_path) = &f.check {
@@ -716,7 +748,7 @@ fn cmd_bench(args: &[String]) -> Result<String, CliError> {
         (None, None) => Some(next_bench_path()),
     };
     if let Some(p) = &out_path {
-        std::fs::write(p, report.to_json())
+        write_atomic(p, report.to_json().as_bytes())
             .map_err(|e| CliError::runtime(format!("cannot write `{p}`: {e}")))?;
         let _ = writeln!(out, "bench report written to {p}");
     }

@@ -191,6 +191,32 @@ impl<'a> Engine<'a> {
         self.cfg.scheme != Scheme::Conventional
     }
 
+    /// Debit rolled-back rounds from the committed count. An underflow
+    /// here means the recovery paths double-billed a rollback; clamping
+    /// would silently corrupt every downstream aggregate (journal
+    /// committed counts, sweep cells, campaign summaries), so it is
+    /// logged as an error and asserted in debug builds.
+    fn debit_committed(&mut self, lost: u64, cause: &str) {
+        match self.report.committed_rounds.checked_sub(lost) {
+            Some(v) => self.report.committed_rounds = v,
+            None => {
+                debug_assert!(
+                    false,
+                    "committed_rounds underflow: {} - {lost} during {cause}",
+                    self.report.committed_rounds
+                );
+                vds_obs::log_error!(
+                    "core.abstract",
+                    "committed_rounds underflow: {} - {} during {}",
+                    self.report.committed_rounds,
+                    lost,
+                    cause
+                );
+                self.report.committed_rounds = 0;
+            }
+        }
+    }
+
     /// Per-version-round corruption draw under the configured model.
     fn draw_fault(&mut self, fm: &FaultModel, victim: Victim, round_1based: u32) -> bool {
         match *fm {
@@ -318,7 +344,7 @@ impl<'a> Engine<'a> {
             self.report.detections += 1;
             self.report.rollbacks += 1;
             let lost = u64::from(self.round_in_interval);
-            self.report.committed_rounds = self.report.committed_rounds.saturating_sub(lost);
+            self.debit_committed(lost, "processor stop");
             self.round_in_interval = 0;
             self.corrupt = [false, false];
             self.crash = None;
@@ -448,11 +474,12 @@ impl<'a> Engine<'a> {
         let start = self.clock;
         let rec_time = self.recovery_time(i);
         let label = format!("V3 R1..R{i}");
-        if self.is_smt() {
-            self.span(0, rec_time, SpanKind::Retry, label);
+        self.span(0, rec_time, SpanKind::Retry, label);
+        if self.is_smt() && self.rollforward_rounds(i) > 0 {
+            // A zero-length window (⌊i/4⌋ = 0 for i < 4, or i = s) is pure
+            // stop-and-retry: the second hardware thread has nothing to
+            // execute, so no roll-forward appears on the timeline.
             self.span(1, rec_time, SpanKind::RollForward, "roll-forward");
-        } else {
-            self.span(0, rec_time, SpanKind::Retry, label);
         }
         self.clock += rec_time;
         self.span(0, self.cfg.params.t_cmp, SpanKind::Vote, "vote");
@@ -548,10 +575,7 @@ impl<'a> Engine<'a> {
             // three different states (or two corrupt versions): resort to
             // rollback — every round since the checkpoint is lost.
             self.report.rollbacks += 1;
-            self.report.committed_rounds = self
-                .report
-                .committed_rounds
-                .saturating_sub(u64::from(i - 1));
+            self.debit_committed(u64::from(i - 1), "rollback");
             self.round_in_interval = 0;
             self.corrupt = [false, false];
             self.crash = None;
@@ -796,6 +820,61 @@ mod tests {
             let inc = simulate_incident(&cfg(Scheme::SmtDeterministic), i, Victim::V1, None);
             assert_eq!(inc.progress, want, "i={i}");
         }
+    }
+
+    #[test]
+    fn early_round_recovery_is_pure_stop_and_retry() {
+        // ⌊i/4⌋ = 0 for i ∈ {1,2,3} (deterministic) and ⌊i/2⌋ = 0 for
+        // i = 1 (probabilistic): the roll-forward window has zero length,
+        // so recovery is pure stop-and-retry — no hits, no misses, no
+        // discards, and nothing on the second hardware thread's timeline.
+        let cases: [(Scheme, &[u32]); 2] = [
+            (Scheme::SmtDeterministic, &[1, 2, 3]),
+            (Scheme::SmtProbabilistic, &[1]),
+        ];
+        for (scheme, rounds) in cases {
+            for &i in rounds {
+                let inc = simulate_incident(&cfg(scheme), i, Victim::V1, None);
+                assert_eq!(inc.progress, 0, "{scheme:?} i={i}");
+                assert!(inc.vote_ok, "{scheme:?} i={i}");
+                let mut c = cfg(scheme);
+                c.record_timeline = true;
+                let fm = FaultModel::OneShot {
+                    round: i,
+                    victim: Victim::V2,
+                };
+                let r = run(&c, fm, 30, 1);
+                assert_eq!(r.rollforward_hits, 0, "{scheme:?} i={i}: {r}");
+                assert_eq!(r.rollforward_misses, 0, "{scheme:?} i={i}: {r}");
+                assert_eq!(r.rollforward_discards, 0, "{scheme:?} i={i}: {r}");
+                assert_eq!(r.detections, 1, "{scheme:?} i={i}: {r}");
+                assert_eq!(r.recoveries_ok, 1, "{scheme:?} i={i}: {r}");
+                let tl = r.timeline.expect("timeline requested");
+                assert!(
+                    !tl.spans().iter().any(|s| s.kind == SpanKind::RollForward),
+                    "{scheme:?} i={i}: zero-length window must not record a \
+                     roll-forward span"
+                );
+            }
+        }
+        // sanity: a non-zero window still records the roll-forward span
+        let mut c = cfg(Scheme::SmtDeterministic);
+        c.record_timeline = true;
+        let r = run(
+            &c,
+            FaultModel::OneShot {
+                round: 8,
+                victim: Victim::V2,
+            },
+            30,
+            1,
+        );
+        assert!(r
+            .timeline
+            .unwrap()
+            .spans()
+            .iter()
+            .any(|s| s.kind == SpanKind::RollForward));
     }
 
     #[test]

@@ -231,6 +231,18 @@ impl Micro {
         digest_words(&img[w.start as usize..w.end as usize])
     }
 
+    /// [`Self::window_digest`] of a resident version, digesting the state
+    /// window in place. The per-round comparison runs twice per round for
+    /// the whole mission, so copying the full data memory (as
+    /// [`Self::dmem_of`] does) just to hash a small window dominated the
+    /// simulation profile at sweep/campaign scale.
+    fn window_digest_of(&self, version: usize) -> vds_checkpoint::digest::StateDigest {
+        let w = workload::STATE_WINDOW;
+        self.m.with_state(self.procs[version], |_, _, d| {
+            digest_words(&d[w.start as usize..w.end as usize])
+        })
+    }
+
     /// Charge flat overhead cycles (comparison, checkpoint, vote).
     fn burn(&mut self, cycles: u32) {
         for _ in 0..cycles {
@@ -276,8 +288,8 @@ impl Micro {
             return;
         }
         let (a, b) = (self.active[0], self.active[1]);
-        let d1 = Self::window_digest(&self.dmem_of(a));
-        let d2 = Self::window_digest(&self.dmem_of(b));
+        let d1 = self.window_digest_of(a);
+        let d2 = self.window_digest_of(b);
         let sched = if self.cfg.scheme == Scheme::Conventional {
             format!("alternate[v{},v{}]", a + 1, b + 1)
         } else {
@@ -420,8 +432,8 @@ impl Micro {
             );
             return Some(i);
         }
-        let da = Self::window_digest(&self.dmem_of(a));
-        let db = Self::window_digest(&self.dmem_of(b));
+        let da = self.window_digest_of(a);
+        let db = self.window_digest_of(b);
         if da != db {
             self.report.detections += 1;
             self.journal_stash(i, t, JournalVerdict::Mismatch);
@@ -621,7 +633,22 @@ impl Micro {
         let p_img = self.dmem_of(a);
         let q_img = self.dmem_of(b);
         let x = (self.cfg.scheme.rollforward_intent(i).floor() as u32).min(self.cfg.s - i);
-        let guess_slot = self.guess_good_slot();
+        // Only schemes that actually gamble on a state draw a pick, and
+        // only for a non-zero window: a zero-length roll-forward
+        // (⌊i/4⌋ = 0 at i < 4, or i = s) is pure stop-and-retry and must
+        // not consume scheme bookkeeping — not even an RNG draw, or the
+        // fault-seed stream would diverge between cells that differ only
+        // in checkpoint distance.
+        let needs_pick = x > 0
+            && matches!(
+                self.cfg.scheme,
+                Scheme::SmtProbabilistic | Scheme::SmtPredictive | Scheme::SmtBoosted3
+            );
+        let guess_slot = if needs_pick {
+            self.guess_good_slot()
+        } else {
+            0
+        };
         let guess_img = if guess_slot == 0 { &p_img } else { &q_img };
 
         let retry_plan = vec![Seg {
@@ -857,10 +884,26 @@ impl Micro {
                 // three differing states: resort to rollback
                 self.journal_action(JournalAction::Rollback, 0);
                 self.report.rollbacks += 1;
-                self.report.committed_rounds = self
-                    .report
-                    .committed_rounds
-                    .saturating_sub(u64::from(i - 1));
+                // An underflow here would mean a double-billed rollback;
+                // refuse to clamp it silently (see the abstract engine).
+                match self.report.committed_rounds.checked_sub(u64::from(i - 1)) {
+                    Some(v) => self.report.committed_rounds = v,
+                    None => {
+                        debug_assert!(
+                            false,
+                            "committed_rounds underflow: {} - {} during rollback",
+                            self.report.committed_rounds,
+                            i - 1
+                        );
+                        vds_obs::log_error!(
+                            "core.micro",
+                            "committed_rounds underflow: {} - {} during rollback",
+                            self.report.committed_rounds,
+                            i - 1
+                        );
+                        self.report.committed_rounds = 0;
+                    }
+                }
                 self.rounds_since = 0;
                 let t = self.m.cycles() as f64;
                 self.rec.event(
@@ -1088,6 +1131,29 @@ mod tests {
             &state[..],
             "post-recovery state wrong"
         );
+    }
+
+    #[test]
+    fn early_round_fault_is_pure_stop_and_retry() {
+        // ⌊i/4⌋ = 0 for i ∈ {1,2,3} (deterministic) and ⌊i/2⌋ = 0 for
+        // i = 1 (probabilistic): zero-length roll-forward windows carry
+        // no scheme bookkeeping at all — no hits, misses or discards.
+        let cases: [(Scheme, &[u32]); 2] = [
+            (Scheme::SmtDeterministic, &[1, 2, 3]),
+            (Scheme::SmtProbabilistic, &[1]),
+        ];
+        for (scheme, rounds) in cases {
+            for &i in rounds {
+                let cfg = MicroConfig::new(scheme, 10);
+                let r = run_micro(&cfg, Some(fault_mem(i, Victim::V1)), 15);
+                assert_eq!(r.committed_rounds, 15, "{scheme:?} i={i}");
+                assert_eq!(r.detections, 1, "{scheme:?} i={i}: {r}");
+                assert_eq!(r.recoveries_ok, 1, "{scheme:?} i={i}: {r}");
+                assert_eq!(r.rollforward_hits, 0, "{scheme:?} i={i}: {r}");
+                assert_eq!(r.rollforward_misses, 0, "{scheme:?} i={i}: {r}");
+                assert_eq!(r.rollforward_discards, 0, "{scheme:?} i={i}: {r}");
+            }
+        }
     }
 
     #[test]

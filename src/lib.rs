@@ -60,3 +60,4 @@ pub use vds_obs as obs;
 pub use vds_predictor as predictor;
 pub use vds_sched as sched;
 pub use vds_smtsim as smtsim;
+pub use vds_sweep as sweep;

@@ -207,6 +207,98 @@ proptest! {
     }
 }
 
+/// A small deterministic journal for the edge-case tests below; `tweak`
+/// may perturb an entry before it is pushed.
+fn sample_journal_with(entries: usize, tweak: impl Fn(usize, &mut RoundEntry)) -> Journal {
+    let mut j = Journal::enabled(JournalHeader::new("micro", "smt-det", 1, 10, 30));
+    for i in 0..entries {
+        let mut e = RoundEntry {
+            seq: 0,
+            lane: 0,
+            round: i as u64 + 1,
+            committed: i as u64,
+            sim_time: i as f64 * 0.25,
+            d1: Digest128 {
+                fnv: 0x1111 + i as u64,
+                mix: 0x2222,
+            },
+            d2: Digest128 {
+                fnv: 0x1111 + i as u64,
+                mix: 0x2222,
+            },
+            verdict: Verdict::Match,
+            sched: "rr".into(),
+            action: Action::Commit,
+            rollforward: 0,
+            fault: None,
+        };
+        tweak(i, &mut e);
+        j.push(e);
+    }
+    j
+}
+
+fn sample_journal(entries: usize) -> Journal {
+    sample_journal_with(entries, |_, _| {})
+}
+
+// ---- first_divergence edge cases: the binary search has its own
+// boundary arithmetic at k = 0 and common = 0, pin all of it ----
+
+#[test]
+fn divergence_in_the_very_first_entry_reports_index_zero() {
+    let a = sample_journal(5);
+    let b = sample_journal_with(5, |i, e| {
+        if i == 0 {
+            e.d2.mix ^= 1;
+        }
+    });
+    let d = a.first_divergence(&b).expect("must diverge");
+    assert_eq!(d.index, 0, "{d:?}");
+    assert_eq!(d.round, 1);
+    assert_eq!(d.field, "d2 (version 2 digest)");
+    // symmetric
+    let rev = b.first_divergence(&a).expect("must diverge");
+    assert_eq!(rev.index, 0);
+}
+
+#[test]
+fn header_only_mismatch_wins_over_identical_entries() {
+    let a = sample_journal(3);
+    let mut b = Journal::enabled(JournalHeader::new("micro", "smt-prob", 1, 10, 30));
+    for e in a.entries() {
+        let mut e = e.clone();
+        e.seq = 0; // reassigned by push
+        b.push(e);
+    }
+    let d = a.first_divergence(&b).expect("headers differ");
+    assert_eq!(d.field, "header", "{d:?}");
+    assert_eq!(d.index, 0);
+    assert!(d.a.contains("smt-det"), "{}", d.a);
+    assert!(d.b.contains("smt-prob"), "{}", d.b);
+    // entries never mask a header mismatch, even when both are empty
+    let ea = sample_journal(0);
+    let eb = Journal::enabled(JournalHeader::new("abstract", "smt-det", 1, 10, 30));
+    assert_eq!(
+        ea.first_divergence(&eb).expect("headers differ").field,
+        "header"
+    );
+}
+
+#[test]
+fn empty_versus_nonempty_is_a_length_divergence_at_zero() {
+    let empty = sample_journal(0);
+    let full = sample_journal(4);
+    assert!(empty.first_divergence(&empty).is_none());
+    let d = empty.first_divergence(&full).expect("length divergence");
+    assert_eq!((d.index, d.field.as_str()), (0, "length"), "{d:?}");
+    assert!(d.a.contains("0 entries"), "{}", d.a);
+    // the extra entry's coordinates are surfaced from the longer journal
+    assert_eq!(d.round, 1);
+    let rev = full.first_divergence(&empty).expect("length divergence");
+    assert_eq!((rev.index, rev.field.as_str()), (0, "length"));
+}
+
 /// One journaled abstract-VDS trial, the shape every campaign uses: run
 /// with a private recorder, merge the registry, adopt the journal under
 /// the trial's lane.
