@@ -9,7 +9,7 @@
 //! recordings directly, binary-searching to the first divergent round;
 //! it exits 0 when they are identical and 1 with the report otherwise.
 
-use crate::{parse_flags, parse_scheme, read_file, CliError};
+use crate::{parse_scheme, read_file, CliError};
 use vds_core::micro_vds::{run_micro_with_recorder, MicroConfig, MicroFault};
 use vds_core::Victim;
 use vds_fault::model::FaultKind;
@@ -17,7 +17,10 @@ use vds_obs::{Journal, JournalHeader, Recorder};
 
 /// `vds replay <journal>` — re-execute and verify a recording.
 pub(crate) fn cmd_replay(args: &[String]) -> Result<String, CliError> {
-    let f = parse_flags(args)?;
+    let f = crate::args::REPLAY.parse(args)?;
+    if f.help {
+        return Ok(crate::args::REPLAY.help());
+    }
     let path = f
         .positional
         .first()
@@ -53,7 +56,10 @@ pub(crate) fn cmd_replay(args: &[String]) -> Result<String, CliError> {
 
 /// `vds audit diff <a> <b>` — first divergent round between recordings.
 pub(crate) fn cmd_audit(args: &[String]) -> Result<String, CliError> {
-    let f = parse_flags(args)?;
+    let f = crate::args::AUDIT.parse(args)?;
+    if f.help {
+        return Ok(crate::args::AUDIT.help());
+    }
     if f.positional.first().map(String::as_str) != Some("diff") {
         return Err(CliError::usage("audit: expected `audit diff <a> <b>`"));
     }

@@ -58,7 +58,10 @@ mod sig {
 }
 
 pub(crate) fn cmd_serve(args: &[String]) -> Result<String, CliError> {
-    let f = crate::parse_flags(args)?;
+    let f = crate::args::SERVE.parse(args)?;
+    if f.help {
+        return Ok(crate::args::SERVE.help());
+    }
     if !f.positional.is_empty() {
         return Err(CliError::usage("serve: unexpected positional arguments"));
     }
@@ -150,7 +153,7 @@ fn serve(opts: &ServeOpts, f: &Flags) -> Result<String, CliError> {
         )?);
     }
     if let Some(path) = &f.journal {
-        std::fs::write(path, rec.journal().to_jsonl())
+        crate::write_atomic(path, rec.journal().to_jsonl().as_bytes())
             .map_err(|e| CliError::runtime(format!("cannot write `{path}`: {e}")))?;
         let _ = writeln!(
             out,

@@ -17,7 +17,7 @@
 //! live while the sweep runs (same hub as `vds serve`), shutting down
 //! when the sweep completes.
 
-use crate::{parse_flags, write_atomic, write_metrics, CliError};
+use crate::{write_atomic, write_metrics, CliError};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::io::Write as _;
@@ -28,7 +28,10 @@ use vds_sweep::export::{csv_row, journal_header, parse_journal, to_csv, to_jsonl
 use vds_sweep::{run_sweep, CellResult, GridSpec, SweepOutcome};
 
 pub(crate) fn cmd_sweep(args: &[String]) -> Result<String, CliError> {
-    let f = parse_flags(args)?;
+    let f = crate::args::SWEEP.parse(args)?;
+    if f.help {
+        return Ok(crate::args::SWEEP.help());
+    }
     if !f.positional.is_empty() {
         return Err(CliError::usage(
             "sweep: unexpected positional arguments (axes go in --grid)",
@@ -65,15 +68,20 @@ pub(crate) fn cmd_sweep(args: &[String]) -> Result<String, CliError> {
     };
     let journal_sink: Option<Mutex<std::fs::File>> = match &f.resume {
         Some(path) => {
-            let mut file = std::fs::File::create(path)
-                .map_err(|e| CliError::runtime(format!("cannot write `{path}`: {e}")))?;
-            file.write_all(journal_header(&spec).as_bytes())
-                .map_err(|e| CliError::runtime(format!("cannot write `{path}`: {e}")))?;
+            // publish the cleaned journal (header + recovered rows)
+            // atomically, then reopen it in append mode for fresh rows: a
+            // kill during the rewrite can no longer destroy the cells a
+            // previous run already journaled
+            let mut clean = journal_header(&spec);
             for r in resumed.values() {
-                writeln!(file, "{}", csv_row(r))
-                    .map_err(|e| CliError::runtime(format!("cannot write `{path}`: {e}")))?;
+                clean.push_str(&csv_row(r));
+                clean.push('\n');
             }
-            file.flush()
+            write_atomic(path, clean.as_bytes())
+                .map_err(|e| CliError::runtime(format!("cannot write `{path}`: {e}")))?;
+            let file = std::fs::OpenOptions::new()
+                .append(true)
+                .open(path)
                 .map_err(|e| CliError::runtime(format!("cannot write `{path}`: {e}")))?;
             Some(Mutex::new(file))
         }

@@ -22,7 +22,7 @@ use vds_analytic::Params;
 use vds_desim::time::SimTime;
 use vds_desim::trace::{SpanKind, Timeline};
 use vds_obs::journal::{Action as JournalAction, RoundEntry, Verdict as JournalVerdict};
-use vds_obs::{digest_words128, Recorder};
+use vds_obs::{digest_words128, obs_event, NoopRecorder, Record, Recorder};
 use vds_predictor::{FaultPredictor, Suspect};
 
 /// Configuration of an abstract VDS run.
@@ -78,7 +78,7 @@ pub struct Incident {
     pub vote_ok: bool,
 }
 
-struct Engine<'a> {
+struct Engine<'a, R> {
     cfg: &'a AbstractConfig,
     rng: SmallRng,
     clock: f64,
@@ -91,18 +91,14 @@ struct Engine<'a> {
     oneshot_fired: bool,
     timeline: Timeline,
     report: RunReport,
-    rec: Recorder,
+    rec: R,
     /// Flight-recorder entry for the round in flight (see the micro
     /// engine's equivalent): finalised by [`Engine::journal_finish`].
     pending: Option<RoundEntry>,
 }
 
-impl<'a> Engine<'a> {
-    fn new(cfg: &'a AbstractConfig, seed: u64) -> Self {
-        Self::with_recorder(cfg, seed, Recorder::disabled())
-    }
-
-    fn with_recorder(cfg: &'a AbstractConfig, seed: u64, rec: Recorder) -> Self {
+impl<'a, R: Record> Engine<'a, R> {
+    fn with_recorder(cfg: &'a AbstractConfig, seed: u64, rec: R) -> Self {
         Engine {
             cfg,
             rng: SmallRng::seed_from_u64(seed),
@@ -175,14 +171,17 @@ impl<'a> Engine<'a> {
         }
     }
 
-    fn span(&mut self, lane: usize, dur: f64, kind: SpanKind, label: impl Into<String>) {
+    /// Record a timeline span. The label is a closure so hot call sites
+    /// don't pay for `format!` allocations when no timeline is kept —
+    /// it runs only when `record_timeline` is set.
+    fn span(&mut self, lane: usize, dur: f64, kind: SpanKind, label: impl FnOnce() -> String) {
         if self.cfg.record_timeline {
             self.timeline.record(
                 lane,
                 SimTime::from_secs(self.clock),
                 SimTime::from_secs(self.clock + dur),
                 kind,
-                label,
+                label(),
             );
         }
     }
@@ -289,17 +288,17 @@ impl<'a> Engine<'a> {
         let start = self.clock;
         if self.is_smt() {
             let dur = 2.0 * p.alpha * p.t;
-            self.span(0, dur, SpanKind::Round, format!("V1 R{i}"));
-            self.span(1, dur, SpanKind::Round, format!("V2 R{i}"));
+            self.span(0, dur, SpanKind::Round, || format!("V1 R{i}"));
+            self.span(1, dur, SpanKind::Round, || format!("V2 R{i}"));
             self.clock += dur;
         } else {
-            self.span(0, p.t, SpanKind::Round, format!("V1 R{i}"));
+            self.span(0, p.t, SpanKind::Round, || format!("V1 R{i}"));
             self.clock += p.t;
-            self.span(0, p.c, SpanKind::ContextSwitch, "");
+            self.span(0, p.c, SpanKind::ContextSwitch, String::new);
             self.clock += p.c;
-            self.span(0, p.t, SpanKind::Round, format!("V2 R{i}"));
+            self.span(0, p.t, SpanKind::Round, || format!("V2 R{i}"));
             self.clock += p.t;
-            self.span(0, p.c, SpanKind::ContextSwitch, "");
+            self.span(0, p.c, SpanKind::ContextSwitch, String::new);
             self.clock += p.c;
         }
         // fault draws: each version-round is exposed independently
@@ -313,7 +312,7 @@ impl<'a> Engine<'a> {
                 drawn.push(v);
             }
         }
-        self.span(0, p.t_cmp, SpanKind::Compare, "cmp");
+        self.span(0, p.t_cmp, SpanKind::Compare, || "cmp".to_string());
         self.clock += p.t_cmp;
         self.report.time_normal += self.clock - start;
 
@@ -350,15 +349,13 @@ impl<'a> Engine<'a> {
             self.crash = None;
             self.clock += self.cfg.restore_cost;
             self.consecutive_rollbacks += 1;
-            self.rec.event(
-                self.clock,
-                "vds",
-                "processor_stop",
-                vec![("round", u64::from(i).into()), ("rounds_lost", lost.into())],
+            obs_event!(
+                self.rec, self.clock, "vds", "processor_stop",
+                "round" => u64::from(i), "rounds_lost" => lost,
             );
             if self.consecutive_rollbacks > self.cfg.max_consecutive_rollbacks {
                 self.report.shutdown = true;
-                self.rec.event(self.clock, "vds", "shutdown", vec![]);
+                obs_event!(self.rec, self.clock, "vds", "shutdown");
                 self.journal_action(JournalAction::Shutdown, 0);
             } else {
                 self.journal_action(JournalAction::Rollback, 0);
@@ -374,16 +371,12 @@ impl<'a> Engine<'a> {
                 JournalVerdict::Mismatch
             };
             self.journal_stash(i, verdict, fault_note);
-            self.rec.event(
-                self.clock,
-                "vds",
-                "detect",
-                vec![
-                    ("round", u64::from(i).into()),
-                    ("v1_corrupt", self.corrupt[0].into()),
-                    ("v2_corrupt", self.corrupt[1].into()),
-                    ("crash_evidence", self.crash.is_some().into()),
-                ],
+            obs_event!(
+                self.rec, self.clock, "vds", "detect",
+                "round" => u64::from(i),
+                "v1_corrupt" => self.corrupt[0],
+                "v2_corrupt" => self.corrupt[1],
+                "crash_evidence" => self.crash.is_some(),
             );
             Some(i)
         } else {
@@ -391,14 +384,9 @@ impl<'a> Engine<'a> {
             self.report.committed_rounds += 1;
             self.consecutive_rollbacks = 0;
             self.journal_stash(i, JournalVerdict::Match, fault_note);
-            self.rec.event(
-                self.clock,
-                "vds",
-                "round",
-                vec![
-                    ("round", u64::from(i).into()),
-                    ("comparison", "match".into()),
-                ],
+            obs_event!(
+                self.rec, self.clock, "vds", "round",
+                "round" => u64::from(i), "comparison" => "match",
             );
             None
         }
@@ -406,16 +394,16 @@ impl<'a> Engine<'a> {
 
     fn take_checkpoint(&mut self) {
         let start = self.clock;
-        self.span(0, self.cfg.checkpoint_cost, SpanKind::Checkpoint, "ckpt");
+        self.span(0, self.cfg.checkpoint_cost, SpanKind::Checkpoint, || {
+            "ckpt".to_string()
+        });
         self.clock += self.cfg.checkpoint_cost;
         self.report.time_checkpoint += self.clock - start;
         self.report.checkpoints += 1;
         self.round_in_interval = 0;
-        self.rec.event(
-            self.clock,
-            "vds",
-            "checkpoint",
-            vec![("number", self.report.checkpoints.into())],
+        obs_event!(
+            self.rec, self.clock, "vds", "checkpoint",
+            "number" => self.report.checkpoints,
         );
     }
 
@@ -473,16 +461,19 @@ impl<'a> Engine<'a> {
     ) -> Incident {
         let start = self.clock;
         let rec_time = self.recovery_time(i);
-        let label = format!("V3 R1..R{i}");
-        self.span(0, rec_time, SpanKind::Retry, label);
+        self.span(0, rec_time, SpanKind::Retry, || format!("V3 R1..R{i}"));
         if self.is_smt() && self.rollforward_rounds(i) > 0 {
             // A zero-length window (⌊i/4⌋ = 0 for i < 4, or i = s) is pure
             // stop-and-retry: the second hardware thread has nothing to
             // execute, so no roll-forward appears on the timeline.
-            self.span(1, rec_time, SpanKind::RollForward, "roll-forward");
+            self.span(1, rec_time, SpanKind::RollForward, || {
+                "roll-forward".to_string()
+            });
         }
         self.clock += rec_time;
-        self.span(0, self.cfg.params.t_cmp, SpanKind::Vote, "vote");
+        self.span(0, self.cfg.params.t_cmp, SpanKind::Vote, || {
+            "vote".to_string()
+        });
         // (vote time is part of rec_time's 2t'; span is illustrative)
 
         // does a further fault hit the retry (V3 executes i rounds)?
@@ -558,15 +549,11 @@ impl<'a> Engine<'a> {
             self.crash = None;
             self.consecutive_rollbacks = 0;
             self.journal_action(JournalAction::Recover, progress);
-            self.rec.event(
-                self.clock,
-                "vds",
-                "recovery",
-                vec![
-                    ("round", u64::from(i).into()),
-                    ("scheme", self.cfg.scheme.name().into()),
-                    ("rollforward_progress", u64::from(progress).into()),
-                ],
+            obs_event!(
+                self.rec, self.clock, "vds", "recovery",
+                "round" => u64::from(i),
+                "scheme" => self.cfg.scheme.name(),
+                "rollforward_progress" => u64::from(progress),
             );
             if self.round_in_interval >= self.cfg.params.s {
                 self.take_checkpoint();
@@ -581,19 +568,15 @@ impl<'a> Engine<'a> {
             self.crash = None;
             self.clock += self.cfg.restore_cost;
             self.consecutive_rollbacks += 1;
-            self.rec.event(
-                self.clock,
-                "vds",
-                "rollback",
-                vec![
-                    ("round", u64::from(i).into()),
-                    ("rounds_lost", u64::from(i - 1).into()),
-                    ("consecutive", u64::from(self.consecutive_rollbacks).into()),
-                ],
+            obs_event!(
+                self.rec, self.clock, "vds", "rollback",
+                "round" => u64::from(i),
+                "rounds_lost" => u64::from(i - 1),
+                "consecutive" => u64::from(self.consecutive_rollbacks),
             );
             if self.consecutive_rollbacks > self.cfg.max_consecutive_rollbacks {
                 self.report.shutdown = true;
-                self.rec.event(self.clock, "vds", "shutdown", vec![]);
+                obs_event!(self.rec, self.clock, "vds", "shutdown");
                 self.journal_action(JournalAction::Shutdown, 0);
             } else {
                 self.journal_action(JournalAction::Rollback, 0);
@@ -655,25 +638,27 @@ pub fn run_with_predictor(
     seed: u64,
     predictor: Option<&mut dyn FaultPredictor>,
 ) -> RunReport {
+    // Monomorphized against the zero-sized sink: the uninstrumented
+    // entry points pay nothing for the instrumentation below.
     run_engine(
         cfg,
         fault_model,
         target_rounds,
         seed,
         predictor,
-        Recorder::disabled(),
+        NoopRecorder,
     )
     .0
 }
 
-fn run_engine(
+fn run_engine<R: Record>(
     cfg: &AbstractConfig,
     fault_model: FaultModel,
     target_rounds: u64,
     seed: u64,
     mut predictor: Option<&mut dyn FaultPredictor>,
-    rec: Recorder,
-) -> (RunReport, Recorder) {
+    rec: R,
+) -> (RunReport, R) {
     cfg.params.validate();
     assert!((0.0..=1.0).contains(&cfg.p_correct));
     let mut e = Engine::with_recorder(cfg, seed, rec);
@@ -706,7 +691,7 @@ fn run_engine(
     e.report.total_time = e.clock;
     let mut rec = e.rec;
     if cfg.record_timeline {
-        if rec.is_enabled() {
+        if rec.is_active() {
             e.timeline.export_spans(&mut rec, cfg.scheme.name());
         }
         e.report.timeline = Some(e.timeline);
@@ -731,7 +716,7 @@ pub fn simulate_incident(
         cfg.p_correct = if hit { 1.0 } else { 0.0 };
     }
     let fm = FaultModel::OneShot { round: i, victim };
-    let mut e = Engine::new(&cfg, 1);
+    let mut e = Engine::with_recorder(&cfg, 1, NoopRecorder);
     // advance through the fault-free prefix
     loop {
         match e.normal_round(&fm) {
@@ -1119,10 +1104,15 @@ mod tests {
         assert_eq!(reg.counter("vds.detections"), r.detections);
         assert_eq!(reg.counter("vds.checkpoints"), r.checkpoints);
         assert_eq!(reg.gauge_value("vds.time.total"), Some(r.total_time));
-        let events: Vec<&str> = rec.trace().records().map(|e| e.event).collect();
-        assert!(events.contains(&"round"));
-        assert!(events.contains(&"detect"));
-        assert!(events.contains(&"checkpoint"));
+        // hot-path events only exist with the `obs` macros compiled in
+        if cfg!(feature = "obs") {
+            let events: Vec<&str> = rec.trace().records().map(|e| e.event).collect();
+            assert!(events.contains(&"round"));
+            assert!(events.contains(&"detect"));
+            assert!(events.contains(&"checkpoint"));
+        } else {
+            assert!(rec.trace().is_empty());
+        }
         // plain run and recorded run agree on the simulation itself
         let plain = run(&c, fm, 200, 5);
         assert_eq!(plain.total_time, r.total_time);

@@ -37,7 +37,8 @@ use rand::{Rng as _, SeedableRng};
 use vds_checkpoint::digest::digest_words;
 use vds_fault::model::FaultKind;
 use vds_obs::journal::{Action as JournalAction, RoundEntry, Verdict as JournalVerdict};
-use vds_obs::Recorder;
+use vds_obs::{obs_end_span, obs_event, obs_span, obs_span_on};
+use vds_obs::{NoopRecorder, Record, Recorder};
 use vds_sched::{Machine, ProcId, ProcOutcome};
 use vds_smtsim::core::{CoreConfig, SavedContext, ThreadId, ThreadState};
 use vds_smtsim::program::Program;
@@ -123,7 +124,7 @@ pub struct MicroFault {
 /// Per-round cycle budget guard.
 const ROUND_BUDGET: u64 = 5_000_000;
 
-struct Micro {
+struct Micro<R> {
     cfg: MicroConfig,
     m: Machine,
     progs: [Program; 3],
@@ -140,7 +141,7 @@ struct Micro {
     /// Trap evidence observed in the current round, by active-slot index.
     trap_evidence: Option<usize>,
     report: RunReport,
-    rec: Recorder,
+    rec: R,
     /// Flight-recorder entry for the round in flight; the action and
     /// committed count are finalised by [`Micro::journal_finish`] once the
     /// engine loop has decided what to do with the round.
@@ -156,13 +157,15 @@ struct Seg {
     rounds: u32,
 }
 
-impl Micro {
+impl Micro<Recorder> {
     #[cfg(test)]
     fn new(cfg: MicroConfig, fault: Option<MicroFault>) -> Self {
         Self::with_recorder(cfg, fault, Recorder::disabled())
     }
+}
 
-    fn with_recorder(cfg: MicroConfig, fault: Option<MicroFault>, rec: Recorder) -> Self {
+impl<R: Record> Micro<R> {
+    fn with_recorder(cfg: MicroConfig, fault: Option<MicroFault>, rec: R) -> Self {
         let base = workload::build(cfg.workload_rounds);
         let progs = if cfg.diversity {
             [
@@ -179,7 +182,7 @@ impl Micro {
             workload::round_entry(&progs[2]),
         ];
         let mut m = Machine::new(cfg.core.clone(), cfg.ctx_switch_cycles);
-        if rec.is_enabled() {
+        if R::ENABLED && rec.is_active() {
             m.core_mut().set_window_recording(true);
         }
         let procs = [
@@ -271,11 +274,9 @@ impl Micro {
         }
         vds_fault::inject::inject(&mut self.m, self.procs[version], &f.kind);
         let t = self.m.cycles() as f64;
-        self.rec.event(
-            t,
-            "micro",
-            "fault_injected",
-            vec![("round", i.into()), ("version", version.into())],
+        obs_event!(
+            self.rec, t, "micro", "fault_injected",
+            "round" => i, "version" => version,
         );
     }
 
@@ -283,13 +284,25 @@ impl Micro {
     /// active versions at the comparison point, the comparator verdict and
     /// the scheduler decision. The action defaults to `commit`; the engine
     /// loop (or recovery) upgrades it before [`Micro::journal_finish`].
-    fn journal_stash(&mut self, i: u32, sim_time: f64, verdict: JournalVerdict) {
+    ///
+    /// `digests` lets the comparator hand over the window digests it
+    /// already computed this round; `None` (trap/hang paths, where no
+    /// comparison ran) digests both versions here.
+    fn journal_stash(
+        &mut self,
+        i: u32,
+        sim_time: f64,
+        verdict: JournalVerdict,
+        digests: Option<(vds_obs::Digest128, vds_obs::Digest128)>,
+    ) {
         if !self.rec.journal_enabled() {
             return;
         }
         let (a, b) = (self.active[0], self.active[1]);
-        let d1 = self.window_digest_of(a);
-        let d2 = self.window_digest_of(b);
+        let (d1, d2) = match digests {
+            Some(pair) => pair,
+            None => (self.window_digest_of(a), self.window_digest_of(b)),
+        };
         let sched = if self.cfg.scheme == Scheme::Conventional {
             format!("alternate[v{},v{}]", a + 1, b + 1)
         } else {
@@ -335,7 +348,7 @@ impl Micro {
         let i = self.rounds_since + 1;
         self.trap_evidence = None;
         let start_cycles = self.m.cycles();
-        let round_g = self.rec.span("micro", "round", start_cycles as f64);
+        let round_g = obs_span!(self.rec, "micro", "round", start_cycles as f64);
         let (a, b) = (self.active[0], self.active[1]);
 
         // the injected fault lands "during" the round: before execution,
@@ -355,7 +368,7 @@ impl Micro {
                 if self.trap_evidence == Some(slot) {
                     continue;
                 }
-                let g = self.rec.span("micro", "compute", self.m.cycles() as f64);
+                let g = obs_span!(self.rec, "micro", "compute", self.m.cycles() as f64);
                 self.m.dispatch(self.procs[v], ThreadId(0));
                 match self.m.run_hw_until_block(ThreadId(0), ROUND_BUDGET) {
                     ProcOutcome::Yielded => {}
@@ -368,24 +381,17 @@ impl Micro {
                     }
                     other => panic!("normal round: unexpected {other:?}"),
                 }
-                self.rec
-                    .end_span_with(g, self.m.cycles() as f64, vec![("version", v.into())]);
+                obs_end_span!(self.rec, g, self.m.cycles() as f64, "version" => v);
             }
         } else {
-            let g0 = self
-                .rec
-                .span_on(0, "micro", "compute", self.m.cycles() as f64);
-            let g1 = self
-                .rec
-                .span_on(1, "micro", "compute", self.m.cycles() as f64);
+            let g0 = obs_span_on!(self.rec, 0, "micro", "compute", self.m.cycles() as f64);
+            let g1 = obs_span_on!(self.rec, 1, "micro", "compute", self.m.cycles() as f64);
             self.m.dispatch(self.procs[a], ThreadId(0));
             self.m.dispatch(self.procs[b], ThreadId(1));
             let outs = self.m.run_all_until_block(ROUND_BUDGET);
             let t_done = self.m.cycles() as f64;
-            self.rec
-                .end_span_with(g0, t_done, vec![("version", a.into())]);
-            self.rec
-                .end_span_with(g1, t_done, vec![("version", b.into())]);
+            obs_end_span!(self.rec, g0, t_done, "version" => a);
+            obs_end_span!(self.rec, g1, t_done, "version" => b);
             for (slot, hw) in [(0usize, 0usize), (1, 1)] {
                 match outs[hw] {
                     Some(ProcOutcome::Yielded) => {}
@@ -406,11 +412,11 @@ impl Micro {
         self.report.time_normal += (self.m.cycles() - start_cycles) as f64;
 
         // comparison
-        let cmp_g = self.rec.span("micro", "compare", self.m.cycles() as f64);
+        let cmp_g = obs_span!(self.rec, "micro", "compare", self.m.cycles() as f64);
         self.burn(self.cfg.cmp_cycles);
         self.report.time_normal += f64::from(self.cfg.cmp_cycles);
         let t = self.m.cycles() as f64;
-        self.rec.end_span(cmp_g, t);
+        obs_end_span!(self.rec, cmp_g, t);
         if self.trap_evidence.is_some() || !hung.is_empty() {
             self.report.detections += 1;
             let verdict = if hung.is_empty() {
@@ -418,71 +424,39 @@ impl Micro {
             } else {
                 JournalVerdict::Hang
             };
-            self.journal_stash(i, t, verdict);
-            self.rec.event(
-                t,
-                "micro",
-                "detect",
-                vec![("round", i.into()), ("evidence", "trap".into())],
-            );
-            self.rec.end_span_with(
-                round_g,
-                t,
-                vec![("round", i.into()), ("outcome", "detect".into())],
-            );
+            self.journal_stash(i, t, verdict, None);
+            obs_event!(self.rec, t, "micro", "detect", "round" => i, "evidence" => "trap");
+            obs_end_span!(self.rec, round_g, t, "round" => i, "outcome" => "detect");
             return Some(i);
         }
         let da = self.window_digest_of(a);
         let db = self.window_digest_of(b);
         if da != db {
             self.report.detections += 1;
-            self.journal_stash(i, t, JournalVerdict::Mismatch);
-            self.rec.event(
-                t,
-                "micro",
-                "detect",
-                vec![("round", i.into()), ("evidence", "mismatch".into())],
-            );
-            self.rec.end_span_with(
-                round_g,
-                t,
-                vec![("round", i.into()), ("outcome", "detect".into())],
-            );
+            self.journal_stash(i, t, JournalVerdict::Mismatch, Some((da, db)));
+            obs_event!(self.rec, t, "micro", "detect", "round" => i, "evidence" => "mismatch");
+            obs_end_span!(self.rec, round_g, t, "round" => i, "outcome" => "detect");
             Some(i)
         } else {
             self.rounds_since = i;
             self.report.committed_rounds += 1;
-            self.journal_stash(i, t, JournalVerdict::Match);
-            self.rec.event(
-                t,
-                "micro",
-                "round",
-                vec![("round", i.into()), ("comparison", "match".into())],
-            );
-            self.rec.end_span_with(
-                round_g,
-                t,
-                vec![("round", i.into()), ("outcome", "commit".into())],
-            );
+            self.journal_stash(i, t, JournalVerdict::Match, Some((da, db)));
+            obs_event!(self.rec, t, "micro", "round", "round" => i, "comparison" => "match");
+            obs_end_span!(self.rec, round_g, t, "round" => i, "outcome" => "commit");
             None
         }
     }
 
     fn take_checkpoint(&mut self) {
-        let g = self.rec.span("micro", "checkpoint", self.m.cycles() as f64);
+        let g = obs_span!(self.rec, "micro", "checkpoint", self.m.cycles() as f64);
         self.burn(self.cfg.ckpt_cycles);
-        self.rec.end_span(g, self.m.cycles() as f64);
+        obs_end_span!(self.rec, g, self.m.cycles() as f64);
         self.report.time_checkpoint += f64::from(self.cfg.ckpt_cycles);
         self.ckpt_img = self.dmem_of(self.active[0]);
         self.rounds_since = 0;
         self.report.checkpoints += 1;
         let t = self.m.cycles() as f64;
-        self.rec.event(
-            t,
-            "micro",
-            "checkpoint",
-            vec![("number", self.report.checkpoints.into())],
-        );
+        obs_event!(self.rec, t, "micro", "checkpoint", "number" => self.report.checkpoints);
     }
 
     /// Run a list of named segments plans, one per hardware thread,
@@ -509,10 +483,13 @@ impl Micro {
                 let guard = if segs.is_empty() {
                     None
                 } else {
-                    Some(
-                        self.rec
-                            .span_on(hw.0 as u32, "micro", name, self.m.cycles() as f64),
-                    )
+                    Some(obs_span_on!(
+                        self.rec,
+                        hw.0 as u32,
+                        "micro",
+                        name,
+                        self.m.cycles() as f64
+                    ))
                 };
                 PlanState {
                     hw,
@@ -562,7 +539,7 @@ impl Micro {
                                 self.m.replace_context(self.procs[next.version], ctx);
                                 self.m.dispatch(self.procs[next.version], st.hw);
                             } else if let Some(g) = st.guard.take() {
-                                self.rec.end_span(g, self.m.cycles() as f64);
+                                obs_end_span!(self.rec, g, self.m.cycles() as f64);
                             }
                         } else {
                             // next round of the same segment
@@ -583,11 +560,7 @@ impl Micro {
                 }
                 if st.failed {
                     if let Some(g) = st.guard.take() {
-                        self.rec.end_span_with(
-                            g,
-                            self.m.cycles() as f64,
-                            vec![("outcome", "failed".into())],
-                        );
+                        obs_end_span!(self.rec, g, self.m.cycles() as f64, "outcome" => "failed");
                     }
                 }
             }
@@ -595,7 +568,7 @@ impl Micro {
         let end = self.m.cycles() as f64;
         for st in &mut states {
             if let Some(g) = st.guard.take() {
-                self.rec.end_span(g, end);
+                obs_end_span!(self.rec, g, end);
             }
         }
         states
@@ -626,7 +599,7 @@ impl Micro {
     /// Recovery for a detection at round `i`.
     fn recover(&mut self, i: u32) {
         let start_cycles = self.m.cycles();
-        let recovery_g = self.rec.span("micro", "recovery", start_cycles as f64);
+        let recovery_g = obs_span!(self.rec, "micro", "recovery", start_cycles as f64);
         let (a, b) = (self.active[0], self.active[1]);
         self.m.preempt(self.procs[a]);
         self.m.preempt(self.procs[b]);
@@ -743,9 +716,9 @@ impl Micro {
         let rf_results = results; // 0, 1 or 2 roll-forward plans
 
         // majority vote
-        let vote_g = self.rec.span("micro", "vote", self.m.cycles() as f64);
+        let vote_g = obs_span!(self.rec, "micro", "vote", self.m.cycles() as f64);
         self.burn(2 * self.cfg.cmp_cycles);
-        self.rec.end_span(vote_g, self.m.cycles() as f64);
+        obs_end_span!(self.rec, vote_g, self.m.cycles() as f64);
 
         let vote = match &retry_result {
             Err(()) => None, // fault (trap) during retry
@@ -866,15 +839,11 @@ impl Micro {
                 self.report.committed_rounds += 1 + u64::from(progress);
                 self.journal_action(JournalAction::Recover, progress);
                 let t = self.m.cycles() as f64;
-                self.rec.event(
-                    t,
-                    "micro",
-                    "recovery",
-                    vec![
-                        ("round", i.into()),
-                        ("scheme", self.cfg.scheme.name().into()),
-                        ("rollforward_progress", progress.into()),
-                    ],
+                obs_event!(
+                    self.rec, t, "micro", "recovery",
+                    "round" => i,
+                    "scheme" => self.cfg.scheme.name(),
+                    "rollforward_progress" => progress,
                 );
                 if self.rounds_since >= self.cfg.s {
                     self.take_checkpoint();
@@ -906,11 +875,9 @@ impl Micro {
                 }
                 self.rounds_since = 0;
                 let t = self.m.cycles() as f64;
-                self.rec.event(
-                    t,
-                    "micro",
-                    "rollback",
-                    vec![("round", i.into()), ("rounds_lost", (i - 1).into())],
+                obs_event!(
+                    self.rec, t, "micro", "rollback",
+                    "round" => i, "rounds_lost" => i - 1,
                 );
                 let img = self.ckpt_img.clone();
                 for slot in [0usize, 1] {
@@ -923,11 +890,7 @@ impl Micro {
         }
         self.trap_evidence = None;
         self.report.time_recovery += (self.m.cycles() - start_cycles) as f64;
-        self.rec.end_span_with(
-            recovery_g,
-            self.m.cycles() as f64,
-            vec![("round", i.into())],
-        );
+        obs_end_span!(self.rec, recovery_g, self.m.cycles() as f64, "round" => i);
     }
 }
 
@@ -944,7 +907,9 @@ pub fn run_micro_with_state(
     fault: Option<MicroFault>,
     target_rounds: u64,
 ) -> (RunReport, Vec<u32>) {
-    let (report, img, _) = run_micro_engine(cfg, fault, target_rounds, Recorder::disabled());
+    // Monomorphized against the zero-sized sink: the uninstrumented
+    // entry point pays nothing for the instrumentation below.
+    let (report, img, _) = run_micro_engine(cfg, fault, target_rounds, NoopRecorder);
     (report, img)
 }
 
@@ -982,12 +947,12 @@ pub fn run_micro_with_recorder(
     run_micro_engine(cfg, fault, target_rounds, rec)
 }
 
-fn run_micro_engine(
+fn run_micro_engine<R: Record>(
     cfg: &MicroConfig,
     fault: Option<MicroFault>,
     target_rounds: u64,
-    rec: Recorder,
-) -> (RunReport, Vec<u32>, Recorder) {
+    rec: R,
+) -> (RunReport, Vec<u32>, R) {
     let mut e = Micro::with_recorder(cfg.clone(), fault, rec);
     // Fail-safe watchdog: a *permanent* fault in a shared functional unit
     // corrupts every round of every version — detectable (diversity!) but
@@ -1014,7 +979,7 @@ fn run_micro_engine(
             if stalled_iterations > 64 {
                 e.report.shutdown = true;
                 let t = e.m.cycles() as f64;
-                e.rec.event(t, "micro", "shutdown", vec![]);
+                obs_event!(e.rec, t, "micro", "shutdown");
                 e.journal_action(JournalAction::Shutdown, 0);
                 e.journal_finish();
                 break;
@@ -1280,33 +1245,38 @@ mod tests {
         assert_eq!(reg.counter("vds.detections"), 1);
         assert_eq!(reg.counter("smt.cycles"), r.total_time as u64);
         assert!(reg.counter("smt.thread0.retired") > 0);
-        let events: Vec<&str> = rec.trace().records().map(|e| e.event).collect();
-        assert!(events.contains(&"fault_injected"));
-        assert!(events.contains(&"detect"));
-        assert!(events.contains(&"recovery"));
-        assert!(events.contains(&"round"));
         // byte-identical exports across two runs (fixed seed)
         let (_, rec2) = run_micro_recorded(&cfg, Some(fault_mem(4, Victim::V2)), 15);
         assert_eq!(rec.registry().to_csv(), rec2.registry().to_csv());
         assert_eq!(rec.trace().to_jsonl(), rec2.trace().to_jsonl());
-        // span layer: every phase shows up, exports are deterministic,
-        // and the rollups landed in the registry
-        let names: Vec<&str> = rec.spans().records().map(|s| s.name).collect();
-        for phase in [
-            "round",
-            "compute",
-            "compare",
-            "checkpoint",
-            "recovery",
-            "retry",
-        ] {
-            assert!(names.contains(&phase), "missing span {phase}: {names:?}");
-        }
-        assert!(rec.spans().records().any(|s| s.component == "smt"));
         assert_eq!(rec.spans().to_chrome_json(), rec2.spans().to_chrome_json());
         assert_eq!(rec.spans().to_folded(), rec2.spans().to_folded());
-        assert!(reg.summary("span.micro.round.total").is_some());
-        assert!(reg.summary("span.micro.compare.self").is_some());
+        // hot-path events and spans only exist with the `obs` macros in
+        if cfg!(feature = "obs") {
+            let events: Vec<&str> = rec.trace().records().map(|e| e.event).collect();
+            assert!(events.contains(&"fault_injected"));
+            assert!(events.contains(&"detect"));
+            assert!(events.contains(&"recovery"));
+            assert!(events.contains(&"round"));
+            // span layer: every phase shows up, exports are deterministic,
+            // and the rollups landed in the registry
+            let names: Vec<&str> = rec.spans().records().map(|s| s.name).collect();
+            for phase in [
+                "round",
+                "compute",
+                "compare",
+                "checkpoint",
+                "recovery",
+                "retry",
+            ] {
+                assert!(names.contains(&phase), "missing span {phase}: {names:?}");
+            }
+            assert!(rec.spans().records().any(|s| s.component == "smt"));
+            assert!(reg.summary("span.micro.round.total").is_some());
+            assert!(reg.summary("span.micro.compare.self").is_some());
+        } else {
+            assert!(rec.trace().is_empty());
+        }
     }
 
     #[test]

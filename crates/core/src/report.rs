@@ -67,8 +67,9 @@ impl RunReport {
     }
 
     /// Mirror the report into a metrics registry under `<prefix>.*`:
-    /// event counters plus per-phase simulated-time gauges.
-    pub fn export_metrics(&self, rec: &mut vds_obs::Recorder, prefix: &str) {
+    /// event counters plus per-phase simulated-time gauges. End-of-run
+    /// export: generic over the facade, never feature-gated.
+    pub fn export_metrics<R: vds_obs::Record>(&self, rec: &mut R, prefix: &str) {
         for (field, v) in [
             ("committed_rounds", self.committed_rounds),
             ("faults_injected", self.faults_injected),

@@ -181,7 +181,10 @@ impl Timeline {
     /// recorded [`Span`], lane = hardware-thread id, under the given
     /// component (a lane per `(component, tid)` pair in the Chrome
     /// export). Labels travel along as a `label` field.
-    pub fn export_spans(&self, rec: &mut vds_obs::Recorder, component: &'static str) {
+    pub fn export_spans<R: vds_obs::Record>(&self, rec: &mut R, component: &'static str) {
+        if !R::ENABLED || !rec.is_active() {
+            return;
+        }
         for s in &self.spans {
             let fields = if s.label.is_empty() {
                 Vec::new()

@@ -26,8 +26,15 @@
 //!   verdict, scheduler decision, recovery action, injected fault), with
 //!   a JSONL codec and a binary-search first-divergence diff
 //!   ([`Journal::first_divergence`]) behind `vds replay` / `vds audit`.
-//! * [`Recorder`] — the handle instrumented code accepts; a disabled
-//!   recorder costs one branch per call.
+//! * [`Recorder`] — the concrete sink; a disabled recorder costs one
+//!   branch per call.
+//! * [`Record`] + [`NoopRecorder`] — the statically-dispatched facade
+//!   ([`facade`]): engines are generic over `R: Record`, the `obs_*!`
+//!   macros guard argument construction behind `is_active()`, and the
+//!   zero-sized [`NoopRecorder`] monomorphizes instrumentation away
+//!   entirely on uninstrumented runs. The `obs` cargo feature
+//!   (default-on) compiles the macro bodies out wholesale; the journal
+//!   and end-of-run exports stay available in every build.
 //!
 //! Live telemetry rides on top of the same registry: [`prom`] renders
 //! Prometheus text exposition, [`serve`] adds a [`TelemetryHub`] +
@@ -58,24 +65,30 @@
 //! assert!(csv.contains("counter,core.rounds.committed,value,1"));
 //! ```
 
+pub mod facade;
 pub mod journal;
+pub mod json;
 pub mod logging;
 pub mod prom;
 pub mod recorder;
 pub mod registry;
 pub mod serve;
 pub mod span;
+pub mod spsc;
 pub mod summary;
 pub mod trace;
 
+pub use facade::{NoopRecorder, Record};
 pub use journal::{
     digest_words128, Action, Digest128, Digester128, Divergence, Journal, JournalHeader,
     RoundEntry, Verdict, JOURNAL_SCHEMA,
 };
+pub use json::{json_array, JsonObj, REPORT_SCHEMA};
 pub use logging::Level;
 pub use recorder::{Recorder, Stopwatch, DEFAULT_TRACE_CAPACITY};
 pub use registry::Registry;
 pub use serve::{TelemetryHub, TelemetryServer};
 pub use span::{SpanGuard, SpanRecord, SpanSet, DEFAULT_SPAN_CAPACITY};
+pub use spsc::{write_atomic, Consumer, JournalSink, Producer, SpscRing};
 pub use summary::Summary;
-pub use trace::{Record, Trace, Value};
+pub use trace::{Trace, TraceRecord, Value};

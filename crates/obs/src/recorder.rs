@@ -11,7 +11,7 @@
 use crate::journal::{Journal, JournalHeader, RoundEntry};
 use crate::registry::Registry;
 use crate::span::{SpanGuard, SpanRecord, SpanSet};
-use crate::trace::{Record, Trace, Value};
+use crate::trace::{Trace, TraceRecord, Value};
 use std::time::Instant;
 
 /// Default trace capacity for enabled recorders.
@@ -67,6 +67,13 @@ impl Recorder {
         self.enabled
     }
 
+    /// Alias of [`Recorder::is_enabled`] matching the facade's
+    /// [`crate::Record::is_active`], so the `obs_*!` macros work on a
+    /// concrete `Recorder` without importing the trait.
+    pub fn is_active(&self) -> bool {
+        self.enabled
+    }
+
     /// Add `n` to a counter.
     pub fn count(&mut self, name: &str, n: u64) {
         if self.enabled {
@@ -109,7 +116,7 @@ impl Recorder {
         fields: Vec<(&'static str, Value)>,
     ) {
         if self.enabled {
-            self.trace.push(Record {
+            self.trace.push(TraceRecord {
                 sim_time,
                 component,
                 event,

@@ -24,7 +24,7 @@
 
 use crate::journal::Journal;
 use crate::prom;
-use crate::registry::{json_escape, Registry};
+use crate::registry::Registry;
 use crate::span::SpanSet;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -213,23 +213,20 @@ impl TelemetryHub {
         } else {
             0.0
         };
-        format!(
-            "{{\"phase\":\"{}\",\"ready\":{},\"done\":{},\"elapsed_secs\":{:.3},\
-             \"trials_done\":{},\"trials_total\":{},\"shards_done\":{},\"shards_total\":{},\
-             \"work_units\":{},\"work_units_per_sec\":{:.3},\"journal\":{},\"metrics\":{}}}",
-            json_escape(&st.phase),
-            self.is_ready(),
-            self.is_done(),
-            elapsed,
-            self.trials_done.load(Ordering::Relaxed),
-            self.trials_total.load(Ordering::Relaxed),
-            self.shards_done.load(Ordering::Relaxed),
-            self.shards_total.load(Ordering::Relaxed),
-            work_units,
-            rate,
-            st.journal_summary,
-            st.registry.to_json_object()
-        )
+        crate::JsonObj::report("progress")
+            .str("phase", &st.phase)
+            .bool("ready", self.is_ready())
+            .bool("done", self.is_done())
+            .f64_fixed("elapsed_secs", elapsed, 3)
+            .u64("trials_done", self.trials_done.load(Ordering::Relaxed))
+            .u64("trials_total", self.trials_total.load(Ordering::Relaxed))
+            .u64("shards_done", self.shards_done.load(Ordering::Relaxed))
+            .u64("shards_total", self.shards_total.load(Ordering::Relaxed))
+            .u64("work_units", work_units)
+            .f64_fixed("work_units_per_sec", rate, 3)
+            .raw("journal", &st.journal_summary)
+            .raw("metrics", &st.registry.to_json_object())
+            .finish()
     }
 }
 

@@ -1,0 +1,367 @@
+//! Lock-free single-producer/single-consumer ring + the batched journal
+//! writer built on it.
+//!
+//! Journaled runs used to pay a synchronized filesystem write per round.
+//! The [`JournalSink`] moves serialization off the hot path's critical
+//! cost: the producing (simulation) thread pushes finished JSONL lines
+//! into a fixed-capacity [`SpscRing`], and a background consumer thread
+//! drains them in batches into a temp file that is atomically renamed
+//! over the destination on [`JournalSink::finish`]. Readers therefore
+//! never observe a half-written journal, and the bytes are exactly what
+//! a single [`crate::Journal::to_jsonl`] call would have produced.
+
+use std::cell::UnsafeCell;
+use std::fs;
+use std::io::{self, BufWriter, Write as _};
+use std::mem::MaybeUninit;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+struct Inner<T> {
+    buf: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    /// Next slot the consumer will read (only the consumer advances it).
+    head: AtomicUsize,
+    /// Next slot the producer will write (only the producer advances it).
+    tail: AtomicUsize,
+    /// Set once the producer is dropped; lets the consumer distinguish
+    /// "empty for now" from "empty forever".
+    closed: AtomicBool,
+}
+
+// Slots are handed off with release/acquire on tail (producer→consumer)
+// and head (consumer→producer); each slot is accessed by exactly one
+// side at a time.
+unsafe impl<T: Send> Send for Inner<T> {}
+unsafe impl<T: Send> Sync for Inner<T> {}
+
+impl<T> Drop for Inner<T> {
+    fn drop(&mut self) {
+        // Drop any items never consumed. With both handles gone we have
+        // exclusive access; relaxed loads suffice.
+        let mut head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Relaxed);
+        while head != tail {
+            unsafe { (*self.buf[head % self.buf.len()].get()).assume_init_drop() };
+            head += 1;
+        }
+    }
+}
+
+/// Producer half of a [`SpscRing`]. Dropping it closes the channel.
+pub struct Producer<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// Consumer half of a [`SpscRing`].
+pub struct Consumer<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Drop for Producer<T> {
+    fn drop(&mut self) {
+        self.inner.closed.store(true, Ordering::Release);
+    }
+}
+
+/// Fixed-capacity lock-free SPSC ring; [`SpscRing::channel`] returns the
+/// two endpoints.
+pub struct SpscRing;
+
+impl SpscRing {
+    /// Build a channel holding at most `capacity` in-flight items
+    /// (rounded up to at least 2).
+    pub fn channel<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+        let capacity = capacity.max(2);
+        let buf = (0..capacity)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        let inner = Arc::new(Inner {
+            buf,
+            head: AtomicUsize::new(0),
+            tail: AtomicUsize::new(0),
+            closed: AtomicBool::new(false),
+        });
+        (
+            Producer {
+                inner: Arc::clone(&inner),
+            },
+            Consumer { inner },
+        )
+    }
+}
+
+impl<T> Producer<T> {
+    /// Try to enqueue; returns the item back when the ring is full.
+    pub fn try_push(&mut self, item: T) -> Result<(), T> {
+        let inner = &*self.inner;
+        let tail = inner.tail.load(Ordering::Relaxed);
+        let head = inner.head.load(Ordering::Acquire);
+        if tail.wrapping_sub(head) == inner.buf.len() {
+            return Err(item);
+        }
+        unsafe { (*inner.buf[tail % inner.buf.len()].get()).write(item) };
+        inner.tail.store(tail.wrapping_add(1), Ordering::Release);
+        Ok(())
+    }
+
+    /// Enqueue, yielding to the OS scheduler while the ring is full
+    /// (backpressure: the consumer is the filesystem, let it catch up).
+    pub fn push(&mut self, mut item: T) {
+        loop {
+            match self.try_push(item) {
+                Ok(()) => return,
+                Err(back) => {
+                    item = back;
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+impl<T> Consumer<T> {
+    /// Dequeue one item if available.
+    pub fn try_pop(&mut self) -> Option<T> {
+        let inner = &*self.inner;
+        let head = inner.head.load(Ordering::Relaxed);
+        let tail = inner.tail.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        let item = unsafe { (*inner.buf[head % inner.buf.len()].get()).assume_init_read() };
+        inner.head.store(head.wrapping_add(1), Ordering::Release);
+        Some(item)
+    }
+
+    /// True once the producer is gone **and** the ring is drained.
+    pub fn is_finished(&self) -> bool {
+        self.inner.closed.load(Ordering::Acquire)
+            && self.inner.head.load(Ordering::Relaxed) == self.inner.tail.load(Ordering::Acquire)
+    }
+}
+
+/// Write `contents` to `path` atomically: write a `.tmp.<pid>` sibling,
+/// then rename over the destination, so a crash mid-write never leaves a
+/// truncated file behind.
+pub fn write_atomic(path: &Path, contents: impl AsRef<[u8]>) -> io::Result<()> {
+    let tmp = tmp_sibling(path);
+    fs::write(&tmp, contents)?;
+    fs::rename(&tmp, path).inspect_err(|_| {
+        let _ = fs::remove_file(&tmp);
+    })
+}
+
+fn tmp_sibling(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(format!(".tmp.{}", std::process::id()));
+    path.with_file_name(name)
+}
+
+/// How many queued lines the background writer accepts before the
+/// producer blocks (one line per simulated round; 64k lines of
+/// headroom ≫ any flush latency we have seen).
+const SINK_CAPACITY: usize = 65_536;
+
+/// Lines are coalesced into buffered writes of roughly this size.
+const FLUSH_BYTES: usize = 64 * 1024;
+
+/// Streaming, crash-safe journal writer.
+///
+/// `create` opens a temp sibling of `path` and spawns the consumer
+/// thread; [`JournalSink::line`] enqueues one JSONL line (with trailing
+/// newline added here); [`JournalSink::finish`] waits for the drain,
+/// fsyncs, and renames the temp file over `path`. If the sink is dropped
+/// without `finish`, the temp file is removed and `path` is untouched.
+pub struct JournalSink {
+    producer: Option<Producer<String>>,
+    handle: Option<JoinHandle<io::Result<()>>>,
+    path: PathBuf,
+    tmp: PathBuf,
+}
+
+impl JournalSink {
+    /// Open the sink: create the temp file (truncating a stale one) and
+    /// start the background writer.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        let tmp = tmp_sibling(path);
+        let file = fs::File::create(&tmp)?;
+        let (producer, mut consumer) = SpscRing::channel::<String>(SINK_CAPACITY);
+        let handle = std::thread::Builder::new()
+            .name("vds-journal-writer".into())
+            .spawn(move || {
+                let mut out = BufWriter::with_capacity(FLUSH_BYTES, file);
+                loop {
+                    let mut wrote = false;
+                    while let Some(line) = consumer.try_pop() {
+                        out.write_all(line.as_bytes())?;
+                        out.write_all(b"\n")?;
+                        wrote = true;
+                    }
+                    if consumer.is_finished() {
+                        break;
+                    }
+                    if !wrote {
+                        std::thread::yield_now();
+                    }
+                }
+                out.flush()?;
+                out.into_inner()
+                    .map_err(|e| io::Error::other(e.to_string()))?
+                    .sync_all()
+            })?;
+        Ok(JournalSink {
+            producer: Some(producer),
+            handle: Some(handle),
+            path: path.to_path_buf(),
+            tmp,
+        })
+    }
+
+    /// Enqueue one line (no trailing newline; the writer adds it).
+    pub fn line(&mut self, line: String) {
+        self.producer
+            .as_mut()
+            .expect("sink already finished")
+            .push(line);
+    }
+
+    /// Close the channel, wait for the writer, and atomically publish the
+    /// file.
+    pub fn finish(mut self) -> io::Result<()> {
+        drop(self.producer.take()); // closes the channel
+        let result = self
+            .handle
+            .take()
+            .expect("sink already finished")
+            .join()
+            .map_err(|_| io::Error::other("journal writer thread panicked"))?;
+        match result {
+            Ok(()) => fs::rename(&self.tmp, &self.path).inspect_err(|_| {
+                let _ = fs::remove_file(&self.tmp);
+            }),
+            Err(e) => {
+                let _ = fs::remove_file(&self.tmp);
+                Err(e)
+            }
+        }
+    }
+}
+
+impl Drop for JournalSink {
+    fn drop(&mut self) {
+        if self.handle.is_some() {
+            drop(self.producer.take());
+            if let Some(h) = self.handle.take() {
+                let _ = h.join();
+            }
+            let _ = fs::remove_file(&self.tmp);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_delivers_in_order_across_threads() {
+        let (mut tx, mut rx) = SpscRing::channel::<u64>(8);
+        let t = std::thread::spawn(move || {
+            for i in 0..10_000u64 {
+                tx.push(i);
+            }
+        });
+        let mut expect = 0u64;
+        loop {
+            if let Some(v) = rx.try_pop() {
+                assert_eq!(v, expect);
+                expect += 1;
+            } else if rx.is_finished() {
+                break;
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        assert_eq!(expect, 10_000);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn full_ring_rejects_then_accepts() {
+        let (mut tx, mut rx) = SpscRing::channel::<u32>(2);
+        tx.try_push(1).unwrap();
+        tx.try_push(2).unwrap();
+        assert_eq!(tx.try_push(3), Err(3));
+        assert_eq!(rx.try_pop(), Some(1));
+        tx.try_push(3).unwrap();
+        assert_eq!(rx.try_pop(), Some(2));
+        assert_eq!(rx.try_pop(), Some(3));
+        assert_eq!(rx.try_pop(), None);
+    }
+
+    #[test]
+    fn unconsumed_items_are_dropped_cleanly() {
+        let flag = Arc::new(AtomicBool::new(false));
+        struct Probe(Arc<AtomicBool>);
+        impl Drop for Probe {
+            fn drop(&mut self) {
+                self.0.store(true, Ordering::Relaxed);
+            }
+        }
+        let (mut tx, rx) = SpscRing::channel::<Probe>(4);
+        tx.push(Probe(Arc::clone(&flag)));
+        drop(tx);
+        drop(rx);
+        assert!(flag.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn sink_writes_exact_bytes_atomically() {
+        let dir = std::env::temp_dir().join(format!("vds-sink-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.jsonl");
+        let mut sink = JournalSink::create(&path).unwrap();
+        let mut expect = String::new();
+        for i in 0..1000 {
+            sink.line(format!("{{\"seq\":{i}}}"));
+            expect.push_str(&format!("{{\"seq\":{i}}}\n"));
+        }
+        // nothing published until finish
+        assert!(!path.exists());
+        sink.finish().unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), expect);
+        // no temp litter
+        assert_eq!(fs::read_dir(&dir).unwrap().count(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn dropped_sink_leaves_destination_untouched() {
+        let dir = std::env::temp_dir().join(format!("vds-sink-drop-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.jsonl");
+        fs::write(&path, "old\n").unwrap();
+        {
+            let mut sink = JournalSink::create(&path).unwrap();
+            sink.line("new".into());
+        }
+        assert_eq!(fs::read_to_string(&path).unwrap(), "old\n");
+        assert_eq!(fs::read_dir(&dir).unwrap().count(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn write_atomic_replaces_contents() {
+        let dir = std::env::temp_dir().join(format!("vds-wa-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.json");
+        write_atomic(&path, "one").unwrap();
+        write_atomic(&path, "two").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "two");
+        assert_eq!(fs::read_dir(&dir).unwrap().count(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -95,7 +95,7 @@ impl Value {
 
 /// One trace record.
 #[derive(Debug, Clone, PartialEq)]
-pub struct Record {
+pub struct TraceRecord {
     /// Simulated time of the event (abstract units or cycles-as-f64,
     /// matching the emitting backend).
     pub sim_time: f64,
@@ -110,7 +110,7 @@ pub struct Record {
 /// Bounded event trace (ring buffer).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Trace {
-    records: VecDeque<Record>,
+    records: VecDeque<TraceRecord>,
     capacity: usize,
     dropped: u64,
 }
@@ -126,7 +126,7 @@ impl Trace {
     }
 
     /// Append a record, evicting the oldest when full.
-    pub fn push(&mut self, record: Record) {
+    pub fn push(&mut self, record: TraceRecord) {
         if self.capacity == 0 {
             self.dropped += 1;
             return;
@@ -139,7 +139,7 @@ impl Trace {
     }
 
     /// Records currently held, oldest first.
-    pub fn records(&self) -> impl Iterator<Item = &Record> {
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
         self.records.iter()
     }
 
@@ -230,8 +230,8 @@ impl std::fmt::Display for Trace {
 mod tests {
     use super::*;
 
-    fn rec(t: f64, event: &'static str) -> Record {
-        Record {
+    fn rec(t: f64, event: &'static str) -> TraceRecord {
+        TraceRecord {
             sim_time: t,
             component: "test",
             event,
@@ -262,7 +262,7 @@ mod tests {
     #[test]
     fn jsonl_shape() {
         let mut tr = Trace::with_capacity(8);
-        tr.push(Record {
+        tr.push(TraceRecord {
             sim_time: 1.5,
             component: "core",
             event: "round_committed",

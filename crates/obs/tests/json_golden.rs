@@ -1,0 +1,111 @@
+//! Golden-file test pinning the shared report serializer.
+//!
+//! Every machine-readable report — `vds stats --json`, the telemetry
+//! server's `/progress`, and the `BENCH_<n>.json` experiment rows — goes
+//! through [`vds_obs::JsonObj`]. This test rebuilds one representative
+//! document of each kind from fixed inputs and compares the exact bytes
+//! against `testdata/report_shapes.golden.jsonl` (one report per line).
+//! Regenerate with `VDS_UPDATE_GOLDEN=1 cargo test -p vds-obs`.
+
+use vds_obs::{digest_words128, JsonObj, Registry};
+use vds_obs::{Action, Journal, JournalHeader, RoundEntry, Verdict};
+
+fn sample_journal() -> Journal {
+    let mut j = Journal::enabled(JournalHeader::new("micro", "smt-prob", 1, 10, 2));
+    j.push(RoundEntry {
+        seq: 0,
+        lane: 0,
+        round: 1,
+        committed: 1,
+        sim_time: 0.5,
+        d1: digest_words128(&[1]),
+        d2: digest_words128(&[2]),
+        verdict: Verdict::Mismatch,
+        sched: "coschedule[v1,v2]".to_string(),
+        action: Action::Recover,
+        rollforward: 2,
+        fault: Some("transient:mem:4:9@v2".to_string()),
+    });
+    j
+}
+
+fn sample_registry() -> Registry {
+    let mut r = Registry::new();
+    r.count("vds.detections", 1);
+    r.count("journal.rounds", 1);
+    r.gauge("smt.occupancy", 0.75);
+    r.observe("round.cycles", 40.0);
+    r.observe("round.cycles", 44.0);
+    r
+}
+
+/// `vds stats --json`: the single-run report.
+fn stats_report() -> String {
+    JsonObj::report("stats")
+        .str("verdict", "correct")
+        .raw("journal", &sample_journal().summary_json())
+        .raw("metrics", &sample_registry().to_json_object())
+        .finish()
+}
+
+/// The telemetry server's `/progress` body (fixed clock values — the
+/// live server fills these from its own atomics).
+fn progress_report() -> String {
+    JsonObj::report("progress")
+        .str("phase", "campaign")
+        .bool("ready", true)
+        .bool("done", false)
+        .f64_fixed("elapsed_secs", 1.25, 3)
+        .u64("trials_done", 5)
+        .u64("trials_total", 100)
+        .u64("shards_done", 1)
+        .u64("shards_total", 8)
+        .u64("work_units", 2442)
+        .f64_fixed("work_units_per_sec", 1953.6, 3)
+        .raw("journal", &sample_journal().summary_json())
+        .raw("metrics", &sample_registry().to_json_object())
+        .finish()
+}
+
+/// One `BENCH_<n>.json` experiment row (the document wrapper adds the
+/// envelope and pretty layout in `vds_bench::perf::BenchReport::to_json`;
+/// the row bytes come from this exact builder chain).
+fn bench_row() -> String {
+    JsonObj::new()
+        .str("id", "E9")
+        .u64("sim_rounds", 2)
+        .f64_fixed("host_ms", 52.417, 3)
+        .u64("work_units", 2442)
+        .f64_fixed("work_per_ms", 2442.0 / 52.417, 3)
+        .finish()
+}
+
+#[test]
+fn report_shapes_match_golden_file() {
+    let got = format!(
+        "{}\n{}\n{}\n",
+        stats_report(),
+        progress_report(),
+        bench_row()
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/testdata/report_shapes.golden.jsonl"
+    );
+    if std::env::var_os("VDS_UPDATE_GOLDEN").is_some() {
+        std::fs::write(path, &got).unwrap();
+    }
+    let want = std::fs::read_to_string(path)
+        .expect("golden file present (regenerate with VDS_UPDATE_GOLDEN=1)");
+    assert_eq!(got, want, "report shapes drifted from the golden file");
+}
+
+#[test]
+fn every_report_opens_with_the_shared_envelope() {
+    for report in [stats_report(), progress_report()] {
+        assert!(
+            report.starts_with("{\"schema\":\"vds.report.v1\",\"kind\":\""),
+            "{report}"
+        );
+    }
+}

@@ -343,6 +343,10 @@ pub struct Core {
     /// retired-at-start) counter snapshots.
     open_windows: Vec<Option<(u64, u64, u64)>>,
     windows_dropped: u64,
+    /// Scratch buffers reused across [`Core::step`] calls so the hot
+    /// per-cycle loop allocates nothing.
+    order_scratch: Vec<usize>,
+    used_scratch: Vec<(FuClass, usize)>,
 }
 
 impl Core {
@@ -366,6 +370,8 @@ impl Core {
             windows: Vec::new(),
             open_windows: Vec::new(),
             windows_dropped: 0,
+            order_scratch: Vec::new(),
+            used_scratch: Vec::new(),
         }
     }
 
@@ -470,7 +476,7 @@ impl Core {
     /// Flush core state into a metrics registry: total cycles, per-thread
     /// counters under `smt.thread<i>.*`, and shared cache hit/miss/conflict
     /// counts under `smt.icache.*` / `smt.dcache.*`.
-    pub fn export_metrics(&self, rec: &mut vds_obs::Recorder) {
+    pub fn export_metrics<R: vds_obs::Record>(&self, rec: &mut R) {
         rec.count("smt.cycles", self.cycle);
         for (i, t) in self.threads.iter().enumerate() {
             t.counters.export_metrics(rec, &format!("smt.thread{i}"));
@@ -492,7 +498,7 @@ impl Core {
     /// Export recorded pipeline windows as spans (component `"smt"`, one
     /// lane per hardware thread). Still-open windows are clamped to the
     /// current cycle without being consumed.
-    pub fn export_spans(&self, rec: &mut vds_obs::Recorder) {
+    pub fn export_spans<R: vds_obs::Record>(&self, rec: &mut R) {
         let window_fields = |issued: u64, retired: u64| {
             vec![
                 ("issued", vds_obs::Value::from(issued)),
@@ -584,9 +590,10 @@ impl Core {
         outgoing
     }
 
-    fn priority_order(&self) -> Vec<usize> {
+    fn priority_order_into(&self, order: &mut Vec<usize>) {
         let n = self.threads.len();
-        let mut order: Vec<usize> = (0..n).collect();
+        order.clear();
+        order.extend(0..n);
         match self.cfg.fetch_policy {
             FetchPolicy::RoundRobin => {
                 order.rotate_left(self.rr_offset % n.max(1));
@@ -595,7 +602,6 @@ impl Core {
                 order.sort_by_key(|&i| (self.threads[i].counters.retired, i));
             }
         }
-        order
     }
 
     fn free_unit(&self, class: FuClass, used_this_cycle: &[(FuClass, usize)]) -> Option<usize> {
@@ -629,14 +635,16 @@ impl Core {
     pub fn step(&mut self) -> bool {
         self.cycle += 1;
         self.reservations.retain(|r| r.until > self.cycle);
-        let order = self.priority_order();
+        let mut order = std::mem::take(&mut self.order_scratch);
+        self.priority_order_into(&mut order);
         self.rr_offset = self.rr_offset.wrapping_add(1);
 
         let mut issued = 0usize;
-        let mut used: Vec<(FuClass, usize)> = Vec::with_capacity(self.cfg.issue_width);
+        let mut used = std::mem::take(&mut self.used_scratch);
+        used.clear();
         let mut any = false;
 
-        for tid in order {
+        for &tid in &order {
             // per-cycle bookkeeping
             self.threads[tid].counters.cycles += 1;
             if self.record_windows {
@@ -721,6 +729,8 @@ impl Core {
             self.execute(tid, &instr, class, unit);
             self.threads[tid].regs[0] = 0;
         }
+        self.order_scratch = order;
+        self.used_scratch = used;
         any
     }
 

@@ -102,8 +102,9 @@ impl ThreadCounters {
 
     /// Flush every counter into a metrics registry under
     /// `<prefix>.<counter>` (e.g. `smt.thread0.retired`), plus derived
-    /// `ipc` and `branch_accuracy` gauges.
-    pub fn export_metrics(&self, rec: &mut vds_obs::Recorder, prefix: &str) {
+    /// `ipc` and `branch_accuracy` gauges. End-of-run export: generic
+    /// over the facade, never feature-gated.
+    pub fn export_metrics<R: vds_obs::Record>(&self, rec: &mut R, prefix: &str) {
         for (field, v) in [
             ("retired", self.retired),
             ("cycles", self.cycles),
