@@ -69,6 +69,7 @@ pub mod multithread;
 pub mod params;
 pub mod predictive;
 pub mod rollforward;
+pub mod schemes;
 pub mod timing;
 
 pub use params::Params;

@@ -98,7 +98,10 @@ pub fn report(rounds: u64, workers: usize, seed: u64) -> Report {
         text,
         data: vec![(
             "s_scheme_heatmap.csv".into(),
-            vds_sweep::to_csv(&outcome.results),
+            // measured columns only: the attachment bytes feed the
+            // work-unit gate, so this artefact is byte-pinned (the
+            // conformance columns live in `vds sweep` exports)
+            vds_sweep::to_measured_csv(&outcome.results),
         )],
         metrics: outcome.registry,
         spans: Default::default(),

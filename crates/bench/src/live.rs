@@ -29,13 +29,34 @@ pub fn campaign_trial(
     target_rounds: u64,
     rec: &mut Recorder,
 ) -> TrialResult {
+    campaign_trial_for(
+        Scheme::SmtProbabilistic,
+        index,
+        base_seed,
+        target_rounds,
+        rec,
+    )
+}
+
+/// [`campaign_trial`] with the recovery scheme as a parameter, so `vds
+/// serve --scheme` (and `vds replay` of such a recording) can run the
+/// same campaign under any micro-capable scheme. The fault sequence
+/// depends only on `(index, base_seed)`, so two campaigns differing only
+/// in scheme face identical fault injections.
+pub fn campaign_trial_for(
+    scheme: Scheme,
+    index: u64,
+    base_seed: u64,
+    target_rounds: u64,
+    rec: &mut Recorder,
+) -> TrialResult {
     let mut rng = SmallRng::seed_from_u64(
         index
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
             .wrapping_add(base_seed)
             ^ 0x5EE7,
     );
-    let mut cfg = MicroConfig::new(Scheme::SmtProbabilistic, 8);
+    let mut cfg = MicroConfig::new(scheme, 8);
     cfg.seed = base_seed.wrapping_add(index);
     let victim = if rng.gen() { Victim::V1 } else { Victim::V2 };
     let at_round = rng.gen_range(1..=cfg.s);
@@ -75,15 +96,21 @@ pub fn campaign_trial(
 /// and `vds replay` re-runs agree on the run's identity. `s` and the
 /// scheme mirror [`campaign_trial`]'s fixed configuration.
 pub fn campaign_journal_header(trials: u64, base_seed: u64, target_rounds: u64) -> JournalHeader {
-    let cfg = MicroConfig::new(Scheme::SmtProbabilistic, 8);
-    JournalHeader::new(
-        "campaign",
-        Scheme::SmtProbabilistic.name(),
-        base_seed,
-        cfg.s,
-        target_rounds,
-    )
-    .with_meta("trials", &trials.to_string())
+    campaign_journal_header_for(Scheme::SmtProbabilistic, trials, base_seed, target_rounds)
+}
+
+/// [`campaign_journal_header`] for a [`campaign_trial_for`] campaign
+/// under `scheme`: the header records the scheme so replay and the
+/// conformance tracker price the rounds with the right closed forms.
+pub fn campaign_journal_header_for(
+    scheme: Scheme,
+    trials: u64,
+    base_seed: u64,
+    target_rounds: u64,
+) -> JournalHeader {
+    let cfg = MicroConfig::new(scheme, 8);
+    JournalHeader::new("campaign", scheme.name(), base_seed, cfg.s, target_rounds)
+        .with_meta("trials", &trials.to_string())
 }
 
 #[cfg(test)]

@@ -53,6 +53,14 @@ pub struct BenchEntry {
     /// Sum of all deterministic counters the run recorded
     /// (seed-determined; worker-count invariant).
     pub work_units: u64,
+    /// Observations in the run's `*.conformance.residual_abs`
+    /// histograms (0 when the experiment records no conformance —
+    /// additive v1 field, absent in pre-conformance baselines).
+    pub conf_samples: u64,
+    /// Mean |predicted-vs-measured G residual| across those
+    /// observations (0 when there are none). Seed-determined, like
+    /// `work_units` — drift here is a model or determinism change.
+    pub conf_mean_abs_residual: f64,
 }
 
 impl BenchEntry {
@@ -102,6 +110,7 @@ pub fn run_suite_with(workers: usize, seed: Option<u64>, max_rounds: Option<u64>
         };
         let mut host_ms = f64::INFINITY;
         let mut work_units = 0u64;
+        let mut conf = (0u64, 0.0f64);
         for rep in 0..TIMING_REPEATS {
             let sw = Stopwatch::start();
             let report = exp.run(&p);
@@ -109,6 +118,7 @@ pub fn run_suite_with(workers: usize, seed: Option<u64>, max_rounds: Option<u64>
             let units: u64 = report.metrics.counters().map(|(_, v)| v).sum();
             if rep == 0 {
                 work_units = units;
+                conf = conformance_summary(&report.metrics);
             } else {
                 assert_eq!(
                     units, work_units,
@@ -122,12 +132,28 @@ pub fn run_suite_with(workers: usize, seed: Option<u64>, max_rounds: Option<u64>
             sim_rounds: rounds,
             host_ms,
             work_units,
+            conf_samples: conf.0,
+            conf_mean_abs_residual: conf.1,
         });
     }
     BenchReport {
         schema_version: SCHEMA_VERSION,
         experiments,
     }
+}
+
+/// `(observations, mean |residual|)` pooled over every
+/// `*.conformance.residual_abs` histogram in the registry (the abstract
+/// engine, fault campaigns and the sweep all export under that suffix).
+fn conformance_summary(reg: &vds_obs::Registry) -> (u64, f64) {
+    let (mut n, mut sum) = (0u64, 0.0f64);
+    for (name, h) in reg.histograms() {
+        if name.ends_with("conformance.residual_abs") {
+            n += h.count();
+            sum += h.sum();
+        }
+    }
+    (n, if n > 0 { sum / n as f64 } else { 0.0 })
 }
 
 impl BenchReport {
@@ -149,6 +175,8 @@ impl BenchReport {
                         .f64_fixed("host_ms", e.host_ms, 3)
                         .u64("work_units", e.work_units)
                         .f64_fixed("work_per_ms", e.work_per_ms(), 3)
+                        .u64("conf_samples", e.conf_samples)
+                        .f64_fixed("conf_mean_abs_residual", e.conf_mean_abs_residual, 6)
                         .finish()
                 )
             })
@@ -194,6 +222,9 @@ impl BenchReport {
                     .ok_or("experiment missing host_ms".to_string())?,
                 work_units: extract_u64(obj, "work_units")
                     .ok_or("experiment missing work_units".to_string())?,
+                // additive fields: absent in pre-conformance baselines
+                conf_samples: extract_u64(obj, "conf_samples").unwrap_or(0),
+                conf_mean_abs_residual: extract_f64(obj, "conf_mean_abs_residual").unwrap_or(0.0),
             });
             rest = &rest[close + 1..];
         }
@@ -300,12 +331,16 @@ mod tests {
                     sim_rounds: 120,
                     host_ms: 12.5,
                     work_units: 4200,
+                    conf_samples: 3,
+                    conf_mean_abs_residual: 0.012345,
                 },
                 BenchEntry {
                     id: "E10".into(),
                     sim_rounds: 64,
                     host_ms: 800.0,
                     work_units: 987_654,
+                    conf_samples: 0,
+                    conf_mean_abs_residual: 0.0,
                 },
             ],
         }

@@ -93,6 +93,21 @@ const RESUME: FlagSpec = flag(
     Some("PATH"),
     "append completed cells to a journal at PATH; re-runs skip journaled cells",
 );
+const WINDOW: FlagSpec = flag(
+    "window",
+    Some("N"),
+    "rounds per residual window (default 8)",
+);
+const TOLERANCE: FlagSpec = flag(
+    "tolerance",
+    Some("F"),
+    "|residual| bound a window must stay within (default 0.25)",
+);
+const SCHEME: FlagSpec = flag(
+    "scheme",
+    Some("NAME"),
+    "campaign recovery scheme (default smt-prob; smt-boost5 is abstract-only)",
+);
 
 /// A subcommand's argument contract.
 pub(crate) struct CommandSpec {
@@ -171,11 +186,19 @@ pub(crate) const SWEEP: CommandSpec = CommandSpec {
 
 pub(crate) const SERVE: CommandSpec = CommandSpec {
     name: "serve",
-    usage: "vds serve [--addr HOST] [--port N] [--once]",
+    usage: "vds serve [--addr HOST] [--port N] [--scheme NAME] [--once]",
     about: "run a live fault campaign behind a telemetry HTTP server",
     flags: &[
-        ADDR, PORT, PORT_FILE, TRIALS, ROUNDS, SEED, WORKERS, ONCE, METRICS, JOURNAL, LOG_LEVEL,
+        ADDR, PORT, PORT_FILE, TRIALS, ROUNDS, SEED, WORKERS, SCHEME, ONCE, METRICS, JOURNAL,
+        LOG_LEVEL,
     ],
+};
+
+pub(crate) const CONFORMANCE: CommandSpec = CommandSpec {
+    name: "conformance",
+    usage: "vds conformance <journal|live> [--window N] [--tolerance F] [--json]",
+    about: "predicted-vs-measured G residuals over a recorded (or live) journal",
+    flags: &[WINDOW, TOLERANCE, JSON, ADDR, PORT, LOG_LEVEL],
 };
 
 pub(crate) const REPLAY: CommandSpec = CommandSpec {
@@ -306,6 +329,26 @@ fn set_value(f: &mut Flags, name: &str, value: String) -> Result<(), CliError> {
         "journal" => f.journal = Some(value),
         "grid" => f.grid = Some(value),
         "resume" => f.resume = Some(value),
+        "window" => {
+            let w: usize = parse_num(&value, "--window")?;
+            if w == 0 {
+                return Err(CliError::usage("--window: must be at least 1"));
+            }
+            f.window = Some(w);
+        }
+        "tolerance" => {
+            let t: f64 = value
+                .parse()
+                .ok()
+                .filter(|t: &f64| t.is_finite() && *t >= 0.0)
+                .ok_or_else(|| {
+                    CliError::usage(format!(
+                        "--tolerance: `{value}` is not a non-negative number (e.g. 0.25)"
+                    ))
+                })?;
+            f.tolerance = Some(t);
+        }
+        "scheme" => f.scheme = Some(value),
         _ => unreachable!("value flag `--{name}` missing from set_value"),
     }
     Ok(())

@@ -76,6 +76,15 @@ pub(crate) fn cmd_audit(args: &[String]) -> Result<String, CliError> {
     }
     let a = load_journal(a_path)?;
     let b = load_journal(b_path)?;
+    // a headerless file is a truncated or non-journal input, not a
+    // comparable recording — refuse with one clear line, no backtrace
+    for (path, j) in [(a_path, &a), (b_path, &b)] {
+        if j.header().is_none() {
+            return Err(CliError::runtime(format!(
+                "`{path}` has no journal header (missing or truncated?)"
+            )));
+        }
+    }
     match a.first_divergence(&b) {
         None => Ok(format!(
             "journals identical: {} entries ({a_path} vs {b_path})\n",
@@ -148,17 +157,15 @@ fn replay_micro(header: &JournalHeader) -> Result<Journal, CliError> {
 }
 
 fn replay_campaign(header: &JournalHeader, workers: usize) -> Result<Journal, CliError> {
-    use vds_bench::live::campaign_trial;
+    use vds_bench::live::campaign_trial_for;
     use vds_fault::campaign::run_campaign_journaled;
-    // campaign journals record the serve campaign, whose trial body pins
-    // the scheme; a header claiming another scheme cannot be honoured
-    let expected = vds_core::Scheme::SmtProbabilistic.name();
-    if header.scheme != expected {
-        return Err(CliError::runtime(format!(
-            "campaign journals replay the serve campaign (scheme {expected}), \
-             header says `{}`",
-            header.scheme
-        )));
+    // campaign journals record the serve campaign under the scheme the
+    // header names (`vds serve --scheme`); anything micro-capable replays
+    let scheme = parse_scheme(&header.scheme)?;
+    if scheme == vds_core::Scheme::SmtBoosted5 {
+        return Err(CliError::runtime(
+            "campaign journals cannot use smt-boost5 (abstract backend only)",
+        ));
     }
     let trials: u64 = header
         .meta("trials")
@@ -166,7 +173,7 @@ fn replay_campaign(header: &JournalHeader, workers: usize) -> Result<Journal, Cl
         .ok_or_else(|| CliError::runtime("campaign journal header has no valid trials meta"))?;
     let (base_seed, target_rounds) = (header.seed, header.target_rounds);
     let (_, rec) = run_campaign_journaled("replay", trials, workers, None, header, |i, rec| {
-        campaign_trial(i, base_seed, target_rounds, rec)
+        campaign_trial_for(scheme, i, base_seed, target_rounds, rec)
     });
     Ok(rec.journal().clone())
 }
@@ -270,5 +277,60 @@ mod tests {
         let e = run(&["replay", p.to_str().unwrap()]).unwrap_err();
         assert_eq!(e.code, 1);
         assert!(e.msg.contains("no journal header"), "{}", e.msg);
+    }
+
+    #[test]
+    fn audit_diff_requires_headers_on_both_journals() {
+        // a real recording vs a headerless file: one clear runtime error
+        // naming the offending path, never a panic
+        let good = tmp("with-header.journal.jsonl");
+        let gs = good.to_str().unwrap();
+        run(&["duplex", "smt-det", "12", "--journal", gs]).unwrap();
+        let bare = tmp("no-header.jsonl");
+        std::fs::write(&bare, "").unwrap();
+        let bs = bare.to_str().unwrap();
+        for (a, b) in [(gs, bs), (bs, gs)] {
+            let e = run(&["audit", "diff", a, b]).unwrap_err();
+            assert_eq!(e.code, 1);
+            assert_eq!(
+                e.msg,
+                format!("`{bs}` has no journal header (missing or truncated?)")
+            );
+            assert_eq!(e.msg.lines().count(), 1, "{}", e.msg);
+        }
+    }
+
+    #[test]
+    fn truncated_headers_fail_with_one_parse_line_not_a_panic() {
+        // chop the header line mid-JSON: both consumers report a single
+        // `cannot parse` line with exit code 1
+        let p = tmp("truncated.journal.jsonl");
+        let ps = p.to_str().unwrap();
+        run(&["duplex", "smt-det", "12", "--journal", ps]).unwrap();
+        let text = std::fs::read_to_string(&p).unwrap();
+        let header_len = text.lines().next().unwrap().len();
+        std::fs::write(&p, &text[..header_len / 2]).unwrap();
+        for cmd in [&["replay", ps][..], &["audit", "diff", ps, ps][..]] {
+            let e = run(cmd).unwrap_err();
+            assert_eq!(e.code, 1, "{cmd:?}");
+            assert!(e.msg.contains(&format!("cannot parse `{ps}`")), "{}", e.msg);
+            assert_eq!(e.msg.lines().count(), 1, "{}", e.msg);
+        }
+    }
+
+    #[test]
+    fn campaign_replay_honours_the_header_scheme() {
+        use vds_bench::live::{campaign_journal_header_for, campaign_trial_for};
+        use vds_fault::campaign::run_campaign_journaled;
+        let scheme = vds_core::Scheme::SmtDeterministic;
+        let header = campaign_journal_header_for(scheme, 4, 42, 20);
+        let (_, rec) = run_campaign_journaled("serve", 4, 2, None, &header, |i, rec| {
+            campaign_trial_for(scheme, i, 42, 20, rec)
+        });
+        let p = tmp("det-campaign.journal.jsonl");
+        std::fs::write(&p, rec.journal().to_jsonl()).unwrap();
+        let ok = run(&["replay", p.to_str().unwrap(), "--workers", "2"]).unwrap();
+        assert!(ok.contains("replay OK"), "{ok}");
+        assert!(ok.contains("scheme smt-det"), "{ok}");
     }
 }

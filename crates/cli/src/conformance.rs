@@ -1,0 +1,159 @@
+//! `vds conformance` — predicted-vs-measured G residuals over a journal.
+//!
+//! Prices every recorded round with the paper's closed forms (via
+//! `vds-obs`'s [`ConformanceTracker`]) and prints the windowed residual
+//! report: mean / p50 / p99 residual, the fraction of windows outside
+//! the tolerance band, and the worst window with its round range. The
+//! input is either a journal file written by `--journal` (any backend —
+//! micro duplex runs, serve campaigns, abstract runs) or the literal
+//! word `live`, which fetches `/journal` from a running `vds serve`.
+//!
+//! The report depends only on the journal bytes, so it is identical for
+//! any worker count that produced the recording — the same determinism
+//! contract the journal itself carries.
+
+use crate::{read_file, CliError};
+use std::io::{Read as _, Write as _};
+use vds_obs::conformance::{DEFAULT_TOLERANCE, DEFAULT_WINDOW};
+use vds_obs::{ConformanceTracker, Journal};
+
+pub(crate) fn cmd_conformance(args: &[String]) -> Result<String, CliError> {
+    let f = crate::args::CONFORMANCE.parse(args)?;
+    if f.help {
+        return Ok(crate::args::CONFORMANCE.help());
+    }
+    let source = f
+        .positional
+        .first()
+        .ok_or_else(|| CliError::usage("conformance: missing journal (a path, or `live`)"))?;
+    if f.positional.len() > 1 {
+        return Err(CliError::usage("conformance: too many arguments"));
+    }
+    let window = f.window.unwrap_or(DEFAULT_WINDOW);
+    let tolerance = f.tolerance.unwrap_or(DEFAULT_TOLERANCE);
+    let text = if source == "live" {
+        let addr = format!(
+            "{}:{}",
+            f.addr.as_deref().unwrap_or("127.0.0.1"),
+            f.port.unwrap_or(9898)
+        );
+        fetch_live_journal(&addr)?
+    } else {
+        read_file(source)?
+    };
+    let journal = Journal::from_jsonl(&text)
+        .map_err(|e| CliError::runtime(format!("cannot parse `{source}`: {e}")))?;
+    if journal.header().is_none() {
+        return Err(CliError::runtime(format!(
+            "`{source}` has no journal header (missing or truncated?)"
+        )));
+    }
+    let tracker =
+        ConformanceTracker::for_journal(&journal, window, tolerance).map_err(CliError::runtime)?;
+    let report = tracker.report();
+    if f.json {
+        let mut out = report.to_json();
+        out.push('\n');
+        Ok(out)
+    } else {
+        Ok(report.render_text())
+    }
+}
+
+/// Fetch `/journal` from a running `vds serve` with a minimal HTTP/1.0
+/// GET over a raw [`std::net::TcpStream`] — no client dependency, same
+/// zero-dependency stance as the server side.
+fn fetch_live_journal(addr: &str) -> Result<String, CliError> {
+    let err = |e: std::io::Error| {
+        CliError::runtime(format!(
+            "cannot fetch journal from http://{addr}/journal: {e} (is `vds serve` running?)"
+        ))
+    };
+    let mut stream = std::net::TcpStream::connect(addr).map_err(err)?;
+    stream
+        .write_all(format!("GET /journal HTTP/1.0\r\nHost: {addr}\r\n\r\n").as_bytes())
+        .map_err(err)?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response).map_err(err)?;
+    let Some((head, body)) = response.split_once("\r\n\r\n") else {
+        return Err(CliError::runtime(format!(
+            "malformed HTTP response from http://{addr}/journal"
+        )));
+    };
+    let status = head.lines().next().unwrap_or("");
+    if !status.contains("200") {
+        return Err(CliError::runtime(format!(
+            "http://{addr}/journal answered `{status}` — \
+             was the campaign recorded with a journal?"
+        )));
+    }
+    Ok(body.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{dispatch, CliError};
+
+    fn run(args: &[&str]) -> Result<String, CliError> {
+        let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        dispatch(&v)
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("vds-cli-conformance");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn conformance_reports_over_a_recorded_duplex_journal() {
+        let p = tmp("duplex.journal.jsonl");
+        let ps = p.to_str().unwrap();
+        run(&["duplex", "smt-det", "24", "4", "--journal", ps]).unwrap();
+        let out = run(&["conformance", ps, "--window", "4"]).unwrap();
+        assert!(out.contains("conformance: scheme smt-det"), "{out}");
+        assert!(out.contains("residual: mean"), "{out}");
+        // the same journal, priced twice, renders byte-identically
+        let again = run(&["conformance", ps, "--window", "4"]).unwrap();
+        assert_eq!(out, again);
+    }
+
+    #[test]
+    fn conformance_json_is_a_schema_versioned_report() {
+        let p = tmp("json.journal.jsonl");
+        let ps = p.to_str().unwrap();
+        run(&["duplex", "smt-prob", "24", "--journal", ps]).unwrap();
+        let out = run(&["conformance", ps, "--json"]).unwrap();
+        assert!(
+            out.starts_with("{\"schema\":\"vds.report.v1\",\"kind\":\"conformance\""),
+            "{out}"
+        );
+        assert!(out.contains("\"scheme\":\"smt-prob\""), "{out}");
+        assert!(out.contains("\"mean_abs_residual\":"), "{out}");
+    }
+
+    #[test]
+    fn conformance_rejects_headerless_and_missing_inputs() {
+        let bare = tmp("no-header.jsonl");
+        std::fs::write(&bare, "").unwrap();
+        let bs = bare.to_str().unwrap();
+        let e = run(&["conformance", bs]).unwrap_err();
+        assert_eq!(e.code, 1);
+        assert!(e.msg.contains("no journal header"), "{}", e.msg);
+        let e = run(&["conformance", "/nonexistent/x.jsonl"]).unwrap_err();
+        assert_eq!(e.code, 1);
+        assert!(e.msg.contains("cannot read"), "{}", e.msg);
+        assert_eq!(run(&["conformance"]).unwrap_err().code, 2);
+        assert_eq!(run(&["conformance", bs, "extra"]).unwrap_err().code, 2);
+        assert_eq!(
+            run(&["conformance", bs, "--window", "0"]).unwrap_err().code,
+            2
+        );
+        assert_eq!(
+            run(&["conformance", bs, "--tolerance", "-1"])
+                .unwrap_err()
+                .code,
+            2
+        );
+    }
+}

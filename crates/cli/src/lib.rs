@@ -48,6 +48,7 @@ use std::fmt::Write as _;
 
 mod args;
 mod audit;
+mod conformance;
 mod serve;
 mod sweep_cmd;
 
@@ -95,6 +96,7 @@ USAGE:
     vds serve                           run a live fault campaign behind a telemetry HTTP server
     vds replay <journal>                re-execute a recorded run, assert digest-for-digest agreement
     vds audit diff <a> <b>              first divergent round between two journals
+    vds conformance <journal|live>      predicted-vs-measured G residuals over a journal
     vds gains [alpha] [beta] [p]        closed-form gain summary
     vds <command> --help                per-command flag reference
 
@@ -121,8 +123,13 @@ FLAGS (alpha / duplex / stats / report / experiment / bench / serve; `--flag v` 
                          q=0.01;backend=abstract;rounds=2000;seed=1) or a TOML file
     --resume PATH        sweep: append completed cells to a journal at PATH and, when
                          it already holds rows for this grid, skip those cells
+    --scheme NAME        serve: campaign recovery scheme (default smt-prob;
+                         smt-boost5 is abstract-only)
+    --window N           conformance: rounds per residual window (default 8)
+    --tolerance F        conformance: |residual| bound a window must stay within
+                         (default 0.25)
 
-ENDPOINTS (vds serve): /metrics (Prometheus), /healthz, /readyz, /trace (Chrome JSON), /progress (JSON), /journal (JSONL)
+ENDPOINTS (vds serve): /metrics (Prometheus), /healthz, /readyz, /trace (Chrome JSON), /progress (JSON), /journal (JSONL), /conformance (JSON)
 
 SCHEMES: conventional, smt-det, smt-prob, smt-pred, smt-boost3, smt-boost5"
 }
@@ -148,6 +155,9 @@ struct Flags {
     grid: Option<String>,
     resume: Option<String>,
     threshold: Option<f64>,
+    window: Option<usize>,
+    tolerance: Option<f64>,
+    scheme: Option<String>,
     /// `--help` was given: the command should print its flag reference.
     help: bool,
     positional: Vec<String>,
@@ -239,6 +249,7 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
         "serve" => serve::cmd_serve(&args[1..]),
         "replay" => audit::cmd_replay(&args[1..]),
         "audit" => audit::cmd_audit(&args[1..]),
+        "conformance" => conformance::cmd_conformance(&args[1..]),
         "flowchart" => {
             let scheme = parse_scheme(
                 args.get(1)
@@ -477,6 +488,18 @@ fn cmd_duplex(args: &[String], mode: DuplexMode) -> Result<String, CliError> {
     if let Some(mut rec) = rec {
         // single-run top level: fold journal.* into the registry here
         rec.export_journal_metrics();
+        // price the recorded rounds against the closed forms so `vds
+        // stats` surfaces conformance.* gauges next to the journal block
+        // (gauges + histogram only; counters stay untouched)
+        if let Ok(tracker) = vds_obs::ConformanceTracker::for_journal(
+            rec.journal(),
+            vds_obs::conformance::DEFAULT_WINDOW,
+            vds_obs::conformance::DEFAULT_TOLERANCE,
+        ) {
+            let mut reg = vds_obs::Registry::new();
+            tracker.export_metrics(&mut reg);
+            rec.merge_registry(&reg);
+        }
         let journal_note = match &f.journal {
             Some(path) => {
                 write_atomic(path, rec.journal().to_jsonl().as_bytes())

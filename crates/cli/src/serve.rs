@@ -65,23 +65,39 @@ pub(crate) fn cmd_serve(args: &[String]) -> Result<String, CliError> {
     if !f.positional.is_empty() {
         return Err(CliError::usage("serve: unexpected positional arguments"));
     }
-    let opts = ServeOpts::from_flags(&f);
+    let opts = ServeOpts::from_flags(&f)?;
     serve(&opts, &f)
 }
 
 /// Resolved `vds serve` options.
+#[derive(Debug)]
 struct ServeOpts {
     addr: String,
     trials: u64,
     target_rounds: u64,
     seed: u64,
     workers: usize,
+    scheme: vds_core::Scheme,
     once: bool,
 }
 
 impl ServeOpts {
-    fn from_flags(f: &Flags) -> ServeOpts {
-        ServeOpts {
+    fn from_flags(f: &Flags) -> Result<ServeOpts, CliError> {
+        let scheme = match f.scheme.as_deref() {
+            Some(name) => {
+                let s = crate::parse_scheme(name)?;
+                if s == vds_core::Scheme::SmtBoosted5 {
+                    return Err(CliError::usage(
+                        "serve: smt-boost5 runs on the abstract backend only \
+                         (micro-capable schemes: conventional, smt-det, smt-prob, \
+                         smt-pred, smt-boost3)",
+                    ));
+                }
+                s
+            }
+            None => vds_core::Scheme::SmtProbabilistic,
+        };
+        Ok(ServeOpts {
             addr: format!(
                 "{}:{}",
                 f.addr.as_deref().unwrap_or("127.0.0.1"),
@@ -93,8 +109,9 @@ impl ServeOpts {
             workers: f
                 .workers
                 .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, |n| n.get())),
+            scheme,
             once: f.once,
-        }
+        })
     }
 }
 
@@ -110,7 +127,7 @@ fn serve(opts: &ServeOpts, f: &Flags) -> Result<String, CliError> {
     }
     log_info!(
         "serve",
-        "listening on http://{bound} — /metrics /healthz /readyz /trace /progress /journal"
+        "listening on http://{bound} — /metrics /healthz /readyz /trace /progress /journal /conformance"
     );
 
     hub.begin_campaign(
@@ -121,20 +138,41 @@ fn serve(opts: &ServeOpts, f: &Flags) -> Result<String, CliError> {
     hub.mark_ready();
     let monitor = HubMonitor::new(Arc::clone(&hub));
     let (base_seed, target_rounds) = (opts.seed, opts.target_rounds);
-    let header = vds_bench::live::campaign_journal_header(opts.trials, base_seed, target_rounds);
+    let header = vds_bench::live::campaign_journal_header_for(
+        opts.scheme,
+        opts.trials,
+        base_seed,
+        target_rounds,
+    );
+    let scheme = opts.scheme;
     let (report, rec) = run_campaign_journaled(
         "serve",
         opts.trials,
         opts.workers,
         Some(&monitor),
         &header,
-        |i, rec| vds_bench::live::campaign_trial(i, base_seed, target_rounds, rec),
+        |i, rec| vds_bench::live::campaign_trial_for(scheme, i, base_seed, target_rounds, rec),
     );
     // swap the completion-ordered live view for the canonical
     // shard-ordered result: /metrics is byte-stable from here on
     hub.replace_registry(rec.registry().clone());
     hub.publish_spans(rec.spans());
     hub.publish_journal(rec.journal());
+    // price the campaign journal against the closed forms and publish
+    // the residual report on /conformance (the registry already carries
+    // the conformance.* gauges from the campaign merge)
+    let conformance_note = match vds_obs::ConformanceTracker::for_journal(
+        rec.journal(),
+        vds_obs::conformance::DEFAULT_WINDOW,
+        vds_obs::conformance::DEFAULT_TOLERANCE,
+    ) {
+        Ok(tracker) => {
+            let r = tracker.report();
+            hub.publish_conformance(r.to_json());
+            Some(r.render_text())
+        }
+        Err(_) => None,
+    };
     hub.mark_done();
     log_info!(
         "serve",
@@ -143,7 +181,13 @@ fn serve(opts: &ServeOpts, f: &Flags) -> Result<String, CliError> {
         hub.elapsed_secs()
     );
 
-    let mut out = format!("vds serve — campaign on http://{bound}\n{report}");
+    let mut out = format!(
+        "vds serve — campaign on http://{bound} (scheme {})\n{report}",
+        opts.scheme.name()
+    );
+    if let Some(note) = conformance_note {
+        out.push_str(&note);
+    }
     if let Some(path) = &f.metrics {
         out.push_str(&write_metrics(
             path,
@@ -179,9 +223,10 @@ mod tests {
 
     #[test]
     fn serve_opts_defaults_and_overrides() {
-        let d = ServeOpts::from_flags(&Flags::default());
+        let d = ServeOpts::from_flags(&Flags::default()).unwrap();
         assert_eq!(d.addr, "127.0.0.1:9898");
         assert_eq!((d.trials, d.target_rounds, d.seed), (200, 40, 1));
+        assert_eq!(d.scheme, vds_core::Scheme::SmtProbabilistic);
         assert!(!d.once);
         let f = Flags {
             addr: Some("0.0.0.0".into()),
@@ -189,13 +234,26 @@ mod tests {
             trials: Some(12),
             rounds: Some(25),
             seed: Some(7),
+            scheme: Some("smt-det".into()),
             once: true,
             ..Flags::default()
         };
-        let o = ServeOpts::from_flags(&f);
+        let o = ServeOpts::from_flags(&f).unwrap();
         assert_eq!(o.addr, "0.0.0.0:0");
         assert_eq!((o.trials, o.target_rounds, o.seed), (12, 25, 7));
+        assert_eq!(o.scheme, vds_core::Scheme::SmtDeterministic);
         assert!(o.once);
+    }
+
+    #[test]
+    fn serve_rejects_the_abstract_only_scheme() {
+        let f = Flags {
+            scheme: Some("smt-boost5".into()),
+            ..Flags::default()
+        };
+        let e = ServeOpts::from_flags(&f).unwrap_err();
+        assert_eq!(e.code, 2);
+        assert!(e.msg.contains("abstract backend only"), "{}", e.msg);
     }
 
     #[test]

@@ -697,6 +697,7 @@ fn run_engine<R: Record>(
         e.report.timeline = Some(e.timeline);
     }
     e.report.export_metrics(&mut rec, "vds");
+    crate::conformance::export_metrics(&mut rec, "vds", cfg, &e.report);
     rec.rollup_spans();
     (e.report, rec)
 }

@@ -28,11 +28,13 @@
 //!
 //! Support modules: [`config`] (schemes and fault plans), [`report`]
 //! (accounting), [`workload`] (the memory-resident VDS application),
-//! [`gain`] (measured-vs-analytic comparison helpers) and [`flowchart`]
+//! [`gain`] (measured-vs-analytic comparison helpers), [`conformance`]
+//! (run-level predicted-vs-measured gain residuals) and [`flowchart`]
 //! (DOT export of the Figures 2–3 recovery state machines).
 
 pub mod abstract_vds;
 pub mod config;
+pub mod conformance;
 pub mod flowchart;
 pub mod gain;
 pub mod micro_vds;

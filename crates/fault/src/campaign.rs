@@ -303,6 +303,18 @@ where
             // only here, after the shard merge — never inside the per-run
             // engines — so the counters are not double counted
             rec.export_journal_metrics();
+            // model-conformance residuals priced from the merged journal.
+            // Gauges and a histogram only — never counters — so bench
+            // work-unit accounting (a sum over counters) is untouched.
+            if let Ok(tracker) = vds_obs::ConformanceTracker::for_journal(
+                rec.journal(),
+                vds_obs::conformance::DEFAULT_WINDOW,
+                vds_obs::conformance::DEFAULT_TOLERANCE,
+            ) {
+                let mut reg = Registry::new();
+                tracker.export_metrics(&mut reg);
+                rec.merge_registry(&reg);
+            }
         }
         rec.rollup_spans();
     }

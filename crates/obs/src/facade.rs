@@ -69,6 +69,11 @@ pub trait Record {
     #[inline]
     fn observe(&mut self, _name: &str, _x: f64) {}
 
+    /// Record a numeric observation into a first-class histogram
+    /// (log-bucket counts; exact, order-invariant shard merges).
+    #[inline]
+    fn observe_hist(&mut self, _name: &str, _x: f64) {}
+
     /// Emit a trace event at simulated time `sim_time`.
     #[inline]
     fn event(
@@ -167,6 +172,11 @@ impl Record for Recorder {
     }
 
     #[inline]
+    fn observe_hist(&mut self, name: &str, x: f64) {
+        Recorder::observe_hist(self, name, x);
+    }
+
+    #[inline]
     fn event(
         &mut self,
         sim_time: f64,
@@ -255,6 +265,27 @@ macro_rules! obs_gauge {
 macro_rules! obs_gauge {
     ($rec:expr, $name:expr, $v:expr) => {
         let _ = || $rec.gauge($name, $v);
+    };
+}
+
+/// Record a histogram observation iff the recorder is active (lazy
+/// arguments).
+#[cfg(feature = "obs")]
+#[macro_export]
+macro_rules! obs_hist {
+    ($rec:expr, $name:expr, $x:expr) => {
+        if $rec.is_active() {
+            $rec.observe_hist($name, $x);
+        }
+    };
+}
+
+/// See the `obs`-enabled definition; this build compiles it out.
+#[cfg(not(feature = "obs"))]
+#[macro_export]
+macro_rules! obs_hist {
+    ($rec:expr, $name:expr, $x:expr) => {
+        let _ = || $rec.observe_hist($name, $x);
     };
 }
 
@@ -358,6 +389,7 @@ mod tests {
     fn emit<R: Record>(rec: &mut R) {
         obs_count!(rec, "c", 2);
         obs_gauge!(rec, "g", 1.5);
+        obs_hist!(rec, "h", 0.25);
         obs_event!(rec, 1.0, "t", "e", "round" => 3u64, "ok" => true);
         let g = obs_span!(rec, "t", "phase", 0.0);
         obs_end_span!(rec, g, 2.0, "n" => 1u64);
@@ -384,6 +416,7 @@ mod tests {
         if cfg!(feature = "obs") {
             assert_eq!(rec.registry().counter("c"), 3);
             assert_eq!(rec.registry().gauge_value("g"), Some(1.5));
+            assert_eq!(rec.registry().histogram("h").unwrap().count(), 1);
             assert_eq!(rec.trace().len(), 1);
             assert_eq!(rec.spans().len(), 2);
         } else {

@@ -9,10 +9,16 @@
 //!
 //! Four pieces:
 //!
-//! * [`Registry`] — named counters, gauges and [`Summary`] streaming
-//!   statistics (Welford mean/variance plus fixed-bucket percentiles),
-//!   stored sorted so exports are deterministic. Host wall-clock timings
-//!   live in a separate section that the deterministic exporters omit.
+//! * [`Registry`] — named counters, gauges, [`Summary`] streaming
+//!   statistics (Welford mean/variance plus fixed-bucket percentiles)
+//!   and first-class [`Histogram`]s (same log-bucket grid, exact
+//!   order-invariant merges, Prometheus `_bucket` exposition), stored
+//!   sorted so exports are deterministic. Host wall-clock timings live
+//!   in a separate section that the deterministic exporters omit.
+//! * [`conformance`] — the model-conformance layer: a
+//!   [`ConformanceTracker`] prices the journal's per-round events with
+//!   the paper's closed forms and streams windowed predicted-vs-measured
+//!   G residuals into a bounded [`ResidualSeries`].
 //! * [`Trace`] — a bounded ring buffer of `(sim_time, component, event,
 //!   fields)` records with a JSON-lines exporter.
 //! * [`SpanSet`] — a bounded ring buffer of `(begin, end, component,
@@ -65,7 +71,9 @@
 //! assert!(csv.contains("counter,core.rounds.committed,value,1"));
 //! ```
 
+pub mod conformance;
 pub mod facade;
+pub mod histogram;
 pub mod journal;
 pub mod json;
 pub mod logging;
@@ -78,7 +86,11 @@ pub mod spsc;
 pub mod summary;
 pub mod trace;
 
+pub use conformance::{
+    ConformanceReport, ConformanceTracker, ResidualSeries, SchemeModel, WindowSample,
+};
 pub use facade::{NoopRecorder, Record};
+pub use histogram::Histogram;
 pub use journal::{
     digest_words128, Action, Digest128, Digester128, Divergence, Journal, JournalHeader,
     RoundEntry, Verdict, JOURNAL_SCHEMA,

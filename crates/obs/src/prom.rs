@@ -10,6 +10,9 @@
 //! * **counters** gain the conventional `_total` suffix,
 //! * **summaries** render as native Prometheus summaries: `{quantile=…}`
 //!   samples plus `_sum` and `_count`,
+//! * **histograms** render as native Prometheus histograms: cumulative
+//!   `_bucket{le=…}` samples in ascending bound order, the mandatory
+//!   `le="+Inf"` bucket, then `_sum` and `_count`,
 //! * when two distinct registry names collapse onto one sanitized family
 //!   (e.g. `a.b` and `a/b`), every sample in that family carries a
 //!   `name="<original>"` label so no data is silently lost,
@@ -22,6 +25,7 @@
 //! samples render in sorted order, so for a fixed seed the `/metrics`
 //! bytes are as reproducible as the registry's CSV export.
 
+use crate::histogram::Histogram;
 use crate::registry::Registry;
 use crate::summary::Summary;
 use std::collections::BTreeMap;
@@ -83,6 +87,7 @@ enum Sample<'a> {
     Counter(u64),
     Gauge(f64),
     Summary(&'a Summary),
+    Histogram(&'a Histogram),
 }
 
 /// Format a finite f64 the way Prometheus expects (plain decimal /
@@ -108,6 +113,22 @@ fn quantile_label(multi: bool, orig: &str, q: &str) -> String {
         format!("{{name=\"{}\",quantile=\"{q}\"}}", escape_label_value(orig))
     } else {
         format!("{{quantile=\"{q}\"}}")
+    }
+}
+
+/// Like [`name_label`] but merging the `name` label with the `le` bucket
+/// label (histograms). Both values go through [`escape_label_value`], so a
+/// colliding source name with quotes or backslashes cannot break the
+/// label clause the `le` sample lives in.
+fn le_label(multi: bool, orig: &str, le: &str) -> String {
+    if multi {
+        format!(
+            "{{name=\"{}\",le=\"{}\"}}",
+            escape_label_value(orig),
+            escape_label_value(le)
+        )
+    } else {
+        format!("{{le=\"{}\"}}", escape_label_value(le))
     }
 }
 
@@ -144,6 +165,13 @@ pub fn render(registry: &Registry) -> String {
             .or_default()
             .push((k, Sample::Summary(s)));
     }
+    let mut histograms: BTreeMap<String, Vec<(&str, Sample)>> = BTreeMap::new();
+    for (k, h) in registry.histograms() {
+        histograms
+            .entry(sanitize_metric_name(k))
+            .or_default()
+            .push((k, Sample::Histogram(h)));
+    }
 
     let mut out = String::new();
     for (fam, members) in &counters {
@@ -154,6 +182,9 @@ pub fn render(registry: &Registry) -> String {
     }
     for (fam, members) in &summaries {
         render_family(&mut out, fam, "summary", members);
+    }
+    for (fam, members) in &histograms {
+        render_family(&mut out, fam, "histogram", members);
     }
     out
 }
@@ -195,6 +226,32 @@ fn render_family(out: &mut String, fam: &str, kind: &str, members: &[(&str, Samp
                     }
                 }
                 let _ = writeln!(body, "{fam}_count{} {}", name_label(multi, orig), s.count());
+            }
+            Sample::Histogram(h) => {
+                // Cumulative buckets ascend by upper bound; the mandatory
+                // +Inf bucket always closes the series at the total count.
+                for (le, cum) in h.cumulative() {
+                    let _ = writeln!(
+                        body,
+                        "{fam}_bucket{} {cum}",
+                        le_label(multi, orig, &fmt_sample(le))
+                    );
+                }
+                let _ = writeln!(
+                    body,
+                    "{fam}_bucket{} {}",
+                    le_label(multi, orig, "+Inf"),
+                    h.count()
+                );
+                if h.sum().is_finite() {
+                    let _ = writeln!(
+                        body,
+                        "{fam}_sum{} {}",
+                        name_label(multi, orig),
+                        fmt_sample(h.sum())
+                    );
+                }
+                let _ = writeln!(body, "{fam}_count{} {}", name_label(multi, orig), h.count());
             }
         }
     }
@@ -326,6 +383,68 @@ mod tests {
     }
 
     #[test]
+    fn histograms_render_cumulative_buckets_inf_and_escaped_le_labels() {
+        let mut r = Registry::new();
+        for v in [-0.5, 0.25, 0.5, 3.0, 3.1] {
+            r.observe_hist("resid.abs", v);
+        }
+        let p = render(&r);
+        assert!(p.contains("# TYPE resid_abs histogram"), "{p}");
+        // cumulative ordering: bounds ascend, counts never decrease, and
+        // the +Inf bucket closes the series at the total count
+        let buckets: Vec<(f64, u64)> = p
+            .lines()
+            .filter(|l| l.starts_with("resid_abs_bucket{le=\"") && !l.contains("+Inf"))
+            .map(|l| {
+                let le = l.split("le=\"").nth(1).unwrap().split('"').next().unwrap();
+                let v = l.rsplit(' ').next().unwrap();
+                (le.parse().unwrap(), v.parse().unwrap())
+            })
+            .collect();
+        assert!(buckets.len() >= 3, "{p}");
+        for w in buckets.windows(2) {
+            assert!(w[0].0 < w[1].0, "le bounds must ascend: {p}");
+            assert!(w[0].1 <= w[1].1, "bucket counts must accumulate: {p}");
+        }
+        assert_eq!(buckets.first().unwrap(), &(0.0, 1), "underflow bucket: {p}");
+        assert!(p.contains("resid_abs_bucket{le=\"+Inf\"} 5\n"), "{p}");
+        let sum: f64 = p
+            .lines()
+            .find(|l| l.starts_with("resid_abs_sum "))
+            .and_then(|l| l.rsplit(' ').next())
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!((sum - 6.35).abs() < 1e-12, "{p}");
+        assert!(p.contains("resid_abs_count 5\n"), "{p}");
+        // the +Inf bucket is the last bucket line
+        let last_bucket = p
+            .lines()
+            .rfind(|l| l.starts_with("resid_abs_bucket"))
+            .unwrap();
+        assert!(last_bucket.contains("+Inf"), "{p}");
+        assert_well_formed(&p);
+
+        // colliding source names put an escaped `name` label inside the
+        // same clause as `le`; quotes/backslashes must not break it
+        let mut r = Registry::new();
+        r.observe_hist("h\"q.x", 1.0);
+        r.observe_hist("h\\q.x", 2.0);
+        let p = render(&r);
+        assert_eq!(p.matches("# TYPE h_q_x histogram").count(), 1, "{p}");
+        assert!(
+            p.contains("h_q_x_bucket{name=\"h\\\"q.x\",le=\"1\"} 1\n"),
+            "{p}"
+        );
+        assert!(
+            p.contains("h_q_x_bucket{name=\"h\\\\q.x\",le=\"+Inf\"} 1\n"),
+            "{p}"
+        );
+        assert!(p.contains("h_q_x_count{name=\"h\\\"q.x\"} 1\n"), "{p}");
+        assert_well_formed(&p);
+    }
+
+    #[test]
     fn rendering_is_deterministic() {
         let mut r = Registry::new();
         r.count("z.c", 1);
@@ -354,6 +473,12 @@ mod tests {
             r.observe("vds.recovery_time", v);
         }
         r.merge_summary("never.observed", &Summary::new());
+        // first-class histogram kind: cumulative buckets, +Inf, and a
+        // name collision forcing escaped labels in the `le` clause
+        for v in [-0.01, 0.125, 0.25, 4.0] {
+            r.observe_hist("conformance.residual", v);
+        }
+        r.observe_hist("conformance\"residual", 1.0);
         // the flight-recorder journal block, exactly as a journaled run
         // exports it (crate::journal::Journal::export_metrics)
         let mut j =
@@ -375,6 +500,16 @@ mod tests {
         j.export_metrics(&mut r);
         let got = render(&r);
         assert!(got.contains("journal_rounds_total 1"), "{got}");
+        assert!(
+            got.contains("# TYPE conformance_residual histogram"),
+            "{got}"
+        );
+        assert!(
+            got.contains(
+                "conformance_residual_bucket{name=\"conformance.residual\",le=\"+Inf\"} 4"
+            ),
+            "{got}"
+        );
         assert!(got.contains("journal_divergences_total 1"), "{got}");
         assert!(got.contains("# TYPE journal_bytes_total counter"), "{got}");
         assert!(got.contains("journal_last_divergence_round 1"), "{got}");

@@ -107,6 +107,13 @@ impl Recorder {
         }
     }
 
+    /// Record one observation into the named first-class histogram.
+    pub fn observe_hist(&mut self, name: &str, x: f64) {
+        if self.enabled {
+            self.registry.observe_hist(name, x);
+        }
+    }
+
     /// Emit a trace event at simulated time `sim_time`.
     pub fn event(
         &mut self,

@@ -1,6 +1,7 @@
 //! The metrics registry: named counters, gauges and observation
 //! summaries, with deterministic (sorted) content and exporters.
 
+use crate::histogram::Histogram;
 use crate::summary::Summary;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -49,6 +50,7 @@ pub struct Registry {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
     summaries: BTreeMap<String, Summary>,
+    histograms: BTreeMap<String, Histogram>,
     host: BTreeMap<String, Summary>,
 }
 
@@ -89,6 +91,23 @@ impl Registry {
         self.summaries.entry(name.to_string()).or_default().merge(s);
     }
 
+    /// Record one observation into the named histogram (first-class
+    /// log-bucket histogram: exact counts, order-invariant merge).
+    pub fn observe_hist(&mut self, name: &str, x: f64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .observe(x);
+    }
+
+    /// Fold an already-accumulated histogram into the named histogram.
+    pub fn merge_histogram(&mut self, name: &str, h: &Histogram) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .merge(h);
+    }
+
     /// Record a host wall-clock duration (seconds) under the given name.
     /// Host timings are excluded from the deterministic exports.
     pub fn observe_host(&mut self, name: &str, secs: f64) {
@@ -108,6 +127,11 @@ impl Registry {
     /// Summary for a name, if any observations were recorded.
     pub fn summary(&self, name: &str) -> Option<&Summary> {
         self.summaries.get(name)
+    }
+
+    /// Histogram for a name, if any observations were recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
     }
 
     /// Host-time summary for a name, if recorded.
@@ -130,6 +154,11 @@ impl Registry {
         self.summaries.iter().map(|(k, v)| (k.as_str(), v))
     }
 
+    /// Iterate histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
     /// Iterate host-time summaries in name order.
     pub fn host_summaries(&self) -> impl Iterator<Item = (&str, &Summary)> {
         self.host.iter().map(|(k, v)| (k.as_str(), v))
@@ -140,6 +169,7 @@ impl Registry {
         self.counters.is_empty()
             && self.gauges.is_empty()
             && self.summaries.is_empty()
+            && self.histograms.is_empty()
             && self.host.is_empty()
     }
 
@@ -159,6 +189,9 @@ impl Registry {
         for (k, v) in &other.summaries {
             self.summaries.entry(k.clone()).or_default().merge(v);
         }
+        for (k, v) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(v);
+        }
         for (k, v) in &other.host {
             self.host.entry(k.clone()).or_default().merge(v);
         }
@@ -173,6 +206,11 @@ impl Registry {
             gauges: self.gauges.iter().map(|(k, &v)| (pre(k), v)).collect(),
             summaries: self
                 .summaries
+                .iter()
+                .map(|(k, v)| (pre(k), v.clone()))
+                .collect(),
+            histograms: self
+                .histograms
                 .iter()
                 .map(|(k, v)| (pre(k), v.clone()))
                 .collect(),
@@ -201,6 +239,28 @@ impl Registry {
         }
     }
 
+    fn histogram_rows(out: &mut String, name: &str, h: &Histogram) {
+        if h.count() == 0 {
+            let _ = writeln!(out, "histogram,{name},count,0");
+            return;
+        }
+        let rows: [(&str, String); 6] = [
+            ("count", h.count().to_string()),
+            ("sum", fmt_f64(h.sum())),
+            ("min", fmt_f64(h.min())),
+            ("p50", fmt_f64(h.quantile(0.5).unwrap_or(f64::NAN))),
+            ("p99", fmt_f64(h.quantile(0.99).unwrap_or(f64::NAN))),
+            ("max", fmt_f64(h.max())),
+        ];
+        for (field, value) in rows {
+            let _ = writeln!(out, "histogram,{name},{field},{value}");
+        }
+        for (le, cum) in h.cumulative() {
+            let _ = writeln!(out, "histogram,{name},le_{},{cum}", fmt_f64(le));
+        }
+        let _ = writeln!(out, "histogram,{name},le_inf,{}", h.count());
+    }
+
     /// CSV export of the deterministic content (`kind,name,field,value`).
     /// Host wall-clock timings are excluded so a fixed-seed run exports
     /// byte-identical bytes regardless of worker count or machine.
@@ -214,6 +274,9 @@ impl Registry {
         }
         for (k, s) in &self.summaries {
             Self::summary_rows(&mut out, "summary", k, s);
+        }
+        for (k, h) in &self.histograms {
+            Self::histogram_rows(&mut out, k, h);
         }
         out
     }
@@ -269,13 +332,30 @@ impl Registry {
                 json_number(s.max()),
             );
         }
+        for (k, h) in &self.histograms {
+            if h.count() == 0 {
+                let _ = writeln!(
+                    out,
+                    "{{\"kind\":\"histogram\",\"name\":\"{}\",\"count\":0}}",
+                    json_escape(k)
+                );
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "{{\"kind\":\"histogram\",\"name\":\"{}\",{}}}",
+                json_escape(k),
+                histogram_json_body(h)
+            );
+        }
         out
     }
 
     /// One JSON object covering the deterministic content:
-    /// `{"counters":{…},"gauges":{…},"summaries":{…}}`. This is the
-    /// shared serializer behind `vds stats --json` and the telemetry
-    /// server's `/progress` endpoint, so the two never drift apart.
+    /// `{"counters":{…},"gauges":{…},"summaries":{…},"histograms":{…}}`.
+    /// This is the shared serializer behind `vds stats --json` and the
+    /// telemetry server's `/progress` endpoint, so the two never drift
+    /// apart.
     pub fn to_json_object(&self) -> String {
         let mut out = String::from("{\"counters\":{");
         for (i, (k, v)) in self.counters.iter().enumerate() {
@@ -313,6 +393,17 @@ impl Registry {
                 json_number(s.max()),
             );
         }
+        out.push_str("},\"histograms\":{");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            if h.count() == 0 {
+                let _ = write!(out, "\"{}\":{{\"count\":0}}", json_escape(k));
+                continue;
+            }
+            let _ = write!(out, "\"{}\":{{{}}}", json_escape(k), histogram_json_body(h));
+        }
         out.push_str("}}");
         out
     }
@@ -327,6 +418,29 @@ fn json_number(x: f64) -> String {
     }
 }
 
+/// Shared JSON body of a non-empty histogram (no surrounding braces):
+/// scalar statistics plus cumulative `[le, count]` bucket pairs.
+fn histogram_json_body(h: &Histogram) -> String {
+    let mut out = format!(
+        "\"count\":{},\"sum\":{},\"mean\":{},\"min\":{},\"p50\":{},\"p99\":{},\"max\":{},\"buckets\":[",
+        h.count(),
+        json_number(h.sum()),
+        json_number(h.mean()),
+        json_number(h.min()),
+        json_number(h.quantile(0.5).unwrap_or(f64::NAN)),
+        json_number(h.quantile(0.99).unwrap_or(f64::NAN)),
+        json_number(h.max()),
+    );
+    for (i, (le, cum)) in h.cumulative().into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "[{},{cum}]", json_number(le));
+    }
+    out.push(']');
+    out
+}
+
 /// Human-readable rendering: one line per metric, grouped by kind.
 impl std::fmt::Display for Registry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -338,6 +452,9 @@ impl std::fmt::Display for Registry {
         }
         for (k, s) in &self.summaries {
             writeln!(f, "  summary  {k:<44} {s}")?;
+        }
+        for (k, h) in &self.histograms {
+            writeln!(f, "  histogram {k:<43} {h}")?;
         }
         for (k, s) in &self.host {
             writeln!(f, "  host     {k:<44} {s}")?;
@@ -451,6 +568,61 @@ mod tests {
         assert!(j.contains("\"kind\":\"gauge\""));
         assert!(j.contains("\"kind\":\"summary\""));
         assert_eq!(j.lines().count(), 3);
+    }
+
+    #[test]
+    fn histogram_kind_round_trips_through_every_exporter() {
+        let mut r = Registry::new();
+        r.observe_hist("resid", 0.5);
+        r.observe_hist("resid", 1.0);
+        r.observe_hist("resid", -0.25);
+        r.merge_histogram("empty", &Histogram::new());
+        let csv = r.to_csv();
+        assert!(csv.contains("histogram,resid,count,3"), "csv: {csv}");
+        assert!(csv.contains("histogram,resid,sum,1.25"), "csv: {csv}");
+        assert!(csv.contains("histogram,resid,le_0,1"), "csv: {csv}");
+        assert!(csv.contains("histogram,resid,le_0.5,2"), "csv: {csv}");
+        assert!(csv.contains("histogram,resid,le_1,3"), "csv: {csv}");
+        assert!(csv.contains("histogram,resid,le_inf,3"), "csv: {csv}");
+        assert!(csv.contains("histogram,empty,count,0"), "csv: {csv}");
+        assert!(!csv.to_lowercase().contains("nan"), "csv: {csv}");
+        let jsonl = r.to_jsonl();
+        assert!(
+            jsonl.contains("{\"kind\":\"histogram\",\"name\":\"resid\",\"count\":3,\"sum\":1.25"),
+            "jsonl: {jsonl}"
+        );
+        assert!(
+            jsonl.contains("\"buckets\":[[0,1],[0.5,2],[1,3]]"),
+            "jsonl: {jsonl}"
+        );
+        assert!(
+            jsonl.contains("{\"kind\":\"histogram\",\"name\":\"empty\",\"count\":0}"),
+            "jsonl: {jsonl}"
+        );
+        let j = r.to_json_object();
+        assert!(
+            j.contains("\"histograms\":{\"empty\":{\"count\":0},\"resid\":{"),
+            "{j}"
+        );
+        assert!(j.ends_with("]}}}"), "{j}");
+    }
+
+    #[test]
+    fn histograms_merge_and_prefix_like_other_kinds() {
+        let mut a = Registry::new();
+        a.observe_hist("h", 1.0);
+        let mut b = Registry::new();
+        b.observe_hist("h", 2.0);
+        a.merge(&b);
+        assert_eq!(a.histogram("h").unwrap().count(), 2);
+        let p = a.prefixed("sub");
+        assert_eq!(p.histogram("sub.h").unwrap().count(), 2);
+        assert!(!p.is_empty());
+        let only_hist = b.clone();
+        assert!(
+            !only_hist.is_empty(),
+            "a histogram alone makes it non-empty"
+        );
     }
 
     #[test]

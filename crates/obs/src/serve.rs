@@ -11,6 +11,8 @@
 //! | `/readyz`   | readiness: `200` once the campaign is configured, `503` before |
 //! | `/trace`    | Chrome trace-event JSON of the latest published [`SpanSet`] |
 //! | `/progress` | JSON snapshot: trial/shard completion, work units per second, full metrics |
+//! | `/journal`  | flight-recorder journal JSONL (for `vds replay` / `vds audit diff` / `vds conformance`) |
+//! | `/conformance` | the last published predicted-vs-measured G residual report (JSON) |
 //! | `/`         | plain-text index of the above |
 //!
 //! **Determinism contract.** The hub is strictly write-through from the
@@ -39,6 +41,7 @@ struct HubState {
     trace_json: String,
     journal_jsonl: String,
     journal_summary: String,
+    conformance_json: String,
 }
 
 /// The publisher/reader rendezvous: campaigns merge snapshots in,
@@ -72,6 +75,7 @@ impl TelemetryHub {
                 trace_json: SpanSet::default().to_chrome_json(),
                 journal_jsonl: String::new(),
                 journal_summary: Journal::default().summary_json(),
+                conformance_json: String::new(),
             }),
         })
     }
@@ -153,6 +157,25 @@ impl TelemetryHub {
         let mut st = self.state.write().unwrap_or_else(|e| e.into_inner());
         st.journal_jsonl = journal.to_jsonl();
         st.journal_summary = journal.summary_json();
+    }
+
+    /// Publish a model-conformance report (the `vds conformance` JSON
+    /// form); `/conformance` serves it verbatim.
+    pub fn publish_conformance(&self, json: String) {
+        self.state
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .conformance_json = json;
+    }
+
+    /// The `/conformance` body: the last published conformance report
+    /// JSON (empty until one is published).
+    pub fn conformance_json(&self) -> String {
+        self.state
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .conformance_json
+            .clone()
     }
 
     /// The `/journal` body: JSONL of the last published journal (empty
@@ -306,7 +329,8 @@ const INDEX: &str = "vds telemetry\n\
                      GET /readyz    readiness\n\
                      GET /trace     Chrome trace-event JSON (open in ui.perfetto.dev)\n\
                      GET /progress  campaign progress JSON\n\
-                     GET /journal   flight-recorder journal (JSONL; for `vds replay` / `vds audit diff`)\n";
+                     GET /journal   flight-recorder journal (JSONL; for `vds replay` / `vds audit diff`)\n\
+                     GET /conformance  predicted-vs-measured G residual report (JSON)\n";
 
 fn handle_conn(mut stream: TcpStream, hub: &TelemetryHub) {
     // Accepted sockets do not reliably inherit blocking mode.
@@ -367,6 +391,14 @@ fn route(method: &str, path: &str, hub: &TelemetryHub) -> (u16, &'static str, St
         "/trace" => (200, JSON, hub.trace_json()),
         "/progress" => (200, JSON, hub.progress_json()),
         "/journal" => (200, TEXT, hub.journal_jsonl()),
+        "/conformance" => {
+            let body = hub.conformance_json();
+            if body.is_empty() {
+                (404, TEXT, "no conformance report published\n".to_string())
+            } else {
+                (200, JSON, body)
+            }
+        }
         "/" => (200, TEXT, INDEX.to_string()),
         _ => (404, TEXT, "not found\n".to_string()),
     }

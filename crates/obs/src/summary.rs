@@ -19,10 +19,31 @@
 use std::collections::BTreeMap;
 
 /// Bucket key for non-positive observations (kept out of the log grid).
-const NONPOS_BUCKET: i32 = i32::MIN;
+///
+/// Shared by [`Summary`] and [`crate::histogram::Histogram`]: both kinds
+/// bucket on the same global grid, so observations sharded across metric
+/// kinds still land on identical boundaries.
+pub(crate) const NONPOS_BUCKET: i32 = i32::MIN;
+
+/// Grid bucket index for observation `x`: `k = ceil(4·log2(x))`, clamped
+/// to `[-512, 512]`. Non-positive and non-finite observations map to
+/// [`NONPOS_BUCKET`].
+pub(crate) fn log_bucket_of(x: f64) -> i32 {
+    if x <= 0.0 || !x.is_finite() {
+        return NONPOS_BUCKET;
+    }
+    let k = (4.0 * x.log2()).ceil();
+    k.clamp(-512.0, 512.0) as i32
+}
+
+/// Upper bound of grid bucket `k` (`2^(k/4)`); bucket `k` covers
+/// `2^((k-1)/4) < x <= 2^(k/4)`.
+pub(crate) fn log_bucket_hi(k: i32) -> f64 {
+    (f64::from(k) / 4.0).exp2()
+}
 
 /// Streaming summary of a numeric observation stream.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Summary {
     n: u64,
     mean: f64,
@@ -32,6 +53,17 @@ pub struct Summary {
     /// Sparse histogram: bucket index `k` counts observations `x` with
     /// `2^((k-1)/4) < x <= 2^(k/4)`.
     buckets: BTreeMap<i32, u64>,
+}
+
+/// `Default` must agree with [`Summary::new`]: the registry materializes
+/// summaries with `or_default()`, and a derived all-zeros default would
+/// seed `min = max = 0.0`, silently folding `0.0` into the observed range
+/// of every registry summary (wrong `min` for positive streams, wrong
+/// `max` — and therefore a wrong quantile clamp — for negative ones).
+impl Default for Summary {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Summary {
@@ -58,17 +90,12 @@ impl Summary {
     }
 
     fn bucket_of(x: f64) -> i32 {
-        if x <= 0.0 || !x.is_finite() {
-            return NONPOS_BUCKET;
-        }
-        // k = ceil(4 * log2(x)); clamp to a sane grid
-        let k = (4.0 * x.log2()).ceil();
-        k.clamp(-512.0, 512.0) as i32
+        log_bucket_of(x)
     }
 
     /// Upper bound of bucket `k` (`2^(k/4)`).
     fn bucket_hi(k: i32) -> f64 {
-        (f64::from(k) / 4.0).exp2()
+        log_bucket_hi(k)
     }
 
     /// Record one observation.
@@ -125,9 +152,22 @@ impl Summary {
         self.max
     }
 
-    /// Estimated p-quantile (`0 <= p <= 1`) from the fixed bucket grid:
-    /// the upper bound of the bucket holding the p-th observation, clamped
-    /// to the observed `[min, max]`. `None` when empty.
+    /// Estimated p-quantile (`0 <= p <= 1`) from the fixed bucket grid.
+    ///
+    /// **Convention** (shared with `Histogram::quantile`): the estimate is
+    /// the *upper bound* `2^(k/4)` of the grid bucket holding the
+    /// `ceil(p·n)`-th smallest observation, clamped into the observed
+    /// `[min, max]`. Pinned consequences:
+    ///
+    /// * a single-observation summary returns that observation for every
+    ///   `p` — the clamp collapses the bucket bound onto `min == max`;
+    /// * observations sharing one bucket share one quantile estimate (the
+    ///   grid cannot resolve within a bucket);
+    /// * the non-positive bucket (which the log grid cannot resolve)
+    ///   reports `min(min, 0)`;
+    /// * the estimate never leaves `[min(min, 0), max]` (asserted below).
+    ///
+    /// `None` when empty.
     pub fn quantile(&self, p: f64) -> Option<f64> {
         assert!((0.0..=1.0).contains(&p), "quantile p out of range");
         if self.n == 0 {
@@ -135,16 +175,25 @@ impl Summary {
         }
         let target = ((p * self.n as f64).ceil() as u64).clamp(1, self.n);
         let mut cum = 0u64;
+        let mut q = self.max;
         for (&k, &c) in &self.buckets {
             cum += c;
             if cum >= target {
-                if k == NONPOS_BUCKET {
-                    return Some(self.min.min(0.0));
-                }
-                return Some(Self::bucket_hi(k).clamp(self.min, self.max));
+                q = if k == NONPOS_BUCKET {
+                    self.min.min(0.0)
+                } else {
+                    Self::bucket_hi(k).clamp(self.min, self.max)
+                };
+                break;
             }
         }
-        Some(self.max)
+        debug_assert!(
+            q >= self.min.min(0.0) && q <= self.max,
+            "quantile estimate {q} escapes the observed range [{}, {}]",
+            self.min.min(0.0),
+            self.max
+        );
+        Some(q)
     }
 
     /// Merge another summary into this one. Bucket counts add exactly;
@@ -224,6 +273,39 @@ mod tests {
             assert_eq!(s.min(), v);
             assert_eq!(s.max(), v);
         }
+    }
+
+    #[test]
+    fn single_observation_default_summary_reports_the_bucket_bound() {
+        // The registry path materializes summaries with `or_default()`;
+        // that must behave exactly like `Summary::new()` so one
+        // observation pins min == p50 == p99 == max to the value itself
+        // (the clamp collapses the bucket upper bound onto min == max).
+        let mut s = Summary::default();
+        s.observe(12.5);
+        assert_eq!(s.min(), 12.5);
+        assert_eq!(s.max(), 12.5);
+        assert_eq!(s.quantile(0.5), Some(12.5));
+        assert_eq!(s.quantile(0.99), Some(12.5));
+        // and a lone negative observation must not pull max up to 0
+        let mut s = Summary::default();
+        s.observe(-3.25);
+        assert_eq!(s.max(), -3.25);
+        assert_eq!(s.quantile(0.99), Some(-3.25));
+    }
+
+    #[test]
+    fn quantile_returns_the_bucket_upper_bound_clamped() {
+        // 3.2 and 3.3 share grid bucket k = 7 (upper bound 2^(7/4)
+        // ≈ 3.364): both quantiles report that bound clamped to max.
+        let s = Summary::from_iter([3.2, 3.3]);
+        assert_eq!(s.quantile(0.5), Some(3.3));
+        assert_eq!(s.quantile(0.99), Some(3.3));
+        // distinct buckets: 1.0 sits exactly on its bucket bound (k = 0),
+        // 30.0 lands in k = 20 whose bound 32 clamps down to max.
+        let s = Summary::from_iter([1.0, 30.0]);
+        assert_eq!(s.quantile(0.0), Some(1.0));
+        assert_eq!(s.quantile(1.0), Some(30.0));
     }
 
     #[test]

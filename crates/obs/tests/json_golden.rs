@@ -77,6 +77,8 @@ fn bench_row() -> String {
         .f64_fixed("host_ms", 52.417, 3)
         .u64("work_units", 2442)
         .f64_fixed("work_per_ms", 2442.0 / 52.417, 3)
+        .u64("conf_samples", 5)
+        .f64_fixed("conf_mean_abs_residual", 0.031416, 6)
         .finish()
 }
 

@@ -69,22 +69,31 @@ pub struct CellResult {
     pub rollbacks: u64,
     /// Whether the cell ended in a fail-safe shutdown.
     pub shutdown: bool,
+    /// Closed-form phase-blend prediction of `g_round` at this cell's
+    /// coordinates: normal time at Eq. 4's `G_round`, recovery time at
+    /// the scheme's steady-state `ḡ`, checkpoint time at parity.
+    pub predicted_g: f64,
+    /// `g_round − predicted_g`: the cell's model-conformance residual
+    /// (what the E15/E16 heatmaps plot as model error).
+    pub residual: f64,
 }
 
 impl CellResult {
     fn from_report(cell: Cell, r: &RunReport, baseline_throughput: f64) -> CellResult {
         let throughput = r.throughput();
         let attempts = r.rollforward_hits + r.rollforward_misses + r.rollforward_discards;
+        let g_round = if baseline_throughput > 0.0 {
+            throughput / baseline_throughput
+        } else {
+            0.0
+        };
+        let predicted_g = predicted_gain(&cell, r);
         CellResult {
             cell,
             committed_rounds: r.committed_rounds,
             total_time: r.total_time,
             throughput,
-            g_round: if baseline_throughput > 0.0 {
-                throughput / baseline_throughput
-            } else {
-                0.0
-            },
+            g_round,
             availability: if r.total_time > 0.0 {
                 r.time_normal / r.total_time
             } else {
@@ -101,8 +110,31 @@ impl CellResult {
             detections: r.detections,
             rollbacks: r.rollbacks,
             shutdown: r.shutdown,
+            predicted_g,
+            residual: g_round - predicted_g,
         }
     }
+}
+
+/// Closed-form phase-blend prediction of a cell's measured `g_round`:
+/// the run's normal time valued at Eq. 4's `G_round`, recovery time at
+/// the scheme's steady-state `ḡ` (Eqs. 7/8/13, boosted averages, with
+/// the abstract engine's default `p = 0.5`), checkpoint time at parity.
+/// The phase fractions are ratios, so the blend applies to the micro
+/// backend's cycle-denominated report unchanged.
+fn predicted_gain(cell: &Cell, r: &RunReport) -> f64 {
+    if r.total_time <= 0.0 {
+        return 0.0;
+    }
+    let p = Params::with_beta(cell.alpha, BETA, cell.s);
+    let name = cell.scheme.name();
+    let g_round = if vds_analytic::schemes::is_smt(name) {
+        vds_analytic::timing::g_round_exact(&p)
+    } else {
+        1.0
+    };
+    let gbar = vds_analytic::schemes::gbar(name, &p, 0.5).unwrap_or(1.0);
+    (r.time_normal * g_round + r.time_recovery * gbar + r.time_checkpoint) / r.total_time
 }
 
 /// Completed sweep: every cell's result in index order plus the canonical
@@ -242,6 +274,9 @@ fn accumulate_cell(reg: &mut Registry, r: &CellResult) {
     if r.rf_hits + r.rf_misses + r.rf_discards > 0 {
         reg.observe("sweep.hit_rate", r.rf_hit_rate);
     }
+    // first-class histogram of per-cell model error (gauges/histograms
+    // only — counters feed bench work-unit accounting)
+    reg.observe_hist("sweep.conformance.residual_abs", r.residual.abs());
 }
 
 /// Run the sweep across `workers` threads.
@@ -371,6 +406,42 @@ mod tests {
             assert!(r.availability > 0.9);
             assert_eq!(r.detections, 0);
         }
+    }
+
+    #[test]
+    fn conformance_residuals_vanish_fault_free_and_stay_finite_with_faults() {
+        let g = GridSpec::parse_inline(
+            "alpha=0.55,0.75;s=20;scheme=conventional,smt-det,smt-prob;q=0,0.02;rounds=400",
+        )
+        .unwrap();
+        let out = run_sweep(&g, 2, None, &BTreeMap::new(), None);
+        for r in &out.results {
+            assert!(r.predicted_g > 0.0, "{}", r.cell.key());
+            assert!(r.residual.is_finite(), "{}", r.cell.key());
+            assert!(
+                (r.residual - (r.g_round - r.predicted_g)).abs() < 1e-15,
+                "{}",
+                r.cell.key()
+            );
+            if r.cell.q == 0.0 {
+                // fault-free: the blend collapses to G_round (or 1.0 for
+                // the conventional reference) and the residual vanishes
+                assert!(
+                    r.residual.abs() < 1e-6,
+                    "{}: residual {}",
+                    r.cell.key(),
+                    r.residual
+                );
+            } else {
+                assert!(r.residual.abs() < 0.5, "{}: {}", r.cell.key(), r.residual);
+            }
+        }
+        // per-cell |residual| lands in the registry's histogram
+        let h = out
+            .registry
+            .histogram("sweep.conformance.residual_abs")
+            .unwrap();
+        assert_eq!(h.count(), out.results.len() as u64);
     }
 
     #[test]

@@ -27,12 +27,23 @@ use crate::grid::{Backend, Cell, GridSpec};
 /// Column order of every CSV row (also the JSONL field order).
 pub const CSV_HEADER: &str = "index,backend,scheme,alpha,s,q,rounds,seed,\
 committed_rounds,total_time,throughput,g_round,availability,\
+rf_hits,rf_misses,rf_discards,rf_hit_rate,detections,rollbacks,shutdown,\
+predicted_g,residual";
+
+/// The measured-only column set: [`CSV_HEADER`] without the trailing
+/// derived conformance columns (`predicted_g,residual`). This is the
+/// layout the bench suite attaches to E15/E16 — their attachment bytes
+/// feed the deterministic `report.data_bytes` counter that the
+/// `vds bench --check` work-unit gate pins, so the figure artefact must
+/// stay byte-stable while the full sweep exports grow columns.
+pub const MEASURED_CSV_HEADER: &str = "index,backend,scheme,alpha,s,q,rounds,seed,\
+committed_rounds,total_time,throughput,g_round,availability,\
 rf_hits,rf_misses,rf_discards,rf_hit_rate,detections,rollbacks,shutdown";
 
-/// One CSV row (no trailing newline). Floats use Rust's shortest
-/// round-trip `Display`, so parsing a row back yields bit-identical
-/// values.
-pub fn csv_row(r: &CellResult) -> String {
+/// The measured columns of one row (no trailing newline). Floats use
+/// Rust's shortest round-trip `Display`, so parsing a row back yields
+/// bit-identical values.
+fn measured_csv_row(r: &CellResult) -> String {
     let c = &r.cell;
     format!(
         "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
@@ -59,6 +70,12 @@ pub fn csv_row(r: &CellResult) -> String {
     )
 }
 
+/// One full CSV row (no trailing newline): the measured columns plus the
+/// derived conformance columns.
+pub fn csv_row(r: &CellResult) -> String {
+    format!("{},{},{}", measured_csv_row(r), r.predicted_g, r.residual)
+}
+
 /// Full CSV document: header plus one row per cell in index order.
 pub fn to_csv(results: &[CellResult]) -> String {
     let mut out = String::with_capacity(64 * (results.len() + 1));
@@ -66,6 +83,20 @@ pub fn to_csv(results: &[CellResult]) -> String {
     out.push('\n');
     for r in results {
         out.push_str(&csv_row(r));
+        out.push('\n');
+    }
+    out
+}
+
+/// CSV document restricted to [`MEASURED_CSV_HEADER`]'s columns — the
+/// byte-pinned figure artefact for the bench suite (see the header
+/// constant for why). Everything else should use [`to_csv`].
+pub fn to_measured_csv(results: &[CellResult]) -> String {
+    let mut out = String::with_capacity(64 * (results.len() + 1));
+    out.push_str(MEASURED_CSV_HEADER);
+    out.push('\n');
+    for r in results {
+        out.push_str(&measured_csv_row(r));
         out.push('\n');
     }
     out
@@ -81,7 +112,8 @@ pub fn to_jsonl(results: &[CellResult]) -> String {
              \"s\":{},\"q\":{},\"rounds\":{},\"seed\":{},\"committed_rounds\":{},\
              \"total_time\":{},\"throughput\":{},\"g_round\":{},\"availability\":{},\
              \"rf_hits\":{},\"rf_misses\":{},\"rf_discards\":{},\"rf_hit_rate\":{},\
-             \"detections\":{},\"rollbacks\":{},\"shutdown\":{}}}\n",
+             \"detections\":{},\"rollbacks\":{},\"shutdown\":{},\
+             \"predicted_g\":{},\"residual\":{}}}\n",
             c.index,
             c.backend.name(),
             c.scheme.name(),
@@ -101,7 +133,9 @@ pub fn to_jsonl(results: &[CellResult]) -> String {
             json_f64(r.rf_hit_rate),
             r.detections,
             r.rollbacks,
-            r.shutdown
+            r.shutdown,
+            json_f64(r.predicted_g),
+            json_f64(r.residual)
         ));
     }
     out
@@ -128,7 +162,10 @@ pub fn grid_digest(spec: &GridSpec) -> Digest128 {
 
 /// First line of a resume journal for `spec` (with trailing newline).
 pub fn journal_header(spec: &GridSpec) -> String {
-    format!("#vds-sweep-journal v1 grid={}\n", grid_digest(spec))
+    // v2: rows carry the predicted_g / residual conformance columns; a
+    // v1 journal (20-column rows) is rejected by the version check below
+    // rather than mis-parsed
+    format!("#vds-sweep-journal v2 grid={}\n", grid_digest(spec))
 }
 
 /// Parse a resume journal against the grid it claims to belong to.
@@ -146,8 +183,8 @@ pub fn parse_journal(text: &str, spec: &GridSpec) -> Result<BTreeMap<u64, CellRe
         Some(first) if first == expected.trim_end() => {}
         Some(first) if first.starts_with("#vds-sweep-journal") => {
             return Err(format!(
-                "journal belongs to a different grid (header `{first}`, \
-                 this grid is `{}`)",
+                "journal belongs to a different grid or format version \
+                 (header `{first}`, this grid is `{}`)",
                 expected.trim_end()
             ));
         }
@@ -231,6 +268,8 @@ pub fn parse_row(line: &str, cells: &[Cell]) -> Result<CellResult, String> {
             "1" => true,
             other => return Err(format!("bad shutdown flag `{other}`")),
         },
+        predicted_g: num(f[20], "predicted_g")?,
+        residual: num(f[21], "residual")?,
     })
 }
 
@@ -242,6 +281,22 @@ mod tests {
     fn grid() -> GridSpec {
         GridSpec::parse_inline("alpha=0.6,0.8;s=10;scheme=smt-det,smt-prob;q=0,0.05;rounds=100")
             .unwrap()
+    }
+
+    #[test]
+    fn measured_csv_is_the_full_csv_minus_the_conformance_columns() {
+        assert_eq!(
+            CSV_HEADER,
+            format!("{MEASURED_CSV_HEADER},predicted_g,residual")
+        );
+        let g = grid();
+        let out = run_sweep(&g, 1, None, &BTreeMap::new(), None);
+        let full = to_csv(&out.results);
+        let measured = to_measured_csv(&out.results);
+        for (f, m) in full.lines().zip(measured.lines()) {
+            assert!(f.starts_with(m), "`{f}` does not extend `{m}`");
+        }
+        assert_eq!(full.lines().count(), measured.lines().count());
     }
 
     #[test]

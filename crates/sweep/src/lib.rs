@@ -30,5 +30,8 @@ pub mod export;
 pub mod grid;
 
 pub use engine::{run_sweep, CellResult, SweepOutcome};
-pub use export::{csv_row, journal_header, parse_journal, to_csv, to_jsonl, CSV_HEADER};
+pub use export::{
+    csv_row, journal_header, parse_journal, to_csv, to_jsonl, to_measured_csv, CSV_HEADER,
+    MEASURED_CSV_HEADER,
+};
 pub use grid::{Backend, Cell, GridSpec};
