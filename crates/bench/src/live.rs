@@ -80,16 +80,29 @@ pub fn campaign_trial_for(
     };
     rec.merge_registry(run_rec.registry());
     rec.adopt_journal(run_rec.journal(), index);
-    let label = if report.shutdown {
+    TrialResult::with_value(trial_label(&report), report.detections as f64)
+}
+
+/// Classify a trial's run report into its campaign outcome label.
+///
+/// Masked and escaped faults both go undetected, but they are different
+/// outcomes: a masked fault's corruption was overwritten (or
+/// architecturally absorbed) before any comparison — the output is
+/// correct — while an escaped fault's corruption survives to the end of
+/// the run as silent data corruption. The campaign used to conflate the
+/// two under "masked" by labelling every zero-detection run masked.
+pub fn trial_label(report: &vds_core::report::RunReport) -> &'static str {
+    if report.shutdown {
         "failsafe-shutdown"
-    } else if report.detections == 0 {
+    } else if report.faults_escaped > 0 {
+        "escaped"
+    } else if report.faults_masked > 0 {
         "masked"
     } else if report.rollbacks > 0 {
         "rollback"
     } else {
         "recovered"
-    };
-    TrialResult::with_value(label, report.detections as f64)
+    }
 }
 
 /// The journal header describing a serve/fault campaign, so recordings
@@ -163,5 +176,56 @@ mod tests {
         assert_eq!(j.header().unwrap().meta("trials"), Some("12"));
         // the journal block is exported into the merged registry
         assert_eq!(reca.registry().counter("journal.rounds"), j.len() as u64);
+        // fault forensics counters are priced from the same merged
+        // journal and conserve the lifecycle
+        let reg = reca.registry();
+        let injected = reg.counter("faults.injected");
+        assert!(injected > 0);
+        assert_eq!(
+            reg.counter("faults.detected")
+                + reg.counter("faults.masked")
+                + reg.counter("faults.escaped"),
+            injected
+        );
+    }
+
+    #[test]
+    fn masked_faults_are_not_conflated_with_detected_or_escaped() {
+        use vds_core::report::RunReport;
+        // a masked register-boundary fault: injected, never detected,
+        // output correct — the label must say "masked", not "recovered"
+        let cfg = MicroConfig::new(Scheme::SmtProbabilistic, 10);
+        let fault = MicroFault {
+            at_round: 4,
+            victim: Victim::V1,
+            kind: FaultKind::Transient(vds_fault::model::FaultSite::Register { reg: 5, bit: 3 }),
+        };
+        let (report, _) = run_micro_recorded(&cfg, Some(fault), 15);
+        assert_eq!(report.faults_masked, 1);
+        assert_eq!(report.faults_detected, 0);
+        assert_eq!(trial_label(&report), "masked");
+        // a detected-and-recovered fault is "recovered", never "masked"
+        let detected = MicroFault {
+            at_round: 4,
+            victim: Victim::V2,
+            kind: FaultKind::Transient(vds_fault::model::FaultSite::Memory { addr: 4, bit: 7 }),
+        };
+        let (report, _) = run_micro_recorded(&cfg, Some(detected), 15);
+        assert_eq!(report.faults_detected, 1);
+        assert_eq!(trial_label(&report), "recovered");
+        // escaped outranks masked in the label split (silent corruption
+        // must never be reported as harmless)
+        let escaped = RunReport {
+            faults_injected: 2,
+            faults_masked: 1,
+            faults_escaped: 1,
+            ..Default::default()
+        };
+        assert_eq!(trial_label(&escaped), "escaped");
+        let shutdown = RunReport {
+            shutdown: true,
+            ..Default::default()
+        };
+        assert_eq!(trial_label(&shutdown), "failsafe-shutdown");
     }
 }

@@ -201,6 +201,13 @@ pub(crate) const CONFORMANCE: CommandSpec = CommandSpec {
     flags: &[WINDOW, TOLERANCE, JSON, ADDR, PORT, LOG_LEVEL],
 };
 
+pub(crate) const FAULTS: CommandSpec = CommandSpec {
+    name: "faults",
+    usage: "vds faults <journal|live> [--json]",
+    about: "per-fault lifecycle forensics over a recorded (or live) journal",
+    flags: &[JSON, ADDR, PORT, LOG_LEVEL],
+};
+
 pub(crate) const REPLAY: CommandSpec = CommandSpec {
     name: "replay",
     usage: "vds replay <journal>",

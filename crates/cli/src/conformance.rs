@@ -62,8 +62,9 @@ pub(crate) fn cmd_conformance(args: &[String]) -> Result<String, CliError> {
 
 /// Fetch `/journal` from a running `vds serve` with a minimal HTTP/1.0
 /// GET over a raw [`std::net::TcpStream`] — no client dependency, same
-/// zero-dependency stance as the server side.
-fn fetch_live_journal(addr: &str) -> Result<String, CliError> {
+/// zero-dependency stance as the server side. Shared with `vds faults`,
+/// which prices the same journal bytes.
+pub(crate) fn fetch_live_journal(addr: &str) -> Result<String, CliError> {
     let err = |e: std::io::Error| {
         CliError::runtime(format!(
             "cannot fetch journal from http://{addr}/journal: {e} (is `vds serve` running?)"
@@ -130,6 +131,24 @@ mod tests {
         );
         assert!(out.contains("\"scheme\":\"smt-prob\""), "{out}");
         assert!(out.contains("\"mean_abs_residual\":"), "{out}");
+    }
+
+    #[test]
+    fn conformance_accepts_a_header_only_journal_as_zero_samples() {
+        // a valid journal whose run recorded no rounds: header line only.
+        // zero complete windows is a report, not an error (exit 0).
+        let p = tmp("header-only.jsonl");
+        let header =
+            vds_obs::Journal::enabled(vds_obs::JournalHeader::new("micro", "smt-det", 7, 10, 0))
+                .to_jsonl();
+        assert_eq!(header.lines().count(), 1);
+        std::fs::write(&p, &header).unwrap();
+        let ps = p.to_str().unwrap();
+        let out = run(&["conformance", ps]).unwrap();
+        assert!(out.contains("0 windows"), "{out}");
+        assert!(out.contains("no complete windows"), "{out}");
+        let json = run(&["conformance", ps, "--json"]).unwrap();
+        assert!(json.contains("\"windows\":0"), "{json}");
     }
 
     #[test]

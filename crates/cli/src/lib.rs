@@ -49,6 +49,7 @@ use std::fmt::Write as _;
 mod args;
 mod audit;
 mod conformance;
+mod faults;
 mod serve;
 mod sweep_cmd;
 
@@ -97,6 +98,7 @@ USAGE:
     vds replay <journal>                re-execute a recorded run, assert digest-for-digest agreement
     vds audit diff <a> <b>              first divergent round between two journals
     vds conformance <journal|live>      predicted-vs-measured G residuals over a journal
+    vds faults <journal|live>           per-fault lifecycle forensics over a journal
     vds gains [alpha] [beta] [p]        closed-form gain summary
     vds <command> --help                per-command flag reference
 
@@ -129,7 +131,7 @@ FLAGS (alpha / duplex / stats / report / experiment / bench / serve; `--flag v` 
     --tolerance F        conformance: |residual| bound a window must stay within
                          (default 0.25)
 
-ENDPOINTS (vds serve): /metrics (Prometheus), /healthz, /readyz, /trace (Chrome JSON), /progress (JSON), /journal (JSONL), /conformance (JSON)
+ENDPOINTS (vds serve): /metrics (Prometheus), /healthz, /readyz, /trace (Chrome JSON), /progress (JSON), /journal (JSONL), /conformance (JSON), /faults (JSON)
 
 SCHEMES: conventional, smt-det, smt-prob, smt-pred, smt-boost3, smt-boost5"
 }
@@ -250,6 +252,7 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
         "replay" => audit::cmd_replay(&args[1..]),
         "audit" => audit::cmd_audit(&args[1..]),
         "conformance" => conformance::cmd_conformance(&args[1..]),
+        "faults" => faults::cmd_faults(&args[1..]),
         "flowchart" => {
             let scheme = parse_scheme(
                 args.get(1)
@@ -496,6 +499,14 @@ fn cmd_duplex(args: &[String], mode: DuplexMode) -> Result<String, CliError> {
             vds_obs::conformance::DEFAULT_WINDOW,
             vds_obs::conformance::DEFAULT_TOLERANCE,
         ) {
+            let mut reg = vds_obs::Registry::new();
+            tracker.export_metrics(&mut reg);
+            rec.merge_registry(&reg);
+        }
+        // fault-lifecycle forensics from the same journal: faults.*
+        // counters are exported only on journaled paths like this one,
+        // never by the engines, so bench work units stay untouched
+        if let Ok(tracker) = vds_obs::ForensicsTracker::for_journal(rec.journal()) {
             let mut reg = vds_obs::Registry::new();
             tracker.export_metrics(&mut reg);
             rec.merge_registry(&reg);

@@ -127,7 +127,7 @@ fn serve(opts: &ServeOpts, f: &Flags) -> Result<String, CliError> {
     }
     log_info!(
         "serve",
-        "listening on http://{bound} — /metrics /healthz /readyz /trace /progress /journal /conformance"
+        "listening on http://{bound} — /metrics /healthz /readyz /trace /progress /journal /conformance /faults"
     );
 
     hub.begin_campaign(
@@ -173,6 +173,17 @@ fn serve(opts: &ServeOpts, f: &Flags) -> Result<String, CliError> {
         }
         Err(_) => None,
     };
+    // per-fault lifecycle forensics over the same journal, published on
+    // /faults (the registry already carries the faults.* counters from
+    // the campaign merge)
+    let faults_note = match vds_obs::ForensicsTracker::for_journal(rec.journal()) {
+        Ok(tracker) => {
+            let r = tracker.report();
+            hub.publish_faults(r.to_json());
+            Some(r.render_text())
+        }
+        Err(_) => None,
+    };
     hub.mark_done();
     log_info!(
         "serve",
@@ -186,6 +197,9 @@ fn serve(opts: &ServeOpts, f: &Flags) -> Result<String, CliError> {
         opts.scheme.name()
     );
     if let Some(note) = conformance_note {
+        out.push_str(&note);
+    }
+    if let Some(note) = faults_note {
         out.push_str(&note);
     }
     if let Some(path) = &f.metrics {

@@ -95,6 +95,10 @@ struct Engine<'a, R> {
     /// Flight-recorder entry for the round in flight (see the micro
     /// engine's equivalent): finalised by [`Engine::journal_finish`].
     pending: Option<RoundEntry>,
+    /// Lane-local ordinal of the next fault-bearing journal entry — the
+    /// forensics `fault_id` (stable across reruns because entries are
+    /// journalled in execution order).
+    next_fault_id: u64,
 }
 
 impl<'a, R: Record> Engine<'a, R> {
@@ -112,6 +116,7 @@ impl<'a, R: Record> Engine<'a, R> {
             report: RunReport::default(),
             rec,
             pending: None,
+            next_fault_id: 0,
         }
     }
 
@@ -138,6 +143,11 @@ impl<'a, R: Record> Engine<'a, R> {
         } else {
             "alternate[v1,v2]"
         };
+        let fault_id = fault.as_ref().map(|_| {
+            let id = self.next_fault_id;
+            self.next_fault_id += 1;
+            id
+        });
         self.pending = Some(RoundEntry {
             seq: 0,
             lane: 0,
@@ -151,6 +161,8 @@ impl<'a, R: Record> Engine<'a, R> {
             action: JournalAction::Commit,
             rollforward: 0,
             fault,
+            fault_id,
+            fault_outcome: None,
         });
     }
 
@@ -335,6 +347,11 @@ impl<'a, R: Record> Engine<'a, R> {
             Some(format!("{kind}@{}", victims.join("+")))
         };
 
+        // every corruption drawn in a normal round is caught by this
+        // round's own comparison (or the stop watchdog): zero-latency
+        // detection in both the round and sim-time denominations
+        self.report.faults_detected += drawn.len() as u64;
+
         if stopped {
             self.journal_stash(i, JournalVerdict::Hang, fault_note);
             // the whole processor stopped: all volatile state is gone;
@@ -480,6 +497,9 @@ impl<'a, R: Record> Engine<'a, R> {
         let retry_corrupt = self.recovery_corruption(fm, i);
         if retry_corrupt {
             self.report.faults_injected += 1;
+            // a corrupted retry always fails the majority vote below —
+            // the fault is detected by the vote itself
+            self.report.faults_detected += 1;
         }
 
         let both_corrupt = self.corrupt[0] && self.corrupt[1];
@@ -523,6 +543,8 @@ impl<'a, R: Record> Engine<'a, R> {
                 if self.cfg.scheme.detects_during_rollforward() {
                     if rf_corrupt {
                         self.report.rollforward_discards += 1;
+                        // the roll-forward comparison caught it
+                        self.report.faults_detected += 1;
                     } else if hit {
                         self.report.rollforward_hits += 1;
                         progress = x;
@@ -537,9 +559,15 @@ impl<'a, R: Record> Engine<'a, R> {
                         if rf_corrupt {
                             // adopted, and nothing will ever detect it
                             self.report.silent_corruptions += 1;
+                            self.report.faults_escaped += 1;
                         }
                     } else {
                         self.report.rollforward_misses += 1;
+                        if rf_corrupt {
+                            // the corrupted state was discarded unseen:
+                            // the corruption never entered the system
+                            self.report.faults_masked += 1;
+                        }
                     }
                 }
             }
@@ -931,6 +959,12 @@ mod tests {
         assert!(r.recoveries_ok > 0);
         assert!(!r.shutdown);
         assert!(r.time_recovery > 0.0);
+        // lifecycle conservation: every injected fault is classified
+        assert_eq!(
+            r.faults_detected + r.faults_masked + r.faults_escaped,
+            r.faults_injected,
+            "{r}"
+        );
     }
 
     #[test]
@@ -944,6 +978,14 @@ mod tests {
         ] {
             let r = run(&cfg(scheme), FaultModel::PerRound { q: 0.05 }, 500, 11);
             assert_eq!(r.silent_corruptions, 0, "{:?}", scheme);
+            // detecting schemes never let a fault escape, and every
+            // injected fault ends up in exactly one lifecycle bucket
+            assert_eq!(r.faults_escaped, 0, "{:?}", scheme);
+            assert_eq!(
+                r.faults_detected + r.faults_masked + r.faults_escaped,
+                r.faults_injected,
+                "{scheme:?}: {r}"
+            );
         }
     }
 
@@ -958,6 +1000,13 @@ mod tests {
         assert!(
             r.silent_corruptions > 0,
             "expected some silent adoptions: {r}"
+        );
+        // silent adoptions are exactly the escaped class here
+        assert_eq!(r.faults_escaped, r.silent_corruptions, "{r}");
+        assert_eq!(
+            r.faults_detected + r.faults_masked + r.faults_escaped,
+            r.faults_injected,
+            "{r}"
         );
     }
 
@@ -1188,6 +1237,22 @@ mod tests {
             bad.action,
             JournalAction::Recover | JournalAction::Rollback
         ));
+        // fault-bearing entries carry consecutive lane-local fault ids
+        let ids: Vec<u64> = j
+            .entries()
+            .iter()
+            .filter(|e| e.fault.is_some())
+            .map(|e| e.fault_id.expect("fault entry has an id"))
+            .collect();
+        assert!(!ids.is_empty());
+        assert_eq!(ids, (0..ids.len() as u64).collect::<Vec<_>>());
+        // forensics over the journal sees every fault event as detected
+        // in its own round (zero latency), with nothing escaped
+        let tracker = vds_obs::ForensicsTracker::for_journal(j).unwrap();
+        let rep = tracker.report();
+        assert_eq!(rep.injected, ids.len() as u64);
+        assert_eq!(rep.detected, ids.len() as u64);
+        assert!(rep.escapes.is_empty());
         // byte-identical across runs, and round-trips through JSONL
         let (_, rec2) = journaled();
         assert_eq!(j.to_jsonl(), rec2.journal().to_jsonl());

@@ -148,6 +148,29 @@ struct Micro<R> {
     pending: Option<RoundEntry>,
     /// Canonical spec of the fault injected this round, if any.
     injected_spec: Option<String>,
+    /// Lifecycle state of the injected one-shot fault while no comparison
+    /// has caught it yet; cleared on detection, classified masked/escaped
+    /// at end of run if still set.
+    outstanding: Option<OutstandingFault>,
+    /// Monotonic count of executed normal rounds (never reset by
+    /// checkpoints or rollbacks) — the round-denominated clock that
+    /// detection latency is measured on. Matches the journal's lane-local
+    /// entry ordinals, since every executed round journals one entry.
+    rounds_executed: u64,
+}
+
+/// The injected fault's lifecycle bookkeeping between injection and
+/// detection (or end of run).
+#[derive(Debug, Clone, Copy)]
+struct OutstandingFault {
+    /// [`Micro::rounds_executed`] at injection time.
+    injected_at_exec: u64,
+    /// Machine cycle time at injection.
+    injected_time: f64,
+    /// The injector reported the flip architecturally masked (r0 /
+    /// out-of-range site): no state changed, so the fault can never be
+    /// detected nor corrupt the output.
+    masked_on_arrival: bool,
 }
 
 #[derive(Debug, Clone)]
@@ -210,6 +233,8 @@ impl<R: Record> Micro<R> {
             rec,
             pending: None,
             injected_spec: None,
+            outstanding: None,
+            rounds_executed: 0,
         }
     }
 
@@ -272,8 +297,13 @@ impl<R: Record> Micro<R> {
                 f.victim.index() + 1
             ));
         }
-        vds_fault::inject::inject(&mut self.m, self.procs[version], &f.kind);
+        let effect = vds_fault::inject::inject(&mut self.m, self.procs[version], &f.kind);
         let t = self.m.cycles() as f64;
+        self.outstanding = Some(OutstandingFault {
+            injected_at_exec: self.rounds_executed,
+            injected_time: t,
+            masked_on_arrival: effect == vds_fault::inject::InjectionEffect::Masked,
+        });
         obs_event!(
             self.rec, t, "micro", "fault_injected",
             "round" => i, "version" => version,
@@ -308,6 +338,10 @@ impl<R: Record> Micro<R> {
         } else {
             format!("coschedule[v{},v{}]", a + 1, b + 1)
         };
+        let fault = self.injected_spec.take();
+        // micro runs inject at most one fault, so its lane-local fault id
+        // is always 0
+        let fault_id = fault.as_ref().map(|_| 0);
         self.pending = Some(RoundEntry {
             seq: 0,
             lane: 0,
@@ -320,8 +354,20 @@ impl<R: Record> Micro<R> {
             sched,
             action: JournalAction::Commit,
             rollforward: 0,
-            fault: self.injected_spec.take(),
+            fault,
+            fault_id,
+            fault_outcome: None,
         });
+    }
+
+    /// Credit a comparison/trap detection at time `t` to the outstanding
+    /// injected fault, closing its latency window.
+    fn note_detection(&mut self, t: f64) {
+        if let Some(o) = self.outstanding.take() {
+            self.report.faults_detected += 1;
+            self.report.detect_latency_rounds_sum += self.rounds_executed - o.injected_at_exec;
+            self.report.detect_latency_time_sum += t - o.injected_time;
+        }
     }
 
     /// Upgrade the pending journal entry's action (checkpoint, recovery,
@@ -346,6 +392,7 @@ impl<R: Record> Micro<R> {
     /// detection (mismatch or trap) at round `i`.
     fn normal_round(&mut self) -> Option<u32> {
         let i = self.rounds_since + 1;
+        self.rounds_executed += 1;
         self.trap_evidence = None;
         let start_cycles = self.m.cycles();
         let round_g = obs_span!(self.rec, "micro", "round", start_cycles as f64);
@@ -424,6 +471,7 @@ impl<R: Record> Micro<R> {
             } else {
                 JournalVerdict::Hang
             };
+            self.note_detection(t);
             self.journal_stash(i, t, verdict, None);
             obs_event!(self.rec, t, "micro", "detect", "round" => i, "evidence" => "trap");
             obs_end_span!(self.rec, round_g, t, "round" => i, "outcome" => "detect");
@@ -433,6 +481,7 @@ impl<R: Record> Micro<R> {
         let db = self.window_digest_of(b);
         if da != db {
             self.report.detections += 1;
+            self.note_detection(t);
             self.journal_stash(i, t, JournalVerdict::Mismatch, Some((da, db)));
             obs_event!(self.rec, t, "micro", "detect", "round" => i, "evidence" => "mismatch");
             obs_end_span!(self.rec, round_g, t, "round" => i, "outcome" => "detect");
@@ -989,6 +1038,23 @@ fn run_micro_engine<R: Record>(
     }
     e.report.total_time = e.m.cycles() as f64;
     let img = e.dmem_of(e.active[0]);
+    // classify a fault no comparison ever caught: output still correct
+    // (corruption overwritten or architecturally masked) → masked;
+    // output wrong and undetected → escaped (silent data corruption)
+    if let Some(o) = e.outstanding.take() {
+        let (k, state) = workload::oracle(e.report.committed_rounds as u32);
+        let window = &img[workload::ADDR_STATE as usize
+            ..(workload::ADDR_STATE + workload::STATE_WORDS) as usize];
+        let correct = img[workload::ADDR_ROUND as usize] == k && window == &state[..];
+        let outcome = if o.masked_on_arrival || correct {
+            e.report.faults_masked += 1;
+            "masked"
+        } else {
+            e.report.faults_escaped += 1;
+            "escaped"
+        };
+        e.rec.journal_resolve_fault(0, outcome);
+    }
     let mut rec = e.rec;
     e.report.export_metrics(&mut rec, "vds");
     e.m.core().export_metrics(&mut rec);
@@ -1066,6 +1132,12 @@ mod tests {
             assert_eq!(r.detections, 1, "{scheme:?}");
             assert_eq!(r.recoveries_ok, 1, "{scheme:?}: {r}");
             assert_eq!(r.rollbacks, 0, "{scheme:?}");
+            // fault lifecycle: caught in the injection round itself
+            assert_eq!(r.faults_detected, 1, "{scheme:?}");
+            assert_eq!(r.faults_masked, 0, "{scheme:?}");
+            assert_eq!(r.faults_escaped, 0, "{scheme:?}");
+            assert_eq!(r.detect_latency_rounds_sum, 0, "{scheme:?}");
+            assert!((r.coverage() - 1.0).abs() < 1e-12, "{scheme:?}");
         }
     }
 
@@ -1234,6 +1306,49 @@ mod tests {
         let r = run_micro(&cfg, Some(f), 15);
         assert_eq!(r.committed_rounds, 15);
         assert_eq!(r.detections, 0, "boundary register faults are dead: {r}");
+        // lifecycle accounting keeps the undetected-but-harmless fault
+        // out of both the detected and escaped buckets
+        assert_eq!(r.faults_injected, 1);
+        assert_eq!(r.faults_detected, 0);
+        assert_eq!(r.faults_masked, 1, "{r}");
+        assert_eq!(r.faults_escaped, 0, "{r}");
+        assert_eq!(r.coverage(), 0.0);
+    }
+
+    #[test]
+    fn masked_fault_outcome_is_stamped_on_the_journal_entry() {
+        use vds_obs::JournalHeader;
+        let cfg = MicroConfig::new(Scheme::SmtProbabilistic, 10);
+        let f = MicroFault {
+            at_round: 4,
+            victim: Victim::V1,
+            kind: FaultKind::Transient(FaultSite::Register { reg: 5, bit: 3 }),
+        };
+        let mut rec = Recorder::new();
+        rec.enable_journal(JournalHeader::new(
+            "micro",
+            cfg.scheme.name(),
+            cfg.seed,
+            cfg.s,
+            15,
+        ));
+        let (r, _, rec) = run_micro_with_recorder(&cfg, Some(f), 15, rec);
+        assert_eq!(r.faults_masked, 1);
+        let entry = rec
+            .journal()
+            .entries()
+            .iter()
+            .find(|e| e.fault.is_some())
+            .expect("fault-bearing entry");
+        assert_eq!(entry.fault_id, Some(0));
+        assert_eq!(entry.fault_outcome.as_deref(), Some("masked"));
+        // forensics over the journal agrees with the engine accounting
+        let t = vds_obs::ForensicsTracker::for_journal(rec.journal()).unwrap();
+        let rep = t.report();
+        assert_eq!(rep.injected, 1);
+        assert_eq!(rep.masked, 1);
+        assert_eq!(rep.detected, 0);
+        assert!(rep.escapes.is_empty());
     }
 
     #[test]

@@ -12,6 +12,23 @@ pub struct RunReport {
     pub committed_rounds: u64,
     /// Faults injected.
     pub faults_injected: u64,
+    /// Injected faults whose corruption a comparison later caught.
+    /// Lifecycle counters (`faults_detected`/`masked`/`escaped` and the
+    /// latency sums) are engine-maintained run accounting; they are
+    /// deliberately *not* exported by [`RunReport::export_metrics`] —
+    /// journaled paths export the equivalent `faults.*` counters via
+    /// `vds_obs::ForensicsTracker`, keeping bench work-unit accounting
+    /// (which sums every exported counter) untouched.
+    pub faults_detected: u64,
+    /// Injected faults whose corrupted state was overwritten before any
+    /// comparison saw it (final output correct).
+    pub faults_masked: u64,
+    /// Injected faults still latent at end of run (silent corruption).
+    pub faults_escaped: u64,
+    /// Sum over detected faults of detection latency in rounds.
+    pub detect_latency_rounds_sum: u64,
+    /// Sum over detected faults of detection latency in sim-time.
+    pub detect_latency_time_sum: f64,
     /// State-mismatch (or trap) detections.
     pub detections: u64,
     /// Recoveries where the majority vote identified the faulty version.
@@ -54,6 +71,26 @@ impl RunReport {
             0.0
         } else {
             self.committed_rounds as f64 / self.total_time
+        }
+    }
+
+    /// Fault coverage: detected over injected (1.0 when nothing was
+    /// injected — a fault-free run covers everything it saw).
+    pub fn coverage(&self) -> f64 {
+        if self.faults_injected == 0 {
+            1.0
+        } else {
+            self.faults_detected as f64 / self.faults_injected as f64
+        }
+    }
+
+    /// Mean detection latency in rounds over detected faults (0 when
+    /// nothing was detected).
+    pub fn mean_detect_latency_rounds(&self) -> f64 {
+        if self.faults_detected == 0 {
+            0.0
+        } else {
+            self.detect_latency_rounds_sum as f64 / self.faults_detected as f64
         }
     }
 

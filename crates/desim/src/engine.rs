@@ -269,6 +269,8 @@ impl<W> Sim<W> {
                 action: Action::Commit,
                 rollforward: 0,
                 fault: None,
+                fault_id: None,
+                fault_outcome: None,
             });
         };
         while let Some(ev) = self.queue.pop() {

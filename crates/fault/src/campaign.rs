@@ -315,6 +315,15 @@ where
                 tracker.export_metrics(&mut reg);
                 rec.merge_registry(&reg);
             }
+            // per-fault lifecycle forensics from the same merged journal:
+            // faults.* counters are exported only here (journaled paths),
+            // never by the per-run engines, so bench work units on the
+            // unjournaled paths stay untouched
+            if let Ok(tracker) = vds_obs::ForensicsTracker::for_journal(rec.journal()) {
+                let mut reg = Registry::new();
+                tracker.export_metrics(&mut reg);
+                rec.merge_registry(&reg);
+            }
         }
         rec.rollup_spans();
     }
@@ -544,6 +553,8 @@ mod tests {
                 action: Action::Commit,
                 rollforward: 0,
                 fault: None,
+                fault_id: None,
+                fault_outcome: None,
             });
             TrialResult::labelled("done")
         };

@@ -671,6 +671,8 @@ mod tests {
             action,
             rollforward,
             fault: fault.map(str::to_string),
+            fault_id: fault.map(|_| 0),
+            fault_outcome: None,
         }
     }
 

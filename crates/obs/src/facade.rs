@@ -133,6 +133,12 @@ pub trait Record {
     /// Append one round entry to the journal.
     #[inline]
     fn journal_push(&mut self, _entry: RoundEntry) {}
+
+    /// Stamp a terminal outcome (`masked` / `escaped`) onto the journal
+    /// entry that injected fault `fault_id`. Engines call this once at
+    /// end of run for faults that were never detected.
+    #[inline]
+    fn journal_resolve_fault(&mut self, _fault_id: u64, _outcome: &str) {}
 }
 
 /// The zero-sized sink: recording through it compiles to nothing.
@@ -221,6 +227,11 @@ impl Record for Recorder {
     #[inline]
     fn journal_push(&mut self, entry: RoundEntry) {
         Recorder::journal_push(self, entry);
+    }
+
+    #[inline]
+    fn journal_resolve_fault(&mut self, fault_id: u64, outcome: &str) {
+        Recorder::journal_resolve_fault(self, fault_id, outcome);
     }
 }
 

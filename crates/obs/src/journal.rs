@@ -25,7 +25,10 @@ use std::fmt::Write as _;
 
 /// Journal schema version; bump when the header or entry layout changes.
 /// Readers reject journals with a schema they do not understand.
-pub const JOURNAL_SCHEMA: u32 = 1;
+///
+/// v2 added per-fault lifecycle fields (`fault_id`, `fault_outcome`) so
+/// forensics reports can attribute detections to individual injections.
+pub const JOURNAL_SCHEMA: u32 = 2;
 
 // ---------------------------------------------------------------------------
 // 128-bit state digests
@@ -344,6 +347,16 @@ pub struct RoundEntry {
     pub rollforward: u32,
     /// Fault injected at this round, canonical spec string, if any.
     pub fault: Option<String>,
+    /// Stable per-lane fault ordinal assigned at injection (present iff
+    /// `fault` is). The pair `(lane, fault_id)` names one injected fault
+    /// for its whole lifecycle: injection → detection → resolution.
+    pub fault_id: Option<u64>,
+    /// Terminal outcome stamped at end of run for faults that were never
+    /// detected: `masked` (corrupted state overwritten before any
+    /// comparison saw it) or `escaped` (still latent at run end).
+    /// Detected faults carry no outcome — detection is inferred from the
+    /// first non-`match` verdict in the lane at or after the injection.
+    pub fault_outcome: Option<String>,
 }
 
 impl RoundEntry {
@@ -364,6 +377,12 @@ impl RoundEntry {
         );
         if let Some(fault) = &self.fault {
             let _ = write!(line, ",\"fault\":\"{}\"", json_escape(fault));
+        }
+        if let Some(id) = self.fault_id {
+            let _ = write!(line, ",\"fault_id\":{id}");
+        }
+        if let Some(outcome) = &self.fault_outcome {
+            let _ = write!(line, ",\"fault_outcome\":\"{}\"", json_escape(outcome));
         }
         line.push('}');
         line
@@ -429,6 +448,21 @@ impl RoundEntry {
         if self.fault != other.fault {
             let show = |f: &Option<String>| f.clone().unwrap_or_else(|| "(none)".to_string());
             return Some(("fault", show(&self.fault), show(&other.fault)));
+        }
+        if self.fault_id != other.fault_id {
+            let show = |f: &Option<u64>| {
+                f.map(|v| v.to_string())
+                    .unwrap_or_else(|| "(none)".to_string())
+            };
+            return Some(("fault_id", show(&self.fault_id), show(&other.fault_id)));
+        }
+        if self.fault_outcome != other.fault_outcome {
+            let show = |f: &Option<String>| f.clone().unwrap_or_else(|| "(none)".to_string());
+            return Some((
+                "fault_outcome",
+                show(&self.fault_outcome),
+                show(&other.fault_outcome),
+            ));
         }
         if self.seq != other.seq {
             return Some(("seq", self.seq.to_string(), other.seq.to_string()));
@@ -576,6 +610,21 @@ impl Journal {
         }
     }
 
+    /// Stamp the terminal outcome (`masked` / `escaped`) onto the
+    /// fault-bearing entry with the given `fault_id`. Called by engines at
+    /// end of run, before lane adoption, so the id is lane-agnostic.
+    /// Returns whether a matching entry was found.
+    pub fn resolve_fault(&mut self, fault_id: u64, outcome: &str) -> bool {
+        let mut found = false;
+        for e in &mut self.entries {
+            if e.fault.is_some() && e.fault_id == Some(fault_id) {
+                e.fault_outcome = Some(outcome.to_string());
+                found = true;
+            }
+        }
+        found
+    }
+
     /// Append another journal's entries with every lane overridden (a
     /// campaign adopting a single-run journal as trial `lane`).
     pub fn adopt(&mut self, other: &Journal, lane: u64) {
@@ -641,6 +690,12 @@ impl Journal {
                 header = Some(h);
                 continue;
             }
+            if header.is_none() {
+                return Err(format!(
+                    "line {}: journal entry before header (unversioned journals are refused; re-record with schema {JOURNAL_SCHEMA})",
+                    lineno + 1
+                ));
+            }
             let field_err =
                 |name: &str| format!("line {}: missing or malformed `{name}`", lineno + 1);
             let digest = |name: &str| -> Result<Digest128, String> {
@@ -668,6 +723,8 @@ impl Journal {
                 rollforward: json::get_u64(obj, "rollforward")
                     .ok_or_else(|| field_err("rollforward"))? as u32,
                 fault: json::get_str(obj, "fault").map(str::to_string),
+                fault_id: json::get_u64(obj, "fault_id"),
+                fault_outcome: json::get_str(obj, "fault_outcome").map(str::to_string),
             });
         }
         Ok(Journal {
@@ -1015,6 +1072,8 @@ mod tests {
             action,
             rollforward: 0,
             fault: None,
+            fault_id: None,
+            fault_outcome: None,
         }
     }
 
@@ -1027,6 +1086,7 @@ mod tests {
         let mut e = entry(3, Verdict::Mismatch, Action::Recover);
         e.rollforward = 2;
         e.fault = Some("transient:mem:4:9@v2".to_string());
+        e.fault_id = Some(0);
         j.push(e);
         j.push(entry(4, Verdict::Match, Action::Commit));
         j
@@ -1146,7 +1206,7 @@ mod tests {
     #[test]
     fn unsupported_schema_rejected() {
         let j = sample_journal();
-        let text = j.to_jsonl().replace("\"schema\":1", "\"schema\":99");
+        let text = j.to_jsonl().replace("\"schema\":2", "\"schema\":99");
         let err = Journal::from_jsonl(&text).unwrap_err();
         assert!(err.contains("schema 99"), "{err}");
     }
@@ -1159,6 +1219,35 @@ mod tests {
         assert!(Journal::from_jsonl("not json")
             .unwrap_err()
             .contains("line 1"));
+    }
+
+    #[test]
+    fn entries_before_header_are_refused() {
+        // A v1 (or hand-edited) journal whose entries precede any header
+        // is unversioned — refuse it rather than guess at its layout.
+        let j = sample_journal();
+        let text = j.to_jsonl();
+        let headerless: String = text.lines().skip(1).map(|l| format!("{l}\n")).collect();
+        let err = Journal::from_jsonl(&headerless).unwrap_err();
+        assert!(err.contains("entry before header"), "{err}");
+        // An empty input still parses (to a headerless, entry-free
+        // journal) so callers keep their own "no journal header" wording.
+        let empty = Journal::from_jsonl("").expect("empty parses");
+        assert!(empty.header().is_none());
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn resolve_fault_stamps_outcome_on_the_injecting_entry() {
+        let mut j = sample_journal();
+        assert!(j.resolve_fault(0, "escaped"));
+        assert!(!j.resolve_fault(7, "masked"));
+        let e = &j.entries()[2];
+        assert_eq!(e.fault_outcome.as_deref(), Some("escaped"));
+        assert!(j.entries()[0].fault_outcome.is_none());
+        // The stamped outcome survives a serialisation round trip.
+        let back = Journal::from_jsonl(&j.to_jsonl()).expect("parse");
+        assert_eq!(back.entries(), j.entries());
     }
 
     #[test]

@@ -19,6 +19,10 @@
 //!   [`ConformanceTracker`] prices the journal's per-round events with
 //!   the paper's closed forms and streams windowed predicted-vs-measured
 //!   G residuals into a bounded [`ResidualSeries`].
+//! * [`forensics`] — fault-lifecycle forensics: a [`ForensicsTracker`]
+//!   reconstructs every injected fault's injection → detection →
+//!   recovery (or escape) chain from journal bytes, yielding
+//!   detection-latency and coverage observables.
 //! * [`Trace`] — a bounded ring buffer of `(sim_time, component, event,
 //!   fields)` records with a JSON-lines exporter.
 //! * [`SpanSet`] — a bounded ring buffer of `(begin, end, component,
@@ -73,6 +77,7 @@
 
 pub mod conformance;
 pub mod facade;
+pub mod forensics;
 pub mod histogram;
 pub mod journal;
 pub mod json;
@@ -90,6 +95,7 @@ pub use conformance::{
     ConformanceReport, ConformanceTracker, ResidualSeries, SchemeModel, WindowSample,
 };
 pub use facade::{NoopRecorder, Record};
+pub use forensics::{EscapeRecord, FaultOutcome, FaultTrace, ForensicsReport, ForensicsTracker};
 pub use histogram::Histogram;
 pub use journal::{
     digest_words128, Action, Digest128, Digester128, Divergence, Journal, JournalHeader,

@@ -496,6 +496,8 @@ mod tests {
             action: crate::journal::Action::Recover,
             rollforward: 2,
             fault: Some("transient:mem:4:9@v2".to_string()),
+            fault_id: Some(0),
+            fault_outcome: None,
         });
         j.export_metrics(&mut r);
         let got = render(&r);

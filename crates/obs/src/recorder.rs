@@ -244,6 +244,15 @@ impl Recorder {
         }
     }
 
+    /// Stamp the terminal outcome (`masked` / `escaped`) onto the journal
+    /// entry that injected fault `fault_id` (dropped unless the journal
+    /// is enabled).
+    pub fn journal_resolve_fault(&mut self, fault_id: u64, outcome: &str) {
+        if self.enabled {
+            self.journal.resolve_fault(fault_id, outcome);
+        }
+    }
+
     /// Read access to the flight-recorder journal.
     pub fn journal(&self) -> &Journal {
         &self.journal

@@ -13,6 +13,7 @@
 //! | `/progress` | JSON snapshot: trial/shard completion, work units per second, full metrics |
 //! | `/journal`  | flight-recorder journal JSONL (for `vds replay` / `vds audit diff` / `vds conformance`) |
 //! | `/conformance` | the last published predicted-vs-measured G residual report (JSON) |
+//! | `/faults`   | the last published per-fault lifecycle forensics report (JSON) |
 //! | `/`         | plain-text index of the above |
 //!
 //! **Determinism contract.** The hub is strictly write-through from the
@@ -42,6 +43,7 @@ struct HubState {
     journal_jsonl: String,
     journal_summary: String,
     conformance_json: String,
+    faults_json: String,
 }
 
 /// The publisher/reader rendezvous: campaigns merge snapshots in,
@@ -76,6 +78,7 @@ impl TelemetryHub {
                 journal_jsonl: String::new(),
                 journal_summary: Journal::default().summary_json(),
                 conformance_json: String::new(),
+                faults_json: String::new(),
             }),
         })
     }
@@ -175,6 +178,25 @@ impl TelemetryHub {
             .read()
             .unwrap_or_else(|e| e.into_inner())
             .conformance_json
+            .clone()
+    }
+
+    /// Publish a fault-forensics report (the `vds faults` JSON form);
+    /// `/faults` serves it verbatim.
+    pub fn publish_faults(&self, json: String) {
+        self.state
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .faults_json = json;
+    }
+
+    /// The `/faults` body: the last published fault-forensics report
+    /// JSON (empty until one is published).
+    pub fn faults_json(&self) -> String {
+        self.state
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .faults_json
             .clone()
     }
 
@@ -330,7 +352,8 @@ const INDEX: &str = "vds telemetry\n\
                      GET /trace     Chrome trace-event JSON (open in ui.perfetto.dev)\n\
                      GET /progress  campaign progress JSON\n\
                      GET /journal   flight-recorder journal (JSONL; for `vds replay` / `vds audit diff`)\n\
-                     GET /conformance  predicted-vs-measured G residual report (JSON)\n";
+                     GET /conformance  predicted-vs-measured G residual report (JSON)\n\
+                     GET /faults    per-fault lifecycle forensics report (JSON)\n";
 
 fn handle_conn(mut stream: TcpStream, hub: &TelemetryHub) {
     // Accepted sockets do not reliably inherit blocking mode.
@@ -395,6 +418,18 @@ fn route(method: &str, path: &str, hub: &TelemetryHub) -> (u16, &'static str, St
             let body = hub.conformance_json();
             if body.is_empty() {
                 (404, TEXT, "no conformance report published\n".to_string())
+            } else {
+                (200, JSON, body)
+            }
+        }
+        "/faults" => {
+            let body = hub.faults_json();
+            if body.is_empty() {
+                (
+                    404,
+                    TEXT,
+                    "no fault forensics report published\n".to_string(),
+                )
             } else {
                 (200, JSON, body)
             }
@@ -494,6 +529,8 @@ mod tests {
             action: crate::journal::Action::Commit,
             rollforward: 0,
             fault: None,
+            fault_id: None,
+            fault_outcome: None,
         });
         hub.publish_journal(&j);
         let (st, body) = get(addr, "/journal");
@@ -505,6 +542,15 @@ mod tests {
         let (st, body) = get(addr, "/trace");
         assert_eq!(st, 200);
         assert!(body.starts_with("{\"traceEvents\":["), "{body}");
+
+        // /faults 404s until a forensics report is published, then
+        // serves the published JSON verbatim
+        let (st, _) = get(addr, "/faults");
+        assert_eq!(st, 404);
+        let faults = "{\"schema\":\"vds.report.v1\",\"kind\":\"faults\"}".to_string();
+        hub.publish_faults(faults.clone());
+        let (st, body) = get(addr, "/faults");
+        assert_eq!((st, body), (200, faults));
 
         let (st, _) = get(addr, "/nope");
         assert_eq!(st, 404);

@@ -25,6 +25,8 @@ fn sample_journal() -> Journal {
         action: Action::Recover,
         rollforward: 2,
         fault: Some("transient:mem:4:9@v2".to_string()),
+        fault_id: Some(0),
+        fault_outcome: None,
     });
     j
 }

@@ -76,6 +76,11 @@ pub struct CellResult {
     /// `g_round − predicted_g`: the cell's model-conformance residual
     /// (what the E15/E16 heatmaps plot as model error).
     pub residual: f64,
+    /// Fault coverage: detected over injected (1.0 for fault-free cells).
+    pub coverage: f64,
+    /// Mean detection latency in rounds over the cell's detected faults
+    /// (0 when nothing was detected).
+    pub mean_detect_latency: f64,
 }
 
 impl CellResult {
@@ -112,6 +117,8 @@ impl CellResult {
             shutdown: r.shutdown,
             predicted_g,
             residual: g_round - predicted_g,
+            coverage: r.coverage(),
+            mean_detect_latency: r.mean_detect_latency_rounds(),
         }
     }
 }
@@ -277,6 +284,9 @@ fn accumulate_cell(reg: &mut Registry, r: &CellResult) {
     // first-class histogram of per-cell model error (gauges/histograms
     // only — counters feed bench work-unit accounting)
     reg.observe_hist("sweep.conformance.residual_abs", r.residual.abs());
+    // fault-forensics observables, summaries only for the same reason
+    reg.observe("sweep.faults.coverage", r.coverage);
+    reg.observe_hist("sweep.faults.detect_latency_rounds", r.mean_detect_latency);
 }
 
 /// Run the sweep across `workers` threads.
@@ -512,8 +522,13 @@ mod tests {
             assert_eq!(r.committed_rounds, 20, "{}", r.cell.key());
             if r.cell.q > 0.0 {
                 assert_eq!(r.detections, 1, "{}", r.cell.key());
+                // the placed state-word fault is caught in its own round
+                assert!((r.coverage - 1.0).abs() < 1e-12, "{}", r.cell.key());
+                assert_eq!(r.mean_detect_latency, 0.0, "{}", r.cell.key());
             } else {
                 assert_eq!(r.detections, 0, "{}", r.cell.key());
+                // nothing injected: vacuous full coverage
+                assert!((r.coverage - 1.0).abs() < 1e-12, "{}", r.cell.key());
             }
             assert!(r.g_round > 1.0, "SMT beats conventional: {}", r.cell.key());
         }

@@ -28,7 +28,7 @@ use crate::grid::{Backend, Cell, GridSpec};
 pub const CSV_HEADER: &str = "index,backend,scheme,alpha,s,q,rounds,seed,\
 committed_rounds,total_time,throughput,g_round,availability,\
 rf_hits,rf_misses,rf_discards,rf_hit_rate,detections,rollbacks,shutdown,\
-predicted_g,residual";
+predicted_g,residual,coverage,mean_detect_latency";
 
 /// The measured-only column set: [`CSV_HEADER`] without the trailing
 /// derived conformance columns (`predicted_g,residual`). This is the
@@ -71,9 +71,16 @@ fn measured_csv_row(r: &CellResult) -> String {
 }
 
 /// One full CSV row (no trailing newline): the measured columns plus the
-/// derived conformance columns.
+/// derived conformance and fault-forensics columns.
 pub fn csv_row(r: &CellResult) -> String {
-    format!("{},{},{}", measured_csv_row(r), r.predicted_g, r.residual)
+    format!(
+        "{},{},{},{},{}",
+        measured_csv_row(r),
+        r.predicted_g,
+        r.residual,
+        r.coverage,
+        r.mean_detect_latency
+    )
 }
 
 /// Full CSV document: header plus one row per cell in index order.
@@ -113,7 +120,8 @@ pub fn to_jsonl(results: &[CellResult]) -> String {
              \"total_time\":{},\"throughput\":{},\"g_round\":{},\"availability\":{},\
              \"rf_hits\":{},\"rf_misses\":{},\"rf_discards\":{},\"rf_hit_rate\":{},\
              \"detections\":{},\"rollbacks\":{},\"shutdown\":{},\
-             \"predicted_g\":{},\"residual\":{}}}\n",
+             \"predicted_g\":{},\"residual\":{},\
+             \"coverage\":{},\"mean_detect_latency\":{}}}\n",
             c.index,
             c.backend.name(),
             c.scheme.name(),
@@ -135,7 +143,9 @@ pub fn to_jsonl(results: &[CellResult]) -> String {
             r.rollbacks,
             r.shutdown,
             json_f64(r.predicted_g),
-            json_f64(r.residual)
+            json_f64(r.residual),
+            json_f64(r.coverage),
+            json_f64(r.mean_detect_latency)
         ));
     }
     out
@@ -162,10 +172,11 @@ pub fn grid_digest(spec: &GridSpec) -> Digest128 {
 
 /// First line of a resume journal for `spec` (with trailing newline).
 pub fn journal_header(spec: &GridSpec) -> String {
-    // v2: rows carry the predicted_g / residual conformance columns; a
-    // v1 journal (20-column rows) is rejected by the version check below
-    // rather than mis-parsed
-    format!("#vds-sweep-journal v2 grid={}\n", grid_digest(spec))
+    // v3: rows carry the coverage / mean_detect_latency forensics
+    // columns after the v2 conformance columns; older journals (20- or
+    // 22-column rows) are rejected by the version check below rather
+    // than mis-parsed
+    format!("#vds-sweep-journal v3 grid={}\n", grid_digest(spec))
 }
 
 /// Parse a resume journal against the grid it claims to belong to.
@@ -270,6 +281,8 @@ pub fn parse_row(line: &str, cells: &[Cell]) -> Result<CellResult, String> {
         },
         predicted_g: num(f[20], "predicted_g")?,
         residual: num(f[21], "residual")?,
+        coverage: num(f[22], "coverage")?,
+        mean_detect_latency: num(f[23], "mean_detect_latency")?,
     })
 }
 
@@ -287,7 +300,7 @@ mod tests {
     fn measured_csv_is_the_full_csv_minus_the_conformance_columns() {
         assert_eq!(
             CSV_HEADER,
-            format!("{MEASURED_CSV_HEADER},predicted_g,residual")
+            format!("{MEASURED_CSV_HEADER},predicted_g,residual,coverage,mean_detect_latency")
         );
         let g = grid();
         let out = run_sweep(&g, 1, None, &BTreeMap::new(), None);

@@ -56,13 +56,18 @@ fn arb_entry() -> impl Strategy<Value = RoundEntry> {
             arb_action(),
             0u32..32,
         ),
-        (any::<bool>(), arb_label()),
+        (
+            any::<bool>(),
+            arb_label(),
+            prop_oneof![Just(None), (0u64..1_000).prop_map(Some)],
+            prop_oneof![Just(None), Just(Some("masked")), Just(Some("escaped"))],
+        ),
     )
         .prop_map(
             |(
                 (lane, round, committed, quarters),
                 (d1, d2, verdict, sched, action, rollforward),
-                (has_fault, fault),
+                (has_fault, fault, fault_id, fault_outcome),
             )| {
                 RoundEntry {
                     seq: 0, // assigned by Journal::push
@@ -76,6 +81,14 @@ fn arb_entry() -> impl Strategy<Value = RoundEntry> {
                     sched,
                     action,
                     rollforward,
+                    // fault_id / fault_outcome only accompany a fault
+                    // spec, as the engines write them
+                    fault_id: has_fault.then_some(fault_id.unwrap_or(0)),
+                    fault_outcome: if has_fault {
+                        fault_outcome.map(str::to_string)
+                    } else {
+                        None
+                    },
                     fault: has_fault.then_some(fault),
                 }
             },
@@ -231,6 +244,8 @@ fn sample_journal_with(entries: usize, tweak: impl Fn(usize, &mut RoundEntry)) -
             action: Action::Commit,
             rollforward: 0,
             fault: None,
+            fault_id: None,
+            fault_outcome: None,
         };
         tweak(i, &mut e);
         j.push(e);
