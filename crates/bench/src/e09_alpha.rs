@@ -15,7 +15,7 @@ use vds_smtsim::kernels;
 pub fn report(rounds: u32) -> Report {
     let cfg = CoreConfig::default();
     let ks = kernels::suite(rounds);
-    let rows = measure_matrix(&cfg, &ks);
+    let rows = measure_matrix(&cfg, &ks).expect("suite kernels complete");
     let names: Vec<&str> = ks.iter().map(|k| k.name.as_str()).collect();
 
     let mut text = String::new();
@@ -78,7 +78,7 @@ mod tests {
         let ks = [kernels::crc(32, 1), kernels::control(32, 1)];
         for a in &ks {
             for b in &ks {
-                let m = measure(&cfg, a, b);
+                let m = measure(&cfg, a, b).unwrap();
                 assert!(
                     (0.45..=1.05).contains(&m.alpha),
                     "{}×{}: alpha={}",
@@ -94,7 +94,7 @@ mod tests {
     fn matmul_pair_near_papers_alpha() {
         let cfg = CoreConfig::default();
         let k = kernels::matmul(6, 1);
-        let m = measure(&cfg, &k, &k);
+        let m = measure(&cfg, &k, &k).unwrap();
         assert!((0.5..=0.85).contains(&m.alpha), "α = {}", m.alpha);
     }
 }

@@ -43,8 +43,12 @@ pub fn fetch_policy_ablation(rounds: u32) -> Vec<(String, f64, f64)> {
             };
             (
                 format!("{}+{}", a.name, b.name),
-                alpha::measure(&rr, a, b).alpha,
-                alpha::measure(&ic, a, b).alpha,
+                alpha::measure(&rr, a, b)
+                    .expect("ablation kernels complete")
+                    .alpha,
+                alpha::measure(&ic, a, b)
+                    .expect("ablation kernels complete")
+                    .alpha,
             )
         })
         .collect()
@@ -82,7 +86,12 @@ pub fn cache_ablation(rounds: u32) -> Vec<(usize, f64)> {
             ..CoreConfig::default()
         };
         let k = kernels::pchase(512, 256, rounds);
-        (dcache.capacity_words(), alpha::measure(&cfg, &k, &k).alpha)
+        (
+            dcache.capacity_words(),
+            alpha::measure(&cfg, &k, &k)
+                .expect("ablation kernels complete")
+                .alpha,
+        )
     })
     .collect()
 }

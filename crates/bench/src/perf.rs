@@ -39,6 +39,8 @@ pub const SUITE: &[(&str, u64)] = &[
     // against older baselines, so adding them here is not a break
     ("E15", 400),
     ("E16", 400),
+    // α-decomposition ledger: cycle-level SMT backend, counter-only
+    ("E17", 2),
 ];
 
 /// One experiment's row in the bench report.

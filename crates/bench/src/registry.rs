@@ -175,12 +175,18 @@ experiment!(
     "s × scheme heatmap under stochastic faults (sweep-backed)",
     |p| crate::e16_heatmap::report(p.rounds_or(1_000), p.workers, p.seed.unwrap_or(1))
 );
+experiment!(
+    E17,
+    "E17",
+    "α-decomposition: per-cycle SMT interference ledger",
+    |p| crate::e17_alpha_ledger::report(p.rounds_or(2) as u32)
+);
 
 /// All experiments, in id order.
 pub fn registry() -> &'static [&'static dyn Experiment] {
     const REGISTRY: &[&'static dyn Experiment] = &[
         &E01, &E02, &E03, &E04, &E05, &E06, &E07, &E08, &E09, &E10, &E11, &E12, &E13, &E14, &E15,
-        &E16,
+        &E16, &E17,
     ];
     REGISTRY
 }
@@ -203,7 +209,7 @@ mod tests {
     #[test]
     fn registry_ids_are_unique_and_ordered() {
         let ids: Vec<&str> = registry().iter().map(|e| e.id()).collect();
-        assert_eq!(ids.len(), 16);
+        assert_eq!(ids.len(), 17);
         let mut nums: Vec<u32> = ids
             .iter()
             .map(|i| i.trim_start_matches('E').parse().unwrap())
@@ -212,7 +218,7 @@ mod tests {
         nums.sort_unstable();
         assert_eq!(nums, sorted, "registry not in id order");
         nums.dedup();
-        assert_eq!(nums.len(), 16, "duplicate ids");
+        assert_eq!(nums.len(), 17, "duplicate ids");
     }
 
     #[test]
@@ -224,7 +230,8 @@ mod tests {
         assert_eq!(find("E014").unwrap().id(), "E14");
         assert_eq!(find("e15").unwrap().id(), "E15");
         assert_eq!(find("E016").unwrap().id(), "E16");
-        assert!(find("e17").is_none());
+        assert_eq!(find("e17").unwrap().id(), "E17");
+        assert!(find("e18").is_none());
         assert!(find("bogus").is_none());
     }
 

@@ -108,6 +108,11 @@ const SCHEME: FlagSpec = flag(
     Some("NAME"),
     "campaign recovery scheme (default smt-prob; smt-boost5 is abstract-only)",
 );
+const ALPHA_MODE: FlagSpec = flag(
+    "alpha",
+    Some("MODE"),
+    "price the model at the measured or parametric α (measured|parametric)",
+);
 
 /// A subcommand's argument contract.
 pub(crate) struct CommandSpec {
@@ -123,9 +128,9 @@ pub(crate) struct CommandSpec {
 
 pub(crate) const ALPHA: CommandSpec = CommandSpec {
     name: "alpha",
-    usage: "vds alpha [rounds]",
-    about: "measure the kernel-pair α matrix",
-    flags: &[ROUNDS, METRICS, LOG_LEVEL],
+    usage: "vds alpha [rounds|program.s]",
+    about: "per-cycle α-attribution ledger over the kernel suite (or one program)",
+    flags: &[ROUNDS, WORKERS, METRICS, JSON, LOG_LEVEL],
 };
 
 const DUPLEX_FLAGS: &[FlagSpec] = &[
@@ -198,7 +203,7 @@ pub(crate) const CONFORMANCE: CommandSpec = CommandSpec {
     name: "conformance",
     usage: "vds conformance <journal|live> [--window N] [--tolerance F] [--json]",
     about: "predicted-vs-measured G residuals over a recorded (or live) journal",
-    flags: &[WINDOW, TOLERANCE, JSON, ADDR, PORT, LOG_LEVEL],
+    flags: &[WINDOW, TOLERANCE, ALPHA_MODE, JSON, ADDR, PORT, LOG_LEVEL],
 };
 
 pub(crate) const FAULTS: CommandSpec = CommandSpec {
@@ -356,6 +361,14 @@ fn set_value(f: &mut Flags, name: &str, value: String) -> Result<(), CliError> {
             f.tolerance = Some(t);
         }
         "scheme" => f.scheme = Some(value),
+        "alpha" => {
+            if value != "measured" && value != "parametric" {
+                return Err(CliError::usage(format!(
+                    "--alpha: `{value}` is not a pricing mode (measured|parametric)"
+                )));
+            }
+            f.alpha_mode = Some(value);
+        }
         _ => unreachable!("value flag `--{name}` missing from set_value"),
     }
     Ok(())

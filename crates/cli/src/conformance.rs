@@ -11,6 +11,12 @@
 //! The report depends only on the journal bytes, so it is identical for
 //! any worker count that produced the recording — the same determinism
 //! contract the journal itself carries.
+//!
+//! `--alpha measured` reprices the closed forms at the α the attribution
+//! ledger actually measures on the micro core (the mean over the kernel
+//! suite's pairwise ledgers) instead of the journal header's parametric
+//! α. The measured gain side is untouched, so the residual shift shows
+//! how much model error the parametric α was responsible for.
 
 use crate::{read_file, CliError};
 use std::io::{Read as _, Write as _};
@@ -48,8 +54,20 @@ pub(crate) fn cmd_conformance(args: &[String]) -> Result<String, CliError> {
             "`{source}` has no journal header (missing or truncated?)"
         )));
     }
+    let measured_alpha = match f.alpha_mode.as_deref() {
+        Some("measured") => {
+            let (alpha, _) =
+                vds_smtsim::alpha::measured_alpha(&vds_smtsim::core::CoreConfig::default(), 2)
+                    .map_err(|e| {
+                        CliError::runtime(format!("conformance: --alpha measured: {e}"))
+                    })?;
+            Some(alpha)
+        }
+        _ => None,
+    };
     let tracker =
-        ConformanceTracker::for_journal(&journal, window, tolerance).map_err(CliError::runtime)?;
+        ConformanceTracker::for_journal_with_alpha(&journal, window, tolerance, measured_alpha)
+            .map_err(CliError::runtime)?;
     let report = tracker.report();
     if f.json {
         let mut out = report.to_json();
@@ -149,6 +167,26 @@ mod tests {
         assert!(out.contains("no complete windows"), "{out}");
         let json = run(&["conformance", ps, "--json"]).unwrap();
         assert!(json.contains("\"windows\":0"), "{json}");
+    }
+
+    #[test]
+    fn conformance_alpha_measured_reprices_the_model() {
+        let p = tmp("alpha-mode.journal.jsonl");
+        let ps = p.to_str().unwrap();
+        run(&["duplex", "smt-det", "24", "4", "--journal", ps]).unwrap();
+        let parametric = run(&["conformance", ps, "--alpha", "parametric"]).unwrap();
+        assert!(parametric.contains("(parametric)"), "{parametric}");
+        let measured = run(&["conformance", ps, "--alpha", "measured"]).unwrap();
+        assert!(measured.contains("(measured)"), "{measured}");
+        // the measured pricing is deterministic: two invocations agree
+        let again = run(&["conformance", ps, "--alpha", "measured"]).unwrap();
+        assert_eq!(measured, again);
+        let json = run(&["conformance", ps, "--alpha", "measured", "--json"]).unwrap();
+        assert!(json.contains("\"alpha_source\":\"measured\""), "{json}");
+        // an invalid mode is a usage error
+        let e = run(&["conformance", ps, "--alpha", "bogus"]).unwrap_err();
+        assert_eq!(e.code, 2);
+        assert!(e.msg.contains("measured|parametric"), "{}", e.msg);
     }
 
     #[test]

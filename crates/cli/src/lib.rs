@@ -8,13 +8,13 @@
 //! vds asm <file.s>                  assemble; print a summary
 //! vds disasm <file.s>               assemble then disassemble (round-trip view)
 //! vds run <file.s> [copies] [max]   run on the SMT core, print counters
-//! vds alpha [rounds]                measure the kernel-pair α matrix
+//! vds alpha [rounds|prog.s]         per-cycle α-attribution ledger
 //! vds duplex <scheme> [rounds] [fault-round]
 //!                                   run a micro VDS, optionally injecting a fault
 //! vds stats <scheme> [rounds] [at]  run a micro VDS and print its metrics/trace
 //! vds report <scheme> [rounds] [at] run a micro VDS, print folded span stacks
 //! vds flowchart <scheme>            print a recovery flow chart as Graphviz DOT
-//! vds experiment <id>               regenerate a paper artefact (e1..e16, all)
+//! vds experiment <id>               regenerate a paper artefact (e1..e17, all)
 //! vds bench                         run the pinned perf suite (BENCH_<n>.json)
 //! vds sweep --grid SPEC             deterministic parallel parameter sweep
 //! vds gains [alpha] [beta] [p]      print the closed-form gain summary
@@ -86,12 +86,12 @@ USAGE:
     vds asm <file.s>                    assemble and summarise
     vds disasm <file.s>                 assemble, then disassemble
     vds run <file.s> [copies] [maxcyc]  execute on the SMT core
-    vds alpha [rounds]                  measure kernel-pair α matrix
+    vds alpha [rounds|prog.s]           per-cycle α-attribution ledger (suite pairs or one program)
     vds duplex <scheme> [rounds] [at]   run a micro VDS (fault at round `at`)
     vds stats <scheme> [rounds] [at]    run a micro VDS, print metrics + trace
     vds report <scheme> [rounds] [at]   run a micro VDS, print folded span stacks
     vds flowchart <scheme>              recovery flow chart as DOT
-    vds experiment <e1..e16|all>        regenerate a paper artefact
+    vds experiment <e1..e17|all>        regenerate a paper artefact
     vds bench                           run the pinned perf suite
     vds sweep --grid SPEC|FILE          deterministic parallel parameter sweep over the VDS grid
     vds serve                           run a live fault campaign behind a telemetry HTTP server
@@ -130,8 +130,10 @@ FLAGS (alpha / duplex / stats / report / experiment / bench / serve; `--flag v` 
     --window N           conformance: rounds per residual window (default 8)
     --tolerance F        conformance: |residual| bound a window must stay within
                          (default 0.25)
+    --alpha MODE         conformance: price the model at the measured or the
+                         parametric α (measured|parametric; default parametric)
 
-ENDPOINTS (vds serve): /metrics (Prometheus), /healthz, /readyz, /trace (Chrome JSON), /progress (JSON), /journal (JSONL), /conformance (JSON), /faults (JSON)
+ENDPOINTS (vds serve): /metrics (Prometheus), /healthz, /readyz, /trace (Chrome JSON), /progress (JSON), /journal (JSONL), /conformance (JSON), /faults (JSON), /alpha (JSON)
 
 SCHEMES: conventional, smt-det, smt-prob, smt-pred, smt-boost3, smt-boost5"
 }
@@ -160,6 +162,7 @@ struct Flags {
     window: Option<usize>,
     tolerance: Option<f64>,
     scheme: Option<String>,
+    alpha_mode: Option<String>,
     /// `--help` was given: the command should print its flag reference.
     help: bool,
     positional: Vec<String>,
@@ -350,7 +353,13 @@ fn cmd_run(path: &str, copies: Option<&str>, maxcyc: Option<&str>) -> Result<Str
     Ok(out)
 }
 
+/// `vds alpha` — the per-cycle α-attribution ledger. With a numeric
+/// positional (or `--rounds`), every unordered kernel-suite pair is
+/// measured; with a `.s` positional the program is co-run against
+/// itself. The ledger is computed once on one thread regardless of
+/// `--workers`, so the report bytes are identical for any worker count.
 fn cmd_alpha(args: &[String]) -> Result<String, CliError> {
+    use vds_smtsim::core::CoreConfig;
     let f = args::ALPHA.parse(args)?;
     if f.help {
         return Ok(args::ALPHA.help());
@@ -358,15 +367,57 @@ fn cmd_alpha(args: &[String]) -> Result<String, CliError> {
     if f.positional.len() > 1 {
         return Err(CliError::usage("alpha: too many arguments"));
     }
-    let rounds: u32 = match (f.rounds, f.positional.first()) {
-        (Some(n), _) => u32::try_from(n).map_err(|_| CliError::usage("--rounds too large"))?,
-        (None, Some(s)) => parse_num(s, "round count")?,
-        (None, None) => 2,
+    let cfg = CoreConfig::default();
+    let report = match f.positional.first().filter(|p| p.ends_with(".s")) {
+        Some(path) => {
+            let src = read_file(path)?;
+            let prog =
+                vds_smtsim::asm::assemble(&src).map_err(|e| CliError::runtime(e.to_string()))?;
+            let dmem = (prog.data.len() + 1024).max(4096);
+            let name = std::path::Path::new(path)
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("program");
+            let ledger = vds_smtsim::alpha::measure_ledger_programs(
+                &cfg,
+                name,
+                (&prog, dmem),
+                name,
+                (&prog, dmem),
+            )
+            .map_err(|e| CliError::runtime(format!("alpha: {e}")))?;
+            vds_obs::AlphaReport {
+                pairs: vec![ledger],
+            }
+        }
+        None => {
+            let rounds: u32 = match (f.rounds, f.positional.first()) {
+                (Some(n), _) => {
+                    u32::try_from(n).map_err(|_| CliError::usage("--rounds too large"))?
+                }
+                (None, Some(s)) => parse_num(s, "round count")?,
+                (None, None) => 2,
+            };
+            vds_smtsim::alpha::ledger_matrix(&cfg, &vds_smtsim::kernels::suite(rounds))
+                .map_err(|e| CliError::runtime(format!("alpha: {e}")))?
+        }
     };
-    let r = vds_bench::e09_alpha::report(rounds);
-    let mut out = r.to_string();
+    let mut out = if f.json {
+        let mut j = report.to_json();
+        j.push('\n');
+        j
+    } else {
+        report.render_text()
+    };
     if let Some(path) = &f.metrics {
-        out.push_str(&write_metrics(path, &r.metrics, None, Some(&r.spans))?);
+        let mut reg = vds_obs::Registry::new();
+        report.export_metrics(&mut reg);
+        let note = write_metrics(path, &reg, None, None)?;
+        if f.json {
+            vds_obs::log_info!("cli", "{}", note.trim_end());
+        } else {
+            out.push_str(&note);
+        }
     }
     Ok(out)
 }
@@ -601,7 +652,7 @@ fn cmd_experiment(args: &[String]) -> Result<String, CliError> {
     let id = f
         .positional
         .first()
-        .ok_or_else(|| CliError::usage("experiment: missing id (e1..e16|all)"))?;
+        .ok_or_else(|| CliError::usage("experiment: missing id (e1..e17|all)"))?;
     if f.positional.len() > 1 {
         return Err(CliError::usage("experiment: too many arguments"));
     }
@@ -616,7 +667,7 @@ fn cmd_experiment(args: &[String]) -> Result<String, CliError> {
         registry().to_vec()
     } else {
         vec![find(id).ok_or_else(|| {
-            CliError::usage(format!("unknown experiment `{id}` (e1..e16 or all)"))
+            CliError::usage(format!("unknown experiment `{id}` (e1..e17 or all)"))
         })?]
     };
     let mut out = String::new();
@@ -1135,6 +1186,58 @@ mod tests {
         // byte-identical on a re-run (the determinism contract)
         run(&["duplex", "smt-det", "12", "4", "--journal", p]).unwrap();
         assert_eq!(std::fs::read_to_string(&path).unwrap(), text);
+    }
+
+    #[test]
+    fn alpha_ledger_report_is_worker_invariant_and_exact() {
+        let w1 = run(&["alpha", "1", "--json", "--workers", "1"]).unwrap();
+        let w8 = run(&["alpha", "1", "--json", "--workers", "8"]).unwrap();
+        assert_eq!(w1, w8, "report bytes must not depend on --workers");
+        assert!(
+            w1.starts_with("{\"schema\":\"vds.report.v1\",\"kind\":\"alpha\""),
+            "{w1}"
+        );
+        assert!(w1.contains("\"mean_alpha\":"), "{w1}");
+        assert!(w1.contains("\"dominant_stall\":"), "{w1}");
+        let text = run(&["alpha", "1"]).unwrap();
+        assert!(text.contains("alpha attribution:"), "{text}");
+        assert!(text.contains("mean alpha"), "{text}");
+    }
+
+    #[test]
+    fn alpha_accepts_a_program_and_reports_traps_as_one_line_errors() {
+        let dir = std::env::temp_dir().join("vds-cli-alpha");
+        std::fs::create_dir_all(&dir).unwrap();
+        // a well-formed program: self-pair ledger over one .s file
+        let good = dir.join("good.s");
+        std::fs::write(
+            &good,
+            "addi r1, r0, 6\nmul r2, r1, r1\nst r2, 0(r0)\nhalt\n",
+        )
+        .unwrap();
+        let out = run(&["alpha", good.to_str().unwrap()]).unwrap();
+        assert!(out.contains("alpha attribution: 1 pair(s)"), "{out}");
+        assert!(out.contains("good+good"), "{out}");
+        // a program that traps (jump past the text section) must be a
+        // single-line runtime error, not a panic
+        let bad = dir.join("bad.s");
+        std::fs::write(&bad, "j 40\nhalt\n").unwrap();
+        let e = run(&["alpha", bad.to_str().unwrap()]).unwrap_err();
+        assert_eq!(e.code, 1);
+        assert_eq!(e.msg.lines().count(), 1, "one-line error: {}", e.msg);
+        assert!(e.msg.contains("trapped"), "{}", e.msg);
+    }
+
+    #[test]
+    fn alpha_metrics_flag_writes_the_ledger_families() {
+        let dir = std::env::temp_dir().join("vds-cli-alpha-metrics");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("alpha.csv");
+        let p = path.to_str().unwrap();
+        run(&["alpha", "1", "--metrics", p]).unwrap();
+        let csv = std::fs::read_to_string(&path).unwrap();
+        assert!(csv.contains("gauge,smt.alpha"), "{csv}");
+        assert!(csv.contains("histogram,alpha_excess_cycles"), "{csv}");
     }
 
     #[test]

@@ -117,6 +117,13 @@ impl ServeOpts {
 
 fn serve(opts: &ServeOpts, f: &Flags) -> Result<String, CliError> {
     sig::install();
+    // measure the α-attribution ledger before binding: the port file's
+    // appearance (what smoke tests wait on) then already implies /alpha
+    // holds its report. Deterministic and single-threaded, so the
+    // published bytes equal an offline `vds alpha 2 --json` run.
+    let alpha_json = vds_smtsim::alpha::measured_alpha(&vds_smtsim::core::CoreConfig::default(), 2)
+        .ok()
+        .map(|(_, ledger)| ledger.to_json());
     let hub = TelemetryHub::new();
     let server = TelemetryServer::bind(&opts.addr, Arc::clone(&hub))
         .map_err(|e| CliError::runtime(format!("cannot bind `{}`: {e}", opts.addr)))?;
@@ -127,7 +134,7 @@ fn serve(opts: &ServeOpts, f: &Flags) -> Result<String, CliError> {
     }
     log_info!(
         "serve",
-        "listening on http://{bound} — /metrics /healthz /readyz /trace /progress /journal /conformance /faults"
+        "listening on http://{bound} — /metrics /healthz /readyz /trace /progress /journal /conformance /faults /alpha"
     );
 
     hub.begin_campaign(
@@ -135,6 +142,11 @@ fn serve(opts: &ServeOpts, f: &Flags) -> Result<String, CliError> {
         opts.trials,
         opts.trials.clamp(1, LOGICAL_SHARDS),
     );
+    // publish the pre-measured ledger on /alpha before readiness flips,
+    // so a scraper never races an empty report
+    if let Some(json) = alpha_json {
+        hub.publish_alpha(json);
+    }
     hub.mark_ready();
     let monitor = HubMonitor::new(Arc::clone(&hub));
     let (base_seed, target_rounds) = (opts.seed, opts.target_rounds);

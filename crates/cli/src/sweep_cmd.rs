@@ -318,7 +318,7 @@ mod tests {
         // first pass journals everything
         run(&["sweep", "--grid", GRID, "--resume", jp]).unwrap();
         let text = std::fs::read_to_string(&journal).unwrap();
-        assert!(text.starts_with("#vds-sweep-journal v3 grid="), "{text}");
+        assert!(text.starts_with("#vds-sweep-journal v4 grid="), "{text}");
         assert_eq!(text.lines().count(), 24 + 1, "{text}");
 
         // truncate to half the cells + a torn tail, as a kill would leave

@@ -52,10 +52,31 @@ pub struct RunConformance {
 /// Assess predicted-vs-measured gain for a completed abstract run.
 /// Returns `None` for an empty run (no simulated time elapsed).
 pub fn assess(cfg: &AbstractConfig, report: &RunReport) -> Option<RunConformance> {
+    assess_with_alpha(cfg, report, None)
+}
+
+/// [`assess`] with an optional *measured* α override: when `Some`, the
+/// closed forms (G_round, ḡ) are priced at the α-attribution ledger's
+/// contention factor instead of the configuration's parametric one
+/// (clamped into the model's `[0.5, 1]` domain). The measured gain is
+/// untouched — it comes from the run itself — so the residual isolates
+/// how much of the model error the parametric α was responsible for.
+pub fn assess_with_alpha(
+    cfg: &AbstractConfig,
+    report: &RunReport,
+    measured_alpha: Option<f64>,
+) -> Option<RunConformance> {
     if report.total_time <= 0.0 {
         return None;
     }
-    let p = &cfg.params;
+    let priced;
+    let p = match measured_alpha {
+        Some(a) => {
+            priced = cfg.params.with_alpha(a.clamp(0.5, 1.0));
+            &priced
+        }
+        None => &cfg.params,
+    };
     let name = cfg.scheme.name();
     let conv_equiv = report.committed_rounds as f64 * timing::t1_round(p) + report.time_checkpoint;
     let measured_g = conv_equiv / report.total_time;
@@ -153,6 +174,28 @@ mod tests {
         assert!(conf.residual.is_finite());
         assert!(conf.residual.abs() < 0.5, "residual {}", conf.residual);
         assert!(conf.predicted_g > 1.0); // SMT schemes beat the duplex
+    }
+
+    #[test]
+    fn measured_alpha_repricing_moves_only_the_prediction() {
+        let c = cfg(Scheme::SmtDeterministic);
+        let report = run(&c, FaultModel::None, 200, 7);
+        let parametric = assess(&c, &report).unwrap();
+        let measured = assess_with_alpha(&c, &report, Some(0.9)).unwrap();
+        assert_eq!(measured.measured_g, parametric.measured_g);
+        assert!(
+            (measured.predicted_g - parametric.predicted_g).abs() > 1e-6,
+            "repricing at α=0.9 left predicted_g at {}",
+            measured.predicted_g
+        );
+        // α=0.9 predicts less SMT gain than the paper's 0.65.
+        assert!(measured.predicted_g < parametric.predicted_g);
+        // Out-of-domain overrides clamp instead of panicking.
+        let clamped = assess_with_alpha(&c, &report, Some(2.0)).unwrap();
+        let at_one = assess_with_alpha(&c, &report, Some(1.0)).unwrap();
+        assert_eq!(clamped, at_one);
+        // None is exactly the parametric path.
+        assert_eq!(assess_with_alpha(&c, &report, None).unwrap(), parametric);
     }
 
     #[test]

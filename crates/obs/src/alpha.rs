@@ -1,0 +1,467 @@
+//! α-attribution: the per-cycle SMT interference ledger.
+//!
+//! The whole analytic model is priced off a single scalar α — the SMT
+//! contention factor of Eq. (3): two co-scheduled rounds take wall time
+//! `2αt`. The simulator measures α as an end-to-end cycle ratio, but the
+//! pipeline already counts *why* every non-issue cycle was lost
+//! (`issued_cycles + stall_icache + stall_dcache + stall_fu +
+//! stall_width + stall_branch + parked == cycles`, the conservation
+//! invariant). This module turns those counters into an *explanation* of
+//! α by differential cycle accounting:
+//!
+//! 1. Run each kernel solo and take a [`CycleSnapshot`] of its thread
+//!    counters; run the pair co-scheduled and snapshot both threads.
+//! 2. The co-run's excess over the critical (longer-solo) kernel,
+//!    `excess = t_pair − max(t_a, t_b)`, is exactly the critical
+//!    thread's extra stall cycles: per-cause deltas
+//!    `Δstall_cause = co.stall_cause − solo.stall_cause` plus a
+//!    `Δparked` term and an explicit integer `residual`
+//!    (`excess − Σ Δ` — nonzero only if the issue pattern itself
+//!    changed, which the conservation law forbids).
+//!
+//! The arithmetic is pure integer bookkeeping over counter snapshots, so
+//! a [`PairLedger`] is byte-reproducible for a fixed seed and identical
+//! for any worker count. [`AlphaReport`] aggregates the per-pair
+//! ledgers into the text/JSON/metrics surfaces (`vds alpha`, the
+//! `alpha` report kind under `vds.report.v1`, `smt.alpha` +
+//! `alpha.stall.*` + `alpha_excess_cycles` on the registry).
+
+use crate::json::{json_array, JsonObj};
+use crate::registry::Registry;
+use std::fmt::Write as _;
+
+/// The five interference causes the ledger attributes excess cycles to,
+/// in the fixed order every export uses.
+pub const STALL_KINDS: [&str; 5] = ["icache", "dcache", "fu", "width", "branch"];
+
+/// A point-in-time copy of one hardware thread's cycle accounting.
+///
+/// This is the obs-side mirror of `smtsim`'s `ThreadCounters` issue/stall
+/// fields (obs sits *below* the simulator in the dependency graph, so the
+/// simulator converts into this struct, not the other way around).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CycleSnapshot {
+    /// Total core cycles observed by the thread.
+    pub cycles: u64,
+    /// Cycles in which the thread issued an instruction.
+    pub issued_cycles: u64,
+    /// Cycles lost to instruction-cache miss fill.
+    pub stall_icache: u64,
+    /// Cycles lost to data-cache miss latency.
+    pub stall_dcache: u64,
+    /// Cycles lost waiting for a busy functional unit.
+    pub stall_fu: u64,
+    /// Cycles lost to issue-width exhaustion by co-runners.
+    pub stall_width: u64,
+    /// Cycles lost to branch-misprediction flushes.
+    pub stall_branch: u64,
+    /// Cycles spent parked (yielded, halted, or trapped).
+    pub parked: u64,
+}
+
+impl CycleSnapshot {
+    /// Sum of all accounted cycle sinks: issued + per-cause stalls +
+    /// parked. Equal to [`CycleSnapshot::cycles`] when the conservation
+    /// invariant holds.
+    pub fn accounted(&self) -> u64 {
+        self.issued_cycles
+            + self.stall_icache
+            + self.stall_dcache
+            + self.stall_fu
+            + self.stall_width
+            + self.stall_branch
+            + self.parked
+    }
+
+    /// Whether the conservation invariant
+    /// `issued + per-cause stalls + parked == cycles` holds.
+    pub fn is_conserved(&self) -> bool {
+        self.accounted() == self.cycles
+    }
+
+    /// Per-cause stall counts in [`STALL_KINDS`] order.
+    pub fn stalls(&self) -> [u64; 5] {
+        [
+            self.stall_icache,
+            self.stall_dcache,
+            self.stall_fu,
+            self.stall_width,
+            self.stall_branch,
+        ]
+    }
+}
+
+/// Differential cycle-accounting ledger for one co-scheduled kernel pair.
+///
+/// All deltas are signed: co-scheduling can *remove* stall cycles from a
+/// cause (e.g. a co-runner prefetching shared lines) as well as add them.
+/// The defining identity, checked by [`PairLedger::is_exact`] and pinned
+/// by tests and CI, is
+///
+/// ```text
+/// Δicache + Δdcache + Δfu + Δwidth + Δbranch + Δparked + residual
+///     == excess == t_pair − max(t_a, t_b)
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairLedger {
+    /// Name of the first kernel of the pair.
+    pub kernel_a: String,
+    /// Name of the second kernel of the pair.
+    pub kernel_b: String,
+    /// Solo cycles of kernel A.
+    pub t_a: u64,
+    /// Solo cycles of kernel B.
+    pub t_b: u64,
+    /// Co-run cycles of the pair.
+    pub t_pair: u64,
+    /// Measured contention factor `t_pair / (t_a + t_b)`.
+    pub alpha: f64,
+    /// `t_pair − max(t_a, t_b)`: the co-run's excess over the critical
+    /// (longer-solo) kernel. Signed for safety, non-negative in practice.
+    pub excess: i64,
+    /// Per-cause critical-thread stall deltas in [`STALL_KINDS`] order.
+    pub deltas: [i64; 5],
+    /// Critical-thread parked-cycle delta (end-of-run bookkeeping).
+    pub d_parked: i64,
+    /// `excess − Σ deltas − d_parked`; the unexplained remainder.
+    pub residual: i64,
+}
+
+impl PairLedger {
+    /// Attribute a co-run's excess cycles from four counter snapshots:
+    /// each kernel solo, then both threads of the co-run.
+    ///
+    /// `co_a.cycles` and `co_b.cycles` both equal the pair's wall time
+    /// (every live thread's cycle counter advances each core cycle), so
+    /// the pair time is read off the snapshots — the ledger depends on
+    /// nothing but counter values.
+    pub fn attribute(
+        kernel_a: &str,
+        kernel_b: &str,
+        solo_a: CycleSnapshot,
+        solo_b: CycleSnapshot,
+        co_a: CycleSnapshot,
+        co_b: CycleSnapshot,
+    ) -> PairLedger {
+        let (t_a, t_b) = (solo_a.cycles, solo_b.cycles);
+        let t_pair = co_a.cycles.max(co_b.cycles);
+        let alpha = t_pair as f64 / (t_a + t_b) as f64;
+        let excess = t_pair as i64 - t_a.max(t_b) as i64;
+        // Attribution reads the *critical* thread: the one whose solo run
+        // is longer bounds the pair from below, so its extra stalls are
+        // the excess. Ties break toward A for determinism.
+        let (solo_c, co_c) = if t_a >= t_b {
+            (solo_a, co_a)
+        } else {
+            (solo_b, co_b)
+        };
+        let solo_stalls = solo_c.stalls();
+        let co_stalls = co_c.stalls();
+        let mut deltas = [0i64; 5];
+        for i in 0..5 {
+            deltas[i] = co_stalls[i] as i64 - solo_stalls[i] as i64;
+        }
+        let d_parked = co_c.parked as i64 - solo_c.parked as i64;
+        let residual = excess - deltas.iter().sum::<i64>() - d_parked;
+        PairLedger {
+            kernel_a: kernel_a.to_string(),
+            kernel_b: kernel_b.to_string(),
+            t_a,
+            t_b,
+            t_pair,
+            alpha,
+            excess,
+            deltas,
+            d_parked,
+            residual,
+        }
+    }
+
+    /// Whether attributed deltas + parked + residual equal the excess.
+    /// True by construction; exported so tests assert the invariant on
+    /// round-tripped or hand-built ledgers too.
+    pub fn is_exact(&self) -> bool {
+        self.deltas.iter().sum::<i64>() + self.d_parked + self.residual == self.excess
+    }
+
+    /// The interference cause with the largest positive delta, or
+    /// `"none"` when no cause added cycles. Ties break toward the
+    /// earlier [`STALL_KINDS`] entry for determinism.
+    pub fn dominant_stall(&self) -> &'static str {
+        let mut best = "none";
+        let mut best_delta = 0i64;
+        for (i, &d) in self.deltas.iter().enumerate() {
+            if d > best_delta {
+                best = STALL_KINDS[i];
+                best_delta = d;
+            }
+        }
+        best
+    }
+}
+
+/// The α-attribution report: one [`PairLedger`] per measured kernel
+/// pair, plus the aggregate surfaces (`render_text`, `to_json`,
+/// `export_metrics`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AlphaReport {
+    /// Per-pair ledgers in measurement order (the order is part of the
+    /// byte-determinism contract).
+    pub pairs: Vec<PairLedger>,
+}
+
+impl AlphaReport {
+    /// Mean measured α across pairs (`None` when empty).
+    pub fn mean_alpha(&self) -> Option<f64> {
+        if self.pairs.is_empty() {
+            return None;
+        }
+        Some(self.pairs.iter().map(|p| p.alpha).sum::<f64>() / self.pairs.len() as f64)
+    }
+
+    /// The pair with the largest excess (the worst interference victim).
+    pub fn worst(&self) -> Option<&PairLedger> {
+        self.pairs.iter().max_by_key(|p| p.excess)
+    }
+
+    /// Total attributed cycles per cause across all pairs, clamped at
+    /// zero (counters cannot go down), in [`STALL_KINDS`] order.
+    pub fn attributed_totals(&self) -> [u64; 5] {
+        let mut totals = [0u64; 5];
+        for p in &self.pairs {
+            for (total, delta) in totals.iter_mut().zip(&p.deltas) {
+                *total += delta.max(&0).unsigned_abs();
+            }
+        }
+        totals
+    }
+
+    /// Human-readable per-pair table with the worst-cause highlight.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "alpha attribution: {} pair(s)", self.pairs.len());
+        if self.pairs.is_empty() {
+            return out;
+        }
+        let _ = writeln!(
+            out,
+            "  {:<22} {:>7} {:>7} {:>7} {:>6}  {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>5}  dominant",
+            "pair",
+            "t_a",
+            "t_b",
+            "t_pair",
+            "alpha",
+            "d_icache",
+            "d_dcache",
+            "d_fu",
+            "d_width",
+            "d_branch",
+            "d_park",
+            "resid",
+        );
+        for p in &self.pairs {
+            let _ = writeln!(
+                out,
+                "  {:<22} {:>7} {:>7} {:>7} {:>6.3}  {:>8} {:>8} {:>7} {:>7} {:>8} {:>7} {:>5}  {}",
+                format!("{}+{}", p.kernel_a, p.kernel_b),
+                p.t_a,
+                p.t_b,
+                p.t_pair,
+                p.alpha,
+                p.deltas[0],
+                p.deltas[1],
+                p.deltas[2],
+                p.deltas[3],
+                p.deltas[4],
+                p.d_parked,
+                p.residual,
+                p.dominant_stall()
+            );
+        }
+        if let Some(m) = self.mean_alpha() {
+            let _ = writeln!(out, "  mean alpha {m:.4}");
+        }
+        if let Some(w) = self.worst() {
+            let _ = writeln!(
+                out,
+                "  worst pair {}+{}: excess {} cycle(s), dominant cause {}",
+                w.kernel_a,
+                w.kernel_b,
+                w.excess,
+                w.dominant_stall()
+            );
+        }
+        out
+    }
+
+    /// Machine-readable report under the shared `vds.report.v1`
+    /// envelope, kind `alpha` (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let pairs: Vec<String> = self
+            .pairs
+            .iter()
+            .map(|p| {
+                JsonObj::new()
+                    .str("kernel_a", &p.kernel_a)
+                    .str("kernel_b", &p.kernel_b)
+                    .u64("t_a", p.t_a)
+                    .u64("t_b", p.t_b)
+                    .u64("t_pair", p.t_pair)
+                    .f64("alpha", p.alpha)
+                    .raw("excess", &p.excess.to_string())
+                    .raw("d_icache", &p.deltas[0].to_string())
+                    .raw("d_dcache", &p.deltas[1].to_string())
+                    .raw("d_fu", &p.deltas[2].to_string())
+                    .raw("d_width", &p.deltas[3].to_string())
+                    .raw("d_branch", &p.deltas[4].to_string())
+                    .raw("d_parked", &p.d_parked.to_string())
+                    .raw("residual", &p.residual.to_string())
+                    .str("dominant_stall", p.dominant_stall())
+                    .finish()
+            })
+            .collect();
+        let mut obj = JsonObj::report("alpha").u64("pairs", self.pairs.len() as u64);
+        match self.mean_alpha() {
+            Some(m) => obj = obj.f64("mean_alpha", m),
+            None => obj = obj.raw("mean_alpha", "null"),
+        }
+        match self.worst() {
+            Some(w) => {
+                obj = obj
+                    .str("worst_pair", &format!("{}+{}", w.kernel_a, w.kernel_b))
+                    .str("worst_cause", w.dominant_stall());
+            }
+            None => {
+                obj = obj.raw("worst_pair", "null").raw("worst_cause", "null");
+            }
+        }
+        obj.raw("ledger", &json_array(&pairs)).finish()
+    }
+
+    /// Export the ledger into a registry: `smt.alpha` gauge (mean α),
+    /// `alpha.stall.<cause>` counters (total attributed cycles per
+    /// cause) and the `alpha_excess_cycles` histogram (one observation
+    /// per pair).
+    ///
+    /// Counters are only minted here — on report/CLI paths — never on
+    /// conformance-style re-exports, so bench `work_units` accounting
+    /// stays untouched.
+    pub fn export_metrics(&self, reg: &mut Registry) {
+        if let Some(m) = self.mean_alpha() {
+            reg.gauge("smt.alpha", m);
+        }
+        let totals = self.attributed_totals();
+        for (i, kind) in STALL_KINDS.iter().enumerate() {
+            reg.count(&format!("alpha.stall.{kind}"), totals[i]);
+        }
+        for p in &self.pairs {
+            reg.observe_hist("alpha_excess_cycles", p.excess.max(0) as f64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(cycles: u64, issued: u64, stalls: [u64; 5], parked: u64) -> CycleSnapshot {
+        CycleSnapshot {
+            cycles,
+            issued_cycles: issued,
+            stall_icache: stalls[0],
+            stall_dcache: stalls[1],
+            stall_fu: stalls[2],
+            stall_width: stalls[3],
+            stall_branch: stalls[4],
+            parked,
+        }
+    }
+
+    #[test]
+    fn conservation_holds_for_balanced_snapshot() {
+        let s = snap(100, 60, [10, 10, 5, 5, 5], 5);
+        assert!(s.is_conserved());
+        assert_eq!(s.accounted(), 100);
+        let broken = snap(101, 60, [10, 10, 5, 5, 5], 5);
+        assert!(!broken.is_conserved());
+    }
+
+    #[test]
+    fn attribution_sums_exactly_to_excess() {
+        // Critical thread A: solo 100 cycles, co-run 130 — 30 excess,
+        // explained by +20 dcache, +8 width, +2 parked.
+        let solo_a = snap(100, 60, [10, 10, 5, 5, 5], 5);
+        let co_a = snap(130, 60, [10, 30, 5, 13, 5], 7);
+        let solo_b = snap(80, 50, [5, 10, 5, 5, 5], 0);
+        let co_b = snap(130, 50, [5, 20, 5, 10, 5], 35);
+        let l = PairLedger::attribute("a", "b", solo_a, solo_b, co_a, co_b);
+        assert_eq!(l.t_pair, 130);
+        assert_eq!(l.excess, 30);
+        assert_eq!(l.deltas, [0, 20, 0, 8, 0]);
+        assert_eq!(l.d_parked, 2);
+        assert_eq!(l.residual, 0);
+        assert!(l.is_exact());
+        assert_eq!(l.dominant_stall(), "dcache");
+        assert!((l.alpha - 130.0 / 180.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn residual_absorbs_unexplained_cycles() {
+        let solo_a = snap(100, 60, [10, 10, 5, 5, 5], 5);
+        // 30 excess but only 10 extra dcache stalls accounted (synthetic
+        // non-conserved snapshot): residual carries the other 20.
+        let co_a = snap(130, 60, [10, 20, 5, 5, 5], 5);
+        let solo_b = snap(80, 50, [5, 10, 5, 5, 5], 0);
+        let co_b = snap(130, 50, [5, 10, 5, 5, 5], 50);
+        let l = PairLedger::attribute("a", "b", solo_a, solo_b, co_a, co_b);
+        assert_eq!(l.residual, 20);
+        assert!(l.is_exact());
+    }
+
+    #[test]
+    fn dominant_stall_is_none_when_no_cause_added_cycles() {
+        let solo = snap(100, 60, [10, 10, 5, 5, 5], 5);
+        let l = PairLedger::attribute("a", "a", solo, solo, solo, solo);
+        assert_eq!(l.excess, 0);
+        assert_eq!(l.dominant_stall(), "none");
+        assert_eq!(l.residual, 0);
+    }
+
+    #[test]
+    fn report_surfaces_are_deterministic() {
+        let solo_a = snap(100, 60, [10, 10, 5, 5, 5], 5);
+        let co_a = snap(130, 60, [10, 30, 5, 13, 5], 7);
+        let solo_b = snap(80, 50, [5, 10, 5, 5, 5], 0);
+        let co_b = snap(130, 50, [5, 20, 5, 10, 5], 35);
+        let r = AlphaReport {
+            pairs: vec![PairLedger::attribute(
+                "vecsum", "crc", solo_a, solo_b, co_a, co_b,
+            )],
+        };
+        assert_eq!(r.render_text(), r.render_text());
+        assert_eq!(r.to_json(), r.to_json());
+        let j = r.to_json();
+        assert!(j.starts_with("{\"schema\":\"vds.report.v1\",\"kind\":\"alpha\""));
+        assert!(j.contains("\"dominant_stall\":\"dcache\""));
+        assert!(r.render_text().contains("worst pair vecsum+crc"));
+
+        let mut reg = Registry::new();
+        r.export_metrics(&mut reg);
+        assert_eq!(reg.counter("alpha.stall.dcache"), 20);
+        assert_eq!(reg.counter("alpha.stall.width"), 8);
+        assert!(reg.gauge_value("smt.alpha").is_some());
+        assert!(reg.histogram("alpha_excess_cycles").is_some());
+    }
+
+    #[test]
+    fn empty_report_renders_without_panicking() {
+        let r = AlphaReport::default();
+        assert!(r.mean_alpha().is_none());
+        assert!(r.worst().is_none());
+        assert!(r.render_text().contains("0 pair(s)"));
+        assert!(r.to_json().contains("\"mean_alpha\":null"));
+        let mut reg = Registry::new();
+        r.export_metrics(&mut reg);
+        assert!(reg.gauge_value("smt.alpha").is_none());
+    }
+}

@@ -180,10 +180,25 @@ impl SchemeModel {
     /// α / β from the `alpha` / `beta` meta keys when present, paper
     /// defaults otherwise.
     pub fn for_header(header: &JournalHeader) -> Result<SchemeModel, String> {
-        let alpha = header
-            .meta("alpha")
-            .and_then(|v| v.parse::<f64>().ok())
-            .unwrap_or(DEFAULT_ALPHA);
+        Self::for_header_with_alpha(header, None)
+    }
+
+    /// [`SchemeModel::for_header`] with an explicit α override — the
+    /// measured-α pricing rule behind `vds conformance --alpha
+    /// measured`. Scheme, `s` and β still come from the header; the
+    /// override replaces the parametric α and is clamped into the
+    /// model's valid `[0.5, 1]` range.
+    pub fn for_header_with_alpha(
+        header: &JournalHeader,
+        alpha_override: Option<f64>,
+    ) -> Result<SchemeModel, String> {
+        let alpha = match alpha_override {
+            Some(a) => a.clamp(0.5, 1.0),
+            None => header
+                .meta("alpha")
+                .and_then(|v| v.parse::<f64>().ok())
+                .unwrap_or(DEFAULT_ALPHA),
+        };
         let beta = header
             .meta("beta")
             .and_then(|v| v.parse::<f64>().ok())
@@ -244,6 +259,7 @@ impl WindowAcc {
 #[derive(Debug, Clone)]
 pub struct ConformanceTracker {
     model: SchemeModel,
+    alpha_source: &'static str,
     window: usize,
     tolerance: f64,
     series: ResidualSeries,
@@ -262,6 +278,11 @@ pub struct ConformanceTracker {
 pub struct ConformanceReport {
     /// Scheme label the residuals were priced against.
     pub scheme: String,
+    /// The contention factor α the closed forms were priced with.
+    pub alpha: f64,
+    /// Where α came from: `"parametric"` (header meta or paper default)
+    /// or `"measured"` (the α-attribution ledger's mean).
+    pub alpha_source: String,
     /// Window length in journal entries.
     pub window: usize,
     /// |residual| threshold used for the out-of-tolerance count.
@@ -304,6 +325,7 @@ impl ConformanceTracker {
     ) -> Self {
         ConformanceTracker {
             model,
+            alpha_source: "parametric",
             window: window.max(1),
             tolerance: tolerance.abs(),
             series: ResidualSeries::with_capacity(capacity),
@@ -323,11 +345,28 @@ impl ConformanceTracker {
         window: usize,
         tolerance: f64,
     ) -> Result<ConformanceTracker, String> {
+        Self::for_journal_with_alpha(journal, window, tolerance, None)
+    }
+
+    /// [`ConformanceTracker::for_journal`] with an optional *measured*
+    /// α override: when `Some`, the closed forms are priced from the
+    /// α-attribution ledger's contention factor instead of the header's
+    /// parametric one, and the report labels its `alpha_source`
+    /// `"measured"`.
+    pub fn for_journal_with_alpha(
+        journal: &Journal,
+        window: usize,
+        tolerance: f64,
+        measured_alpha: Option<f64>,
+    ) -> Result<ConformanceTracker, String> {
         let header = journal
             .header()
             .ok_or_else(|| "journal has no header".to_string())?;
-        let model = SchemeModel::for_header(header)?;
+        let model = SchemeModel::for_header_with_alpha(header, measured_alpha)?;
         let mut t = ConformanceTracker::new(model, window, tolerance);
+        if measured_alpha.is_some() {
+            t.alpha_source = "measured";
+        }
         t.ingest(journal);
         Ok(t)
     }
@@ -509,6 +548,8 @@ impl ConformanceTracker {
         let n = self.windows.max(1) as f64;
         ConformanceReport {
             scheme: self.model.scheme.clone(),
+            alpha: self.model.params.alpha,
+            alpha_source: self.alpha_source.to_string(),
             window: self.window,
             tolerance: self.tolerance,
             windows: self.windows,
@@ -538,6 +579,7 @@ impl ConformanceTracker {
     /// counters, and conformance must never perturb it.
     pub fn export_metrics(&self, reg: &mut Registry) {
         let r = self.report();
+        reg.gauge("conformance.alpha", r.alpha);
         reg.gauge("conformance.windows", r.windows as f64);
         reg.gauge(
             "conformance.windows_out_of_tolerance",
@@ -569,6 +611,11 @@ impl ConformanceReport {
             self.windows,
             if self.windows == 1 { "" } else { "s" },
             self.window
+        );
+        let _ = writeln!(
+            out,
+            "  priced at alpha {:.4} ({})",
+            self.alpha, self.alpha_source
         );
         if self.windows == 0 {
             let _ = writeln!(
@@ -614,6 +661,8 @@ impl ConformanceReport {
     pub fn to_json(&self) -> String {
         let mut o = JsonObj::report("conformance")
             .str("scheme", &self.scheme)
+            .f64("alpha", self.alpha)
+            .str("alpha_source", &self.alpha_source)
             .u64("window", self.window as u64)
             .f64("tolerance", self.tolerance)
             .u64("windows", self.windows)
@@ -784,6 +833,39 @@ mod tests {
         assert!(a.report().to_json().starts_with(
             "{\"schema\":\"vds.report.v1\",\"kind\":\"conformance\",\"scheme\":\"smt-det\""
         ));
+    }
+
+    #[test]
+    fn measured_alpha_override_reprices_the_model() {
+        // The faulty journal matters: κ-calibration absorbs a pure α
+        // rescale on all-commit lanes, but recovery time scales with α
+        // differently from round time, so repricing moves the residual.
+        let j = model_timed_journal(Some(5));
+        let parametric = ConformanceTracker::for_journal(&j, 4, 0.25).unwrap();
+        let measured = ConformanceTracker::for_journal_with_alpha(&j, 4, 0.25, Some(0.9)).unwrap();
+        assert_eq!(parametric.report().alpha_source, "parametric");
+        assert_eq!(parametric.report().alpha, DEFAULT_ALPHA);
+        assert_eq!(measured.report().alpha_source, "measured");
+        assert_eq!(measured.report().alpha, 0.9);
+        assert_eq!(measured.model().params.alpha, 0.9);
+        // The journal is timed at the parametric α, so pricing with a
+        // different α must move the residuals.
+        assert!(
+            (measured.report().mean_abs_residual - parametric.report().mean_abs_residual).abs()
+                > 1e-3,
+            "measured-α pricing did not change residuals"
+        );
+        assert!(measured
+            .report()
+            .render_text()
+            .contains("priced at alpha 0.9000 (measured)"));
+        assert!(measured
+            .report()
+            .to_json()
+            .contains("\"alpha\":0.9,\"alpha_source\":\"measured\""));
+        // Out-of-range measured α is clamped into the model's domain.
+        let clamped = ConformanceTracker::for_journal_with_alpha(&j, 4, 0.25, Some(1.7)).unwrap();
+        assert_eq!(clamped.report().alpha, 1.0);
     }
 
     #[test]

@@ -23,6 +23,10 @@
 //!   reconstructs every injected fault's injection → detection →
 //!   recovery (or escape) chain from journal bytes, yielding
 //!   detection-latency and coverage observables.
+//! * [`alpha`] — α-attribution: differential cycle-accounting ledgers
+//!   ([`PairLedger`]) that decompose measured SMT contention into
+//!   per-cause stall deltas under an exact conservation invariant, with
+//!   text/JSON/registry surfaces ([`AlphaReport`]).
 //! * [`Trace`] — a bounded ring buffer of `(sim_time, component, event,
 //!   fields)` records with a JSON-lines exporter.
 //! * [`SpanSet`] — a bounded ring buffer of `(begin, end, component,
@@ -75,6 +79,7 @@
 //! assert!(csv.contains("counter,core.rounds.committed,value,1"));
 //! ```
 
+pub mod alpha;
 pub mod conformance;
 pub mod facade;
 pub mod forensics;
@@ -91,6 +96,7 @@ pub mod spsc;
 pub mod summary;
 pub mod trace;
 
+pub use alpha::{AlphaReport, CycleSnapshot, PairLedger, STALL_KINDS};
 pub use conformance::{
     ConformanceReport, ConformanceTracker, ResidualSeries, SchemeModel, WindowSample,
 };

@@ -479,6 +479,12 @@ mod tests {
             r.observe_hist("conformance.residual", v);
         }
         r.observe_hist("conformance\"residual", 1.0);
+        // the α-attribution ledger families, exactly as `vds alpha`
+        // exports them (crate::alpha::AlphaReport::export_metrics)
+        r.gauge("smt.alpha", 0.7222222222222222);
+        r.count("alpha.stall.dcache", 20);
+        r.count("alpha.stall.width", 8);
+        r.observe_hist("alpha_excess_cycles", 30.0);
         // the flight-recorder journal block, exactly as a journaled run
         // exports it (crate::journal::Journal::export_metrics)
         let mut j =
@@ -510,6 +516,12 @@ mod tests {
             got.contains(
                 "conformance_residual_bucket{name=\"conformance.residual\",le=\"+Inf\"} 4"
             ),
+            "{got}"
+        );
+        assert!(got.contains("smt_alpha 0.7222222222222222"), "{got}");
+        assert!(got.contains("alpha_stall_dcache_total 20"), "{got}");
+        assert!(
+            got.contains("# TYPE alpha_excess_cycles histogram"),
             "{got}"
         );
         assert!(got.contains("journal_divergences_total 1"), "{got}");

@@ -14,6 +14,7 @@
 //! | `/journal`  | flight-recorder journal JSONL (for `vds replay` / `vds audit diff` / `vds conformance`) |
 //! | `/conformance` | the last published predicted-vs-measured G residual report (JSON) |
 //! | `/faults`   | the last published per-fault lifecycle forensics report (JSON) |
+//! | `/alpha`    | the last published α-attribution interference ledger report (JSON) |
 //! | `/`         | plain-text index of the above |
 //!
 //! **Determinism contract.** The hub is strictly write-through from the
@@ -44,6 +45,7 @@ struct HubState {
     journal_summary: String,
     conformance_json: String,
     faults_json: String,
+    alpha_json: String,
 }
 
 /// The publisher/reader rendezvous: campaigns merge snapshots in,
@@ -79,6 +81,7 @@ impl TelemetryHub {
                 journal_summary: Journal::default().summary_json(),
                 conformance_json: String::new(),
                 faults_json: String::new(),
+                alpha_json: String::new(),
             }),
         })
     }
@@ -197,6 +200,25 @@ impl TelemetryHub {
             .read()
             .unwrap_or_else(|e| e.into_inner())
             .faults_json
+            .clone()
+    }
+
+    /// Publish an α-attribution ledger report (the `vds alpha` JSON
+    /// form); `/alpha` serves it verbatim.
+    pub fn publish_alpha(&self, json: String) {
+        self.state
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .alpha_json = json;
+    }
+
+    /// The `/alpha` body: the last published α-attribution report JSON
+    /// (empty until one is published).
+    pub fn alpha_json(&self) -> String {
+        self.state
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .alpha_json
             .clone()
     }
 
@@ -353,7 +375,8 @@ const INDEX: &str = "vds telemetry\n\
                      GET /progress  campaign progress JSON\n\
                      GET /journal   flight-recorder journal (JSONL; for `vds replay` / `vds audit diff`)\n\
                      GET /conformance  predicted-vs-measured G residual report (JSON)\n\
-                     GET /faults    per-fault lifecycle forensics report (JSON)\n";
+                     GET /faults    per-fault lifecycle forensics report (JSON)\n\
+                     GET /alpha     α-attribution interference ledger report (JSON)\n";
 
 fn handle_conn(mut stream: TcpStream, hub: &TelemetryHub) {
     // Accepted sockets do not reliably inherit blocking mode.
@@ -430,6 +453,14 @@ fn route(method: &str, path: &str, hub: &TelemetryHub) -> (u16, &'static str, St
                     TEXT,
                     "no fault forensics report published\n".to_string(),
                 )
+            } else {
+                (200, JSON, body)
+            }
+        }
+        "/alpha" => {
+            let body = hub.alpha_json();
+            if body.is_empty() {
+                (404, TEXT, "no alpha report published\n".to_string())
             } else {
                 (200, JSON, body)
             }
@@ -551,6 +582,15 @@ mod tests {
         hub.publish_faults(faults.clone());
         let (st, body) = get(addr, "/faults");
         assert_eq!((st, body), (200, faults));
+
+        // /alpha has the same publish-then-verbatim contract
+        let (st, body) = get(addr, "/alpha");
+        assert_eq!(st, 404);
+        assert_eq!(body, "no alpha report published\n");
+        let alpha = "{\"schema\":\"vds.report.v1\",\"kind\":\"alpha\"}".to_string();
+        hub.publish_alpha(alpha.clone());
+        let (st, body) = get(addr, "/alpha");
+        assert_eq!((st, body), (200, alpha));
 
         let (st, _) = get(addr, "/nope");
         assert_eq!(st, 404);

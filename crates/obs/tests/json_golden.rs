@@ -7,6 +7,7 @@
 //! against `testdata/report_shapes.golden.jsonl` (one report per line).
 //! Regenerate with `VDS_UPDATE_GOLDEN=1 cargo test -p vds-obs`.
 
+use vds_obs::alpha::{AlphaReport, CycleSnapshot, PairLedger};
 use vds_obs::{digest_words128, JsonObj, Registry};
 use vds_obs::{Action, Journal, JournalHeader, RoundEntry, Verdict};
 
@@ -84,13 +85,40 @@ fn bench_row() -> String {
         .finish()
 }
 
+/// `vds alpha --json`: the α-attribution ledger report, built from
+/// synthetic counter snapshots (30 excess cycles: +20 dcache, +8 width,
+/// +2 parked).
+fn alpha_report() -> String {
+    let snap = |cycles, issued, stalls: [u64; 5], parked| CycleSnapshot {
+        cycles,
+        issued_cycles: issued,
+        stall_icache: stalls[0],
+        stall_dcache: stalls[1],
+        stall_fu: stalls[2],
+        stall_width: stalls[3],
+        stall_branch: stalls[4],
+        parked,
+    };
+    let solo_a = snap(100, 60, [10, 10, 5, 5, 5], 5);
+    let co_a = snap(130, 60, [10, 30, 5, 13, 5], 7);
+    let solo_b = snap(80, 50, [5, 10, 5, 5, 5], 0);
+    let co_b = snap(130, 50, [5, 20, 5, 10, 5], 35);
+    AlphaReport {
+        pairs: vec![PairLedger::attribute(
+            "vecsum", "crc", solo_a, solo_b, co_a, co_b,
+        )],
+    }
+    .to_json()
+}
+
 #[test]
 fn report_shapes_match_golden_file() {
     let got = format!(
-        "{}\n{}\n{}\n",
+        "{}\n{}\n{}\n{}\n",
         stats_report(),
         progress_report(),
-        bench_row()
+        bench_row(),
+        alpha_report()
     );
     let path = concat!(
         env!("CARGO_MANIFEST_DIR"),
@@ -106,7 +134,7 @@ fn report_shapes_match_golden_file() {
 
 #[test]
 fn every_report_opens_with_the_shared_envelope() {
-    for report in [stats_report(), progress_report()] {
+    for report in [stats_report(), progress_report(), alpha_report()] {
         assert!(
             report.starts_with("{\"schema\":\"vds.report.v1\",\"kind\":\""),
             "{report}"

@@ -11,10 +11,17 @@
 //!
 //! α = ½ means the pair finished in the time one program needs alone
 //! (perfect overlap); α = 1 means co-scheduling bought nothing.
+//!
+//! Beyond the scalar ratio, [`measure_ledger`] *explains* α: it snapshots
+//! each run's per-thread cycle accounting and hands the solo/co-run
+//! counter deltas to [`vds_obs::alpha::PairLedger`], which attributes the
+//! pair's excess cycles to icache/dcache/FU/width/branch interference
+//! under the conservation invariant.
 
-use crate::core::{Core, CoreConfig, RunOutcome};
+use crate::core::{Core, CoreConfig, RunOutcome, ThreadId, Trap};
 use crate::kernels::Kernel;
 use crate::program::Program;
+use vds_obs::alpha::{AlphaReport, CycleSnapshot, PairLedger};
 
 /// Result of one α measurement.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -29,25 +36,80 @@ pub struct AlphaMeasurement {
     pub alpha: f64,
 }
 
-/// Run a single program (resuming through yields) and return total cycles.
-///
-/// # Panics
-/// Panics if the program traps or exceeds `max_cycles`.
-pub fn run_to_completion(cfg: &CoreConfig, prog: &Program, dmem_words: usize) -> u64 {
+/// Why a measurement run could not complete.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunError {
+    /// A thread trapped (access violation, illegal instruction, PC out
+    /// of range).
+    Trapped(ThreadId, Trap),
+    /// The cycle budget ran out before every thread halted.
+    CycleBudgetExhausted,
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Trapped(tid, trap) => {
+                write!(f, "thread {} trapped: {trap:?}", tid.0)
+            }
+            RunError::CycleBudgetExhausted => write!(f, "cycle budget exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+fn outcome_error(outcome: RunOutcome) -> RunError {
+    match outcome {
+        RunOutcome::Trapped(tid, trap) => RunError::Trapped(tid, trap),
+        _ => RunError::CycleBudgetExhausted,
+    }
+}
+
+/// Run a single program (resuming through yields) and return total
+/// cycles, or the trap / budget-exhaustion error.
+pub fn run_to_completion(
+    cfg: &CoreConfig,
+    prog: &Program,
+    dmem_words: usize,
+) -> Result<u64, RunError> {
+    run_solo_core(cfg, prog, dmem_words).map(|(cycles, _)| cycles)
+}
+
+fn run_solo_core(
+    cfg: &CoreConfig,
+    prog: &Program,
+    dmem_words: usize,
+) -> Result<(u64, CycleSnapshot), RunError> {
     let mut core = Core::new(cfg.clone());
     let t = core.add_thread(prog, dmem_words);
     loop {
         match core.run_until_all_blocked(u64::MAX / 4) {
-            RunOutcome::AllHalted => return core.cycles(),
+            RunOutcome::AllHalted => {
+                return Ok((core.cycles(), core.thread(t).counters.snapshot()))
+            }
             RunOutcome::AllYielded => core.resume(t),
-            other => panic!("program did not complete: {other:?}"),
+            other => return Err(outcome_error(other)),
         }
     }
 }
 
 /// Co-schedule two programs on a 2-context core until **both** halt,
-/// resuming either whenever it yields; returns total cycles.
-pub fn run_pair(cfg: &CoreConfig, a: (&Program, usize), b: (&Program, usize)) -> u64 {
+/// resuming either whenever it yields; returns total cycles or the trap
+/// / budget-exhaustion error.
+pub fn run_pair(
+    cfg: &CoreConfig,
+    a: (&Program, usize),
+    b: (&Program, usize),
+) -> Result<u64, RunError> {
+    run_pair_core(cfg, a, b).map(|(cycles, _, _)| cycles)
+}
+
+fn run_pair_core(
+    cfg: &CoreConfig,
+    a: (&Program, usize),
+    b: (&Program, usize),
+) -> Result<(u64, CycleSnapshot, CycleSnapshot), RunError> {
     let mut cfg = cfg.clone();
     cfg.max_threads = cfg.max_threads.max(2);
     let mut core = Core::new(cfg);
@@ -55,7 +117,13 @@ pub fn run_pair(cfg: &CoreConfig, a: (&Program, usize), b: (&Program, usize)) ->
     let tb = core.add_thread(b.0, b.1);
     loop {
         match core.run_until_all_blocked(u64::MAX / 4) {
-            RunOutcome::AllHalted => return core.cycles(),
+            RunOutcome::AllHalted => {
+                return Ok((
+                    core.cycles(),
+                    core.thread(ta).counters.snapshot(),
+                    core.thread(tb).counters.snapshot(),
+                ))
+            }
             RunOutcome::AllYielded => {
                 for t in [ta, tb] {
                     if core.thread(t).state == crate::core::ThreadState::Yielded {
@@ -63,24 +131,55 @@ pub fn run_pair(cfg: &CoreConfig, a: (&Program, usize), b: (&Program, usize)) ->
                     }
                 }
             }
-            other => panic!("pair did not complete: {other:?}"),
+            other => return Err(outcome_error(other)),
         }
     }
 }
 
 /// Measure α for a pair of kernels on the given core configuration.
-pub fn measure(cfg: &CoreConfig, a: &Kernel, b: &Kernel) -> AlphaMeasurement {
+pub fn measure(cfg: &CoreConfig, a: &Kernel, b: &Kernel) -> Result<AlphaMeasurement, RunError> {
     let pa = a.program();
     let pb = b.program();
-    let t_a = run_to_completion(cfg, &pa, a.dmem_words);
-    let t_b = run_to_completion(cfg, &pb, b.dmem_words);
-    let t_pair = run_pair(cfg, (&pa, a.dmem_words), (&pb, b.dmem_words));
-    AlphaMeasurement {
+    let t_a = run_to_completion(cfg, &pa, a.dmem_words)?;
+    let t_b = run_to_completion(cfg, &pb, b.dmem_words)?;
+    let t_pair = run_pair(cfg, (&pa, a.dmem_words), (&pb, b.dmem_words))?;
+    Ok(AlphaMeasurement {
         t_a,
         t_b,
         t_pair,
         alpha: t_pair as f64 / (t_a + t_b) as f64,
-    }
+    })
+}
+
+/// Measure the full attribution ledger for a pair of programs: solo
+/// snapshots of each, a co-run snapshot of both, and the differential
+/// cycle accounting between them.
+pub fn measure_ledger_programs(
+    cfg: &CoreConfig,
+    name_a: &str,
+    a: (&Program, usize),
+    name_b: &str,
+    b: (&Program, usize),
+) -> Result<PairLedger, RunError> {
+    let (_, solo_a) = run_solo_core(cfg, a.0, a.1)?;
+    let (_, solo_b) = run_solo_core(cfg, b.0, b.1)?;
+    let (_, co_a, co_b) = run_pair_core(cfg, a, b)?;
+    Ok(PairLedger::attribute(
+        name_a, name_b, solo_a, solo_b, co_a, co_b,
+    ))
+}
+
+/// Measure the attribution ledger for a pair of kernels.
+pub fn measure_ledger(cfg: &CoreConfig, a: &Kernel, b: &Kernel) -> Result<PairLedger, RunError> {
+    let pa = a.program();
+    let pb = b.program();
+    measure_ledger_programs(
+        cfg,
+        &a.name,
+        (&pa, a.dmem_words),
+        &b.name,
+        (&pb, b.dmem_words),
+    )
 }
 
 /// Measure α for every ordered pair in a kernel set; returns
@@ -88,14 +187,36 @@ pub fn measure(cfg: &CoreConfig, a: &Kernel, b: &Kernel) -> AlphaMeasurement {
 pub fn measure_matrix(
     cfg: &CoreConfig,
     kernels: &[Kernel],
-) -> Vec<(String, String, AlphaMeasurement)> {
+) -> Result<Vec<(String, String, AlphaMeasurement)>, RunError> {
     let mut rows = Vec::new();
     for a in kernels {
         for b in kernels {
-            rows.push((a.name.clone(), b.name.clone(), measure(cfg, a, b)));
+            rows.push((a.name.clone(), b.name.clone(), measure(cfg, a, b)?));
         }
     }
-    rows
+    Ok(rows)
+}
+
+/// Measure the attribution ledger for every unordered pair (`i ≤ j`) in
+/// a kernel set, collected into an [`AlphaReport`].
+pub fn ledger_matrix(cfg: &CoreConfig, kernels: &[Kernel]) -> Result<AlphaReport, RunError> {
+    let mut pairs = Vec::new();
+    for (i, a) in kernels.iter().enumerate() {
+        for b in kernels.iter().skip(i) {
+            pairs.push(measure_ledger(cfg, a, b)?);
+        }
+    }
+    Ok(AlphaReport { pairs })
+}
+
+/// The machine's mean *measured* α: the average contention factor over
+/// every unordered kernel-suite pair on the given core. This is the
+/// scalar `vds conformance --alpha measured` prices the closed forms
+/// with, clamped into the model's valid `[0.5, 1]` range.
+pub fn measured_alpha(cfg: &CoreConfig, rounds: u32) -> Result<(f64, AlphaReport), RunError> {
+    let report = ledger_matrix(cfg, &crate::kernels::suite(rounds))?;
+    let mean = report.mean_alpha().unwrap_or(0.65);
+    Ok((mean.clamp(0.5, 1.0), report))
 }
 
 #[cfg(test)]
@@ -110,7 +231,7 @@ mod tests {
     #[test]
     fn alpha_is_in_model_range_for_homogeneous_pairs() {
         for k in kernels::suite(2) {
-            let m = measure(&cfg(), &k, &k);
+            let m = measure(&cfg(), &k, &k).unwrap();
             assert!(
                 m.alpha >= 0.5 - 1e-9 && m.alpha <= 1.05,
                 "kernel {}: alpha={}",
@@ -127,8 +248,8 @@ mod tests {
         // compute pair whose stall slots the sibling can fill.
         let p = kernels::pchase(512, 256, 2);
         let c = kernels::control(128, 2);
-        let chase_self = measure(&cfg(), &p, &p).alpha;
-        let ctl_self = measure(&cfg(), &c, &c).alpha;
+        let chase_self = measure(&cfg(), &p, &p).unwrap().alpha;
+        let ctl_self = measure(&cfg(), &c, &c).unwrap().alpha;
         assert!(
             chase_self > ctl_self + 0.1,
             "pchase self {chase_self} vs control self {ctl_self}"
@@ -143,7 +264,7 @@ mod tests {
         // most "application-like" kernel (mul + loads + branches) — pairs
         // with itself in that regime on the default core.
         let k = kernels::matmul(8, 2);
-        let m = measure(&cfg(), &k, &k);
+        let m = measure(&cfg(), &k, &k).unwrap();
         assert!(
             (0.55..=0.8).contains(&m.alpha),
             "matmul self alpha={}",
@@ -155,7 +276,7 @@ mod tests {
     fn pair_time_bounded_by_serial_and_longest() {
         let a = kernels::vecsum(128, 2);
         let b = kernels::control(64, 2);
-        let m = measure(&cfg(), &a, &b);
+        let m = measure(&cfg(), &a, &b).unwrap();
         assert!(m.t_pair <= m.t_a + m.t_b, "{m:?}");
         assert!(m.t_pair >= m.t_a.max(m.t_b), "{m:?}");
     }
@@ -164,6 +285,59 @@ mod tests {
     fn measurement_is_deterministic() {
         let a = kernels::bsort(16, 1);
         let b = kernels::crc(64, 1);
-        assert_eq!(measure(&cfg(), &a, &b), measure(&cfg(), &a, &b));
+        assert_eq!(
+            measure(&cfg(), &a, &b).unwrap(),
+            measure(&cfg(), &a, &b).unwrap()
+        );
+    }
+
+    #[test]
+    fn trapping_program_is_an_error_not_a_panic() {
+        // An empty text section traps with PcOutOfRange on cycle one.
+        let prog = Program {
+            text: vec![],
+            data: vec![],
+            symbols: Default::default(),
+            entry: 0,
+        };
+        let err = run_to_completion(&cfg(), &prog, 16).unwrap_err();
+        assert!(matches!(
+            err,
+            RunError::Trapped(_, Trap::PcOutOfRange { .. })
+        ));
+        assert!(err.to_string().contains("trapped"));
+        let ok = kernels::control(8, 1);
+        let pk = ok.program();
+        let err = run_pair(&cfg(), (&prog, 16), (&pk, ok.dmem_words)).unwrap_err();
+        assert!(matches!(err, RunError::Trapped(_, _)));
+    }
+
+    #[test]
+    fn ledger_agrees_with_scalar_measurement_and_is_exact() {
+        let a = kernels::vecsum(128, 1);
+        let b = kernels::crc(64, 1);
+        let m = measure(&cfg(), &a, &b).unwrap();
+        let l = measure_ledger(&cfg(), &a, &b).unwrap();
+        assert_eq!((l.t_a, l.t_b, l.t_pair), (m.t_a, m.t_b, m.t_pair));
+        assert!((l.alpha - m.alpha).abs() < 1e-12);
+        assert!(l.is_exact());
+        assert_eq!(l.excess, l.t_pair as i64 - l.t_a.max(l.t_b) as i64);
+    }
+
+    #[test]
+    fn ledger_matrix_covers_unordered_pairs_deterministically() {
+        let ks = [kernels::vecsum(64, 1), kernels::control(32, 1)];
+        let r1 = ledger_matrix(&cfg(), &ks).unwrap();
+        let r2 = ledger_matrix(&cfg(), &ks).unwrap();
+        assert_eq!(r1.pairs.len(), 3); // aa, ab, bb
+        assert_eq!(r1, r2);
+        assert!(r1.pairs.iter().all(|p| p.is_exact()));
+    }
+
+    #[test]
+    fn measured_alpha_is_in_model_range() {
+        let (alpha, report) = measured_alpha(&cfg(), 1).unwrap();
+        assert!((0.5..=1.0).contains(&alpha), "measured alpha {alpha}");
+        assert!(!report.pairs.is_empty());
     }
 }

@@ -443,6 +443,14 @@ impl Core {
         &self.threads[id.0]
     }
 
+    /// Windowed counter snapshots of every installed thread, in thread
+    /// order: the cycle-accounting view at the current cycle, suitable
+    /// for differential α attribution (`vds_obs::alpha`). Snapshots can
+    /// be taken mid-run and subtracted to scope a ledger to a window.
+    pub fn counter_snapshots(&self) -> Vec<vds_obs::alpha::CycleSnapshot> {
+        self.threads.iter().map(|t| t.counters.snapshot()).collect()
+    }
+
     /// Mutable access to a thread (fault injection, host fix-ups).
     pub fn thread_mut(&mut self, id: ThreadId) -> &mut Thread {
         &mut self.threads[id.0]
@@ -681,6 +689,11 @@ impl Core {
             let pc = self.threads[tid].pc;
             if pc as usize >= self.threads[tid].prog.text.len() {
                 self.threads[tid].state = ThreadState::Trapped(Trap::PcOutOfRange { pc });
+                // The trap-transition cycle is neither an issue nor a
+                // cause-specific stall; book it as parked so the
+                // conservation invariant (issued + stalls + parked ==
+                // cycles) holds on trapping runs too.
+                self.threads[tid].counters.stall(StallCause::Parked);
                 continue;
             }
             let fill_hit = self.threads[tid].fetch_fill.take() == Some(pc);
@@ -698,6 +711,8 @@ impl Core {
                 Ok(i) => i,
                 Err(_) => {
                     self.threads[tid].state = ThreadState::Trapped(Trap::IllegalInstruction { pc });
+                    // Same conservation bookkeeping as the fetch trap.
+                    self.threads[tid].counters.stall(StallCause::Parked);
                     continue;
                 }
             };

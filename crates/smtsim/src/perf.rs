@@ -100,6 +100,26 @@ impl ThreadCounters {
         self.stall_icache + self.stall_dcache + self.stall_fu + self.stall_width + self.stall_branch
     }
 
+    /// Copy the cycle-accounting fields into an obs-side
+    /// [`vds_obs::alpha::CycleSnapshot`] for differential α attribution.
+    ///
+    /// The snapshot obeys the conservation invariant
+    /// `issued_cycles + stall_* + parked == cycles` (proptested in
+    /// `tests/conservation.rs`), which is what makes ledger attribution
+    /// exact.
+    pub fn snapshot(&self) -> vds_obs::alpha::CycleSnapshot {
+        vds_obs::alpha::CycleSnapshot {
+            cycles: self.cycles,
+            issued_cycles: self.issued_cycles,
+            stall_icache: self.stall_icache,
+            stall_dcache: self.stall_dcache,
+            stall_fu: self.stall_fu,
+            stall_width: self.stall_width,
+            stall_branch: self.stall_branch,
+            parked: self.parked,
+        }
+    }
+
     /// Flush every counter into a metrics registry under
     /// `<prefix>.<counter>` (e.g. `smt.thread0.retired`), plus derived
     /// `ipc` and `branch_accuracy` gauges. End-of-run export: generic

@@ -81,6 +81,14 @@ pub struct CellResult {
     /// Mean detection latency in rounds over the cell's detected faults
     /// (0 when nothing was detected).
     pub mean_detect_latency: f64,
+    /// The α the attribution ledger measures on the micro core (one
+    /// matmul self-pair per sweep — every cell of a run shares it, so the
+    /// column lets a heatmap compare the grid's parametric α axis against
+    /// what the simulated pipeline actually exhibits).
+    pub measured_alpha: f64,
+    /// The stall cause the ledger attributes the most co-run excess
+    /// cycles to (`icache`/`dcache`/`fu`/`width`/`branch`, or `none`).
+    pub dominant_stall: String,
 }
 
 impl CellResult {
@@ -119,8 +127,23 @@ impl CellResult {
             residual: g_round - predicted_g,
             coverage: r.coverage(),
             mean_detect_latency: r.mean_detect_latency_rounds(),
+            measured_alpha: 0.0,
+            dominant_stall: String::new(),
         }
     }
+}
+
+/// Measure the sweep's α-attribution stamp once: a matmul self-pair
+/// ledger on the default micro core. Deterministic and independent of
+/// the grid, so every cell of a run (and any worker count) carries the
+/// same two values. The suite kernels cannot trap, so the `expect` is
+/// unreachable in practice.
+fn measured_alpha_stamp() -> (f64, String) {
+    let cfg = vds_smtsim::core::CoreConfig::default();
+    let k = vds_smtsim::kernels::matmul(6, 1);
+    let ledger =
+        vds_smtsim::alpha::measure_ledger(&cfg, &k, &k).expect("suite kernels run to completion");
+    (ledger.alpha, ledger.dominant_stall().to_string())
 }
 
 /// Closed-form phase-blend prediction of a cell's measured `g_round`:
@@ -287,6 +310,9 @@ fn accumulate_cell(reg: &mut Registry, r: &CellResult) {
     // fault-forensics observables, summaries only for the same reason
     reg.observe("sweep.faults.coverage", r.coverage);
     reg.observe_hist("sweep.faults.detect_latency_rounds", r.mean_detect_latency);
+    // the measured-α stamp is one value per sweep — a gauge (last write
+    // wins, every cell writes the same number), never a counter
+    reg.gauge("sweep.alpha.measured", r.measured_alpha);
 }
 
 /// Run the sweep across `workers` threads.
@@ -317,6 +343,9 @@ pub fn run_sweep(
     let next = AtomicU64::new(0);
     let resumed = AtomicU64::new(0);
     let baseline = BaselineCache::new();
+    // one α-attribution measurement per sweep, taken up front on this
+    // thread so the stamp never depends on worker scheduling
+    let (measured_alpha, dominant_stall) = measured_alpha_stamp();
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
@@ -333,7 +362,10 @@ pub fn run_sweep(
                     None => {
                         let conv = baseline.conventional_throughput(cell, spec.base_seed);
                         let report = execute(cell);
-                        (CellResult::from_report(cell.clone(), &report, conv), false)
+                        let mut res = CellResult::from_report(cell.clone(), &report, conv);
+                        res.measured_alpha = measured_alpha;
+                        res.dominant_stall = dominant_stall.clone();
+                        (res, false)
                     }
                 };
                 if !was_resumed {

@@ -28,7 +28,7 @@ use crate::grid::{Backend, Cell, GridSpec};
 pub const CSV_HEADER: &str = "index,backend,scheme,alpha,s,q,rounds,seed,\
 committed_rounds,total_time,throughput,g_round,availability,\
 rf_hits,rf_misses,rf_discards,rf_hit_rate,detections,rollbacks,shutdown,\
-predicted_g,residual,coverage,mean_detect_latency";
+predicted_g,residual,coverage,mean_detect_latency,measured_alpha,dominant_stall";
 
 /// The measured-only column set: [`CSV_HEADER`] without the trailing
 /// derived conformance columns (`predicted_g,residual`). This is the
@@ -74,12 +74,14 @@ fn measured_csv_row(r: &CellResult) -> String {
 /// derived conformance and fault-forensics columns.
 pub fn csv_row(r: &CellResult) -> String {
     format!(
-        "{},{},{},{},{}",
+        "{},{},{},{},{},{},{}",
         measured_csv_row(r),
         r.predicted_g,
         r.residual,
         r.coverage,
-        r.mean_detect_latency
+        r.mean_detect_latency,
+        r.measured_alpha,
+        r.dominant_stall
     )
 }
 
@@ -121,7 +123,8 @@ pub fn to_jsonl(results: &[CellResult]) -> String {
              \"rf_hits\":{},\"rf_misses\":{},\"rf_discards\":{},\"rf_hit_rate\":{},\
              \"detections\":{},\"rollbacks\":{},\"shutdown\":{},\
              \"predicted_g\":{},\"residual\":{},\
-             \"coverage\":{},\"mean_detect_latency\":{}}}\n",
+             \"coverage\":{},\"mean_detect_latency\":{},\
+             \"measured_alpha\":{},\"dominant_stall\":\"{}\"}}\n",
             c.index,
             c.backend.name(),
             c.scheme.name(),
@@ -145,7 +148,9 @@ pub fn to_jsonl(results: &[CellResult]) -> String {
             json_f64(r.predicted_g),
             json_f64(r.residual),
             json_f64(r.coverage),
-            json_f64(r.mean_detect_latency)
+            json_f64(r.mean_detect_latency),
+            json_f64(r.measured_alpha),
+            r.dominant_stall
         ));
     }
     out
@@ -172,11 +177,11 @@ pub fn grid_digest(spec: &GridSpec) -> Digest128 {
 
 /// First line of a resume journal for `spec` (with trailing newline).
 pub fn journal_header(spec: &GridSpec) -> String {
-    // v3: rows carry the coverage / mean_detect_latency forensics
-    // columns after the v2 conformance columns; older journals (20- or
-    // 22-column rows) are rejected by the version check below rather
+    // v4: rows carry the measured_alpha / dominant_stall α-attribution
+    // columns after the v3 forensics columns; older journals (20-, 22-
+    // or 24-column rows) are rejected by the version check below rather
     // than mis-parsed
-    format!("#vds-sweep-journal v3 grid={}\n", grid_digest(spec))
+    format!("#vds-sweep-journal v4 grid={}\n", grid_digest(spec))
 }
 
 /// Parse a resume journal against the grid it claims to belong to.
@@ -283,6 +288,8 @@ pub fn parse_row(line: &str, cells: &[Cell]) -> Result<CellResult, String> {
         residual: num(f[21], "residual")?,
         coverage: num(f[22], "coverage")?,
         mean_detect_latency: num(f[23], "mean_detect_latency")?,
+        measured_alpha: num(f[24], "measured_alpha")?,
+        dominant_stall: f[25].to_string(),
     })
 }
 
@@ -300,7 +307,10 @@ mod tests {
     fn measured_csv_is_the_full_csv_minus_the_conformance_columns() {
         assert_eq!(
             CSV_HEADER,
-            format!("{MEASURED_CSV_HEADER},predicted_g,residual,coverage,mean_detect_latency")
+            format!(
+                "{MEASURED_CSV_HEADER},predicted_g,residual,coverage,mean_detect_latency,\
+                 measured_alpha,dominant_stall"
+            )
         );
         let g = grid();
         let out = run_sweep(&g, 1, None, &BTreeMap::new(), None);
