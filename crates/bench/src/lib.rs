@@ -1,6 +1,6 @@
 //! # vds-bench — the figure-regeneration harness
 //!
-//! One module per experiment in DESIGN.md's index (E1–E17), each built
+//! One module per experiment in DESIGN.md's index (E1–E18), each built
 //! around a `report()` function that regenerates the corresponding paper
 //! artefact (equation curve, figure surface, timeline, flow chart) and
 //! returns it as printable text plus machine-readable CSV/TSV blocks.
@@ -25,6 +25,7 @@
 //! | [`e15_alpha_sweep`] | sweep-backed α-sensitivity of measured G_round |
 //! | [`e16_heatmap`] | sweep-backed s × scheme heatmap under faults |
 //! | [`e17_alpha_ledger`] | α-decomposition: per-cycle interference ledger |
+//! | [`e18_vm_duplex`] | bytecode-VM programs duplexed: gain + coverage |
 
 pub mod e01_round_gain;
 pub mod e02_timelines;
@@ -43,6 +44,7 @@ pub mod e14_ablation;
 pub mod e15_alpha_sweep;
 pub mod e16_heatmap;
 pub mod e17_alpha_ledger;
+pub mod e18_vm_duplex;
 pub mod live;
 pub mod perf;
 pub mod registry;

@@ -83,6 +83,58 @@ pub fn campaign_trial_for(
     TrialResult::with_value(trial_label(&report), report.detections as f64)
 }
 
+/// One instrumented trial of the **bytecode-VM** serve campaign
+/// (`vds serve --workload vm:<program>`): a sampled architectural-state
+/// fault ([`vds_fault::vm::sample_vm_site`]) against the diversified
+/// duplex of a `vds-vm` seed program. Deterministic in
+/// `(program, index, base_seed, target_rounds)` with the same
+/// journal-adoption contract as [`campaign_trial_for`].
+pub fn vm_campaign_trial_for(
+    program: &str,
+    scheme: Scheme,
+    index: u64,
+    base_seed: u64,
+    target_rounds: u64,
+    rec: &mut Recorder,
+) -> TrialResult {
+    use vds_core::vm_vds::{
+        run_vm_duplex_recorded, run_vm_duplex_with_recorder, VmConfig, VmFault,
+    };
+    let mut rng = SmallRng::seed_from_u64(
+        index
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(base_seed)
+            ^ 0xB17E,
+    );
+    let mut cfg = VmConfig::new(program);
+    cfg.scheme = scheme;
+    cfg.seed = base_seed.wrapping_add(index);
+    let victim = if rng.gen() { Victim::V1 } else { Victim::V2 };
+    let at_round = rng.gen_range(1..=cfg.s);
+    let lit_words = vds_vm::seed_program(program).map_or(0, |sp| sp.assembled().lits.len() as u32);
+    let site = vds_fault::vm::sample_vm_site(&mut rng, vds_vm::DMEM_WORDS as u32, lit_words);
+    let fault = VmFault {
+        at_round,
+        victim,
+        site,
+    };
+    let (report, run_rec) = if rec.journal_enabled() {
+        let mut run_rec = Recorder::new();
+        if let Some(h) = rec.journal().header() {
+            run_rec.enable_journal(h.clone());
+        }
+        let (report, _, run_rec) =
+            run_vm_duplex_with_recorder(&cfg, Some(fault), target_rounds, run_rec);
+        (report, run_rec)
+    } else {
+        let (report, run_rec) = run_vm_duplex_recorded(&cfg, Some(fault), target_rounds);
+        (report, run_rec)
+    };
+    rec.merge_registry(run_rec.registry());
+    rec.adopt_journal(run_rec.journal(), index);
+    TrialResult::with_value(trial_label(&report), report.detections as f64)
+}
+
 /// Classify a trial's run report into its campaign outcome label.
 ///
 /// Masked and escaped faults both go undetected, but they are different
@@ -123,6 +175,23 @@ pub fn campaign_journal_header_for(
 ) -> JournalHeader {
     let cfg = MicroConfig::new(scheme, 8);
     JournalHeader::new("campaign", scheme.name(), base_seed, cfg.s, target_rounds)
+        .with_meta("trials", &trials.to_string())
+}
+
+/// The journal header for a [`vm_campaign_trial_for`] campaign. Backend
+/// `vm` with a `trials` meta key distinguishes it from a single
+/// `vds vm duplex` recording (same backend, no `trials`); `vds replay`
+/// dispatches on exactly that.
+pub fn vm_campaign_journal_header_for(
+    program: &str,
+    scheme: Scheme,
+    trials: u64,
+    base_seed: u64,
+    target_rounds: u64,
+) -> JournalHeader {
+    let cfg = vds_core::vm_vds::VmConfig::new(program);
+    JournalHeader::new("vm", scheme.name(), base_seed, cfg.s, target_rounds)
+        .with_meta("program", program)
         .with_meta("trials", &trials.to_string())
 }
 
@@ -178,6 +247,37 @@ mod tests {
         assert_eq!(reca.registry().counter("journal.rounds"), j.len() as u64);
         // fault forensics counters are priced from the same merged
         // journal and conserve the lifecycle
+        let reg = reca.registry();
+        let injected = reg.counter("faults.injected");
+        assert!(injected > 0);
+        assert_eq!(
+            reg.counter("faults.detected")
+                + reg.counter("faults.masked")
+                + reg.counter("faults.escaped"),
+            injected
+        );
+    }
+
+    #[test]
+    fn journaled_vm_campaign_is_byte_identical_across_workers() {
+        use vds_fault::campaign::run_campaign_journaled;
+        let scheme = Scheme::SmtDeterministic;
+        let header = vm_campaign_journal_header_for("checksum", scheme, 8, 42, 16);
+        let run = |workers| {
+            run_campaign_journaled("serve", 8, workers, None, &header, |i, rec| {
+                vm_campaign_trial_for("checksum", scheme, i, 42, 16, rec)
+            })
+        };
+        let (ra, reca) = run(1);
+        let (rb, recb) = run(4);
+        assert_eq!(ra, rb);
+        assert_eq!(reca.journal().to_jsonl(), recb.journal().to_jsonl());
+        let j = reca.journal();
+        assert!(!j.is_empty());
+        assert_eq!(j.header().unwrap().backend, "vm");
+        assert_eq!(j.header().unwrap().meta("program"), Some("checksum"));
+        assert_eq!(j.header().unwrap().meta("trials"), Some("8"));
+        // forensics conservation over the merged journal
         let reg = reca.registry();
         let injected = reg.counter("faults.injected");
         assert!(injected > 0);

@@ -41,6 +41,8 @@ pub const SUITE: &[(&str, u64)] = &[
     ("E16", 400),
     // α-decomposition ledger: cycle-level SMT backend, counter-only
     ("E17", 2),
+    // bytecode-VM duplex: gain table + per-program fault campaign
+    ("E18", 24),
 ];
 
 /// One experiment's row in the bench report.

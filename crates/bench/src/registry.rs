@@ -181,12 +181,18 @@ experiment!(
     "α-decomposition: per-cycle SMT interference ledger",
     |p| crate::e17_alpha_ledger::report(p.rounds_or(2) as u32)
 );
+experiment!(
+    E18,
+    "E18",
+    "Real programs under duplex: the bytecode-VM workload",
+    |p| crate::e18_vm_duplex::report(p.rounds_or(24), p.seed.unwrap_or(1))
+);
 
 /// All experiments, in id order.
 pub fn registry() -> &'static [&'static dyn Experiment] {
     const REGISTRY: &[&'static dyn Experiment] = &[
         &E01, &E02, &E03, &E04, &E05, &E06, &E07, &E08, &E09, &E10, &E11, &E12, &E13, &E14, &E15,
-        &E16, &E17,
+        &E16, &E17, &E18,
     ];
     REGISTRY
 }
@@ -209,7 +215,7 @@ mod tests {
     #[test]
     fn registry_ids_are_unique_and_ordered() {
         let ids: Vec<&str> = registry().iter().map(|e| e.id()).collect();
-        assert_eq!(ids.len(), 17);
+        assert_eq!(ids.len(), 18);
         let mut nums: Vec<u32> = ids
             .iter()
             .map(|i| i.trim_start_matches('E').parse().unwrap())
@@ -218,7 +224,7 @@ mod tests {
         nums.sort_unstable();
         assert_eq!(nums, sorted, "registry not in id order");
         nums.dedup();
-        assert_eq!(nums.len(), 17, "duplicate ids");
+        assert_eq!(nums.len(), 18, "duplicate ids");
     }
 
     #[test]
@@ -231,7 +237,8 @@ mod tests {
         assert_eq!(find("e15").unwrap().id(), "E15");
         assert_eq!(find("E016").unwrap().id(), "E16");
         assert_eq!(find("e17").unwrap().id(), "E17");
-        assert!(find("e18").is_none());
+        assert_eq!(find("E018").unwrap().id(), "E18");
+        assert!(find("e19").is_none());
         assert!(find("bogus").is_none());
     }
 

@@ -113,6 +113,16 @@ const ALPHA_MODE: FlagSpec = flag(
     Some("MODE"),
     "price the model at the measured or parametric α (measured|parametric)",
 );
+const WORKLOAD: FlagSpec = flag(
+    "workload",
+    Some("KIND"),
+    "run against a bytecode-VM seed program (vm:checksum|sort|matmul|strhash)",
+);
+const FAULT: FlagSpec = flag(
+    "fault",
+    Some("SPEC"),
+    "VM fault site vm:reg:<i>:<b> | vm:pc:<b> | vm:lit:<i>:<b> | vm:mem:<a>:<b>, optional @v1/@v2 victim suffix",
+);
 
 /// A subcommand's argument contract.
 pub(crate) struct CommandSpec {
@@ -147,7 +157,34 @@ pub(crate) const DUPLEX: CommandSpec = CommandSpec {
     name: "duplex",
     usage: "vds duplex <scheme> [rounds] [fault-round]",
     about: "run a micro VDS, optionally injecting a fault",
-    flags: DUPLEX_FLAGS,
+    flags: &[
+        ROUNDS,
+        SEED,
+        TRACE_CAPACITY,
+        METRICS,
+        JOURNAL,
+        JSON,
+        LOG_LEVEL,
+        WORKLOAD,
+        FAULT,
+    ],
+};
+
+pub(crate) const VM: CommandSpec = CommandSpec {
+    name: "vm",
+    usage: "vds vm <asm|run|duplex> <program> [rounds] [fault-round]",
+    about: "assemble, run or duplex a bytecode-VM seed program",
+    flags: &[
+        ROUNDS,
+        SEED,
+        FAULT,
+        SCHEME,
+        TRACE_CAPACITY,
+        METRICS,
+        JOURNAL,
+        JSON,
+        LOG_LEVEL,
+    ],
 };
 
 pub(crate) const STATS: CommandSpec = CommandSpec {
@@ -166,7 +203,7 @@ pub(crate) const REPORT: CommandSpec = CommandSpec {
 
 pub(crate) const EXPERIMENT: CommandSpec = CommandSpec {
     name: "experiment",
-    usage: "vds experiment <e1..e16|all>",
+    usage: "vds experiment <e1..e18|all>",
     about: "regenerate a paper artefact",
     flags: &[ROUNDS, SEED, WORKERS, METRICS, LOG_LEVEL],
 };
@@ -186,6 +223,7 @@ pub(crate) const SWEEP: CommandSpec = CommandSpec {
     about: "deterministic parallel parameter sweep over the VDS grid",
     flags: &[
         GRID, RESUME, ROUNDS, SEED, WORKERS, OUT, METRICS, JSON, ADDR, PORT, PORT_FILE, LOG_LEVEL,
+        WORKLOAD,
     ],
 };
 
@@ -195,7 +233,7 @@ pub(crate) const SERVE: CommandSpec = CommandSpec {
     about: "run a live fault campaign behind a telemetry HTTP server",
     flags: &[
         ADDR, PORT, PORT_FILE, TRIALS, ROUNDS, SEED, WORKERS, SCHEME, ONCE, METRICS, JOURNAL,
-        LOG_LEVEL,
+        LOG_LEVEL, WORKLOAD,
     ],
 };
 
@@ -361,6 +399,8 @@ fn set_value(f: &mut Flags, name: &str, value: String) -> Result<(), CliError> {
             f.tolerance = Some(t);
         }
         "scheme" => f.scheme = Some(value),
+        "workload" => f.workload = Some(value),
+        "fault" => f.fault = Some(value),
         "alpha" => {
             if value != "measured" && value != "parametric" {
                 return Err(CliError::usage(format!(

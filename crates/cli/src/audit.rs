@@ -98,8 +98,7 @@ pub(crate) fn cmd_audit(args: &[String]) -> Result<String, CliError> {
 }
 
 fn load_journal(path: &str) -> Result<Journal, CliError> {
-    Journal::from_jsonl(&read_file(path)?)
-        .map_err(|e| CliError::runtime(format!("cannot parse `{path}`: {e}")))
+    crate::parse_journal_tolerant(path, &read_file(path)?)
 }
 
 /// Re-run the recorded configuration, producing a fresh journal.
@@ -107,8 +106,9 @@ fn re_execute(header: &JournalHeader, workers: usize) -> Result<Journal, CliErro
     match header.backend.as_str() {
         "micro" => replay_micro(header),
         "campaign" => replay_campaign(header, workers),
+        "vm" => replay_vm(header, workers),
         other => Err(CliError::runtime(format!(
-            "cannot replay `{other}` journals (replayable backends: micro, campaign)"
+            "cannot replay `{other}` journals (replayable backends: micro, campaign, vm)"
         ))),
     }
 }
@@ -175,6 +175,78 @@ fn replay_campaign(header: &JournalHeader, workers: usize) -> Result<Journal, Cl
     let (_, rec) = run_campaign_journaled("replay", trials, workers, None, header, |i, rec| {
         campaign_trial_for(scheme, i, base_seed, target_rounds, rec)
     });
+    Ok(rec.journal().clone())
+}
+
+/// Replay a bytecode-VM recording. A `trials` meta key marks a serve
+/// campaign over the VM workload; without it the journal is a single
+/// `vds vm duplex` run.
+fn replay_vm(header: &JournalHeader, workers: usize) -> Result<Journal, CliError> {
+    use vds_core::vm_vds::{run_vm_duplex_with_recorder, VmConfig, VmFault};
+    use vds_fault::vm::VmFaultSite;
+    let scheme = parse_scheme(&header.scheme)?;
+    let program = header
+        .meta("program")
+        .ok_or_else(|| CliError::runtime("vm journal header has no program meta"))?;
+    if vds_vm::seed_program(program).is_none() {
+        return Err(CliError::runtime(format!(
+            "vm journal names unknown program `{program}`"
+        )));
+    }
+    if let Some(trials) = header.meta("trials") {
+        use vds_fault::campaign::run_campaign_journaled;
+        let trials: u64 = trials
+            .parse()
+            .map_err(|_| CliError::runtime("vm journal header has no valid trials meta"))?;
+        let (base_seed, target_rounds) = (header.seed, header.target_rounds);
+        let program = program.to_string();
+        let (_, rec) = run_campaign_journaled("replay", trials, workers, None, header, |i, rec| {
+            vds_bench::live::vm_campaign_trial_for(
+                &program,
+                scheme,
+                i,
+                base_seed,
+                target_rounds,
+                rec,
+            )
+        });
+        return Ok(rec.journal().clone());
+    }
+    let mut cfg = VmConfig::new(program);
+    cfg.scheme = scheme;
+    cfg.seed = header.seed;
+    cfg.s = header.s;
+    let fault = match header.meta("fault") {
+        Some(spec) => {
+            let site = VmFaultSite::parse_spec(spec).ok_or_else(|| {
+                CliError::runtime(format!("journal header has malformed fault spec `{spec}`"))
+            })?;
+            let at_round = header
+                .meta("fault_round")
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| {
+                    CliError::runtime("journal header has a fault but no valid fault_round")
+                })?;
+            let victim = match header.meta("fault_victim") {
+                Some("v1") => Victim::V1,
+                Some("v2") | None => Victim::V2,
+                Some(other) => {
+                    return Err(CliError::runtime(format!(
+                        "journal header has unknown fault_victim `{other}`"
+                    )))
+                }
+            };
+            Some(VmFault {
+                at_round,
+                victim,
+                site,
+            })
+        }
+        None => None,
+    };
+    let mut rec = Recorder::new();
+    rec.enable_journal(header.clone());
+    let (_, _, rec) = run_vm_duplex_with_recorder(&cfg, fault, header.target_rounds, rec);
     Ok(rec.journal().clone())
 }
 
@@ -301,6 +373,40 @@ mod tests {
     }
 
     #[test]
+    fn torn_final_line_is_dropped_with_a_warning_not_an_error() {
+        // A kill mid-append leaves one incomplete line at the tail; every
+        // read-side consumer should truncate-and-warn like the sweep
+        // resume journal, not refuse the whole recording.
+        let p = tmp("torn-tail.journal.jsonl");
+        let ps = p.to_str().unwrap();
+        run(&["duplex", "smt-det", "14", "4", "--journal", ps]).unwrap();
+        let intact = std::fs::read_to_string(&p).unwrap();
+        std::fs::write(&p, format!("{intact}{{\"kind\":\"round\",\"seq\":9")).unwrap();
+        for cmd in [
+            &["replay", ps][..],
+            &["faults", ps][..],
+            &["conformance", ps][..],
+        ] {
+            let cap = vds_obs::logging::capture();
+            let out = run(cmd).unwrap_or_else(|e| panic!("{cmd:?}: {}", e.msg));
+            let logged = cap.take();
+            assert!(
+                logged.contains("torn final journal line"),
+                "{cmd:?} should warn, logged: {logged} out: {out}"
+            );
+        }
+        // The drop is surgical: corruption before the tail still fails.
+        let lines: Vec<&str> = intact.lines().collect();
+        let mut mid: Vec<String> = lines.iter().map(|l| l.to_string()).collect();
+        mid[2] = "not json".into();
+        std::fs::write(&p, mid.join("\n")).unwrap();
+        let e = run(&["replay", ps]).unwrap_err();
+        assert_eq!(e.code, 1);
+        assert!(e.msg.contains(&format!("cannot parse `{ps}`")), "{}", e.msg);
+        assert!(e.msg.contains("line 3"), "{}", e.msg);
+    }
+
+    #[test]
     fn truncated_headers_fail_with_one_parse_line_not_a_panic() {
         // chop the header line mid-JSON: both consumers report a single
         // `cannot parse` line with exit code 1
@@ -316,6 +422,28 @@ mod tests {
             assert!(e.msg.contains(&format!("cannot parse `{ps}`")), "{}", e.msg);
             assert_eq!(e.msg.lines().count(), 1, "{}", e.msg);
         }
+    }
+
+    #[test]
+    fn vm_campaign_journals_replay_and_reject_tampering() {
+        use vds_bench::live::{vm_campaign_journal_header_for, vm_campaign_trial_for};
+        use vds_fault::campaign::run_campaign_journaled;
+        let scheme = vds_core::Scheme::SmtProbabilistic;
+        let header = vm_campaign_journal_header_for("matmul", scheme, 4, 11, 16);
+        let (_, rec) = run_campaign_journaled("serve", 4, 2, None, &header, |i, rec| {
+            vm_campaign_trial_for("matmul", scheme, i, 11, 16, rec)
+        });
+        let p = tmp("vm-campaign.journal.jsonl");
+        std::fs::write(&p, rec.journal().to_jsonl()).unwrap();
+        let ok = run(&["replay", p.to_str().unwrap(), "--workers", "3"]).unwrap();
+        assert!(ok.contains("replay OK"), "{ok}");
+        assert!(ok.contains("backend vm"), "{ok}");
+        let text = std::fs::read_to_string(&p).unwrap();
+        let (bad, _) = corrupt_one_digest_bit(&text, 1);
+        std::fs::write(&p, bad).unwrap();
+        let e = run(&["replay", p.to_str().unwrap()]).unwrap_err();
+        assert_eq!(e.code, 1);
+        assert!(e.msg.contains("replay DIVERGED"), "{}", e.msg);
     }
 
     #[test]

@@ -21,7 +21,7 @@
 use crate::{read_file, CliError};
 use std::io::{Read as _, Write as _};
 use vds_obs::conformance::{DEFAULT_TOLERANCE, DEFAULT_WINDOW};
-use vds_obs::{ConformanceTracker, Journal};
+use vds_obs::ConformanceTracker;
 
 pub(crate) fn cmd_conformance(args: &[String]) -> Result<String, CliError> {
     let f = crate::args::CONFORMANCE.parse(args)?;
@@ -47,8 +47,7 @@ pub(crate) fn cmd_conformance(args: &[String]) -> Result<String, CliError> {
     } else {
         read_file(source)?
     };
-    let journal = Journal::from_jsonl(&text)
-        .map_err(|e| CliError::runtime(format!("cannot parse `{source}`: {e}")))?;
+    let journal = crate::parse_journal_tolerant(source, &text)?;
     if journal.header().is_none() {
         return Err(CliError::runtime(format!(
             "`{source}` has no journal header (missing or truncated?)"

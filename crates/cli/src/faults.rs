@@ -17,7 +17,7 @@
 
 use crate::conformance::fetch_live_journal;
 use crate::{read_file, CliError};
-use vds_obs::{ForensicsTracker, Journal};
+use vds_obs::ForensicsTracker;
 
 pub(crate) fn cmd_faults(args: &[String]) -> Result<String, CliError> {
     let f = crate::args::FAULTS.parse(args)?;
@@ -41,8 +41,7 @@ pub(crate) fn cmd_faults(args: &[String]) -> Result<String, CliError> {
     } else {
         read_file(source)?
     };
-    let journal = Journal::from_jsonl(&text)
-        .map_err(|e| CliError::runtime(format!("cannot parse `{source}`: {e}")))?;
+    let journal = crate::parse_journal_tolerant(source, &text)?;
     if journal.header().is_none() {
         return Err(CliError::runtime(format!(
             "`{source}` has no journal header (missing or truncated?)"

@@ -14,7 +14,8 @@
 //! vds stats <scheme> [rounds] [at]  run a micro VDS and print its metrics/trace
 //! vds report <scheme> [rounds] [at] run a micro VDS, print folded span stacks
 //! vds flowchart <scheme>            print a recovery flow chart as Graphviz DOT
-//! vds experiment <id>               regenerate a paper artefact (e1..e17, all)
+//! vds experiment <id>               regenerate a paper artefact (e1..e18, all)
+//! vds vm <asm|run|duplex> <prog>    assemble, run or duplex a bytecode-VM program
 //! vds bench                         run the pinned perf suite (BENCH_<n>.json)
 //! vds sweep --grid SPEC             deterministic parallel parameter sweep
 //! vds gains [alpha] [beta] [p]      print the closed-form gain summary
@@ -52,6 +53,7 @@ mod conformance;
 mod faults;
 mod serve;
 mod sweep_cmd;
+mod vm_cmd;
 
 /// CLI error: message plus the exit code to use.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -88,10 +90,12 @@ USAGE:
     vds run <file.s> [copies] [maxcyc]  execute on the SMT core
     vds alpha [rounds|prog.s]           per-cycle α-attribution ledger (suite pairs or one program)
     vds duplex <scheme> [rounds] [at]   run a micro VDS (fault at round `at`)
+    vds vm <asm|run|duplex> <program>   assemble, run or duplex a bytecode-VM seed program
+                                        (checksum, sort, matmul, strhash)
     vds stats <scheme> [rounds] [at]    run a micro VDS, print metrics + trace
     vds report <scheme> [rounds] [at]   run a micro VDS, print folded span stacks
     vds flowchart <scheme>              recovery flow chart as DOT
-    vds experiment <e1..e17|all>        regenerate a paper artefact
+    vds experiment <e1..e18|all>        regenerate a paper artefact
     vds bench                           run the pinned perf suite
     vds sweep --grid SPEC|FILE          deterministic parallel parameter sweep over the VDS grid
     vds serve                           run a live fault campaign behind a telemetry HTTP server
@@ -127,6 +131,10 @@ FLAGS (alpha / duplex / stats / report / experiment / bench / serve; `--flag v` 
                          it already holds rows for this grid, skip those cells
     --scheme NAME        serve: campaign recovery scheme (default smt-prob;
                          smt-boost5 is abstract-only)
+    --workload KIND      duplex / serve / sweep: run against a bytecode-VM seed
+                         program (vm:checksum | vm:sort | vm:matmul | vm:strhash)
+    --fault SPEC         vm duplex: fault site vm:reg:<i>:<b> | vm:pc:<b> |
+                         vm:lit:<i>:<b> | vm:mem:<a>:<b>, optional @v1/@v2 suffix
     --window N           conformance: rounds per residual window (default 8)
     --tolerance F        conformance: |residual| bound a window must stay within
                          (default 0.25)
@@ -163,6 +171,8 @@ struct Flags {
     tolerance: Option<f64>,
     scheme: Option<String>,
     alpha_mode: Option<String>,
+    workload: Option<String>,
+    fault: Option<String>,
     /// `--help` was given: the command should print its flag reference.
     help: bool,
     positional: Vec<String>,
@@ -227,6 +237,20 @@ fn read_file(path: &str) -> Result<String, CliError> {
         .map_err(|e| CliError::runtime(format!("cannot read `{path}`: {e}")))
 }
 
+/// Parse a journal for the read-side consumers (`replay`, `faults`,
+/// `conformance`, `audit diff`), tolerating a torn final line — the
+/// leftover of a kill mid-append. The tear is logged and dropped, the
+/// same truncate-and-warn recovery the sweep resume journal applies;
+/// corruption anywhere else still fails with the usual one-line error.
+fn parse_journal_tolerant(source: &str, text: &str) -> Result<vds_obs::Journal, CliError> {
+    let (journal, warn) = vds_obs::Journal::from_jsonl_tolerant(text)
+        .map_err(|e| CliError::runtime(format!("cannot parse `{source}`: {e}")))?;
+    if let Some(w) = warn {
+        vds_obs::log_warn!("journal", "{source}: {w}");
+    }
+    Ok(journal)
+}
+
 /// Run one command; returns the text to print.
 pub fn dispatch(args: &[String]) -> Result<String, CliError> {
     let cmd = args.first().map(String::as_str).unwrap_or("");
@@ -252,6 +276,7 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
         "bench" => cmd_bench(&args[1..]),
         "sweep" => sweep_cmd::cmd_sweep(&args[1..]),
         "serve" => serve::cmd_serve(&args[1..]),
+        "vm" => vm_cmd::cmd_vm(&args[1..]),
         "replay" => audit::cmd_replay(&args[1..]),
         "audit" => audit::cmd_audit(&args[1..]),
         "conformance" => conformance::cmd_conformance(&args[1..]),
@@ -470,6 +495,11 @@ fn cmd_duplex(args: &[String], mode: DuplexMode) -> Result<String, CliError> {
     if f.help {
         return Ok(spec.help());
     }
+    // `--workload vm:<prog>` swaps the micro workload for a bytecode-VM
+    // seed program; the positional grammar is unchanged
+    if let Some(w) = &f.workload {
+        return vm_cmd::duplex_via_workload(&f, w);
+    }
     let what = match mode {
         DuplexMode::Plain => "duplex",
         DuplexMode::Stats => "stats",
@@ -652,7 +682,7 @@ fn cmd_experiment(args: &[String]) -> Result<String, CliError> {
     let id = f
         .positional
         .first()
-        .ok_or_else(|| CliError::usage("experiment: missing id (e1..e17|all)"))?;
+        .ok_or_else(|| CliError::usage("experiment: missing id (e1..e18|all)"))?;
     if f.positional.len() > 1 {
         return Err(CliError::usage("experiment: too many arguments"));
     }
@@ -667,7 +697,7 @@ fn cmd_experiment(args: &[String]) -> Result<String, CliError> {
         registry().to_vec()
     } else {
         vec![find(id).ok_or_else(|| {
-            CliError::usage(format!("unknown experiment `{id}` (e1..e17 or all)"))
+            CliError::usage(format!("unknown experiment `{id}` (e1..e18 or all)"))
         })?]
     };
     let mut out = String::new();
@@ -1238,6 +1268,38 @@ mod tests {
         let csv = std::fs::read_to_string(&path).unwrap();
         assert!(csv.contains("gauge,smt.alpha"), "{csv}");
         assert!(csv.contains("histogram,alpha_excess_cycles"), "{csv}");
+    }
+
+    #[test]
+    fn malformed_user_input_is_a_one_line_error_never_a_panic() {
+        // the panic-hygiene contract for every user-reachable surface:
+        // malformed numbers, bad ports, and missing files must come back
+        // as a single-line CliError (exit 1 or 2), never as a panic or a
+        // multi-line debug dump
+        let cases: &[&[&str]] = &[
+            &["duplex", "smt-det", "--rounds", "banana"],
+            &["duplex", "smt-det", "--rounds", "-3"],
+            &["duplex", "smt-det", "--rounds", "18446744073709551616"],
+            &["serve", "--port", "banana"],
+            &["serve", "--port", "99999999"],
+            &["serve", "--port", "-1"],
+            &["vm", "run", "checksum", "nope"],
+            &["vm", "duplex", "checksum", "12", "x"],
+            &["replay", "/nonexistent/journal.jsonl"],
+            &["faults", "/nonexistent/journal.jsonl"],
+            &["conformance", "/nonexistent/journal.jsonl"],
+            &["audit", "diff", "/nonexistent/a", "/nonexistent/b"],
+            &["asm", "/nonexistent/file.s"],
+            &["alpha", "/nonexistent/file.s"],
+            &["bench", "--check", "/nonexistent/BENCH.json"],
+            &["sweep", "--grid", "/nonexistent/grid.toml"],
+        ];
+        for case in cases {
+            let e = run(case).unwrap_err();
+            assert!(e.code == 1 || e.code == 2, "{case:?}: code {}", e.code);
+            assert_eq!(e.msg.lines().count(), 1, "{case:?}: {}", e.msg);
+            assert!(!e.msg.is_empty(), "{case:?}");
+        }
     }
 
     #[test]

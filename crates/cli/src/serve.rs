@@ -79,10 +79,34 @@ struct ServeOpts {
     workers: usize,
     scheme: vds_core::Scheme,
     once: bool,
+    /// `--workload vm:<program>`: run the campaign trials against the
+    /// bytecode-VM seed program instead of the micro workload.
+    vm_program: Option<String>,
 }
 
 impl ServeOpts {
     fn from_flags(f: &Flags) -> Result<ServeOpts, CliError> {
+        let vm_program = match f.workload.as_deref() {
+            Some(w) => {
+                let name = w.strip_prefix("vm:").ok_or_else(|| {
+                    CliError::usage(format!(
+                        "--workload: `{w}` is not a workload (vm:<program>, e.g. vm:checksum)"
+                    ))
+                })?;
+                if vds_vm::seed_program(name).is_none() {
+                    return Err(CliError::usage(format!(
+                        "--workload: unknown program `{name}` (known: {})",
+                        vds_vm::SEED_PROGRAMS
+                            .iter()
+                            .map(|p| p.name)
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    )));
+                }
+                Some(name.to_string())
+            }
+            None => None,
+        };
         let scheme = match f.scheme.as_deref() {
             Some(name) => {
                 let s = crate::parse_scheme(name)?;
@@ -111,6 +135,7 @@ impl ServeOpts {
                 .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, |n| n.get())),
             scheme,
             once: f.once,
+            vm_program,
         })
     }
 }
@@ -150,21 +175,56 @@ fn serve(opts: &ServeOpts, f: &Flags) -> Result<String, CliError> {
     hub.mark_ready();
     let monitor = HubMonitor::new(Arc::clone(&hub));
     let (base_seed, target_rounds) = (opts.seed, opts.target_rounds);
-    let header = vds_bench::live::campaign_journal_header_for(
-        opts.scheme,
-        opts.trials,
-        base_seed,
-        target_rounds,
-    );
     let scheme = opts.scheme;
-    let (report, rec) = run_campaign_journaled(
-        "serve",
-        opts.trials,
-        opts.workers,
-        Some(&monitor),
-        &header,
-        |i, rec| vds_bench::live::campaign_trial_for(scheme, i, base_seed, target_rounds, rec),
-    );
+    // the VM workload swaps the per-trial body and journal header; the
+    // campaign plumbing (sharding, hub monitoring, journal adoption) is
+    // identical either way
+    let (report, rec) = match &opts.vm_program {
+        Some(program) => {
+            let header = vds_bench::live::vm_campaign_journal_header_for(
+                program,
+                scheme,
+                opts.trials,
+                base_seed,
+                target_rounds,
+            );
+            run_campaign_journaled(
+                "serve",
+                opts.trials,
+                opts.workers,
+                Some(&monitor),
+                &header,
+                |i, rec| {
+                    vds_bench::live::vm_campaign_trial_for(
+                        program,
+                        scheme,
+                        i,
+                        base_seed,
+                        target_rounds,
+                        rec,
+                    )
+                },
+            )
+        }
+        None => {
+            let header = vds_bench::live::campaign_journal_header_for(
+                opts.scheme,
+                opts.trials,
+                base_seed,
+                target_rounds,
+            );
+            run_campaign_journaled(
+                "serve",
+                opts.trials,
+                opts.workers,
+                Some(&monitor),
+                &header,
+                |i, rec| {
+                    vds_bench::live::campaign_trial_for(scheme, i, base_seed, target_rounds, rec)
+                },
+            )
+        }
+    };
     // swap the completion-ordered live view for the canonical
     // shard-ordered result: /metrics is byte-stable from here on
     hub.replace_registry(rec.registry().clone());
@@ -204,8 +264,12 @@ fn serve(opts: &ServeOpts, f: &Flags) -> Result<String, CliError> {
         hub.elapsed_secs()
     );
 
+    let workload = match &opts.vm_program {
+        Some(p) => format!(", workload vm:{p}"),
+        None => String::new(),
+    };
     let mut out = format!(
-        "vds serve — campaign on http://{bound} (scheme {})\n{report}",
+        "vds serve — campaign on http://{bound} (scheme {}{workload})\n{report}",
         opts.scheme.name()
     );
     if let Some(note) = conformance_note {
@@ -269,6 +333,24 @@ mod tests {
         assert_eq!((o.trials, o.target_rounds, o.seed), (12, 25, 7));
         assert_eq!(o.scheme, vds_core::Scheme::SmtDeterministic);
         assert!(o.once);
+    }
+
+    #[test]
+    fn serve_workload_flag_selects_a_vm_program() {
+        let f = Flags {
+            workload: Some("vm:matmul".into()),
+            ..Flags::default()
+        };
+        let o = ServeOpts::from_flags(&f).unwrap();
+        assert_eq!(o.vm_program.as_deref(), Some("matmul"));
+        for bad in ["micro:matmul", "vm:bogus"] {
+            let f = Flags {
+                workload: Some(bad.into()),
+                ..Flags::default()
+            };
+            let e = ServeOpts::from_flags(&f).unwrap_err();
+            assert_eq!(e.code, 2, "{bad}");
+        }
     }
 
     #[test]

@@ -50,6 +50,17 @@ pub(crate) fn cmd_sweep(args: &[String]) -> Result<String, CliError> {
     if let Some(s) = f.seed {
         spec.base_seed = s;
     }
+    // --workload vm:<program> swaps the whole grid onto the bytecode-VM
+    // backend; validate() below rejects unknown program names
+    if let Some(w) = &f.workload {
+        let name = w.strip_prefix("vm:").ok_or_else(|| {
+            CliError::usage(format!(
+                "--workload: `{w}` is not a workload (vm:<program>, e.g. vm:checksum)"
+            ))
+        })?;
+        spec.backend = vds_sweep::Backend::Vm;
+        spec.program = name.to_string();
+    }
     spec.validate()
         .map_err(|e| CliError::usage(format!("--grid: {e}")))?;
     let workers = f
@@ -348,6 +359,27 @@ mod tests {
         let e = run(&["sweep", "--grid", "alpha=0.6;rounds=50", "--resume", jp]).unwrap_err();
         assert_eq!(e.code, 1);
         assert!(e.msg.contains("different grid"), "{}", e.msg);
+    }
+
+    #[test]
+    fn sweep_workload_flag_moves_the_grid_onto_the_vm_backend() {
+        let out = run(&[
+            "sweep",
+            "--grid",
+            "scheme=smt-det,smt-prob;q=0,0.5;rounds=16",
+            "--workload",
+            "vm:strhash",
+            "--workers",
+            "2",
+        ])
+        .unwrap();
+        assert!(out.contains("vm backend"), "{out}");
+        assert!(out.contains("program=strhash"), "{out}");
+        let e = run(&["sweep", "--workload", "vm:bogus"]).unwrap_err();
+        assert_eq!(e.code, 2);
+        assert!(e.msg.contains("unknown seed program"), "{}", e.msg);
+        let e = run(&["sweep", "--workload", "abstract"]).unwrap_err();
+        assert!(e.msg.contains("vm:<program>"), "{}", e.msg);
     }
 
     #[test]

@@ -25,6 +25,11 @@
 //!   state comparison digests (`vds-checkpoint`), real fault injection
 //!   (`vds-fault`) and real recovery execution. Slower, but nothing is
 //!   assumed: `α`, `t`, `c`, `t'` all *emerge*.
+//! * [`vm_vds`] — *real programs* under duplex: seed programs of the
+//!   `vds-vm` register-based bytecode VM run as two diversified variants
+//!   (`vds_diversity::vm`), with architectural-state fault injection
+//!   (`vds_fault::vm`) and stop-and-retry recovery from data-memory
+//!   checkpoints. Time is counted in interpreted instructions.
 //!
 //! Support modules: [`config`] (schemes and fault plans), [`report`]
 //! (accounting), [`workload`] (the memory-resident VDS application),
@@ -39,6 +44,7 @@ pub mod flowchart;
 pub mod gain;
 pub mod micro_vds;
 pub mod report;
+pub mod vm_vds;
 pub mod workload;
 
 pub use config::{FaultModel, Scheme, Victim};

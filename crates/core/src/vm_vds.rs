@@ -1,0 +1,911 @@
+//! The bytecode-VM duplex engine: real programs under duplex.
+//!
+//! Where [`crate::micro_vds`] executes a synthetic workload on the
+//! cycle-level SMT core, this backend runs *real programs* — seed
+//! programs of the `vds-vm` register-based bytecode VM (checksum, sort,
+//! matrix multiply, string hash) — as a virtual duplex: two diversified
+//! variants (`vds_diversity::vm`) execute every round, their
+//! architectural state is digested and compared at the round boundary,
+//! and detections recover by stop-and-retry from the last data-memory
+//! checkpoint. Time is measured in interpreted instructions (the VM's
+//! natural clock); under the SMT schemes a round costs
+//! `max(steps₁, steps₂)` because the variants are co-scheduled, while
+//! the conventional scheme runs them serially at `steps₁ + steps₂`.
+//!
+//! Faults are [`VmFaultSite`] bit flips in the victim variant's
+//! architectural state — register file, pc, literal pool, data memory —
+//! applied *mid-execution* at a seed-derived step so they land on live
+//! state (a flip before round entry would always be erased by the
+//! canonical register reset). The expected outcome differs by site
+//! class, which is what the forensics layer gets to observe: live
+//! registers detect same-round, dead state masks, persistent
+//! data-memory words can stay latent for rounds (latency > 0) or — in
+//! padding no program reads — escape to the end of the run.
+//!
+//! Journal, forensics and conformance conventions are identical to the
+//! micro backend, so `vds replay`, `vds faults` and `vds conformance`
+//! consume VM journals unchanged.
+
+use crate::config::{Scheme, Victim};
+use crate::report::RunReport;
+use rand::rngs::SmallRng;
+use rand::{Rng as _, SeedableRng};
+use vds_fault::vm::VmFaultSite;
+use vds_obs::journal::{Action as JournalAction, RoundEntry, Verdict as JournalVerdict};
+use vds_obs::{obs_end_span, obs_event, obs_span};
+use vds_obs::{Digest128, Digester128, NoopRecorder, Record, Recorder};
+use vds_vm::{run_round, FaultPlan, Outcome, Program, SeedProgram, StateFlip, Vm};
+
+/// Configuration of a VM duplex run.
+#[derive(Debug, Clone)]
+pub struct VmConfig {
+    /// Seed-program name (see [`vds_vm::SEED_PROGRAMS`]).
+    pub program: String,
+    /// Scheme of the duplex. [`Scheme::Conventional`] executes the two
+    /// versions serially (round cost = steps₁ + steps₂); every SMT
+    /// scheme co-schedules them (cost = max). Recovery is stop-and-retry
+    /// in every scheme; the scheme otherwise only labels the journal
+    /// header (conformance keys residual models by scheme name).
+    pub scheme: Scheme,
+    /// Checkpoint interval in rounds.
+    pub s: u32,
+    /// State-comparison cost in VM steps.
+    pub cmp_cycles: u64,
+    /// Checkpoint-write cost in VM steps.
+    pub ckpt_cycles: u64,
+    /// Seed for diversification, initial data memory and fault timing.
+    pub seed: u64,
+    /// Run *diverse* variants (the VDS design). Disable to run two
+    /// identical copies — the ablation in which a register flip at a
+    /// given physical index corrupts the same variable in both copies
+    /// whenever both are hit, and single-copy flips land identically
+    /// placed in the instruction stream.
+    pub diversity: bool,
+}
+
+impl VmConfig {
+    /// Sensible defaults for a seed program.
+    pub fn new(program: &str) -> Self {
+        VmConfig {
+            program: program.to_string(),
+            scheme: Scheme::SmtDeterministic,
+            s: 8,
+            cmp_cycles: 30,
+            ckpt_cycles: 120,
+            seed: 2024,
+            diversity: true,
+        }
+    }
+}
+
+/// A one-shot fault to inject during the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VmFault {
+    /// Inject during round `at_round` (1-based, within the first
+    /// checkpoint interval).
+    pub at_round: u32,
+    /// Which variant is hit.
+    pub victim: Victim,
+    /// Which architectural state bit is flipped.
+    pub site: VmFaultSite,
+}
+
+/// The injected fault's lifecycle bookkeeping between injection and
+/// detection (or end of run).
+#[derive(Debug, Clone, Copy)]
+struct OutstandingFault {
+    /// [`VmDuplex::rounds_executed`] at injection time.
+    injected_at_exec: u64,
+    /// Simulated time (VM steps) at injection.
+    injected_time: f64,
+    /// The flip never fired (the victim halted before the scheduled
+    /// step) or hit state the program had already retired: no live
+    /// state changed, so the fault can never be detected.
+    masked_on_arrival: bool,
+}
+
+/// What [`VmDuplex::maybe_inject`] hands back for one round: an
+/// in-flight flip as (victim slot, plan), and/or a literal-pool flip
+/// as (victim slot, lit index, bit) that the caller applies to text
+/// and reverts after the round.
+type PendingInjection = (Option<(usize, FaultPlan)>, Option<(usize, usize, u8)>);
+
+struct VmDuplex<R> {
+    cfg: VmConfig,
+    sp: &'static SeedProgram,
+    progs: [Program; 2],
+    vms: [Vm; 2],
+    ckpt_img: Vec<u32>,
+    /// Global round number at the checkpoint (re-execution re-derives
+    /// rounds `ckpt_round + 1 ..= ckpt_round + i`).
+    ckpt_round: u64,
+    rounds_since: u32,
+    sim_time: f64,
+    rng: SmallRng,
+    fault: Option<VmFault>,
+    fault_pending: bool,
+    /// Trap/hang evidence observed in the current round, by slot.
+    trap_evidence: Option<usize>,
+    report: RunReport,
+    rec: R,
+    /// Flight-recorder entry for the round in flight (see
+    /// [`crate::micro_vds`] — identical conventions).
+    pending: Option<RoundEntry>,
+    /// Canonical spec of the fault injected this round, if any.
+    injected_spec: Option<String>,
+    outstanding: Option<OutstandingFault>,
+    /// Monotonic count of executed normal rounds; the round-denominated
+    /// clock detection latency is measured on.
+    rounds_executed: u64,
+}
+
+impl<R: Record> VmDuplex<R> {
+    fn with_recorder(cfg: VmConfig, fault: Option<VmFault>, rec: R) -> Self {
+        let sp = vds_vm::seed_program(&cfg.program)
+            .unwrap_or_else(|| panic!("unknown seed program {:?}", cfg.program));
+        let base = sp.assembled();
+        let progs = if cfg.diversity {
+            [
+                vds_diversity::vm::diversify_vm(&base, 1, cfg.seed),
+                vds_diversity::vm::diversify_vm(&base, 2, cfg.seed),
+            ]
+        } else {
+            [base.clone(), base]
+        };
+        let dmem = sp.initial_dmem(cfg.seed);
+        let vms = [Vm::with_mem(dmem.clone()), Vm::with_mem(dmem.clone())];
+        let rng = SmallRng::seed_from_u64(cfg.seed ^ 0xD1CE);
+        VmDuplex {
+            cfg,
+            sp,
+            progs,
+            vms,
+            ckpt_img: dmem,
+            ckpt_round: 0,
+            rounds_since: 0,
+            sim_time: 0.0,
+            rng,
+            fault,
+            fault_pending: fault.is_some(),
+            trap_evidence: None,
+            report: RunReport::default(),
+            rec,
+            pending: None,
+            injected_spec: None,
+            outstanding: None,
+            rounds_executed: 0,
+        }
+    }
+
+    /// Digest of one variant's comparison window: the output registers
+    /// plus the persistent state window of data memory.
+    fn digest_of(&self, slot: usize) -> Digest128 {
+        let vm = &self.vms[slot];
+        let mut d = Digester128::new();
+        d.push_words(&vm.output_regs());
+        let w = vds_vm::STATE_WINDOW;
+        d.push_words(&vm.mem[w.start..w.end]);
+        d.finish()
+    }
+
+    /// Execute global round `g` on both variants; the victim slot (if
+    /// any) gets the fault plan. Returns per-slot outcomes and the
+    /// round's co-scheduled cost in steps.
+    fn exec_round(
+        &mut self,
+        g: u64,
+        plan: Option<(usize, FaultPlan)>,
+    ) -> ([Outcome; 2], u64, bool) {
+        let mut outcomes = [Outcome::Halted, Outcome::Halted];
+        let mut fired = false;
+        let mut steps = [0u64; 2];
+        for slot in [0usize, 1] {
+            let f = match &plan {
+                Some((victim, p)) if *victim == slot => Some(*p),
+                _ => None,
+            };
+            let r = run_round(&mut self.vms[slot], &self.progs[slot], g as u32, f.as_ref());
+            outcomes[slot] = r.outcome;
+            steps[slot] = r.steps;
+            if f.is_some() {
+                fired = r.fault_applied;
+            }
+        }
+        // Conventional duplex runs the two versions serially on one
+        // hardware thread (cost = sum); every SMT scheme co-schedules
+        // them (cost = max). This is what gives the VM backend a
+        // measured per-round gain against the conventional baseline.
+        let cost = if self.cfg.scheme == Scheme::Conventional {
+            steps[0] + steps[1]
+        } else {
+            steps[0].max(steps[1])
+        };
+        (outcomes, cost, fired)
+    }
+
+    /// Inject the pending one-shot fault if this is its round. Returns
+    /// the victim slot and plan for [`VmDuplex::exec_round`]; literal
+    /// flips mutate the victim's program text directly (the caller
+    /// reverts after the round — the pool is text, protected by EDC in
+    /// a real system, so the flip does not persist).
+    fn maybe_inject(&mut self, i: u32) -> PendingInjection {
+        if !self.fault_pending {
+            return (None, None);
+        }
+        let Some(f) = self.fault else {
+            return (None, None);
+        };
+        if f.at_round != i {
+            return (None, None);
+        }
+        self.fault_pending = false;
+        self.report.faults_injected += 1;
+        let slot = f.victim.index();
+        if self.rec.journal_enabled() {
+            self.injected_spec = Some(format!("{}@v{}", f.site.spec_string(), slot + 1));
+        }
+        let t = self.sim_time;
+        obs_event!(
+            self.rec, t, "vm", "fault_injected",
+            "round" => i, "version" => slot,
+        );
+        // Mid-execution step: early enough to land inside every seed
+        // program's main loop, late enough to hit post-reset live state.
+        let at_step = self.rng.gen_range(1..150u64);
+        match f.site {
+            VmFaultSite::Reg { index, bit } => (
+                Some((
+                    slot,
+                    FaultPlan {
+                        at_step,
+                        flip: StateFlip::Reg { index, bit },
+                    },
+                )),
+                None,
+            ),
+            VmFaultSite::Pc { bit } => (
+                Some((
+                    slot,
+                    FaultPlan {
+                        at_step,
+                        flip: StateFlip::Pc { bit },
+                    },
+                )),
+                None,
+            ),
+            VmFaultSite::Mem { addr, bit } => (
+                Some((
+                    slot,
+                    FaultPlan {
+                        at_step,
+                        flip: StateFlip::Mem { addr, bit },
+                    },
+                )),
+                None,
+            ),
+            VmFaultSite::Lit { index, bit } => {
+                let pool = &mut self.progs[slot].lits;
+                if pool.is_empty() {
+                    self.outstanding = Some(OutstandingFault {
+                        injected_at_exec: self.rounds_executed,
+                        injected_time: t,
+                        masked_on_arrival: true,
+                    });
+                    (None, None)
+                } else {
+                    let idx = usize::from(index) % pool.len();
+                    pool[idx] ^= 1u32 << (bit % 32);
+                    (None, Some((slot, idx, bit % 32)))
+                }
+            }
+        }
+    }
+
+    /// Stash the flight-recorder entry for round `i` (same conventions
+    /// as the micro engine: action defaults to `commit`, upgraded by the
+    /// engine loop before [`VmDuplex::journal_finish`]).
+    fn journal_stash(&mut self, i: u32, verdict: JournalVerdict, d1: Digest128, d2: Digest128) {
+        if !self.rec.journal_enabled() {
+            return;
+        }
+        let fault = self.injected_spec.take();
+        // the VM duplex injects at most one fault, so its lane-local
+        // fault id is always 0
+        let fault_id = fault.as_ref().map(|_| 0);
+        self.pending = Some(RoundEntry {
+            seq: 0,
+            lane: 0,
+            round: u64::from(i),
+            committed: 0,
+            sim_time: self.sim_time,
+            d1,
+            d2,
+            verdict,
+            sched: "coschedule[v1,v2]".to_string(),
+            action: JournalAction::Commit,
+            rollforward: 0,
+            fault,
+            fault_id,
+            fault_outcome: None,
+        });
+    }
+
+    /// Credit a detection at time `t` to the outstanding injected fault.
+    fn note_detection(&mut self, t: f64) {
+        if let Some(o) = self.outstanding.take() {
+            self.report.faults_detected += 1;
+            self.report.detect_latency_rounds_sum += self.rounds_executed - o.injected_at_exec;
+            self.report.detect_latency_time_sum += t - o.injected_time;
+        }
+    }
+
+    fn journal_action(&mut self, action: JournalAction, rollforward: u32) {
+        if let Some(p) = self.pending.as_mut() {
+            p.action = action;
+            p.rollforward = rollforward;
+        }
+    }
+
+    fn journal_finish(&mut self) {
+        if let Some(mut p) = self.pending.take() {
+            p.committed = self.report.committed_rounds;
+            self.rec.journal_push(p);
+        }
+    }
+
+    /// Run one normal round of the duplex. Returns `Some(i)` on a
+    /// detection (trap, hang or state mismatch) at interval round `i`.
+    fn normal_round(&mut self) -> Option<u32> {
+        let i = self.rounds_since + 1;
+        let g = self.ckpt_round + u64::from(i);
+        self.rounds_executed += 1;
+        self.trap_evidence = None;
+        let round_g = obs_span!(self.rec, "vm", "round", self.sim_time);
+
+        let (plan, lit_flip) = self.maybe_inject(i);
+        let fault_scheduled = plan.is_some();
+        let (outcomes, cost, fired) = self.exec_round(g, plan);
+        // a literal flip is program text for exactly one round; revert
+        if let Some((slot, idx, bit)) = lit_flip {
+            self.progs[slot].lits[idx] ^= 1u32 << bit;
+        }
+        if fault_scheduled || lit_flip.is_some() {
+            self.outstanding = Some(OutstandingFault {
+                injected_at_exec: self.rounds_executed,
+                injected_time: self.sim_time,
+                masked_on_arrival: fault_scheduled && !fired,
+            });
+        }
+        self.sim_time += cost as f64 + self.cfg.cmp_cycles as f64;
+        self.report.time_normal += cost as f64 + self.cfg.cmp_cycles as f64;
+
+        for slot in [0usize, 1] {
+            match outcomes[slot] {
+                Outcome::Halted => {}
+                Outcome::Trapped { .. } | Outcome::Hung => {
+                    self.trap_evidence = Some(slot);
+                }
+            }
+        }
+        let t = self.sim_time;
+        let d1 = self.digest_of(0);
+        let d2 = self.digest_of(1);
+        if let Some(slot) = self.trap_evidence {
+            self.report.detections += 1;
+            let verdict = if matches!(outcomes[slot], Outcome::Hung) {
+                JournalVerdict::Hang
+            } else {
+                JournalVerdict::Trap
+            };
+            self.note_detection(t);
+            self.journal_stash(i, verdict, d1, d2);
+            obs_event!(self.rec, t, "vm", "detect", "round" => i, "evidence" => "trap");
+            obs_end_span!(self.rec, round_g, t, "round" => i, "outcome" => "detect");
+            return Some(i);
+        }
+        if d1 != d2 {
+            self.report.detections += 1;
+            self.note_detection(t);
+            self.journal_stash(i, JournalVerdict::Mismatch, d1, d2);
+            obs_event!(self.rec, t, "vm", "detect", "round" => i, "evidence" => "mismatch");
+            obs_end_span!(self.rec, round_g, t, "round" => i, "outcome" => "detect");
+            Some(i)
+        } else {
+            self.rounds_since = i;
+            self.report.committed_rounds += 1;
+            self.journal_stash(i, JournalVerdict::Match, d1, d2);
+            obs_end_span!(self.rec, round_g, t, "round" => i, "outcome" => "commit");
+            None
+        }
+    }
+
+    fn take_checkpoint(&mut self) {
+        self.sim_time += self.cfg.ckpt_cycles as f64;
+        self.report.time_checkpoint += self.cfg.ckpt_cycles as f64;
+        self.ckpt_img = self.vms[0].mem.clone();
+        self.ckpt_round += u64::from(self.rounds_since);
+        self.rounds_since = 0;
+        self.report.checkpoints += 1;
+        let t = self.sim_time;
+        obs_event!(self.rec, t, "vm", "checkpoint", "number" => self.report.checkpoints);
+    }
+
+    /// Recovery for a detection at interval round `i`: stop-and-retry.
+    /// Both variants restart from the checkpoint image and re-derive
+    /// rounds `1..=i` cleanly; the re-derived states must agree (the
+    /// one-shot fault is gone), which commits round `i`. A disagreement
+    /// after a clean retry means the checkpoint itself was corrupted —
+    /// the duplex cannot make progress and rolls back, surrendering the
+    /// interval.
+    fn recover(&mut self, i: u32) {
+        let start = self.sim_time;
+        let recovery_g = obs_span!(self.rec, "vm", "recovery", start);
+        for slot in [0usize, 1] {
+            self.vms[slot].mem.copy_from_slice(&self.ckpt_img);
+        }
+        let mut cost = 0u64;
+        for r in 1..=i {
+            let g = self.ckpt_round + u64::from(r);
+            let (outcomes, c, _) = self.exec_round(g, None);
+            cost += c;
+            if outcomes.iter().any(|o| !matches!(o, Outcome::Halted)) {
+                // cannot happen with a one-shot fault (the retry is
+                // clean), but guard like the micro engine does
+                self.sim_time += cost as f64 + self.cfg.cmp_cycles as f64;
+                self.rollback(i);
+                self.report.time_recovery += self.sim_time - start;
+                obs_end_span!(self.rec, recovery_g, self.sim_time, "round" => i);
+                return;
+            }
+        }
+        self.sim_time += cost as f64 + self.cfg.cmp_cycles as f64;
+        let (d1, d2) = (self.digest_of(0), self.digest_of(1));
+        if d1 == d2 {
+            self.report.recoveries_ok += 1;
+            self.rounds_since = i;
+            self.report.committed_rounds += 1;
+            self.journal_action(JournalAction::Recover, 0);
+            let t = self.sim_time;
+            obs_event!(
+                self.rec, t, "vm", "recovery",
+                "round" => i, "scheme" => self.cfg.scheme.name(),
+            );
+            if self.rounds_since >= self.cfg.s {
+                self.take_checkpoint();
+            }
+        } else {
+            self.rollback(i);
+        }
+        self.trap_evidence = None;
+        self.report.time_recovery += self.sim_time - start;
+        obs_end_span!(self.rec, recovery_g, self.sim_time, "round" => i);
+    }
+
+    /// Surrender the interval: restore the checkpoint image and uncommit
+    /// its rounds.
+    fn rollback(&mut self, i: u32) {
+        self.journal_action(JournalAction::Rollback, 0);
+        self.report.rollbacks += 1;
+        match self.report.committed_rounds.checked_sub(u64::from(i - 1)) {
+            Some(v) => self.report.committed_rounds = v,
+            None => {
+                debug_assert!(
+                    false,
+                    "committed_rounds underflow: {} - {} during rollback",
+                    self.report.committed_rounds,
+                    i - 1
+                );
+                vds_obs::log_error!(
+                    "core.vm",
+                    "committed_rounds underflow: {} - {} during rollback",
+                    self.report.committed_rounds,
+                    i - 1
+                );
+                self.report.committed_rounds = 0;
+            }
+        }
+        self.rounds_since = 0;
+        for slot in [0usize, 1] {
+            self.vms[slot].mem.copy_from_slice(&self.ckpt_img);
+        }
+        let t = self.sim_time;
+        obs_event!(self.rec, t, "vm", "rollback", "round" => i, "rounds_lost" => i - 1);
+    }
+}
+
+/// Run a VM duplex until `target_rounds` rounds are committed.
+pub fn run_vm_duplex(cfg: &VmConfig, fault: Option<VmFault>, target_rounds: u64) -> RunReport {
+    run_vm_duplex_with_state(cfg, fault, target_rounds).0
+}
+
+/// [`run_vm_duplex`], additionally returning variant 1's final
+/// data-memory image (for output-correctness audits against
+/// [`vds_vm::SeedProgram::oracle`]).
+pub fn run_vm_duplex_with_state(
+    cfg: &VmConfig,
+    fault: Option<VmFault>,
+    target_rounds: u64,
+) -> (RunReport, Vec<u32>) {
+    let (report, img, _) = run_vm_engine(cfg, fault, target_rounds, NoopRecorder);
+    (report, img)
+}
+
+/// [`run_vm_duplex`], recording metrics and a bounded event trace.
+pub fn run_vm_duplex_recorded(
+    cfg: &VmConfig,
+    fault: Option<VmFault>,
+    target_rounds: u64,
+) -> (RunReport, Recorder) {
+    let (report, _, rec) = run_vm_engine(cfg, fault, target_rounds, Recorder::new());
+    (report, rec)
+}
+
+/// [`run_vm_duplex_recorded`] plus the final data-memory image.
+pub fn run_vm_duplex_recorded_with_state(
+    cfg: &VmConfig,
+    fault: Option<VmFault>,
+    target_rounds: u64,
+) -> (RunReport, Vec<u32>, Recorder) {
+    run_vm_engine(cfg, fault, target_rounds, Recorder::new())
+}
+
+/// [`run_vm_duplex_recorded_with_state`] with a caller-supplied
+/// recorder, so the CLI can honour ring-size overrides and journals.
+pub fn run_vm_duplex_with_recorder<R: Record>(
+    cfg: &VmConfig,
+    fault: Option<VmFault>,
+    target_rounds: u64,
+    rec: R,
+) -> (RunReport, Vec<u32>, R) {
+    run_vm_engine(cfg, fault, target_rounds, rec)
+}
+
+fn run_vm_engine<R: Record>(
+    cfg: &VmConfig,
+    fault: Option<VmFault>,
+    target_rounds: u64,
+    rec: R,
+) -> (RunReport, Vec<u32>, R) {
+    let mut e = VmDuplex::with_recorder(cfg.clone(), fault, rec);
+    // Fail-safe watchdog, exactly as the micro engine: no forward
+    // progress for 64 engine iterations → fail-safe shutdown.
+    let mut last_committed = 0u64;
+    let mut stalled_iterations = 0u32;
+    while e.report.committed_rounds < target_rounds {
+        match e.normal_round() {
+            None => {
+                if e.rounds_since >= e.cfg.s {
+                    e.take_checkpoint();
+                    e.journal_action(JournalAction::Checkpoint, 0);
+                }
+            }
+            Some(i) => e.recover(i),
+        }
+        if e.report.committed_rounds > last_committed {
+            last_committed = e.report.committed_rounds;
+            stalled_iterations = 0;
+        } else {
+            stalled_iterations += 1;
+            if stalled_iterations > 64 {
+                e.report.shutdown = true;
+                let t = e.sim_time;
+                obs_event!(e.rec, t, "vm", "shutdown");
+                e.journal_action(JournalAction::Shutdown, 0);
+                e.journal_finish();
+                break;
+            }
+        }
+        e.journal_finish();
+    }
+    e.report.total_time = e.sim_time;
+    let img = e.vms[0].mem.clone();
+    // classify a fault no comparison ever caught: variant 1's output
+    // state still matches the pure-Rust oracle (corruption overwritten,
+    // confined to the other variant, or architecturally masked) →
+    // masked; wrong and undetected → escaped (silent data corruption)
+    if let Some(o) = e.outstanding.take() {
+        let oracle = e.sp.oracle(e.cfg.seed, e.report.committed_rounds as u32);
+        let correct = img == oracle;
+        let outcome = if o.masked_on_arrival || correct {
+            e.report.faults_masked += 1;
+            "masked"
+        } else {
+            e.report.faults_escaped += 1;
+            "escaped"
+        };
+        e.rec.journal_resolve_fault(0, outcome);
+    }
+    let mut rec = e.rec;
+    e.report.export_metrics(&mut rec, "vds");
+    rec.rollup_spans();
+    (e.report, img, rec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(program: &str) -> VmConfig {
+        VmConfig::new(program)
+    }
+
+    #[test]
+    fn fault_free_run_commits_and_checkpoints() {
+        for sp in vds_vm::SEED_PROGRAMS {
+            let r = run_vm_duplex(&cfg(sp.name), None, 20);
+            assert_eq!(r.committed_rounds, 20, "{}", sp.name);
+            assert_eq!(r.detections, 0, "{}", sp.name);
+            assert_eq!(r.checkpoints, 2, "{}", sp.name); // after rounds 8 and 16
+            assert!(r.total_time > 0.0, "{}", sp.name);
+        }
+    }
+
+    #[test]
+    fn final_state_matches_oracle_fault_free() {
+        for sp in vds_vm::SEED_PROGRAMS {
+            let c = cfg(sp.name);
+            let (r, img) = run_vm_duplex_with_state(&c, None, 13);
+            assert_eq!(r.committed_rounds, 13);
+            assert_eq!(img, sp.oracle(c.seed, 13), "{}", sp.name);
+        }
+    }
+
+    #[test]
+    fn identical_copies_match_oracle_too() {
+        let mut c = cfg("checksum");
+        c.diversity = false;
+        let (r, img) = run_vm_duplex_with_state(&c, None, 9);
+        assert_eq!(r.committed_rounds, 9);
+        assert_eq!(
+            img,
+            vds_vm::seed_program("checksum").unwrap().oracle(c.seed, 9)
+        );
+    }
+
+    #[test]
+    fn live_register_fault_detected_and_recovered() {
+        // r1 is an output register: a mid-round flip diverges the
+        // digests the same round
+        let f = VmFault {
+            at_round: 3,
+            victim: Victim::V2,
+            site: VmFaultSite::Reg { index: 1, bit: 5 },
+        };
+        for sp in vds_vm::SEED_PROGRAMS {
+            let c = cfg(sp.name);
+            let (r, img) = run_vm_duplex_with_state(&c, Some(f), 20);
+            assert_eq!(r.committed_rounds, 20, "{}", sp.name);
+            assert_eq!(r.faults_injected, 1, "{}", sp.name);
+            assert_eq!(
+                r.faults_detected + r.faults_masked,
+                1,
+                "{}: fault neither detected nor masked: {r}",
+                sp.name
+            );
+            assert_eq!(r.faults_escaped, 0, "{}", sp.name);
+            assert_eq!(img, sp.oracle(c.seed, 20), "{}: output corrupted", sp.name);
+        }
+    }
+
+    #[test]
+    fn register_fault_on_victim_one_recovers_to_oracle_state() {
+        let f = VmFault {
+            at_round: 2,
+            victim: Victim::V1,
+            site: VmFaultSite::Reg { index: 0, bit: 17 },
+        };
+        let c = cfg("sort");
+        let (r, img) = run_vm_duplex_with_state(&c, Some(f), 16);
+        assert_eq!(r.committed_rounds, 16);
+        assert_eq!(r.faults_escaped, 0, "{r}");
+        assert_eq!(
+            img,
+            vds_vm::seed_program("sort").unwrap().oracle(c.seed, 16)
+        );
+    }
+
+    #[test]
+    fn dead_padding_memory_fault_escapes() {
+        // padding words are never read and never compared: the flip
+        // survives to the end of the run as silent data corruption —
+        // unless a detection-triggered recovery happens to restore the
+        // checkpoint, which a clean run never does
+        let f = VmFault {
+            at_round: 2,
+            victim: Victim::V1,
+            site: VmFaultSite::Mem {
+                addr: (vds_vm::DMEM_WORDS - 2) as u8,
+                bit: 3,
+            },
+        };
+        let c = cfg("checksum");
+        let (r, img) = run_vm_duplex_with_state(&c, Some(f), 12);
+        assert_eq!(r.committed_rounds, 12);
+        assert_eq!(r.faults_injected, 1);
+        assert_eq!(
+            r.detections, 0,
+            "padding is outside every comparison window"
+        );
+        assert_eq!(r.faults_escaped, 1, "{r}");
+        assert_ne!(
+            img,
+            vds_vm::seed_program("checksum").unwrap().oracle(c.seed, 12)
+        );
+    }
+
+    #[test]
+    fn pc_fault_detected() {
+        let f = VmFault {
+            at_round: 4,
+            victim: Victim::V2,
+            site: VmFaultSite::Pc { bit: 9 },
+        };
+        let c = cfg("matmul");
+        let r = run_vm_duplex(&c, Some(f), 15);
+        assert_eq!(r.committed_rounds, 15);
+        assert_eq!(r.faults_injected, 1);
+        assert_eq!(r.faults_escaped, 0, "{r}");
+    }
+
+    #[test]
+    fn lit_fault_detected_or_masked_and_output_correct() {
+        let f = VmFault {
+            at_round: 5,
+            victim: Victim::V1,
+            site: VmFaultSite::Lit { index: 2, bit: 11 },
+        };
+        for sp in vds_vm::SEED_PROGRAMS {
+            let c = cfg(sp.name);
+            let (r, img) = run_vm_duplex_with_state(&c, Some(f), 14);
+            assert_eq!(r.committed_rounds, 14, "{}", sp.name);
+            assert_eq!(r.faults_escaped, 0, "{}: {r}", sp.name);
+            assert_eq!(img, sp.oracle(c.seed, 14), "{}", sp.name);
+        }
+    }
+
+    #[test]
+    fn conservation_holds_across_a_seeded_site_sample() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let mut rng = SmallRng::seed_from_u64(0xF00D);
+        let mut detected = 0u64;
+        for trial in 0..24u64 {
+            let sp = &vds_vm::SEED_PROGRAMS[(trial % 4) as usize];
+            let base = vds_vm::seed_program(sp.name).unwrap().assembled();
+            let site = vds_fault::vm::sample_vm_site(
+                &mut rng,
+                vds_vm::DMEM_WORDS as u32,
+                base.lits.len() as u32,
+            );
+            let f = VmFault {
+                at_round: 1 + (trial % 6) as u32,
+                victim: if trial % 2 == 0 {
+                    Victim::V1
+                } else {
+                    Victim::V2
+                },
+                site,
+            };
+            let mut c = cfg(sp.name);
+            c.seed = 2024 ^ trial;
+            let r = run_vm_duplex(&c, Some(f), 12);
+            assert_eq!(r.faults_injected, 1, "trial {trial}");
+            assert_eq!(
+                r.faults_detected + r.faults_masked + r.faults_escaped,
+                r.faults_injected,
+                "trial {trial}: lifecycle leak: {r}"
+            );
+            detected += r.faults_detected;
+        }
+        assert!(detected > 0, "no sampled site was ever detected");
+    }
+
+    #[test]
+    fn diversified_variants_diverge_where_identical_copies_mask() {
+        // Hit BOTH runs with the same physical-register flip. With
+        // diversity the variants place different variables at a given
+        // physical index, so at least one scratch-register flip that an
+        // identical-copy duplex masks (same corruption in comparison or
+        // none at all) is caught by the diversified duplex.
+        let mut diverged_only_with_diversity = 0u32;
+        'scan: for sp in vds_vm::SEED_PROGRAMS {
+            for index in 4u16..8 {
+                for bit in [0u8, 3, 7, 13, 21, 30] {
+                    let f = VmFault {
+                        at_round: 2,
+                        victim: Victim::V2,
+                        site: VmFaultSite::Reg { index, bit },
+                    };
+                    let c_div = cfg(sp.name);
+                    let mut c_same = cfg(sp.name);
+                    c_same.diversity = false;
+                    let rd = run_vm_duplex(&c_div, Some(f), 10);
+                    let rs = run_vm_duplex(&c_same, Some(f), 10);
+                    if rd.detections > 0 && rs.detections == 0 && rs.faults_escaped == 0 {
+                        diverged_only_with_diversity += 1;
+                        break 'scan;
+                    }
+                }
+            }
+        }
+        assert!(
+            diverged_only_with_diversity > 0,
+            "no flip separated the diversified duplex from the identical-copy ablation"
+        );
+    }
+
+    #[test]
+    fn conventional_scheme_is_serial_and_slower_but_equivalent() {
+        for sp in vds_vm::SEED_PROGRAMS {
+            let smt = cfg(sp.name);
+            let mut conv = cfg(sp.name);
+            conv.scheme = Scheme::Conventional;
+            let (rs, is) = run_vm_duplex_with_state(&smt, None, 15);
+            let (rc, ic) = run_vm_duplex_with_state(&conv, None, 15);
+            assert_eq!(rs.committed_rounds, rc.committed_rounds, "{}", sp.name);
+            assert_eq!(is, ic, "{}: final image differs by scheme", sp.name);
+            assert!(
+                rc.total_time > rs.total_time,
+                "{}: serial duplex not slower: {} vs {}",
+                sp.name,
+                rc.total_time,
+                rs.total_time
+            );
+        }
+    }
+
+    #[test]
+    fn journal_has_expected_shape() {
+        let f = VmFault {
+            at_round: 3,
+            victim: Victim::V2,
+            site: VmFaultSite::Reg { index: 1, bit: 5 },
+        };
+        let mut rec = Recorder::new();
+        rec.enable_journal(vds_obs::JournalHeader::new("vm", "smt-det", 2024, 8, 10));
+        let (r, _, rec) = run_vm_duplex_with_recorder(&cfg("strhash"), Some(f), 10, rec);
+        assert_eq!(r.committed_rounds, 10);
+        let j = rec.journal();
+        assert!(!j.entries().is_empty());
+        // every executed round journals exactly one entry
+        let faulted: Vec<_> = j.entries().iter().filter(|e| e.fault.is_some()).collect();
+        assert_eq!(faulted.len(), 1);
+        assert!(faulted[0]
+            .fault
+            .as_ref()
+            .unwrap()
+            .starts_with("vm:reg:1:5@v2"));
+        assert_eq!(faulted[0].fault_id, Some(0));
+        // the lifecycle resolved: some entry carries the outcome
+        assert!(
+            j.entries().iter().any(|e| e.fault_outcome.is_some()),
+            "fault outcome never resolved"
+        );
+        // sim_time is monotone and sequenced gap-free
+        for (k, e) in j.entries().iter().enumerate() {
+            assert_eq!(e.seq, k as u64);
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let f = VmFault {
+            at_round: 2,
+            victim: Victim::V1,
+            site: VmFaultSite::Mem { addr: 20, bit: 9 },
+        };
+        let c = cfg("matmul");
+        let (r1, i1) = run_vm_duplex_with_state(&c, Some(f), 18);
+        let (r2, i2) = run_vm_duplex_with_state(&c, Some(f), 18);
+        assert_eq!(r1.committed_rounds, r2.committed_rounds);
+        assert_eq!(r1.total_time, r2.total_time);
+        assert_eq!(r1.faults_detected, r2.faults_detected);
+        assert_eq!(i1, i2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown seed program")]
+    fn unknown_program_panics_with_name() {
+        let _ = run_vm_duplex(&cfg("nope"), None, 1);
+    }
+}

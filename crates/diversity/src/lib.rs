@@ -33,9 +33,15 @@
 //! computes the same output window as the original on a fault-free
 //! machine — the correctness contract every transform must meet, enforced
 //! by property tests.
+//!
+//! The [`vm`] module carries the same idea to the `vds-vm` bytecode
+//! workload: scratch-register renaming, commutative operand swaps, a
+//! literal-pool permutation and safe instruction reordering, composed by
+//! [`vm::diversify_vm`] and proved by [`vm::check_vm_equivalence`].
 
 pub mod equivalence;
 pub mod transform;
+pub mod vm;
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;

@@ -1,0 +1,447 @@
+//! Diversity for the bytecode-VM workload (`vds-vm`).
+//!
+//! The register-window ABI pins `r0..r3` (outputs, digested), `r8..r11`
+//! (call arguments/returns) and leaves `r4..r7` as pure intra-frame
+//! scratch — so a consistent renaming of the scratch set, operand swaps
+//! on commutative ALU ops, a literal-pool permutation and reordering of
+//! adjacent independent instructions are all observationally invisible
+//! on a clean run, while changing *which physical register or pool slot
+//! holds which value at any instant*. That is exactly the structural
+//! decorrelation a VDS wants: a transient flip of one physical
+//! register/pool word corrupts different variables in the two variants,
+//! so state comparison catches it, while identical copies would fail
+//! identically and mask it.
+//!
+//! Transform admissibility rules (the contract the property tests
+//! enforce via [`check_vm_equivalence`]):
+//!
+//! 1. only scratch registers `r4..r7` may be renamed, and the renaming
+//!    must be applied uniformly to every instruction;
+//! 2. operand swaps are restricted to [`vds_vm::AluOp::commutes`] ops;
+//! 3. literal-pool permutations must rewrite every `lit` index;
+//! 4. instruction reordering may only swap adjacent pairs inside a
+//!    basic block (the second instruction must not be a branch target)
+//!    with disjoint register footprints, and never moves a store across
+//!    another memory access.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::Rng as _;
+use rand::SeedableRng;
+use vds_vm::{run_round, Instr, Outcome, Program, Vm};
+
+/// A semantics-preserving transformation of a VM [`Program`].
+pub trait VmTransform {
+    /// Transformation name, for reports.
+    fn name(&self) -> &'static str;
+
+    /// Apply to a program, drawing any randomness from `rng`. Must
+    /// preserve observable behavior (per-round output registers, data
+    /// memory, and halt/trap structure) on a fault-free machine.
+    fn apply(&self, prog: &Program, rng: &mut SmallRng) -> Program;
+}
+
+/// First scratch register name the ABI lets us rename.
+const SCRATCH_LO: u8 = 4;
+/// One past the last scratch register name.
+const SCRATCH_HI: u8 = 8;
+
+/// Consistently permute the scratch registers `r4..r7` across the whole
+/// program. Output (`r0..r3`) and argument (`r8..r11`) registers stay
+/// fixed — they are the ABI surface the digest and the window shift
+/// depend on.
+pub struct ScratchRegPermutation;
+
+impl ScratchRegPermutation {
+    fn remap_reg(r: u8, map: &[u8; 4]) -> u8 {
+        if (SCRATCH_LO..SCRATCH_HI).contains(&r) {
+            map[usize::from(r - SCRATCH_LO)]
+        } else {
+            r
+        }
+    }
+
+    fn remap(instr: Instr, map: &[u8; 4]) -> Instr {
+        let m = |r: u8| Self::remap_reg(r, map);
+        match instr {
+            Instr::LoadLit { d, idx } => Instr::LoadLit { d: m(d), idx },
+            Instr::Mov { d, s } => Instr::Mov { d: m(d), s: m(s) },
+            Instr::Alu { op, d, a, b } => Instr::Alu {
+                op,
+                d: m(d),
+                a: m(a),
+                b: m(b),
+            },
+            Instr::CmpLt { d, a, b } => Instr::CmpLt {
+                d: m(d),
+                a: m(a),
+                b: m(b),
+            },
+            Instr::CmpEq { d, a, b } => Instr::CmpEq {
+                d: m(d),
+                a: m(a),
+                b: m(b),
+            },
+            Instr::Jnz { s, target } => Instr::Jnz { s: m(s), target },
+            Instr::Jz { s, target } => Instr::Jz { s: m(s), target },
+            Instr::Ld { d, a } => Instr::Ld { d: m(d), a: m(a) },
+            Instr::St { a, s } => Instr::St { a: m(a), s: m(s) },
+            other => other,
+        }
+    }
+}
+
+impl VmTransform for ScratchRegPermutation {
+    fn name(&self) -> &'static str {
+        "scratch-reg-permutation"
+    }
+
+    fn apply(&self, prog: &Program, rng: &mut SmallRng) -> Program {
+        let mut map = [4u8, 5, 6, 7];
+        map.shuffle(rng);
+        let mut out = prog.clone();
+        out.code = prog.code.iter().map(|&i| Self::remap(i, &map)).collect();
+        out
+    }
+}
+
+/// Swap the operands of commutative ALU operations
+/// (`add/mul/xor/and/or`) with probability `prob` per instruction.
+pub struct VmCommutativeSwap {
+    /// Per-instruction swap probability.
+    pub prob: f64,
+}
+
+impl VmTransform for VmCommutativeSwap {
+    fn name(&self) -> &'static str {
+        "vm-commutative-swap"
+    }
+
+    fn apply(&self, prog: &Program, rng: &mut SmallRng) -> Program {
+        let mut out = prog.clone();
+        out.code = prog
+            .code
+            .iter()
+            .map(|&i| match i {
+                Instr::Alu { op, d, a, b } if op.commutes() && rng.gen::<f64>() < self.prob => {
+                    Instr::Alu { op, d, a: b, b: a }
+                }
+                other => other,
+            })
+            .collect();
+        out
+    }
+}
+
+/// Permute the literal pool and rewrite every `lit` index accordingly,
+/// so a bit flip in a given pool word corrupts a *different constant*
+/// in each variant.
+pub struct LiteralPoolPermutation;
+
+impl VmTransform for LiteralPoolPermutation {
+    fn name(&self) -> &'static str {
+        "literal-pool-permutation"
+    }
+
+    fn apply(&self, prog: &Program, rng: &mut SmallRng) -> Program {
+        let n = prog.lits.len();
+        let mut order: Vec<u16> = (0..n as u16).collect();
+        order.shuffle(rng);
+        // order[new] = old; invert to map old -> new
+        let mut new_of_old = vec![0u16; n];
+        for (new, &old) in order.iter().enumerate() {
+            new_of_old[usize::from(old)] = new as u16;
+        }
+        let mut out = prog.clone();
+        out.lits = order
+            .iter()
+            .map(|&old| prog.lits[usize::from(old)])
+            .collect();
+        out.code = prog
+            .code
+            .iter()
+            .map(|&i| match i {
+                Instr::LoadLit { d, idx } => Instr::LoadLit {
+                    d,
+                    idx: new_of_old[usize::from(idx)],
+                },
+                other => other,
+            })
+            .collect();
+        out
+    }
+}
+
+/// Swap adjacent independent instructions inside basic blocks with
+/// probability `prob` per eligible pair — schedule diversity without any
+/// dataflow change.
+pub struct SafeReorder {
+    /// Per-pair swap probability.
+    pub prob: f64,
+}
+
+/// Register footprint of one instruction: (reads, writes). `None` marks
+/// control flow, which never reorders.
+fn footprint(i: Instr) -> Option<(Vec<u8>, Vec<u8>, MemEffect)> {
+    Some(match i {
+        Instr::LoadLit { d, .. } => (vec![], vec![d], MemEffect::None),
+        Instr::Mov { d, s } => (vec![s], vec![d], MemEffect::None),
+        Instr::Alu { d, a, b, .. } | Instr::CmpLt { d, a, b } | Instr::CmpEq { d, a, b } => {
+            (vec![a, b], vec![d], MemEffect::None)
+        }
+        Instr::Ld { d, a } => (vec![a], vec![d], MemEffect::Read),
+        Instr::St { a, s } => (vec![a, s], vec![], MemEffect::Write),
+        _ => return None,
+    })
+}
+
+/// Memory behavior of an instruction, for reorder legality.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum MemEffect {
+    /// Touches no memory.
+    None,
+    /// Reads memory (`ld`).
+    Read,
+    /// Writes memory (`st`).
+    Write,
+}
+
+impl SafeReorder {
+    fn independent(a: Instr, b: Instr) -> bool {
+        let (Some((ra, wa, ma)), Some((rb, wb, mb))) = (footprint(a), footprint(b)) else {
+            return false;
+        };
+        // no register hazard in either direction
+        let reg_ok = wa.iter().all(|r| !rb.contains(r) && !wb.contains(r))
+            && wb.iter().all(|r| !ra.contains(r));
+        // a store never moves across another memory access
+        let mem_ok = !(ma == MemEffect::Write && mb != MemEffect::None
+            || mb == MemEffect::Write && ma != MemEffect::None);
+        reg_ok && mem_ok
+    }
+
+    fn leaders(prog: &Program) -> Vec<bool> {
+        let mut leader = vec![false; prog.code.len() + 1];
+        leader[0] = true;
+        for (pc, &i) in prog.code.iter().enumerate() {
+            match i {
+                Instr::Jmp { target }
+                | Instr::Jnz { target, .. }
+                | Instr::Jz { target, .. }
+                | Instr::Call { target } => {
+                    if usize::from(target) < leader.len() {
+                        leader[usize::from(target)] = true;
+                    }
+                    if pc + 1 < leader.len() {
+                        leader[pc + 1] = true;
+                    }
+                }
+                Instr::Ret | Instr::Halt if pc + 1 < leader.len() => {
+                    leader[pc + 1] = true;
+                }
+                _ => {}
+            }
+        }
+        leader
+    }
+}
+
+impl VmTransform for SafeReorder {
+    fn name(&self) -> &'static str {
+        "safe-reorder"
+    }
+
+    fn apply(&self, prog: &Program, rng: &mut SmallRng) -> Program {
+        let leader = Self::leaders(prog);
+        let mut out = prog.clone();
+        let mut i = 0;
+        while i + 1 < out.code.len() {
+            let (a, b) = (out.code[i], out.code[i + 1]);
+            // the second slot must not be a branch target: entering the
+            // block mid-pair would skip one of the two instructions
+            if !leader[i + 1] && Self::independent(a, b) && rng.gen::<f64>() < self.prob {
+                out.code.swap(i, i + 1);
+                i += 2; // never overlap swapped pairs
+            } else {
+                i += 1;
+            }
+        }
+        out
+    }
+}
+
+/// Generate variant `index` of a VM program. Variant 0 is the base
+/// itself; higher indices compose the full transform pipeline with
+/// per-index randomness, mirroring [`crate::diversify`] for the
+/// `vds-smtsim` ISA.
+#[must_use]
+pub fn diversify_vm(base: &Program, index: u32, seed: u64) -> Program {
+    if index == 0 {
+        return base.clone();
+    }
+    let mut rng = SmallRng::seed_from_u64(seed ^ (u64::from(index)).wrapping_mul(0x9E37_79B9));
+    let mut prog = ScratchRegPermutation.apply(base, &mut rng);
+    prog = VmCommutativeSwap { prob: 0.7 }.apply(&prog, &mut rng);
+    prog = LiteralPoolPermutation.apply(&prog, &mut rng);
+    prog = SafeReorder { prob: 0.5 }.apply(&prog, &mut rng);
+    prog
+}
+
+/// Why two VM variants were found inequivalent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VmEquivError {
+    /// 1-based round at which behavior diverged.
+    pub round: u32,
+    /// Human-readable description of the divergence.
+    pub detail: String,
+}
+
+impl std::fmt::Display for VmEquivError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "round {}: {}", self.round, self.detail)
+    }
+}
+
+/// Co-execute two programs from the same initial data memory for
+/// `rounds` rounds and require identical observable behavior after
+/// every round: same outcome, same output registers, same full data
+/// memory. This is the admissibility oracle for every VM transform.
+pub fn check_vm_equivalence(
+    a: &Program,
+    b: &Program,
+    initial_mem: &[u32],
+    rounds: u32,
+) -> Result<(), VmEquivError> {
+    let mut va = Vm::with_mem(initial_mem.to_vec());
+    let mut vb = Vm::with_mem(initial_mem.to_vec());
+    for round in 1..=rounds {
+        let ra = run_round(&mut va, a, round, None);
+        let rb = run_round(&mut vb, b, round, None);
+        if ra.outcome != rb.outcome {
+            return Err(VmEquivError {
+                round,
+                detail: format!("outcome {:?} vs {:?}", ra.outcome, rb.outcome),
+            });
+        }
+        if ra.outcome != Outcome::Halted {
+            return Err(VmEquivError {
+                round,
+                detail: format!("both variants failed to halt: {:?}", ra.outcome),
+            });
+        }
+        if va.output_regs() != vb.output_regs() {
+            return Err(VmEquivError {
+                round,
+                detail: format!(
+                    "output registers {:?} vs {:?}",
+                    va.output_regs(),
+                    vb.output_regs()
+                ),
+            });
+        }
+        if let Some(addr) = (0..va.mem.len()).find(|&w| va.mem[w] != vb.mem[w]) {
+            return Err(VmEquivError {
+                round,
+                detail: format!("dmem[{addr}]: {:#x} vs {:#x}", va.mem[addr], vb.mem[addr]),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vds_vm::SEED_PROGRAMS;
+
+    #[test]
+    fn variant_zero_is_identity() {
+        let base = vds_vm::seed_program("checksum").unwrap().assembled();
+        let v0 = diversify_vm(&base, 0, 42);
+        assert_eq!(v0, base);
+    }
+
+    #[test]
+    fn variants_differ_from_base_and_each_other() {
+        for p in SEED_PROGRAMS {
+            let base = p.assembled();
+            let v1 = diversify_vm(&base, 1, 42);
+            let v2 = diversify_vm(&base, 2, 42);
+            assert_ne!(v1.code, base.code, "{}", p.name);
+            assert_ne!(v2.code, base.code, "{}", p.name);
+            assert_ne!(v1.code, v2.code, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn diversification_is_deterministic() {
+        let base = vds_vm::seed_program("sort").unwrap().assembled();
+        assert_eq!(diversify_vm(&base, 1, 7), diversify_vm(&base, 1, 7));
+        assert_ne!(
+            diversify_vm(&base, 1, 7).code,
+            diversify_vm(&base, 1, 8).code,
+            "different seeds give different variants"
+        );
+    }
+
+    #[test]
+    fn every_variant_of_every_seed_program_is_equivalent() {
+        for p in SEED_PROGRAMS {
+            let base = p.assembled();
+            let mem = p.initial_dmem(11);
+            for idx in 1..=3u32 {
+                let v = diversify_vm(&base, idx, 99);
+                check_vm_equivalence(&base, &v, &mem, 8).unwrap_or_else(|e| {
+                    panic!("{} variant {idx}: {e}", p.name);
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn literal_pool_permutation_rewrites_indexes() {
+        let base = vds_vm::seed_program("matmul").unwrap().assembled();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let q = LiteralPoolPermutation.apply(&base, &mut rng);
+        assert_ne!(q.lits, base.lits, "pool order changed");
+        let mut a: Vec<u32> = base.lits.clone();
+        let mut b: Vec<u32> = q.lits.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "same pool contents");
+        check_vm_equivalence(&base, &q, &base_mem(), 4).unwrap();
+    }
+
+    #[test]
+    fn scratch_permutation_never_touches_the_abi_surface() {
+        let base = vds_vm::seed_program("checksum").unwrap().assembled();
+        for seed in 0..10 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let q = ScratchRegPermutation.apply(&base, &mut rng);
+            for (i, (&x, &y)) in base.code.iter().zip(q.code.iter()).enumerate() {
+                let regs = |ins: Instr| -> Vec<u8> {
+                    match ins {
+                        Instr::LoadLit { d, .. } => vec![d],
+                        Instr::Mov { d, s } => vec![d, s],
+                        Instr::Alu { d, a, b, .. }
+                        | Instr::CmpLt { d, a, b }
+                        | Instr::CmpEq { d, a, b } => vec![d, a, b],
+                        Instr::Jnz { s, .. } | Instr::Jz { s, .. } => vec![s],
+                        Instr::Ld { d, a } => vec![d, a],
+                        Instr::St { a, s } => vec![a, s],
+                        _ => vec![],
+                    }
+                };
+                for (rx, ry) in regs(x).iter().zip(regs(y).iter()) {
+                    if *rx < 4 || *rx >= 8 {
+                        assert_eq!(rx, ry, "instr {i}: ABI register renamed");
+                    }
+                }
+            }
+        }
+    }
+
+    fn base_mem() -> Vec<u32> {
+        vds_vm::seed_program("matmul").unwrap().initial_dmem(1)
+    }
+}

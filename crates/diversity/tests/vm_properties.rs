@@ -1,0 +1,138 @@
+//! Property tests for the VM diversity transforms.
+//!
+//! Two properties pin the whole point of diversifying the bytecode
+//! workload:
+//!
+//! 1. **Equivalence** — for any seed program, any transform seed and any
+//!    variant index, a fault-free co-run of base and variant produces
+//!    identical per-round outputs and an identical final `Digest128`
+//!    over the duplex comparison window (`r0..r3` + the persistent
+//!    state window of data memory — the exact window
+//!    `vds_core::vm_vds` digests).
+//! 2. **Decorrelation** — a common-mode flip of one physical scratch
+//!    register, injected identically into both members of a pair, stays
+//!    masked on an identical pair (both copies corrupt the same way)
+//!    but makes some diversified pair diverge: the permuted register
+//!    map puts a different logical variable in the flipped register, so
+//!    the state comparison catches what identical redundancy cannot.
+
+use proptest::prelude::*;
+use vds_diversity::vm::diversify_vm;
+use vds_obs::{Digest128, Digester128};
+use vds_vm::{run_round, FaultPlan, Outcome, Program, StateFlip, Vm};
+
+/// Digest of the duplex comparison window, mirroring
+/// `vds_core::vm_vds`: output registers plus the persistent state
+/// window of data memory.
+fn window_digest(vm: &Vm) -> Digest128 {
+    let mut d = Digester128::new();
+    d.push_words(&vm.output_regs());
+    let w = vds_vm::STATE_WINDOW;
+    d.push_words(&vm.mem[w.start..w.end]);
+    d.finish()
+}
+
+/// Run `prog` for `rounds` rounds from the program's seeded memory,
+/// optionally flipping the same fault every round, and return the final
+/// window digest (None if any round failed to halt).
+fn final_digest(
+    prog: &Program,
+    mem: Vec<u32>,
+    rounds: u32,
+    fault: Option<FaultPlan>,
+) -> Option<Digest128> {
+    let mut vm = Vm::with_mem(mem);
+    for round in 1..=rounds {
+        let r = run_round(&mut vm, prog, round, fault.as_ref());
+        if r.outcome != Outcome::Halted {
+            return None;
+        }
+    }
+    Some(window_digest(&vm))
+}
+
+proptest! {
+    // Property 1: every seeded transform is observation-equivalent on a
+    // fault-free machine — identical outputs each round, identical
+    // final digest.
+    #[test]
+    fn any_seeded_transform_preserves_outputs_and_digest(
+        prog_idx in 0usize..4,
+        variant in 1u32..8,
+        tseed in any::<u64>(),
+        mseed in any::<u64>(),
+    ) {
+        let sp = &vds_vm::SEED_PROGRAMS[prog_idx];
+        let base = sp.assembled();
+        let v = diversify_vm(&base, variant, tseed);
+        let mem = sp.initial_dmem(mseed);
+        let mut a = Vm::with_mem(mem.clone());
+        let mut b = Vm::with_mem(mem);
+        for round in 1..=6u32 {
+            let ra = run_round(&mut a, &base, round, None);
+            let rb = run_round(&mut b, &v, round, None);
+            prop_assert_eq!(ra.outcome, Outcome::Halted);
+            prop_assert_eq!(rb.outcome, Outcome::Halted);
+            prop_assert_eq!(
+                a.output_regs(), b.output_regs(),
+                "{} variant {} round {}: outputs diverged fault-free",
+                sp.name, variant, round
+            );
+            prop_assert_eq!(
+                window_digest(&a), window_digest(&b),
+                "{} variant {} round {}: digests diverged fault-free",
+                sp.name, variant, round
+            );
+        }
+    }
+
+    // Property 2: a common-mode scratch-register flip is masked by
+    // identical redundancy but caught by some diversified pair.
+    #[test]
+    fn some_register_fault_diverges_diversified_pairs_but_masks_identical_ones(
+        prog_idx in 0usize..4,
+        tseed in any::<u64>(),
+    ) {
+        let sp = &vds_vm::SEED_PROGRAMS[prog_idx];
+        let base = sp.assembled();
+        let mem = sp.initial_dmem(7);
+        let rounds = 3u32;
+        let clean = final_digest(&base, mem.clone(), rounds, None).expect("clean run halts");
+        let mut found = false;
+        'search: for reg in 4u16..8 {
+            for bit in [0u8, 7, 13, 31] {
+                for at_step in [5u64, 23, 61] {
+                    let fault = FaultPlan { at_step, flip: StateFlip::Reg { index: reg, bit } };
+                    // Identical pair, same flip in both copies: the VM is
+                    // deterministic, so both corrupt identically and the
+                    // comparison is blind to it — masked, by construction.
+                    let da = final_digest(&base, mem.clone(), rounds, Some(fault));
+                    let db = final_digest(&base, mem.clone(), rounds, Some(fault));
+                    prop_assert_eq!(da, db, "identical copies must fail identically");
+                    // Diversified pair, same physical flip: the scratch
+                    // permutation maps the register to different logical
+                    // variables, so the digests should part ways for at
+                    // least one site.
+                    for variant in 1..=3u32 {
+                        let v = diversify_vm(&base, variant, tseed);
+                        let dv = final_digest(&v, mem.clone(), rounds, Some(fault));
+                        if dv != da && da.is_some() {
+                            found = true;
+                            break 'search;
+                        }
+                    }
+                }
+            }
+        }
+        prop_assert!(
+            found,
+            "{}: no scratch-register flip decorrelated any variant (seed {})",
+            sp.name, tseed
+        );
+        // and the fault search never perturbed the clean baseline
+        prop_assert_eq!(
+            final_digest(&base, mem, rounds, None),
+            Some(clean)
+        );
+    }
+}

@@ -24,6 +24,9 @@
 //!   Hamming code (the concrete form of the paper's assumption).
 //! * [`campaign`] — a deterministic, parallel fault-injection campaign
 //!   driver (independent per-trial seeds, merged counters).
+//! * [`vm`] — architectural-state fault sites for the `vds-vm` bytecode
+//!   workload: registers, pc, literal pool and data memory, with
+//!   journal-round-trippable `vm:…` spec strings.
 
 //! ```
 //! use vds_fault::memory::{ProtectedMemory, ReadOutcome};
@@ -40,6 +43,8 @@ pub mod edc;
 pub mod inject;
 pub mod memory;
 pub mod model;
+pub mod vm;
 
 pub use arrival::{ArrivalProcess, BurstyProcess, PoissonProcess};
 pub use model::{FaultKind, FaultSite};
+pub use vm::VmFaultSite;

@@ -1,0 +1,196 @@
+//! Fault targets for the `vds-vm` bytecode workload: architectural
+//! state of the virtual machine rather than the micro core.
+//!
+//! The taxonomy mirrors the transient sites in [`crate::model`] but
+//! names VM state: the flat physical register file, the program
+//! counter, the literal pool (a VM's constant table is program text in
+//! EDC terms, but it is *read* architectural state here), and data
+//! memory. Spec strings round-trip through journal metadata exactly
+//! like [`crate::model::FaultKind::spec_string`] does:
+//! `vm:reg:<index>:<bit>`, `vm:pc:<bit>`, `vm:lit:<index>:<bit>`,
+//! `vm:mem:<addr>:<bit>`.
+//!
+//! Expected outcomes differ by site class, which is what makes the VM
+//! workload interesting to the forensics layer: live-register flips are
+//! detected the same round; dead-register flips vanish at the next
+//! round's register reset (masked); working-memory flips can be masked
+//! by regeneration, detected late (latency > 0) or — in the dead
+//! padding words no program ever reads — escape to the end of the run;
+//! pc and literal flips usually trap or diverge immediately.
+
+use rand::rngs::SmallRng;
+use rand::Rng as _;
+
+/// One bit-flip target inside the VM's architectural state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VmFaultSite {
+    /// Flip one bit of a physical register (absolute file index, so a
+    /// diversified variant's shifted windows see different variables).
+    Reg {
+        /// Physical register index (0..256).
+        index: u16,
+        /// Bit position (0..32).
+        bit: u8,
+    },
+    /// Flip one bit of the program counter.
+    Pc {
+        /// Bit position (0..16, the encodable pc range).
+        bit: u8,
+    },
+    /// Flip one bit of a literal-pool word for the duration of one
+    /// round (the pool is program text: the flip reverts after).
+    Lit {
+        /// Pool index.
+        index: u16,
+        /// Bit position (0..32).
+        bit: u8,
+    },
+    /// Flip one bit of a data-memory word. Data memory persists across
+    /// rounds, so these are the latent/escaping faults.
+    Mem {
+        /// Word address (0..64).
+        addr: u8,
+        /// Bit position (0..32).
+        bit: u8,
+    },
+}
+
+impl VmFaultSite {
+    /// Spec string for journals/CLI: `vm:reg:<index>:<bit>`,
+    /// `vm:pc:<bit>`, `vm:lit:<index>:<bit>`, `vm:mem:<addr>:<bit>`.
+    #[must_use]
+    pub fn spec_string(&self) -> String {
+        match self {
+            VmFaultSite::Reg { index, bit } => format!("vm:reg:{index}:{bit}"),
+            VmFaultSite::Pc { bit } => format!("vm:pc:{bit}"),
+            VmFaultSite::Lit { index, bit } => format!("vm:lit:{index}:{bit}"),
+            VmFaultSite::Mem { addr, bit } => format!("vm:mem:{addr}:{bit}"),
+        }
+    }
+
+    /// Inverse of [`VmFaultSite::spec_string`].
+    #[must_use]
+    pub fn parse_spec(spec: &str) -> Option<VmFaultSite> {
+        let parts: Vec<&str> = spec.split(':').collect();
+        match parts.as_slice() {
+            ["vm", "pc", b] => Some(VmFaultSite::Pc {
+                bit: b.parse().ok()?,
+            }),
+            ["vm", "reg", i, b] => Some(VmFaultSite::Reg {
+                index: i.parse().ok()?,
+                bit: b.parse().ok()?,
+            }),
+            ["vm", "lit", i, b] => Some(VmFaultSite::Lit {
+                index: i.parse().ok()?,
+                bit: b.parse().ok()?,
+            }),
+            ["vm", "mem", a, b] => Some(VmFaultSite::Mem {
+                addr: a.parse().ok()?,
+                bit: b.parse().ok()?,
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// Sample a random VM fault site, weighted toward the register file and
+/// data memory (the word-count-dominant state), with the literal pool
+/// and pc as rarer, usually-loud targets.
+pub fn sample_vm_site(rng: &mut SmallRng, dmem_words: u32, lit_words: u32) -> VmFaultSite {
+    let reg_w = 64u64; // a window's worth of plausibly-live registers
+    let mem_w = u64::from(dmem_words);
+    let lit_w = u64::from(lit_words);
+    let pc_w = 8u64;
+    let x = rng.gen_range(0..reg_w + mem_w + lit_w + pc_w);
+    if x < reg_w {
+        VmFaultSite::Reg {
+            index: rng.gen_range(0..64),
+            bit: rng.gen_range(0..32),
+        }
+    } else if x < reg_w + mem_w {
+        VmFaultSite::Mem {
+            addr: rng.gen_range(0..dmem_words) as u8,
+            bit: rng.gen_range(0..32),
+        }
+    } else if x < reg_w + mem_w + lit_w {
+        VmFaultSite::Lit {
+            index: rng.gen_range(0..lit_words) as u16,
+            bit: rng.gen_range(0..32),
+        }
+    } else {
+        VmFaultSite::Pc {
+            bit: rng.gen_range(0..10),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn spec_strings_roundtrip() {
+        let sites = [
+            VmFaultSite::Reg { index: 5, bit: 31 },
+            VmFaultSite::Pc { bit: 3 },
+            VmFaultSite::Lit { index: 12, bit: 0 },
+            VmFaultSite::Mem { addr: 63, bit: 17 },
+        ];
+        for s in sites {
+            assert_eq!(VmFaultSite::parse_spec(&s.spec_string()), Some(s), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected() {
+        for bad in [
+            "",
+            "vm",
+            "vm:reg",
+            "vm:reg:5",
+            "vm:reg:x:1",
+            "vm:pc:1:2",
+            "transient:reg:1:2",
+            "vm:mem:1:2:3",
+            "vm:what:1:2",
+        ] {
+            assert_eq!(VmFaultSite::parse_spec(bad), None, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_in_range() {
+        let mut a = SmallRng::seed_from_u64(9);
+        let mut b = SmallRng::seed_from_u64(9);
+        for _ in 0..500 {
+            let sa = sample_vm_site(&mut a, 64, 20);
+            let sb = sample_vm_site(&mut b, 64, 20);
+            assert_eq!(sa, sb);
+            match sa {
+                VmFaultSite::Reg { index, bit } => assert!(index < 64 && bit < 32),
+                VmFaultSite::Pc { bit } => assert!(bit < 10),
+                VmFaultSite::Lit { index, bit } => assert!(index < 20 && bit < 32),
+                VmFaultSite::Mem { addr, bit } => assert!(addr < 64 && bit < 32),
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_covers_every_site_class() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let (mut reg, mut pc, mut lit, mut mem) = (0, 0, 0, 0);
+        for _ in 0..2000 {
+            match sample_vm_site(&mut rng, 64, 20) {
+                VmFaultSite::Reg { .. } => reg += 1,
+                VmFaultSite::Pc { .. } => pc += 1,
+                VmFaultSite::Lit { .. } => lit += 1,
+                VmFaultSite::Mem { .. } => mem += 1,
+            }
+        }
+        assert!(
+            reg > 0 && pc > 0 && lit > 0 && mem > 0,
+            "{reg}/{pc}/{lit}/{mem}"
+        );
+    }
+}

@@ -734,6 +734,40 @@ impl Journal {
         })
     }
 
+    /// [`Journal::from_jsonl`], tolerating a torn final line.
+    ///
+    /// A kill mid-append leaves exactly one incomplete line at the end
+    /// of an otherwise valid JSONL file — the same failure mode the
+    /// sweep resume journal truncates away. When the final non-empty
+    /// line, and only that line, fails to parse *and* the retained
+    /// prefix still carries a header, the tear is dropped and described
+    /// in the returned warning; corruption anywhere else (including a
+    /// torn header) still fails with the original error.
+    pub fn from_jsonl_tolerant(text: &str) -> Result<(Journal, Option<String>), String> {
+        let err = match Journal::from_jsonl(text) {
+            Ok(j) => return Ok((j, None)),
+            Err(e) => e,
+        };
+        let lines: Vec<&str> = text.lines().collect();
+        let Some(last) = lines.iter().rposition(|l| !l.trim().is_empty()) else {
+            return Err(err);
+        };
+        if !err.starts_with(&format!("line {}:", last + 1)) {
+            return Err(err);
+        }
+        let retained = lines[..last].join("\n");
+        let j = Journal::from_jsonl(&retained).map_err(|_| err.clone())?;
+        if j.header.is_none() {
+            return Err(err);
+        }
+        let warn = format!(
+            "dropped torn final journal line {} ({} entries retained)",
+            last + 1,
+            j.len()
+        );
+        Ok((j, Some(warn)))
+    }
+
     /// Find the first entry where the two journals disagree.
     ///
     /// Headers are compared first (field `header`). Entry comparison
@@ -1219,6 +1253,38 @@ mod tests {
         assert!(Journal::from_jsonl("not json")
             .unwrap_err()
             .contains("line 1"));
+    }
+
+    #[test]
+    fn tolerant_parse_recovers_only_a_torn_final_line() {
+        let j = sample_journal();
+        let text = j.to_jsonl();
+
+        // Intact input: no warning, identical journal.
+        let (back, warn) = Journal::from_jsonl_tolerant(&text).expect("intact");
+        assert!(warn.is_none());
+        assert_eq!(back.entries(), j.entries());
+
+        // Torn final line (kill mid-append): drop it, warn, keep the rest.
+        let torn = format!("{text}{{\"kind\":\"round\",\"seq\":9");
+        let (back, warn) = Journal::from_jsonl_tolerant(&torn).expect("torn tail");
+        let warn = warn.expect("warns about the drop");
+        assert!(warn.contains("torn final journal line"), "{warn}");
+        assert_eq!(back.len(), j.len());
+        assert_eq!(back.entries(), j.entries());
+
+        // Corruption before the end is not a tear — original error.
+        let lines: Vec<&str> = text.lines().collect();
+        let mut mid = lines.clone();
+        mid[1] = "not json";
+        let err = Journal::from_jsonl_tolerant(&mid.join("\n")).unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+
+        // A torn header alone is not recoverable either: there is no
+        // valid prefix to keep, so the original error surfaces.
+        let half_header = &lines[0][..lines[0].len() / 2];
+        let err = Journal::from_jsonl_tolerant(half_header).unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
     }
 
     #[test]

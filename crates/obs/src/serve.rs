@@ -351,6 +351,11 @@ impl Drop for TelemetryServer {
     }
 }
 
+/// Backlogged connections served after the stop flag flips before the
+/// socket closes. Bounds the drain so a scrape flood cannot stall
+/// shutdown; anything beyond it gets the ordinary connection reset.
+const SHUTDOWN_DRAIN_MAX: usize = 64;
+
 fn accept_loop(listener: TcpListener, hub: Arc<TelemetryHub>, stop: Arc<AtomicBool>) {
     while !stop.load(Ordering::Acquire) {
         match listener.accept() {
@@ -359,6 +364,17 @@ fn accept_loop(listener: TcpListener, hub: Arc<TelemetryHub>, stop: Arc<AtomicBo
                 std::thread::sleep(Duration::from_millis(10));
             }
             Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+    // A scrape whose TCP handshake completed before the stop flag
+    // flipped is sitting in the listen backlog; dropping the listener
+    // now would reset it after its request was sent. Drain the backlog
+    // with complete responses, then close — later connects get a clean
+    // refusal at the TCP layer, never a half-written body.
+    for _ in 0..SHUTDOWN_DRAIN_MAX {
+        match listener.accept() {
+            Ok((stream, _)) => handle_conn(stream, &hub),
+            Err(_) => break,
         }
     }
 }
@@ -613,6 +629,39 @@ mod tests {
         // the port is released: a fresh bind to the same address works
         let again = TcpListener::bind(addr);
         assert!(again.is_ok());
+    }
+
+    #[test]
+    fn shutdown_never_tears_an_inflight_scrape() {
+        // A scrape racing shutdown — connected (so at worst queued in
+        // the listen backlog) before stop flips — must receive the
+        // complete declared body; afterwards new connects are refused
+        // at the TCP layer. Iterate to hit both sides of the race.
+        for _ in 0..20 {
+            let hub = TelemetryHub::new();
+            hub.mark_ready();
+            let server = TelemetryServer::bind("127.0.0.1:0", Arc::clone(&hub)).unwrap();
+            let addr = server.local_addr();
+            let mut s = TcpStream::connect(addr).unwrap();
+            write!(
+                s,
+                "GET /progress HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"
+            )
+            .unwrap();
+            server.shutdown();
+            let mut resp = String::new();
+            s.read_to_string(&mut resp).unwrap();
+            assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+            let (head, body) = resp.split_once("\r\n\r\n").expect("complete header");
+            let declared: usize = head
+                .lines()
+                .find_map(|l| l.strip_prefix("Content-Length: "))
+                .expect("content-length")
+                .parse()
+                .unwrap();
+            assert_eq!(body.len(), declared, "torn body: {resp}");
+            assert!(TcpStream::connect(addr).is_err(), "socket still open");
+        }
     }
 
     #[test]

@@ -23,10 +23,12 @@ use std::sync::{Arc, Mutex, OnceLock};
 use vds_analytic::Params;
 use vds_core::abstract_vds::{self, AbstractConfig};
 use vds_core::micro_vds::{run_micro, MicroConfig, MicroFault};
+use vds_core::vm_vds::{run_vm_duplex, VmConfig, VmFault};
 use vds_core::{FaultModel, RunReport, Scheme, Victim};
 use vds_desim::rng::child_seed;
 use vds_fault::campaign::CampaignMonitor;
 use vds_fault::model::{FaultKind, FaultSite};
+use vds_fault::vm::VmFaultSite;
 use vds_obs::Registry;
 
 use crate::grid::{Backend, Cell, GridSpec};
@@ -226,6 +228,29 @@ fn execute(cell: &Cell) -> RunReport {
                 None
             };
             run_micro(&cfg, fault, cell.rounds)
+        }
+        Backend::Vm => {
+            let mut cfg = VmConfig::new(&cell.program);
+            cfg.scheme = cell.scheme;
+            cfg.s = cell.s;
+            cfg.seed = cell.seed;
+            // Like the micro platform: q > 0 selects one seed-derived
+            // placed fault per mission — a live-register flip, the site
+            // class every seed program detects or masks (never escapes).
+            let fault = if cell.q > 0.0 {
+                Some(VmFault {
+                    at_round: 1 + (cell.seed % u64::from(cell.s)) as u32,
+                    victim: if cell.seed & 1 == 0 {
+                        Victim::V1
+                    } else {
+                        Victim::V2
+                    },
+                    site: VmFaultSite::Reg { index: 1, bit: 5 },
+                })
+            } else {
+                None
+            };
+            run_vm_duplex(&cfg, fault, cell.rounds)
         }
     }
 }
@@ -564,6 +589,42 @@ mod tests {
             }
             assert!(r.g_round > 1.0, "SMT beats conventional: {}", r.cell.key());
         }
+    }
+
+    #[test]
+    fn vm_backend_cells_run_detect_and_beat_the_serial_baseline() {
+        let g = GridSpec::parse_inline(
+            "backend=vm;program=strhash;alpha=0.65;s=8;scheme=smt-det,smt-prob;q=0,0.5;rounds=24",
+        )
+        .unwrap();
+        let out = run_sweep(&g, 2, None, &BTreeMap::new(), None);
+        assert_eq!(out.results.len(), 4);
+        for r in &out.results {
+            assert_eq!(r.committed_rounds, 24, "{}", r.cell.key());
+            assert!(!r.shutdown, "{}", r.cell.key());
+            if r.cell.q > 0.0 {
+                // one placed live-register flip: all-or-nothing coverage
+                // (detected same round, or erased by the register reset)
+                assert!(
+                    r.coverage == 0.0 || r.coverage == 1.0,
+                    "{}: coverage {}",
+                    r.cell.key(),
+                    r.coverage
+                );
+                assert_eq!(r.detections > 0, r.coverage == 1.0, "{}", r.cell.key());
+            } else {
+                assert_eq!(r.detections, 0, "{}", r.cell.key());
+            }
+            assert!(
+                r.g_round > 1.0,
+                "co-scheduled variants beat the serial conventional duplex: {} g={}",
+                r.cell.key(),
+                r.g_round
+            );
+        }
+        // worker invariance holds for the vm backend too
+        let again = run_sweep(&g, 7, None, &BTreeMap::new(), None);
+        assert_eq!(out.results, again.results);
     }
 
     #[test]

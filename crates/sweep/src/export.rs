@@ -258,6 +258,10 @@ pub fn parse_row(line: &str, cells: &[Cell]) -> Result<CellResult, String> {
         backend,
         rounds: num(f[6], "rounds")?,
         seed: num(f[7], "seed")?,
+        // the program axis has no CSV column: the journal fingerprint
+        // already pins it grid-wide, and the seed cross-check below
+        // (derived from the program-bearing key) catches a swap
+        program: cell.program.clone(),
     };
     if row_cell != *cell {
         return Err(format!(

@@ -29,6 +29,12 @@ pub enum Backend {
     /// from pipeline contention (the declared α is carried through to the
     /// exports but not consumed), and `smt-boost5` is not available.
     Micro,
+    /// The bytecode-VM platform (`vds_core::vm_vds`): a real seed program
+    /// runs as two diversified variants, time is counted in interpreted
+    /// instructions, and the declared α is carried through but not
+    /// consumed (the measured stretch emerges from the variants' step
+    /// counts).
+    Vm,
 }
 
 impl Backend {
@@ -37,6 +43,7 @@ impl Backend {
         match self {
             Backend::Abstract => "abstract",
             Backend::Micro => "micro",
+            Backend::Vm => "vm",
         }
     }
 
@@ -45,7 +52,8 @@ impl Backend {
         match s {
             "abstract" => Ok(Backend::Abstract),
             "micro" => Ok(Backend::Micro),
-            other => Err(format!("unknown backend `{other}` (abstract|micro)")),
+            "vm" => Ok(Backend::Vm),
+            other => Err(format!("unknown backend `{other}` (abstract|micro|vm)")),
         }
     }
 }
@@ -67,6 +75,9 @@ pub struct GridSpec {
     pub rounds: u64,
     /// Base seed every per-cell seed derives from.
     pub base_seed: u64,
+    /// Seed-program name — consumed by the [`Backend::Vm`] backend only
+    /// (see [`vds_vm::SEED_PROGRAMS`]).
+    pub program: String,
 }
 
 impl Default for GridSpec {
@@ -79,6 +90,7 @@ impl Default for GridSpec {
             backend: Backend::Abstract,
             rounds: 2_000,
             base_seed: 1,
+            program: "checksum".to_string(),
         }
     }
 }
@@ -102,6 +114,8 @@ pub struct Cell {
     pub rounds: u64,
     /// Derived RNG seed (see [`Cell::key`]).
     pub seed: u64,
+    /// Seed-program name ([`Backend::Vm`] cells only; empty otherwise).
+    pub program: String,
 }
 
 impl Cell {
@@ -110,7 +124,7 @@ impl Cell {
     /// where in the grid (or on which worker) it runs: reordering or
     /// extending the grid never changes an existing cell's results.
     pub fn key(&self) -> String {
-        format!(
+        let mut k = format!(
             "a{}|s{}|{}|q{}|{}|r{}",
             self.alpha,
             self.s,
@@ -118,20 +132,32 @@ impl Cell {
             self.q,
             self.backend.name(),
             self.rounds
-        )
+        );
+        // the program axis exists only on the VM backend; keeping it out
+        // of every other key preserves historical seeds byte-for-byte
+        if self.backend == Backend::Vm {
+            k.push('|');
+            k.push_str(&self.program);
+        }
+        k
     }
 
     /// Coordinates shared by every cell that differs only in scheme/α —
     /// the memoization key for the conventional reference run (G_round's
     /// denominator), which none of those axes affect.
     pub fn baseline_key(&self) -> String {
-        format!(
+        let mut k = format!(
             "s{}|q{}|{}|r{}",
             self.s,
             self.q,
             self.backend.name(),
             self.rounds
-        )
+        );
+        if self.backend == Backend::Vm {
+            k.push('|');
+            k.push_str(&self.program);
+        }
+        k
     }
 }
 
@@ -166,6 +192,14 @@ impl GridSpec {
         if self.backend == Backend::Micro && self.schemes.contains(&Scheme::SmtBoosted5) {
             return Err("smt-boost5 runs on the abstract backend only".into());
         }
+        if self.backend == Backend::Vm && vds_vm::seed_program(&self.program).is_none() {
+            let known: Vec<&str> = vds_vm::SEED_PROGRAMS.iter().map(|p| p.name).collect();
+            return Err(format!(
+                "unknown seed program `{}` (known: {})",
+                self.program,
+                known.join(", ")
+            ));
+        }
         Ok(())
     }
 
@@ -191,6 +225,11 @@ impl GridSpec {
                             backend: self.backend,
                             rounds: self.rounds,
                             seed: 0,
+                            program: if self.backend == Backend::Vm {
+                                self.program.clone()
+                            } else {
+                                String::new()
+                            },
                         };
                         c.seed = child_seed(self.base_seed, &c.key());
                         out.push(c);
@@ -205,7 +244,7 @@ impl GridSpec {
     /// to fingerprint a sweep journal against the grid it belongs to.
     pub fn canonical(&self) -> String {
         let join_f = |v: &[f64]| v.iter().map(f64::to_string).collect::<Vec<_>>().join(",");
-        format!(
+        let mut out = format!(
             "alpha={};s={};scheme={};q={};backend={};rounds={};seed={}",
             join_f(&self.alphas),
             self.s_values
@@ -222,7 +261,14 @@ impl GridSpec {
             self.backend.name(),
             self.rounds,
             self.base_seed
-        )
+        );
+        // only VM grids carry the axis, so pre-VM journals fingerprint
+        // identically under old and new builds
+        if self.backend == Backend::Vm {
+            out.push_str(";program=");
+            out.push_str(&self.program);
+        }
+        out
     }
 
     /// Parse either syntax: a path to an existing file is read as TOML,
@@ -318,10 +364,11 @@ impl GridSpec {
             "backend" => self.backend = Backend::parse(one()?)?,
             "rounds" => self.rounds = parse_one(one()?, "rounds")?,
             "seed" => self.base_seed = parse_one(one()?, "seed")?,
+            "program" => self.program = one()?.to_string(),
             other => {
                 return Err(format!(
                     "unknown grid key `{other}` \
-                     (known: alpha, s, scheme, q, backend, rounds, seed)"
+                     (known: alpha, s, scheme, q, backend, rounds, seed, program)"
                 ))
             }
         }
@@ -436,6 +483,43 @@ mod tests {
         );
         assert!(GridSpec::parse_toml("[section]\nalpha = 0.6").is_err());
         assert!(GridSpec::parse_toml("alpha 0.6").is_err());
+    }
+
+    #[test]
+    fn vm_backend_carries_the_program_axis() {
+        let g =
+            GridSpec::parse_inline("backend=vm;program=matmul;scheme=smt-det;rounds=50").unwrap();
+        assert_eq!(g.backend, Backend::Vm);
+        assert_eq!(g.program, "matmul");
+        let cells = g.cells();
+        assert_eq!(cells[0].program, "matmul");
+        assert!(cells[0].key().ends_with("|matmul"));
+        assert!(cells[0].baseline_key().ends_with("|matmul"));
+        assert!(g.canonical().ends_with(";program=matmul"));
+        let again = GridSpec::parse_inline(&g.canonical()).unwrap();
+        assert_eq!(g, again);
+        // programs are distinct coordinates: same grid shape, different seeds
+        let other =
+            GridSpec::parse_inline("backend=vm;program=sort;scheme=smt-det;rounds=50").unwrap();
+        assert_ne!(cells[0].seed, other.cells()[0].seed);
+    }
+
+    #[test]
+    fn non_vm_grids_ignore_program_in_keys_and_canonical() {
+        let g = GridSpec::default();
+        let cells = g.cells();
+        assert_eq!(cells[0].program, "");
+        assert!(!cells[0].key().contains("checksum"));
+        assert!(!g.canonical().contains("program="));
+    }
+
+    #[test]
+    fn vm_backend_rejects_unknown_program() {
+        let err = GridSpec::parse_inline("backend=vm;program=quine").unwrap_err();
+        assert!(err.contains("unknown seed program"), "{err}");
+        assert!(err.contains("checksum"), "{err}");
+        // the program value is only validated on the vm backend
+        assert!(GridSpec::parse_inline("program=quine").is_ok());
     }
 
     #[test]

@@ -1,0 +1,291 @@
+//! Fixed-width instruction set: every instruction encodes to one 32-bit
+//! word laid out as `op(8) | a(8) | b(8) | c(8)`.
+//!
+//! Register operands are window-relative (the interpreter adds the
+//! current window base); 16-bit immediates (literal-pool indexes and
+//! branch targets) occupy the `b`/`c` bytes big-endian. Invalid opcodes
+//! decode to `None` and trap as illegal instructions, so a bit flip in
+//! program text is always either a behavior change or a trap, never
+//! undefined behavior.
+
+/// Two-operand ALU operations (`d = a <op> b`). All wrap; shifts mask
+/// the amount to 5 bits so results never depend on host semantics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    Add,
+    Sub,
+    Mul,
+    Xor,
+    And,
+    Or,
+    Shl,
+    Shr,
+}
+
+impl AluOp {
+    /// Apply the operation with wrapping/masking semantics.
+    #[must_use]
+    pub fn eval(self, a: u32, b: u32) -> u32 {
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::Mul => a.wrapping_mul(b),
+            AluOp::Xor => a ^ b,
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Shl => a << (b & 31),
+            AluOp::Shr => a >> (b & 31),
+        }
+    }
+
+    /// `true` when `a <op> b == b <op> a` for all inputs — the set the
+    /// diversity transformer is allowed to swap operands on.
+    #[must_use]
+    pub fn commutes(self) -> bool {
+        matches!(
+            self,
+            AluOp::Add | AluOp::Mul | AluOp::Xor | AluOp::And | AluOp::Or
+        )
+    }
+
+    fn opcode(self) -> u8 {
+        match self {
+            AluOp::Add => 3,
+            AluOp::Sub => 4,
+            AluOp::Mul => 5,
+            AluOp::Xor => 6,
+            AluOp::And => 7,
+            AluOp::Or => 8,
+            AluOp::Shl => 9,
+            AluOp::Shr => 10,
+        }
+    }
+
+    fn from_opcode(op: u8) -> Option<AluOp> {
+        Some(match op {
+            3 => AluOp::Add,
+            4 => AluOp::Sub,
+            5 => AluOp::Mul,
+            6 => AluOp::Xor,
+            7 => AluOp::And,
+            8 => AluOp::Or,
+            9 => AluOp::Shl,
+            10 => AluOp::Shr,
+            _ => return None,
+        })
+    }
+
+    /// Assembler mnemonic.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::Mul => "mul",
+            AluOp::Xor => "xor",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Shl => "shl",
+            AluOp::Shr => "shr",
+        }
+    }
+}
+
+/// One decoded instruction. Register fields are window-relative names;
+/// `idx`/`target` are absolute literal-pool and code indexes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Instr {
+    /// Stop the round; architectural state at this point is what the
+    /// duplex comparison digests.
+    Halt,
+    /// `r[d] = lits[idx]` — the only way constants enter the machine.
+    LoadLit { d: u8, idx: u16 },
+    /// `r[d] = r[s]`.
+    Mov { d: u8, s: u8 },
+    /// `r[d] = r[a] <op> r[b]`.
+    Alu { op: AluOp, d: u8, a: u8, b: u8 },
+    /// `r[d] = (r[a] < r[b]) as u32` (unsigned).
+    CmpLt { d: u8, a: u8, b: u8 },
+    /// `r[d] = (r[a] == r[b]) as u32`.
+    CmpEq { d: u8, a: u8, b: u8 },
+    /// Unconditional branch to code index `target`.
+    Jmp { target: u16 },
+    /// Branch when `r[s] != 0`.
+    Jnz { s: u8, target: u16 },
+    /// Branch when `r[s] == 0`.
+    Jz { s: u8, target: u16 },
+    /// Push the return frame and slide the register window up by
+    /// [`crate::WINDOW_SHIFT`]: the caller's `r8..` become the callee's
+    /// `r0..`.
+    Call { target: u16 },
+    /// Pop the newest frame and restore the caller's window.
+    Ret,
+    /// `r[d] = mem[r[a]]`.
+    Ld { d: u8, a: u8 },
+    /// `mem[r[a]] = r[s]`.
+    St { a: u8, s: u8 },
+}
+
+impl Instr {
+    /// Encode to the canonical 32-bit word.
+    #[must_use]
+    pub fn encode(self) -> u32 {
+        let (op, a, b, c): (u8, u8, u8, u8) = match self {
+            Instr::Halt => (0, 0, 0, 0),
+            Instr::LoadLit { d, idx } => (1, d, (idx >> 8) as u8, idx as u8),
+            Instr::Mov { d, s } => (2, d, s, 0),
+            Instr::Alu { op, d, a, b } => (op.opcode(), d, a, b),
+            Instr::CmpLt { d, a, b } => (11, d, a, b),
+            Instr::CmpEq { d, a, b } => (12, d, a, b),
+            Instr::Jmp { target } => (13, 0, (target >> 8) as u8, target as u8),
+            Instr::Jnz { s, target } => (14, s, (target >> 8) as u8, target as u8),
+            Instr::Jz { s, target } => (15, s, (target >> 8) as u8, target as u8),
+            Instr::Call { target } => (16, 0, (target >> 8) as u8, target as u8),
+            Instr::Ret => (17, 0, 0, 0),
+            Instr::Ld { d, a } => (18, d, a, 0),
+            Instr::St { a, s } => (19, a, s, 0),
+        };
+        (u32::from(op) << 24) | (u32::from(a) << 16) | (u32::from(b) << 8) | u32::from(c)
+    }
+
+    /// Decode a 32-bit word; `None` for unknown opcodes (illegal
+    /// instruction trap at execution time).
+    #[must_use]
+    pub fn decode(word: u32) -> Option<Instr> {
+        let op = (word >> 24) as u8;
+        let a = (word >> 16) as u8;
+        let b = (word >> 8) as u8;
+        let c = word as u8;
+        let imm = (u16::from(b) << 8) | u16::from(c);
+        Some(match op {
+            0 => Instr::Halt,
+            1 => Instr::LoadLit { d: a, idx: imm },
+            2 => Instr::Mov { d: a, s: b },
+            3..=10 => Instr::Alu {
+                op: AluOp::from_opcode(op)?,
+                d: a,
+                a: b,
+                b: c,
+            },
+            11 => Instr::CmpLt { d: a, a: b, b: c },
+            12 => Instr::CmpEq { d: a, a: b, b: c },
+            13 => Instr::Jmp { target: imm },
+            14 => Instr::Jnz { s: a, target: imm },
+            15 => Instr::Jz { s: a, target: imm },
+            16 => Instr::Call { target: imm },
+            17 => Instr::Ret,
+            18 => Instr::Ld { d: a, a: b },
+            19 => Instr::St { a, s: b },
+            _ => return None,
+        })
+    }
+
+    /// Render in assembler syntax (used by `vds vm asm` listings).
+    #[must_use]
+    pub fn render(self) -> String {
+        match self {
+            Instr::Halt => "halt".to_string(),
+            Instr::LoadLit { d, idx } => format!("lit   r{d}, [{idx}]"),
+            Instr::Mov { d, s } => format!("mov   r{d}, r{s}"),
+            Instr::Alu { op, d, a, b } => {
+                format!("{:<5} r{d}, r{a}, r{b}", op.mnemonic())
+            }
+            Instr::CmpLt { d, a, b } => format!("cmplt r{d}, r{a}, r{b}"),
+            Instr::CmpEq { d, a, b } => format!("cmpeq r{d}, r{a}, r{b}"),
+            Instr::Jmp { target } => format!("jmp   @{target}"),
+            Instr::Jnz { s, target } => format!("jnz   r{s}, @{target}"),
+            Instr::Jz { s, target } => format!("jz    r{s}, @{target}"),
+            Instr::Call { target } => format!("call  @{target}"),
+            Instr::Ret => "ret".to_string(),
+            Instr::Ld { d, a } => format!("ld    r{d}, r{a}"),
+            Instr::St { a, s } => format!("st    r{a}, r{s}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_forms() -> Vec<Instr> {
+        let mut v = vec![
+            Instr::Halt,
+            Instr::LoadLit { d: 7, idx: 0x1234 },
+            Instr::Mov { d: 1, s: 250 },
+            Instr::CmpLt { d: 3, a: 4, b: 5 },
+            Instr::CmpEq { d: 3, a: 4, b: 5 },
+            Instr::Jmp { target: 0xBEEF },
+            Instr::Jnz { s: 9, target: 2 },
+            Instr::Jz {
+                s: 0,
+                target: 65535,
+            },
+            Instr::Call { target: 400 },
+            Instr::Ret,
+            Instr::Ld { d: 2, a: 6 },
+            Instr::St { a: 6, s: 2 },
+        ];
+        for op in [
+            AluOp::Add,
+            AluOp::Sub,
+            AluOp::Mul,
+            AluOp::Xor,
+            AluOp::And,
+            AluOp::Or,
+            AluOp::Shl,
+            AluOp::Shr,
+        ] {
+            v.push(Instr::Alu {
+                op,
+                d: 1,
+                a: 2,
+                b: 3,
+            });
+        }
+        v
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for i in all_forms() {
+            assert_eq!(Instr::decode(i.encode()), Some(i), "{i:?}");
+        }
+    }
+
+    #[test]
+    fn unknown_opcodes_decode_to_none() {
+        for op in 20u32..=255 {
+            assert_eq!(Instr::decode(op << 24), None);
+        }
+    }
+
+    #[test]
+    fn alu_semantics_wrap_and_mask() {
+        assert_eq!(AluOp::Add.eval(u32::MAX, 2), 1);
+        assert_eq!(AluOp::Mul.eval(0x8000_0000, 2), 0);
+        assert_eq!(AluOp::Sub.eval(0, 1), u32::MAX);
+        assert_eq!(AluOp::Shl.eval(1, 33), 2); // amount masked to 5 bits
+        assert_eq!(AluOp::Shr.eval(4, 33), 2);
+    }
+
+    #[test]
+    fn commutativity_whitelist_is_sound() {
+        for op in [
+            AluOp::Add,
+            AluOp::Sub,
+            AluOp::Mul,
+            AluOp::Xor,
+            AluOp::And,
+            AluOp::Or,
+            AluOp::Shl,
+            AluOp::Shr,
+        ] {
+            let samples = [(3u32, 17u32), (0, u32::MAX), (12345, 67890)];
+            let always = samples.iter().all(|&(a, b)| op.eval(a, b) == op.eval(b, a));
+            if op.commutes() {
+                assert!(always, "{op:?} claimed commutative");
+            }
+        }
+        assert!(!AluOp::Sub.commutes() && !AluOp::Shl.commutes());
+    }
+}
